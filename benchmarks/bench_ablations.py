@@ -1,0 +1,44 @@
+"""Ablations of the design choices DESIGN.md calls out."""
+
+from repro.experiments import ablations
+
+
+def test_ablations(regenerate):
+    (depth, mt_dt, memo, widths, level_order, parent, direction) = (
+        regenerate(ablations, "ablations")
+    )
+
+    # The third tree level only adds strict-dominance evidence.
+    provable = depth.column("avg strict dims provable / point")
+    assert provable[1] >= provable[0], depth.format()
+
+    # Point-based partitioning trades DTs for MTs relative to BNL.
+    assert mt_dt.cell("bskytree", "DTs") < mt_dt.cell("bnl", "DTs")
+    assert mt_dt.cell("hybrid", "DTs") < mt_dt.cell("bnl", "DTs")
+    assert mt_dt.cell("bnl", "MTs") == 0
+
+    # Memoization: the closure cache is bounded by the 2**d distinct
+    # masks, far below the number of leaf DTs that would each expand
+    # their submasks without it.
+    dts = memo.cell("leaf DTs executed", "value")
+    cached = memo.cell("distinct masks cached globally", "value")
+    assert cached <= (1 << 8) - 1, memo.format()
+    assert dts > 10 * cached, memo.format()
+
+    # Wider HashCube words compress harder (until the id floor).
+    ratios = widths.column("lattice ids / hashcube ids")
+    assert ratios == sorted(ratios), widths.format()
+
+    # Level-ordered HashCube bits save storage on partial skycubes.
+    for saving in level_order.column("saving %"):
+        assert saving > 0, level_order.format()
+
+    # The argmin parent rule shrinks the reduced inputs.
+    assert parent.cell("smallest", "dominance tests") <= parent.cell(
+        "first", "dominance tests"
+    ), parent.format()
+
+    # Top-down traversal does far less dominance work than bottom-up.
+    assert direction.cell("top-down", "dominance tests") < direction.cell(
+        "bottom-up", "dominance tests"
+    ), direction.format()

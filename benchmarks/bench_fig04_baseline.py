@@ -1,0 +1,13 @@
+"""Figure 4: the PQSkycube baseline adds no overhead over QSkycube."""
+
+from repro.experiments import fig04
+
+
+def test_fig04_baseline_parity(regenerate):
+    by_n, by_d = regenerate(fig04, "fig04")
+    # Paper: the single-threaded curves coincide.  PQ may be mildly
+    # faster (earlier freeing) or slower (its retained trees cost a
+    # little even single-threaded here), never far off.
+    for table in (by_n, by_d):
+        for ratio in table.column("pq/q ratio"):
+            assert 0.7 <= ratio <= 1.45, table.format()

@@ -1,0 +1,29 @@
+"""Figure 5: parallel scalability of the CPU specialisations."""
+
+from repro.experiments import fig05
+
+
+def test_fig05_thread_scaling(regenerate):
+    left, right = regenerate(fig05, "fig05")
+
+    # MD and ST scale well with physical cores on one socket...
+    assert left.cell("MD", "t=10") > 5.0, left.format()
+    assert left.cell("ST", "t=10") > 4.0, left.format()
+    # ...and MD keeps scaling under hyper-threading, SD does not.
+    assert left.cell("MD", "t=20") > left.cell("MD", "t=10"), left.format()
+    assert left.cell("SD", "t=20") < left.cell("SD", "t=10"), left.format()
+
+    # PQ loses speedup the moment the second socket is involved.
+    assert right.cell("PQ", "t=10") < left.cell("PQ", "t=10"), (
+        left.format() + right.format()
+    )
+    # MD is the most scalable algorithm on the full machine.
+    for algorithm in ("PQ", "ST", "SD"):
+        assert right.cell("MD", "t=20") > right.cell(algorithm, "t=20"), (
+            right.format()
+        )
+    # PQ trails every template on two sockets.
+    for algorithm in ("ST", "SD", "MD"):
+        assert right.cell("PQ", "t=20") < right.cell(algorithm, "t=20"), (
+            right.format()
+        )

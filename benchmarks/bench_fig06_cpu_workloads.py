@@ -1,0 +1,33 @@
+"""Figure 6: CPU execution times across workloads."""
+
+from repro.experiments import fig06
+from repro.experiments.fig06 import cpu_seconds
+from repro.experiments.workloads import D_SWEEP_N, N_SWEEP
+
+
+def test_fig06_cpu_workloads(regenerate):
+    tables = regenerate(fig06, "fig06")
+    assert len(tables) == 6  # {A,I,C} x {vs n, vs d}
+
+    # MD is the fastest CPU method on every anticorrelated and
+    # independent workload of the sweep (paper: "across most workloads,
+    # MD is the fastest, followed by ST, SD, PQ").
+    for distribution in ("anticorrelated", "independent"):
+        for n in N_SWEEP:
+            md = cpu_seconds("mdmc-cpu", distribution, n, 8)
+            for other in ("pqskycube", "stsc", "sdsc-cpu"):
+                assert md < cpu_seconds(other, distribution, n, 8), (
+                    f"MD not fastest on {distribution} n={n}"
+                )
+
+    # PQ is the slowest on the default-style workloads...
+    for distribution in ("anticorrelated", "independent"):
+        pq = cpu_seconds("pqskycube", distribution, 2000, 8)
+        for other in ("stsc", "sdsc-cpu", "mdmc-cpu"):
+            assert pq > cpu_seconds(other, distribution, 2000, 8)
+
+    # ...while on correlated data the tiny parallel tasks hurt SD:
+    # it falls behind PQ (paper, Figure 6 bottom-left).
+    sd_c = cpu_seconds("sdsc-cpu", "correlated", 2000, 8)
+    pq_c = cpu_seconds("pqskycube", "correlated", 2000, 8)
+    assert sd_c > 0.5 * pq_c, "SD should lose its edge on correlated data"

@@ -1,0 +1,46 @@
+"""Figure 7: GPU and cross-device execution times across workloads."""
+
+from repro.experiments import fig07
+from repro.experiments.fig07 import all_seconds, gpu_seconds
+from repro.experiments.workloads import N_SWEEP
+
+
+def test_fig07_gpu_workloads(regenerate):
+    tables = regenerate(fig07, "fig07")
+    assert len(tables) == 6
+
+    # MD outperforms SD on the GPU (paper: "MD outperforms SD:
+    # especially for lower-dimensional cuboids ... SD struggles to
+    # generate enough parallel tasks").
+    for distribution in ("anticorrelated", "independent"):
+        for n in N_SWEEP:
+            assert gpu_seconds("mdmc-gpu", distribution, n, 8) < gpu_seconds(
+                "sdsc-gpu", distribution, n, 8
+            ), f"MD-GPU should beat SD-GPU on {distribution} n={n}"
+
+    # The performance gap narrows as n grows (convergence in Fig 7).
+    gap_small = gpu_seconds("sdsc-gpu", "independent", N_SWEEP[0], 8) / gpu_seconds(
+        "mdmc-gpu", "independent", N_SWEEP[0], 8
+    )
+    gap_large = gpu_seconds("sdsc-gpu", "independent", N_SWEEP[-1], 8) / gpu_seconds(
+        "mdmc-gpu", "independent", N_SWEEP[-1], 8
+    )
+    assert gap_large < gap_small, "SD-GPU should close in as n grows"
+
+    # Cross-device execution beats the single GPU markedly on the
+    # largest workload (paper: ~3x with 3 GPUs + CPU)...
+    for algorithm in ("sdsc-gpu", "mdmc-gpu"):
+        single = gpu_seconds(algorithm, "independent", N_SWEEP[-1], 8)
+        combined = all_seconds(algorithm, "independent", N_SWEEP[-1], 8)
+        assert combined < single / 1.8, f"{algorithm}: no cross-device gain"
+
+    # ...but the small correlated workload cannot feed every device,
+    # so the gain shrinks (paper: "the small extended skyline cannot
+    # be distributed efficiently on (C)").
+    c_single = gpu_seconds("mdmc-gpu", "correlated", N_SWEEP[0], 8)
+    c_all = all_seconds("mdmc-gpu", "correlated", N_SWEEP[0], 8)
+    i_single = gpu_seconds("mdmc-gpu", "independent", N_SWEEP[-1], 8)
+    i_all = all_seconds("mdmc-gpu", "independent", N_SWEEP[-1], 8)
+    assert (c_single / c_all) < (i_single / i_all), (
+        "cross-device gain should shrink on correlated data"
+    )

@@ -1,0 +1,24 @@
+"""Figure 8: L2/L3 cache misses of the CPU algorithms."""
+
+from repro.experiments import fig08
+
+
+def test_fig08_cache_misses(regenerate):
+    l2, l3 = regenerate(fig08, "fig08")
+
+    # MD's cache-conscious static tree gives it by far the fewest L2
+    # misses (paper: orders of magnitude).
+    md_l2 = l2.cell("MD", "1 socket")
+    for algorithm in ("PQ", "ST", "SD"):
+        assert md_l2 * 3 < l2.cell(algorithm, "1 socket"), l2.format()
+
+    # The second socket hurts PQ's L3 behaviour most (pointer trees
+    # shared across sockets), while ST benefits from the doubled L3.
+    assert l3.cell("PQ", "2s/1s") > 1.5, l3.format()
+    assert l3.cell("ST", "2s/1s") < 1.0, l3.format()
+    assert l3.cell("PQ", "2s/1s") > l3.cell("MD", "2s/1s"), l3.format()
+
+    # MD has the fewest L3 misses in both configurations.
+    for algorithm in ("PQ", "ST", "SD"):
+        assert l3.cell("MD", "1 socket") < l3.cell(algorithm, "1 socket")
+        assert l3.cell("MD", "2 sockets") < l3.cell(algorithm, "2 sockets")

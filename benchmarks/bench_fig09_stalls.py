@@ -1,0 +1,23 @@
+"""Figure 9: stalled cycles with loads pending at L2/L3."""
+
+from repro.experiments import fig09
+
+
+def test_fig09_stalls(regenerate):
+    l2, l3 = regenerate(fig09, "fig09")
+
+    # Stall ordering mirrors CPI: PQ worst, MD best.
+    for algorithm in ("ST", "SD", "MD"):
+        assert l3.cell("PQ", "1 socket") > l3.cell(algorithm, "1 socket"), (
+            l3.format()
+        )
+        assert l3.cell("MD", "1 socket") <= l3.cell(algorithm, "1 socket"), (
+            l3.format()
+        )
+
+    # PQ is dramatically NUMA-affected; MD only minorly (paper: the
+    # prefetcher cannot hide the intersocket latency for PQ).
+    pq_growth = l3.cell("PQ", "2 sockets") / l3.cell("PQ", "1 socket")
+    md_growth = l3.cell("MD", "2 sockets") / l3.cell("MD", "1 socket")
+    assert pq_growth > 1.5, l3.format()
+    assert md_growth < pq_growth, l3.format()

@@ -1,0 +1,25 @@
+"""Figure 11: cycles per instruction."""
+
+from repro.experiments import fig11
+
+
+def test_fig11_cpi(regenerate):
+    cpi, creep = regenerate(fig11, "fig11")
+
+    # PQ has by far the worst compute throughput, and it worsens
+    # substantially across sockets; the templates stay below it.
+    for algorithm in ("ST", "SD", "MD"):
+        assert cpi.cell("PQ", "1 socket") > cpi.cell(algorithm, "1 socket")
+        assert cpi.cell("PQ", "2 sockets") > cpi.cell(algorithm, "2 sockets")
+    assert cpi.cell("PQ", "2 sockets") > 1.3 * cpi.cell("PQ", "1 socket"), (
+        cpi.format()
+    )
+
+    # PQ's CPI creeps up with core count (compute-bound sequentially,
+    # memory-bound in parallel); MD's stays comparatively flat.
+    pq_series = creep.column("PQ CPI")
+    md_series = creep.column("MD CPI")
+    assert pq_series[-1] > 1.1 * pq_series[0], creep.format()
+    assert (md_series[-1] - md_series[0]) < (pq_series[-1] - pq_series[0]), (
+        creep.format()
+    )

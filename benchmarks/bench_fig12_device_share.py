@@ -1,0 +1,17 @@
+"""Figure 12: cross-device work distribution."""
+
+from repro.experiments import fig12
+
+
+def test_fig12_device_share(regenerate):
+    (table,) = regenerate(fig12, "fig12")
+
+    for column in ("SD %", "MD %"):
+        shares = table.column(column)
+        assert abs(sum(shares) - 100.0) < 1.0, table.format()
+        # Paper: every device (the CPU counted as one, as in the
+        # figure's legend) contributes >= ~20% with a ~10-point range;
+        # we allow a slightly wider band at the scaled size.
+        assert min(shares) > 12.0, table.format()
+        assert max(shares) < 40.0, table.format()
+        assert max(shares) - min(shares) < 25.0, table.format()

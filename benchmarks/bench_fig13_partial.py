@@ -1,0 +1,30 @@
+"""Figure 13 / Appendix A.2: partial skycube computation."""
+
+from repro.experiments import fig13
+from repro.experiments.fig13 import PARTIAL_D, partial_cpu_seconds
+
+
+def test_fig13_partial(regenerate):
+    tables = regenerate(fig13, "fig13")
+    assert len(tables) == 6
+
+    # The lattice methods gain substantially when only the bottom
+    # quarter of the lattice is needed; MD's savings are modest.
+    for distribution in ("anticorrelated", "independent"):
+        st_full = partial_cpu_seconds("stsc", distribution, PARTIAL_D)
+        st_partial = partial_cpu_seconds("stsc", distribution, 2)
+        assert st_partial < 0.6 * st_full, (
+            f"ST should gain strongly from partial computation "
+            f"({distribution}: {st_partial:.4f}s vs {st_full:.4f}s)"
+        )
+        md_full = partial_cpu_seconds("mdmc-cpu", distribution, PARTIAL_D)
+        md_partial = partial_cpu_seconds("mdmc-cpu", distribution, 2)
+        assert md_partial > 0.3 * md_full, (
+            "MD's partial savings should be modest (filter work remains)"
+        )
+
+    # On correlated data MD barely benefits at all (paper: "one might
+    # as well compute the entire skycube").
+    md_full_c = partial_cpu_seconds("mdmc-cpu", "correlated", PARTIAL_D)
+    md_partial_c = partial_cpu_seconds("mdmc-cpu", "correlated", 2)
+    assert md_partial_c > 0.4 * md_full_c

@@ -1,0 +1,70 @@
+"""Hardware sensitivity: which resource each algorithm depends on.
+
+Not a paper figure, but the paper's causal claims in one experiment:
+PQSkycube's performance hinges on L3 capacity and NUMA latency (its
+pointer trees), while MDMC barely notices either (its static tree and
+coalesced scans).  We re-simulate the same traces on machines with
+halved/doubled L3 and with the NUMA latency factor switched off, and
+assert the sensitivities point the way Section 7.2 argues.
+"""
+
+from dataclasses import replace
+
+from repro.experiments.report import Table
+from repro.experiments.runner import build_run
+from repro.experiments.workloads import (
+    DEFAULT_D,
+    DEFAULT_DIST,
+    DEFAULT_N,
+    scaled_cpu,
+)
+from repro.hardware.simulate import simulate_cpu
+
+
+def test_hardware_sensitivity(benchmark):
+    base = scaled_cpu()
+    half_l3 = replace(
+        base, l3_bytes_per_socket=base.l3_bytes_per_socket // 2
+    )
+    double_l3 = replace(
+        base, l3_bytes_per_socket=base.l3_bytes_per_socket * 2
+    )
+    no_numa = replace(base, numa_latency_factor=1.0)
+
+    def sweep():
+        table = Table(
+            "Hardware sensitivity (10 cores, default workload): "
+            "time vs the base machine",
+            ["algorithm", "L3 halved", "L3 doubled",
+             "NUMA latency off (2 sockets)"],
+            notes=["ratios > 1 mean slower than on the base machine"],
+        )
+        rows = {}
+        for algorithm in ("pqskycube", "stsc", "sdsc-cpu", "mdmc-cpu"):
+            run = build_run(algorithm, DEFAULT_DIST, DEFAULT_N, DEFAULT_D)
+            reference = simulate_cpu(run, base, threads=10, sockets=1).seconds
+            reference_2s = simulate_cpu(run, base, threads=10, sockets=2).seconds
+            rows[algorithm] = (
+                simulate_cpu(run, half_l3, threads=10, sockets=1).seconds
+                / reference,
+                simulate_cpu(run, double_l3, threads=10, sockets=1).seconds
+                / reference,
+                simulate_cpu(run, no_numa, threads=10, sockets=2).seconds
+                / reference_2s,
+            )
+            table.add_row(algorithm, *rows[algorithm])
+        return table, rows
+
+    table, rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table.save("hardware_sensitivity.txt")
+
+    # PQ is the most L3-sensitive algorithm; MD the least (Section 7.2:
+    # cache-consciousness is what separates them).
+    pq_half, pq_double, pq_numa = rows["pqskycube"]
+    md_half, md_double, md_numa = rows["mdmc-cpu"]
+    assert pq_half > md_half, table.format()
+    assert pq_double < 1.0, "PQ should benefit from more L3"
+    assert abs(md_half - 1.0) < 0.25, "MD should barely notice L3 size"
+    # Removing the NUMA latency penalty helps PQ more than MD.
+    assert pq_numa < 1.0, table.format()
+    assert pq_numa < md_numa + 1e-9, table.format()

@@ -1,0 +1,49 @@
+"""The paper's headline: >150x over the sequential state of the art.
+
+Conclusion / Section 7.2: deployed across the whole heterogeneous
+ecosystem, the MDMC template accelerates skycube construction by more
+than 150x relative to the single-threaded state of the art.  This
+bench computes exactly that ratio on the default workload (scaled) and
+asserts the order of magnitude.
+"""
+
+from repro.experiments.report import Table
+from repro.experiments.runner import build_run
+from repro.experiments.workloads import (
+    DEFAULT_D,
+    DEFAULT_DIST,
+    DEFAULT_N,
+    scaled_cpu,
+    scaled_platform,
+)
+from repro.hardware.simulate import simulate_cpu, simulate_heterogeneous
+
+
+def test_headline_speedup(benchmark):
+    def measure():
+        sequential = simulate_cpu(
+            build_run("qskycube", DEFAULT_DIST, DEFAULT_N, DEFAULT_D),
+            scaled_cpu(),
+            threads=1,
+        ).seconds
+        heterogeneous = simulate_heterogeneous(
+            build_run("mdmc-gpu", DEFAULT_DIST, DEFAULT_N, DEFAULT_D),
+            scaled_platform(),
+        ).seconds
+        return sequential, heterogeneous
+
+    sequential, heterogeneous = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    speedup = sequential / heterogeneous
+    table = Table(
+        "Headline: cross-device MDMC vs single-threaded QSkycube",
+        ["quantity", "value"],
+        notes=["paper: > 150x on the full heterogeneous ecosystem"],
+    )
+    table.add_row("QSkycube, 1 thread (s)", sequential)
+    table.add_row("MDMC, 2 sockets + 3 GPUs (s)", heterogeneous)
+    table.add_row("speedup", speedup)
+    table.save("headline.txt")
+
+    assert speedup > 100, table.format()

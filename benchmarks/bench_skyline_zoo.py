@@ -1,0 +1,56 @@
+"""Comparison of every skyline algorithm's work profile.
+
+Not a paper figure per se, but the substrate behind the hook choices
+of Sections 5–6: the point-based partitioning algorithms trade DTs for
+MTs; the throughput-oriented GPU baselines do far more DTs with far
+more regular access; the balanced pivot beats the random one.
+"""
+
+from repro.data.generator import generate
+from repro.experiments.report import Table
+from repro.instrument.counters import Counters
+from repro.skyline import ALGORITHMS
+
+
+def test_skyline_zoo(benchmark):
+    data = generate("independent", 800, 6, seed=7)
+
+    def profile_all():
+        table = Table(
+            "Skyline algorithm work profiles ((I), n=800, d=6)",
+            ["algorithm", "DTs", "MTs", "seq bytes", "rand bytes",
+             "divergences"],
+        )
+        counters_by_name = {}
+        for name, cls in sorted(ALGORITHMS.items()):
+            counters = Counters()
+            cls().compute(data, counters=counters)
+            counters_by_name[name] = counters
+            table.add_row(
+                name,
+                counters.dominance_tests,
+                counters.mask_tests,
+                counters.sequential_bytes,
+                counters.random_bytes,
+                counters.branch_divergences,
+            )
+        return table, counters_by_name
+
+    table, counters = benchmark.pedantic(profile_all, rounds=1, iterations=1)
+    table.save("skyline_zoo.txt")
+
+    # Work-efficiency ordering (Sections 3, 5, 6).
+    assert counters["bskytree"].dominance_tests < counters["bnl"].dominance_tests
+    assert counters["hybrid"].dominance_tests < counters["bnl"].dominance_tests
+    assert counters["ggs"].dominance_tests < counters["gnl"].dominance_tests
+    # The balanced pivot needs no more DTs than the random one.
+    assert (
+        counters["bskytree"].dominance_tests
+        <= 1.3 * counters["osp"].dominance_tests
+    )
+    # GPU-paradigm algorithms stream (coalesced) rather than scatter.
+    for name in ("skyalign", "gnl", "ggs"):
+        assert counters[name].sequential_bytes > counters[name].random_bytes
+    # Only the warp-simulated algorithms record divergences.
+    assert counters["skyalign"].branch_divergences >= 0
+    assert counters["bnl"].branch_divergences == 0

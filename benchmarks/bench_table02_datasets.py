@@ -1,0 +1,21 @@
+"""Table 2: the real-data stand-ins expose the documented structure."""
+
+from repro.experiments import table02
+
+
+def test_table02_datasets(regenerate):
+    (table,) = regenerate(table02, "table02")
+
+    # Structural properties the evaluation depends on (Appendix A.1):
+    # tiny extended skylines for NBA/HH, the majority of CT in S+,
+    # a moderate fraction for WE.
+    assert table.cell("NBA", "|S+|/n") < 0.25, table.format()
+    assert table.cell("HH", "|S+|/n") < 0.15, table.format()
+    assert table.cell("CT", "|S+|/n") > 0.5, table.format()
+    assert 0.03 < table.cell("WE", "|S+|/n") < 0.6, table.format()
+
+    # Dimensionalities match Table 2.
+    assert table.cell("NBA", "d") == 8
+    assert table.cell("HH", "d") == 6
+    assert table.cell("CT", "d") == 10
+    assert table.cell("WE", "d") == 15

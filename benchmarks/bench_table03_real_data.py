@@ -1,0 +1,38 @@
+"""Table 3: execution times on the real-data stand-ins."""
+
+from repro.experiments import table03
+from repro.experiments.table03 import DATASETS, real_seconds
+
+
+def test_table03_real_data(regenerate):
+    (table,) = regenerate(table03, "table03")
+
+    # MD is the best CPU algorithm on NBA, CT and WE (paper: "across
+    # all datasets, MD performs the best").  The exception at our scale
+    # is HH: its stand-in shrinks to ~1k ultra-correlated points whose
+    # whole skycube costs < 0.25 ms for every method, and MD's fixed
+    # setup dominates — recorded as a scale artefact in EXPERIMENTS.md.
+    for dataset in ("NBA", "CT", "WE"):
+        md = real_seconds("mdmc-cpu", dataset, "cpu")
+        for other in ("qskycube", "pqskycube", "stsc", "sdsc-cpu"):
+            assert md < real_seconds(other, dataset, "cpu"), (
+                f"MD-CPU should win on {dataset}"
+            )
+    assert real_seconds("mdmc-cpu", "HH", "cpu") < 2e-3, (
+        "HH is trivial at the scaled size for every method"
+    )
+
+    # The small NBA/HH inputs cannot occupy a GPU: SD is slower there
+    # than on the CPU (paper: "SD is significantly slower on the GPU
+    # than on the CPU for these workloads").
+    for dataset in ("NBA", "HH"):
+        assert real_seconds("sdsc-gpu", dataset, "gpu") > real_seconds(
+            "sdsc-cpu", dataset, "cpu"
+        ), f"SD-GPU should lose to SD-CPU on tiny {dataset}"
+
+    # The large workloads benefit from the GPU and from cross-device
+    # execution (paper: SD and MD "both benefit significantly").
+    for dataset in ("CT", "WE"):
+        assert real_seconds("mdmc-gpu", dataset, "all") < real_seconds(
+            "mdmc-cpu", dataset, "cpu"
+        ), f"cross-device MD should win on {dataset}"

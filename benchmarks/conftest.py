@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one figure/table of the paper: it times the
+regeneration (pytest-benchmark, single round — the workload cache in
+``repro.experiments.runner`` makes repeated rounds meaningless), writes
+the result tables under ``results/`` and asserts the *shape* of the
+paper's finding (who wins, by what direction, where behaviour flips).
+Absolute numbers are not expected to match the paper's testbed; see
+EXPERIMENTS.md.
+"""
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run an experiment module once under timing; save its tables."""
+
+    def _regenerate(module, stem):
+        tables = benchmark.pedantic(
+            lambda: module.run(quick=True), rounds=1, iterations=1
+        )
+        from repro.experiments.report import results_dir
+
+        directory = results_dir()
+        paths = []
+        for index, table in enumerate(tables):
+            suffix = "" if len(tables) == 1 else f"_{chr(ord('a') + index)}"
+            paths.append(table.save(f"{stem}{suffix}.txt", directory))
+        return tables
+
+    return _regenerate

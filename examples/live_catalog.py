@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Live catalog: online skycube maintenance + skycube analytics.
+
+A product catalog (price, shipping days, return rate, defect rate)
+receives inserts and removals while analysts keep asking subspace
+skyline questions.  The :class:`SkycubeMaintainer` keeps every
+subspace skyline exact across updates; the analytics module then mines
+the materialised cube (robustness ranking, minimal subspaces), and a
+shopper's "ideal product" question is answered with a dynamic skyline.
+
+Run:  python examples/live_catalog.py
+"""
+
+import numpy as np
+
+from repro import SkycubeMaintainer, minimal_subspaces, most_robust_points
+from repro.core.bitmask import dims_of
+from repro.query import dynamic_skyline
+
+ATTRIBUTES = ["price", "shipping", "returns", "defects"]
+
+
+def describe(delta: int) -> str:
+    return "{" + ", ".join(ATTRIBUTES[i] for i in dims_of(delta)) + "}"
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    initial = rng.random((300, 4))
+    maintainer = SkycubeMaintainer(initial)
+    print(f"Catalog bootstrapped with {len(maintainer)} products")
+    print(f"Skyline on {describe(0b0011)}: "
+          f"{len(maintainer.skyline(0b0011))} products\n")
+
+    # --- a day of updates --------------------------------------------
+    print("Processing 50 new listings and 30 delistings...")
+    inserted = [maintainer.insert(rng.random(4)) for _ in range(50)]
+    live_before = len(maintainer)
+    for victim in rng.choice(300, 30, replace=False):
+        maintainer.delete(int(victim))
+    print(f"  catalog: {live_before} -> {len(maintainer)} products")
+    print(f"  update work: {maintainer.counters.dominance_tests} "
+          "dominance tests total\n")
+
+    # A "category killer" appears: cheap, fast, reliable.
+    killer = maintainer.insert([0.01, 0.01, 0.01, 0.01])
+    sky = maintainer.skyline(0b1111)
+    print(f"Category killer listed as #{killer}: full skyline collapses "
+          f"to {len(sky)} product(s): {sky}")
+    maintainer.delete(killer)
+    print(f"...and recovers to {len(maintainer.skyline(0b1111))} after "
+          "delisting\n")
+
+    # --- analytics on the materialised cube ---------------------------
+    cube = maintainer.skycube()
+    print("Most robust products (subspace-skyline memberships of 15):")
+    for product, count in most_robust_points(cube, k=3):
+        print(f"  product {product:4d}: {count:2d} subspaces")
+
+    champion = most_robust_points(cube, k=1)[0][0]
+    minimal = minimal_subspaces(cube, point_id=champion)[champion]
+    print(f"\nWhy product {champion} matters — its minimal subspaces:")
+    for delta in minimal:
+        print(f"  undominated already in {describe(delta)}")
+
+    # --- a shopper with an ideal product in mind ----------------------
+    rows = np.array(list(maintainer.points().values()))
+    ideal = np.array([0.2, 0.3, 0.1, 0.1])
+    closest = dynamic_skyline(rows, ideal)
+    print(f"\nShopper's ideal {ideal.tolist()}: {len(closest)} products "
+          "are undominated in per-attribute distance to it")
+
+
+if __name__ == "__main__":
+    main()

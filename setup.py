@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` on setuptools 65 needs
+``bdist_wheel`` unless a ``setup.py`` is present to enable the legacy
+editable path.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

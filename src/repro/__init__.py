@@ -1,0 +1,101 @@
+"""Template skycube algorithms for heterogeneous parallelism.
+
+A faithful reimplementation of Bøgh, Chester, Šidlauskas & Assent,
+*"Template Skycube Algorithms for Heterogeneous Parallelism on
+Multicore and GPU Architectures"* (SIGMOD 2017), including every
+substrate the paper builds on: the skyline algorithm zoo, point-based
+partitioning trees, skycube representations, the three parallel
+templates with CPU/GPU specialisations, and a simulated heterogeneous
+platform standing in for the paper's dual-socket Xeon + three CUDA
+GPUs (see DESIGN.md for the substitution map).
+
+Quick start::
+
+    import numpy as np
+    from repro import MDMC, fast_skyline
+
+    data = np.random.rand(1000, 6)
+    skyline_ids = fast_skyline(data)          # one skyline query
+    cube = MDMC("cpu").materialise(data).skycube
+    cube.skyline(0b000011)                    # skyline of dims {0, 1}
+"""
+
+from repro.core.analytics import (
+    minimal_subspaces,
+    most_robust_points,
+    skyline_frequency,
+)
+from repro.core.closed import ClosedSkycube
+from repro.core.hashcube import HashCube
+from repro.core.lattice import Lattice
+from repro.core.maintain import SkycubeMaintainer
+from repro.core.serialize import load_skycube, save_skycube
+from repro.core.skycube import Skycube
+from repro.core.skylists import SkylistCube
+from repro.core.skyline import extended_skyline_indices, skyline_indices
+from repro.data.generator import generate
+from repro.data.realistic import load_real
+from repro.engine import fast_extended_skyline, fast_skycube, fast_skyline
+from repro.hardware import (
+    CPUConfig,
+    GPUConfig,
+    PlatformConfig,
+    paper_platform,
+    simulate_cpu,
+    simulate_gpu,
+    simulate_heterogeneous,
+)
+from repro.instrument.counters import Counters
+from repro.query import SubskyIndex, dynamic_skycube, dynamic_skyline
+from repro.skycube import (
+    BottomUpSkycube,
+    DistributedSkycube,
+    PQSkycube,
+    QSkycube,
+    SkycubeRun,
+)
+from repro.templates import MDMC, SDSC, STSC, TemplateSpecialisationError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HashCube",
+    "ClosedSkycube",
+    "SkylistCube",
+    "SkycubeMaintainer",
+    "save_skycube",
+    "load_skycube",
+    "skyline_frequency",
+    "minimal_subspaces",
+    "most_robust_points",
+    "SubskyIndex",
+    "dynamic_skyline",
+    "dynamic_skycube",
+    "Lattice",
+    "Skycube",
+    "SkycubeRun",
+    "skyline_indices",
+    "extended_skyline_indices",
+    "generate",
+    "load_real",
+    "fast_skyline",
+    "fast_extended_skyline",
+    "fast_skycube",
+    "CPUConfig",
+    "GPUConfig",
+    "PlatformConfig",
+    "paper_platform",
+    "simulate_cpu",
+    "simulate_gpu",
+    "simulate_heterogeneous",
+    "Counters",
+    "QSkycube",
+    "PQSkycube",
+    "BottomUpSkycube",
+    "DistributedSkycube",
+    "STSC",
+    "SDSC",
+    "MDMC",
+    "TemplateSpecialisationError",
+    "__version__",
+]

@@ -1,0 +1,168 @@
+"""Command-line interface to the library.
+
+Examples::
+
+    # one skyline query over a dataset file (text or .npy)
+    python -m repro skyline flights.txt --subspace 0b011
+
+    # materialise a skycube and save it, or print chosen subspaces
+    python -m repro skycube data.npy --algorithm mdmc-cpu --show 0b101 0b110
+
+    # generate a benchmark dataset
+    python -m repro generate anticorrelated 10000 8 --out data.npy
+
+    # dataset statistics (Table-2 style)
+    python -m repro stats data.npy
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _parse_subspace(text: str, d: int) -> int:
+    """Accept '0b101', '5', or comma-separated dims '0,2'."""
+    try:
+        if text.startswith(("0b", "0B")):
+            delta = int(text, 2)
+        elif "," in text:
+            from repro.core.bitmask import mask_from_dims
+
+            delta = mask_from_dims([int(part) for part in text.split(",")])
+        else:
+            delta = int(text)
+    except ValueError:
+        raise SystemExit(f"cannot parse subspace {text!r}")
+    if not 0 < delta < (1 << d):
+        raise SystemExit(f"subspace {text} out of range for d={d}")
+    return delta
+
+
+def _load(path: str) -> np.ndarray:
+    from repro.data.io import load_dataset
+
+    try:
+        return load_dataset(path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot load {path}: {error}")
+
+
+def cmd_skyline(args) -> int:
+    from repro.engine import fast_extended_skyline, fast_skyline
+
+    data = _load(args.dataset)
+    delta = (
+        _parse_subspace(args.subspace, data.shape[1])
+        if args.subspace
+        else None
+    )
+    ids = (
+        fast_extended_skyline(data, delta)
+        if args.extended
+        else fast_skyline(data, delta)
+    )
+    kind = "extended skyline" if args.extended else "skyline"
+    print(f"{kind}: {len(ids)} of {len(data)} points")
+    print(" ".join(str(int(i)) for i in ids))
+    return 0
+
+
+def cmd_skycube(args) -> int:
+    from repro.experiments.runner import ALGORITHM_KEYS
+    from repro.experiments.runner import _builder  # noqa: SLF001
+
+    data = _load(args.dataset)
+    if args.algorithm not in ALGORITHM_KEYS:
+        raise SystemExit(
+            f"unknown algorithm {args.algorithm!r}; choose from "
+            f"{', '.join(ALGORITHM_KEYS)}"
+        )
+    run = _builder(args.algorithm).materialise(data, max_level=args.max_level)
+    cube = run.skycube
+    subspaces = list(cube.subspaces())
+    print(
+        f"materialised {len(subspaces)} subspace skylines with "
+        f"{args.algorithm} ({run.counters.dominance_tests} dominance tests)"
+    )
+    for text in args.show:
+        delta = _parse_subspace(text, data.shape[1])
+        ids = cube.skyline(delta)
+        print(f"S_{delta:#b}: {len(ids)} points: "
+              + " ".join(str(i) for i in ids))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.data.generator import generate
+    from repro.data.io import save_dataset
+
+    data = generate(
+        args.distribution, args.n, args.d, seed=args.seed,
+        distinct_values=args.distinct_values,
+    )
+    save_dataset(data, args.out)
+    print(f"wrote {args.n} x {args.d} ({args.distribution}) to {args.out}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.engine import fast_extended_skyline, fast_skyline
+
+    data = _load(args.dataset)
+    n, d = data.shape
+    skyline = fast_skyline(data)
+    extended = fast_extended_skyline(data)
+    print(f"n={n} d={d}")
+    print(f"|S|  = {len(skyline)} ({100 * len(skyline) / n:.1f} %)")
+    print(f"|S+| = {len(extended)} ({100 * len(extended) / n:.1f} %)")
+    for j in range(d):
+        print(f"dim {j}: {len(np.unique(data[:, j]))} distinct values")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Skyline and skycube computation (SIGMOD'17 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    skyline = commands.add_parser("skyline", help="one subspace skyline query")
+    skyline.add_argument("dataset")
+    skyline.add_argument("--subspace", help="e.g. 0b101, 5, or dims '0,2'")
+    skyline.add_argument("--extended", action="store_true")
+    skyline.set_defaults(handler=cmd_skyline)
+
+    skycube = commands.add_parser("skycube", help="materialise a skycube")
+    skycube.add_argument("dataset")
+    skycube.add_argument("--algorithm", default="mdmc-cpu")
+    skycube.add_argument("--max-level", type=int, default=None)
+    skycube.add_argument("--show", nargs="*", default=[],
+                         help="subspaces to print")
+    skycube.set_defaults(handler=cmd_skycube)
+
+    generate = commands.add_parser("generate", help="synthetic datasets")
+    generate.add_argument("distribution",
+                          choices=["independent", "correlated",
+                                   "anticorrelated"])
+    generate.add_argument("n", type=int)
+    generate.add_argument("d", type=int)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--distinct-values", type=int, default=None)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(handler=cmd_generate)
+
+    stats = commands.add_parser("stats", help="dataset statistics")
+    stats.add_argument("dataset")
+    stats.set_defaults(handler=cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Skycube analytics: what materialisation is *for*.
+
+The skycube's applications (Section 1: "data exploration and
+multi-criteria decision making") revolve around per-point semantics
+derived from subspace-skyline membership, introduced by the works the
+paper builds on (Pei et al.'s decisive subspaces, Chan et al.'s
+skyline frequency):
+
+* **skyline frequency** — in how many subspaces a point survives:
+  a robustness ranking of options;
+* **minimal subspaces** — the smallest attribute combinations in which
+  a point is undominated: *why* an option is interesting;
+* **decisive subspaces** — minimal subspaces whose skyline membership
+  comes with strict distinctness (the point's values on those
+  dimensions are not matched by another skyline point), following the
+  semantics of Pei et al. [30];
+* **subspace stability** — whether a point stays in the skyline under
+  every superspace of a given subspace (monotone-robust options).
+
+All functions take the materialised :class:`~repro.core.skycube.Skycube`
+(any representation) and return plain Python structures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bitmask import (
+    is_subspace_of,
+    popcount,
+    proper_submasks,
+)
+from repro.core.skycube import Skycube
+
+__all__ = [
+    "skyline_frequency",
+    "membership_masks",
+    "minimal_subspaces",
+    "subspace_stability",
+    "most_robust_points",
+]
+
+
+def membership_masks(skycube: Skycube) -> Dict[int, int]:
+    """``{point_id: B_{p∈S}}`` over the skycube's queryable subspaces.
+
+    Bit ``δ - 1`` set iff the point is in ``S_δ`` — the complement view
+    of the HashCube's ``B_{p∉S}``.
+    """
+    masks: Dict[int, int] = {}
+    for delta in skycube.subspaces():
+        bit = 1 << (delta - 1)
+        for point_id in skycube.skyline(delta):
+            masks[point_id] = masks.get(point_id, 0) | bit
+    return masks
+
+
+def skyline_frequency(skycube: Skycube) -> Dict[int, int]:
+    """Number of subspace skylines each point appears in."""
+    return {
+        point_id: popcount(mask)
+        for point_id, mask in membership_masks(skycube).items()
+    }
+
+
+def most_robust_points(skycube: Skycube, k: int = 5) -> List[Tuple[int, int]]:
+    """Top-``k`` ``(point_id, frequency)`` by skyline frequency.
+
+    Ties break towards smaller ids for determinism.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    frequency = skyline_frequency(skycube)
+    ranked = sorted(frequency.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:k]
+
+
+def minimal_subspaces(
+    skycube: Skycube, point_id: Optional[int] = None
+) -> Dict[int, List[int]]:
+    """Minimal subspaces per point: δ with ``p ∈ S_δ`` but ``p ∉ S_δ'``
+    for every non-empty ``δ' ⊂ δ``.
+
+    These are the irreducible reasons a point is interesting — the
+    quantity the compressed skycube [39, 40] stores instead of the full
+    lattice.  Restrict to one point via ``point_id``.
+    """
+    masks = membership_masks(skycube)
+    if point_id is not None:
+        if point_id not in masks:
+            return {point_id: []}
+        masks = {point_id: masks[point_id]}
+    result: Dict[int, List[int]] = {}
+    for pid, mask in masks.items():
+        minimal: List[int] = []
+        delta_bits = mask
+        position = 0
+        while delta_bits:
+            if delta_bits & 1:
+                delta = position + 1
+                if not any(
+                    mask & (1 << (sub - 1)) for sub in proper_submasks(delta)
+                ):
+                    minimal.append(delta)
+            delta_bits >>= 1
+            position += 1
+        result[pid] = minimal
+    return result
+
+
+def subspace_stability(skycube: Skycube, point_id: int, delta: int) -> bool:
+    """True iff the point is in the skyline of *every* queryable
+    superspace of ``delta`` (it cannot be dislodged by adding criteria).
+    """
+    masks = membership_masks(skycube)
+    mask = masks.get(point_id, 0)
+    if not mask & (1 << (delta - 1)):
+        return False
+    for other in skycube.subspaces():
+        if is_subspace_of(delta, other) and not mask & (1 << (other - 1)):
+            return False
+    return True

@@ -1,0 +1,176 @@
+"""Subspace bitmask algebra.
+
+A *subspace* of a ``d``-dimensional data space is any non-empty subset of
+the dimensions.  Following Section 2.1 of the paper, a subspace is encoded
+as an integer bitmask ``delta`` in which bit ``i`` is set iff dimension
+``i`` participates.  The full space is ``(1 << d) - 1`` and the empty
+subspace ``0`` is never a valid query.
+
+This module collects the small, heavily reused pieces of bitmask algebra:
+popcounts, submask/superset enumeration, lattice-level iteration, and
+pretty-printing.  Everything operates on plain ints so the same helpers
+serve subspace masks, per-dimension comparison masks (``B_{p<=q}``), and
+per-subspace membership masks (``B_{p∈S}``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "popcount",
+    "full_space",
+    "is_valid_subspace",
+    "is_subspace_of",
+    "is_strict_subspace_of",
+    "dims_of",
+    "mask_from_dims",
+    "all_subspaces",
+    "subspaces_at_level",
+    "levels_top_down",
+    "submasks",
+    "proper_submasks",
+    "immediate_subspaces",
+    "immediate_superspaces",
+    "format_mask",
+    "lattice_width",
+]
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask`` (the paper's ``|δ|``)."""
+    return bin(mask).count("1")
+
+
+def full_space(d: int) -> int:
+    """Bitmask of the full ``d``-dimensional space, ``2**d - 1``."""
+    if d < 1:
+        raise ValueError(f"dimensionality must be positive, got {d}")
+    return (1 << d) - 1
+
+
+def is_valid_subspace(delta: int, d: int) -> bool:
+    """True iff ``delta`` encodes a non-empty subspace of a d-dim space."""
+    return 0 < delta <= full_space(d)
+
+
+def is_subspace_of(inner: int, outer: int) -> bool:
+    """True iff every dimension of ``inner`` is also in ``outer``."""
+    return (inner & outer) == inner
+
+
+def is_strict_subspace_of(inner: int, outer: int) -> bool:
+    """True iff ``inner`` ⊂ ``outer`` (subspace and not equal)."""
+    return inner != outer and (inner & outer) == inner
+
+
+def dims_of(delta: int) -> List[int]:
+    """The sorted list of dimension indices active in ``delta``."""
+    dims = []
+    i = 0
+    while delta:
+        if delta & 1:
+            dims.append(i)
+        delta >>= 1
+        i += 1
+    return dims
+
+
+def mask_from_dims(dims: Sequence[int]) -> int:
+    """Inverse of :func:`dims_of`: build a mask from dimension indices."""
+    mask = 0
+    for dim in dims:
+        if dim < 0:
+            raise ValueError(f"dimension indices must be non-negative, got {dim}")
+        mask |= 1 << dim
+    return mask
+
+
+def all_subspaces(d: int) -> Iterator[int]:
+    """All ``2**d - 1`` non-empty subspaces, in increasing mask order."""
+    return iter(range(1, full_space(d) + 1))
+
+
+def subspaces_at_level(d: int, level: int) -> List[int]:
+    """All subspaces ``δ`` of a d-dim space with ``|δ| == level``.
+
+    Uses Gosper's hack to enumerate same-popcount masks in increasing
+    order, which keeps lattice levels deterministic across runs.
+    """
+    if not 1 <= level <= d:
+        raise ValueError(f"level must be in [1, {d}], got {level}")
+    result = []
+    mask = (1 << level) - 1
+    limit = 1 << d
+    while mask < limit:
+        result.append(mask)
+        # Gosper's hack: next integer with the same popcount.
+        lowest = mask & -mask
+        ripple = mask + lowest
+        mask = ripple | (((mask ^ ripple) >> 2) // lowest)
+    return result
+
+
+def levels_top_down(d: int) -> Iterator[Tuple[int, List[int]]]:
+    """Yield ``(level, subspaces)`` from level ``d`` down to ``1``.
+
+    This is the traversal order of the lattice-based templates
+    (Algorithms 1 and 2): the full space first, then each thinner layer.
+    """
+    for level in range(d, 0, -1):
+        yield level, subspaces_at_level(d, level)
+
+
+def submasks(mask: int) -> Iterator[int]:
+    """All non-empty submasks of ``mask``, in decreasing order.
+
+    Standard ``sub = (sub - 1) & mask`` enumeration; visits each of the
+    ``2**|mask| - 1`` non-empty submasks exactly once.
+    """
+    sub = mask
+    while sub:
+        yield sub
+        sub = (sub - 1) & mask
+
+
+def proper_submasks(mask: int) -> Iterator[int]:
+    """All non-empty submasks of ``mask`` excluding ``mask`` itself."""
+    sub = (mask - 1) & mask
+    while sub:
+        yield sub
+        sub = (sub - 1) & mask
+
+
+def immediate_subspaces(delta: int) -> List[int]:
+    """The subspaces obtained by dropping exactly one dimension of δ."""
+    children = []
+    remaining = delta
+    while remaining:
+        bit = remaining & -remaining
+        child = delta & ~bit
+        if child:
+            children.append(child)
+        remaining ^= bit
+    return children
+
+
+def immediate_superspaces(delta: int, d: int) -> List[int]:
+    """The subspaces obtained by adding exactly one dimension to δ."""
+    parents = []
+    for i in range(d):
+        bit = 1 << i
+        if not delta & bit:
+            parents.append(delta | bit)
+    return parents
+
+
+def format_mask(mask: int, width: int) -> str:
+    """Render ``mask`` as a fixed-width binary string, MSB first."""
+    return format(mask, f"0{width}b")
+
+
+def lattice_width(d: int) -> int:
+    """Widest lattice layer of a d-dim skycube: ``C(d, d // 2)``."""
+    import math
+
+    return math.comb(d, d // 2)

@@ -1,0 +1,246 @@
+"""The HashCube skycube representation (Figure 1b, Appendix B.1).
+
+The HashCube stores each point ``p`` by its *non-membership* bitmask
+``B_{p∉S}``: a ``2**d - 1`` bit integer whose bit ``δ - 1`` is set iff
+``p`` is dominated in subspace ``δ`` (the shift by one skips the unused
+empty subspace).  The mask is split into fixed-width *words*; each word
+position has its own hash table mapping word values to id lists.  A
+point id is thus stored at most once per ``w`` subspaces — up to w-fold
+compression over the lattice — and, if a word has *all* its valid bits
+set (dominated everywhere in that word's subspace range), the id is not
+stored at all for that table.
+
+Retrieval of ``S_δ`` concatenates the id lists of every key in table
+``(δ-1) // w`` whose bit ``(δ-1) % w`` is *unset*.
+
+The per-point definition is what enables MDMC's fine-grained parallelism:
+each parallel task produces one bitmask and inserts it independently.
+
+``bit_order="level"`` implements the future-work idea of Appendix A.2:
+bits are reorganised by lattice level so that, for *partial* skycubes,
+the all-set bits of the unmaterialised upper levels cluster into whole
+words — which the omission rule then drops entirely, improving
+compression exactly where the numeric order cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.core.bitmask import full_space, popcount
+from repro.core.lattice import Lattice
+
+__all__ = ["HashCube"]
+
+
+class HashCube:
+    """Space-efficient skycube keyed by per-point non-membership masks."""
+
+    DEFAULT_WORD_WIDTH = 32
+    BIT_ORDERS = ("numeric", "level")
+
+    def __init__(
+        self,
+        d: int,
+        word_width: int = DEFAULT_WORD_WIDTH,
+        bit_order: str = "numeric",
+    ):
+        if d < 1:
+            raise ValueError(f"dimensionality must be positive, got {d}")
+        if word_width < 1:
+            raise ValueError(f"word width must be positive, got {word_width}")
+        if bit_order not in self.BIT_ORDERS:
+            raise ValueError(
+                f"bit_order must be one of {self.BIT_ORDERS}, got {bit_order!r}"
+            )
+        self.d = d
+        self.word_width = word_width
+        self.bit_order = bit_order
+        self.num_subspaces = full_space(d)
+        self.num_words = -(-self.num_subspaces // word_width)  # ceil div
+        # One hash table per word position: word value -> point ids.
+        self._tables: List[Dict[int, List[int]]] = [
+            {} for _ in range(self.num_words)
+        ]
+        self._word_mask = (1 << word_width) - 1
+        if bit_order == "level":
+            ordered = sorted(
+                range(1, self.num_subspaces + 1),
+                key=lambda delta: (popcount(delta), delta),
+            )
+            #: subspace δ -> bit position, and its inverse.
+            self._bit_of = {delta: i for i, delta in enumerate(ordered)}
+            self._delta_at = ordered
+        else:
+            self._bit_of = None
+            self._delta_at = None
+
+    def _position(self, delta: int) -> int:
+        """Bit position of subspace δ under the configured order."""
+        if self._bit_of is None:
+            return delta - 1
+        return self._bit_of[delta]
+
+    def _permute(self, mask: int) -> int:
+        """Map a numeric-order ``B_{p∉S}`` mask into storage order."""
+        if self._bit_of is None:
+            return mask
+        out = 0
+        delta = 1
+        while mask:
+            if mask & 1:
+                out |= 1 << self._bit_of[delta]
+            mask >>= 1
+            delta += 1
+        return out
+
+    def _unpermute(self, stored: int) -> int:
+        """Inverse of :meth:`_permute`."""
+        if self._delta_at is None:
+            return stored
+        out = 0
+        position = 0
+        while stored:
+            if stored & 1:
+                out |= 1 << (self._delta_at[position] - 1)
+            stored >>= 1
+            position += 1
+        return out
+
+    def _valid_bits(self, word_index: int) -> int:
+        """Mask of bits that correspond to real subspaces in this word."""
+        start = word_index * self.word_width
+        bits = min(self.word_width, self.num_subspaces - start)
+        return (1 << bits) - 1
+
+    # -- construction -------------------------------------------------
+
+    def insert(self, point_id: int, not_in_skyline_mask: int) -> None:
+        """Insert a point by its ``B_{p∉S}`` mask.
+
+        MDMC calls this once per processed point; insertions for distinct
+        points are independent, so concurrent tasks never conflict beyond
+        the per-key list append.
+        """
+        if not 0 <= not_in_skyline_mask < (1 << self.num_subspaces):
+            raise ValueError(
+                f"mask {not_in_skyline_mask:#x} out of range for d={self.d}"
+            )
+        stored_mask = self._permute(not_in_skyline_mask)
+        for word_index in range(self.num_words):
+            word = (stored_mask >> (word_index * self.word_width)) & self._word_mask
+            if word == self._valid_bits(word_index):
+                continue  # dominated in every subspace of this word: omit
+            self._tables[word_index].setdefault(word, []).append(point_id)
+
+    # -- queries ------------------------------------------------------
+
+    def skyline(self, delta: int) -> Tuple[int, ...]:
+        """``S_δ(P)``: ids whose stored word has bit ``δ-1`` unset."""
+        if not 0 < delta <= self.num_subspaces:
+            raise KeyError(f"invalid subspace {delta} for d={self.d}")
+        word_index, bit = divmod(self._position(delta), self.word_width)
+        probe = 1 << bit
+        ids: List[int] = []
+        for word, members in self._tables[word_index].items():
+            if not word & probe:
+                ids.extend(members)
+        return tuple(sorted(ids))
+
+    def membership_mask(self, point_id: int) -> int:
+        """Reconstruct ``B_{p∉S}`` for a stored point.
+
+        Words in which the point does not appear are, by the omission
+        rule, fully set.  Mostly a debugging/verification aid.
+        """
+        mask = 0
+        for word_index in range(self.num_words):
+            found = None
+            for word, members in self._tables[word_index].items():
+                if point_id in members:
+                    found = word
+                    break
+            word = self._valid_bits(word_index) if found is None else found
+            mask |= word << (word_index * self.word_width)
+        return self._unpermute(mask)
+
+    def point_ids(self) -> Tuple[int, ...]:
+        """All distinct point ids appearing in any table."""
+        ids = set()
+        for table in self._tables:
+            for members in table.values():
+                ids.update(members)
+        return tuple(sorted(ids))
+
+    def cuboids(self) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+        """Iterate ``(δ, S_δ)`` for every subspace, ascending."""
+        for delta in range(1, self.num_subspaces + 1):
+            yield delta, self.skyline(delta)
+
+    # -- statistics ---------------------------------------------------
+
+    def total_ids_stored(self) -> int:
+        """Id replications across all tables (compression numerator)."""
+        return sum(
+            len(members) for table in self._tables for members in table.values()
+        )
+
+    def num_keys(self) -> int:
+        """Distinct hash keys across all tables."""
+        return sum(len(table) for table in self._tables)
+
+    def memory_bytes(self) -> int:
+        """Rough resident size: ids + one key per list."""
+        return 4 * self.total_ids_stored() + 16 * self.num_keys()
+
+    def compression_ratio_vs(self, lattice: Lattice) -> float:
+        """Lattice ids stored / HashCube ids stored (>1 means smaller)."""
+        own = self.total_ids_stored()
+        return float("inf") if own == 0 else lattice.total_ids_stored() / own
+
+    # -- interop ------------------------------------------------------
+
+    def to_lattice(self) -> Lattice:
+        """Expand into the equivalent (skyline-only) lattice."""
+        lattice = Lattice(self.d)
+        for delta, ids in self.cuboids():
+            lattice.set_cuboid(delta, ids)
+        return lattice
+
+    @classmethod
+    def from_lattice(
+        cls,
+        lattice: Lattice,
+        word_width: int = DEFAULT_WORD_WIDTH,
+        bit_order: str = "numeric",
+    ) -> "HashCube":
+        """Compress a complete lattice into a HashCube."""
+        if not lattice.is_complete():
+            raise ValueError("can only compress a fully materialised lattice")
+        cube = cls(lattice.d, word_width, bit_order)
+        num_subspaces = full_space(lattice.d)
+        all_set = (1 << num_subspaces) - 1
+        masks: Dict[int, int] = {}
+        for delta, ids in lattice.cuboids():
+            bit = 1 << (delta - 1)
+            for point_id in ids:
+                masks[point_id] = masks.get(point_id, all_set) & ~bit
+        for point_id, mask in sorted(masks.items()):
+            cube.insert(point_id, mask)
+        return cube
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HashCube):
+            return NotImplemented
+        if self.d != other.d:
+            return False
+        return all(
+            self.skyline(delta) == other.skyline(delta)
+            for delta in range(1, self.num_subspaces + 1)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"HashCube(d={self.d}, w={self.word_width}, "
+            f"ids={self.total_ids_stored()}, keys={self.num_keys()})"
+        )

@@ -1,0 +1,166 @@
+"""The lattice skycube representation (Figure 1a).
+
+A lattice maps every non-empty subspace ``δ`` of a d-dimensional space to
+the flat, sorted array of point ids in ``S_δ(P)``.  It is the structure
+used by all prior skycube algorithms; its drawback — each id replicated
+in up to ``2**(d-1)`` cuboids — is what the HashCube (Figure 1b) fixes.
+
+During top-down construction the lattice also carries, per cuboid, the
+*extra* extended-skyline ids ``L+[δ] = S+_δ \\ S_δ``, because child
+cuboids use ``L[δ] ∪ L+[δ]`` as their reduced input (Algorithm 1/2,
+line 6).  Query code only ever sees ``L[δ]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.bitmask import (
+    all_subspaces,
+    full_space,
+    popcount,
+    subspaces_at_level,
+)
+
+__all__ = ["Lattice"]
+
+
+class Lattice:
+    """Materialised skycube as a per-subspace map of sorted id tuples."""
+
+    def __init__(self, d: int):
+        if d < 1:
+            raise ValueError(f"dimensionality must be positive, got {d}")
+        self.d = d
+        self._skylines: Dict[int, Tuple[int, ...]] = {}
+        self._extended_only: Dict[int, Tuple[int, ...]] = {}
+
+    # -- construction -------------------------------------------------
+
+    def set_cuboid(
+        self,
+        delta: int,
+        skyline_ids: Iterable[int],
+        extended_only_ids: Iterable[int] = (),
+    ) -> None:
+        """Record ``S_δ`` (and optionally ``S+_δ \\ S_δ``) for a cuboid."""
+        self._check_delta(delta)
+        self._skylines[delta] = tuple(sorted(skyline_ids))
+        extended = tuple(sorted(extended_only_ids))
+        if extended:
+            self._extended_only[delta] = extended
+        else:
+            self._extended_only.pop(delta, None)
+
+    def remove_cuboid(self, delta: int) -> None:
+        """Remove a cuboid entirely (partial-skycube helper entries)."""
+        self._skylines.pop(delta, None)
+        self._extended_only.pop(delta, None)
+
+    def drop_extended(self, delta: int) -> None:
+        """Free the construction-only extended ids of a finished cuboid.
+
+        PQSkycube's minor speed-up over QSkycube (Figure 4) comes from
+        freeing structures once the traversal has moved two levels past
+        them; this is the lattice-side half of that.
+        """
+        self._extended_only.pop(delta, None)
+
+    # -- queries ------------------------------------------------------
+
+    def skyline(self, delta: int) -> Tuple[int, ...]:
+        """``S_δ(P)`` as a sorted id tuple; KeyError if not materialised."""
+        self._check_delta(delta)
+        return self._skylines[delta]
+
+    def extended_skyline(self, delta: int) -> Tuple[int, ...]:
+        """``S+_δ(P)`` = skyline ids plus the stored extended extras."""
+        sky = self.skyline(delta)
+        extra = self._extended_only.get(delta, ())
+        return tuple(sorted(set(sky) | set(extra)))
+
+    def extended_only(self, delta: int) -> Tuple[int, ...]:
+        """The construction-time extras ``S+_δ \\ S_δ`` (may be empty)."""
+        self._check_delta(delta)
+        return self._extended_only.get(delta, ())
+
+    def input_size(self, delta: int) -> int:
+        """``|L[δ]| + |L+[δ]|`` — the parent-selection key of line 5."""
+        return len(self._skylines[delta]) + len(self._extended_only.get(delta, ()))
+
+    def has_cuboid(self, delta: int) -> bool:
+        """True iff ``S_δ`` has been materialised."""
+        return delta in self._skylines
+
+    def materialised_subspaces(self) -> List[int]:
+        """All subspaces with a stored skyline, ascending."""
+        return sorted(self._skylines)
+
+    def is_complete(self, max_level: Optional[int] = None) -> bool:
+        """True iff every subspace (up to ``max_level``) is materialised."""
+        if max_level is None:
+            return len(self._skylines) == full_space(self.d)
+        return all(
+            delta in self._skylines
+            for level in range(1, max_level + 1)
+            for delta in subspaces_at_level(self.d, level)
+        )
+
+    def cuboids(self) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+        """Iterate ``(δ, S_δ)`` pairs in ascending subspace order."""
+        for delta in sorted(self._skylines):
+            yield delta, self._skylines[delta]
+
+    # -- statistics ---------------------------------------------------
+
+    def total_ids_stored(self) -> int:
+        """Total id replications across cuboids (the redundancy metric)."""
+        return sum(len(ids) for ids in self._skylines.values())
+
+    def memory_bytes(self) -> int:
+        """Rough resident size: 4 bytes per stored id + map overhead."""
+        id_bytes = 4 * (
+            self.total_ids_stored()
+            + sum(len(ids) for ids in self._extended_only.values())
+        )
+        return id_bytes + 16 * len(self._skylines)
+
+    def level_sizes(self) -> Dict[int, int]:
+        """Sum of cuboid sizes per lattice level (for Figure 13 analysis)."""
+        sizes: Dict[int, int] = {}
+        for delta, ids in self._skylines.items():
+            level = popcount(delta)
+            sizes[level] = sizes.get(level, 0) + len(ids)
+        return sizes
+
+    # -- interop ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, d: int, skylines: Dict[int, Sequence[int]]) -> "Lattice":
+        """Build a lattice from a ``{δ: ids}`` mapping (tests, fixtures)."""
+        lattice = cls(d)
+        for delta, ids in skylines.items():
+            lattice.set_cuboid(delta, ids)
+        return lattice
+
+    def to_dict(self) -> Dict[int, Tuple[int, ...]]:
+        """Plain ``{δ: sorted ids}`` mapping of materialised skylines."""
+        return dict(self._skylines)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Lattice):
+            return NotImplemented
+        return self.d == other.d and self._skylines == other._skylines
+
+    def __len__(self) -> int:
+        return len(self._skylines)
+
+    def __repr__(self) -> str:
+        return (
+            f"Lattice(d={self.d}, cuboids={len(self._skylines)}/"
+            f"{full_space(self.d)}, ids={self.total_ids_stored()})"
+        )
+
+    def _check_delta(self, delta: int) -> None:
+        if not 0 < delta <= full_space(self.d):
+            raise KeyError(f"invalid subspace {delta} for d={self.d}")

@@ -1,0 +1,184 @@
+"""Online skycube maintenance under point insertions and deletions.
+
+The compressed-skycube line of work (Xia & Zhang, Section 3) exists
+because applications need the materialised skycube to track a changing
+dataset.  The HashCube's per-point definition makes *insertion* cheap:
+a new point only (a) needs its own ``B_{p∉S}`` computed — one pass over
+the current points — and (b) can only *add* dominated-bits to existing
+points' masks, each derivable from one comparison-mask pair via the
+shared closure cache.
+
+Deletion is the hard direction (a point dominated only by the removed
+point silently regains membership, and masks carry no provenance), so
+it falls back to recomputing the affected masks — the same asymmetry
+the update literature documents.  :class:`SkycubeMaintainer` keeps the
+masks exact at every step; `skycube()` materialises the current state
+as a HashCube-backed :class:`~repro.core.skycube.Skycube`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bitmask import full_space
+from repro.core.closures import SubspaceClosures
+from repro.core.hashcube import HashCube
+from repro.core.skycube import Skycube
+from repro.instrument.counters import Counters
+
+__all__ = ["SkycubeMaintainer"]
+
+
+class SkycubeMaintainer:
+    """Exact per-point non-membership masks under inserts/deletes."""
+
+    def __init__(
+        self,
+        data: Optional[np.ndarray] = None,
+        d: Optional[int] = None,
+        counters: Optional[Counters] = None,
+    ):
+        if data is None and d is None:
+            raise ValueError("provide initial data or a dimensionality")
+        if data is not None:
+            data = np.asarray(data, dtype=np.float64)
+            if data.ndim != 2:
+                raise ValueError(f"data must be 2-D, got shape {data.shape}")
+            if np.isnan(data).any():
+                raise ValueError("data contains NaN")
+            if d is not None and d != data.shape[1]:
+                raise ValueError(f"d={d} conflicts with data shape {data.shape}")
+            d = data.shape[1]
+        self.d = d
+        self.counters = counters if counters is not None else Counters()
+        self._closures = SubspaceClosures(d)
+        self._weights = (1 << np.arange(d, dtype=np.int64))
+        self._rows: List[np.ndarray] = []
+        self._ids: List[int] = []
+        self._masks: Dict[int, int] = {}
+        self._next_id = 0
+        if data is not None:
+            for row in data:
+                self.insert(row)
+
+    # -- updates --------------------------------------------------------
+
+    def insert(self, point: Sequence[float]) -> int:
+        """Add a point; returns its assigned id.  O(n) mask updates."""
+        point = np.asarray(point, dtype=np.float64)
+        if point.shape != (self.d,):
+            raise ValueError(f"expected a {self.d}-dim point, got {point.shape}")
+        if np.isnan(point).any():
+            raise ValueError("point contains NaN")
+        point_id = self._next_id
+        self._next_id += 1
+
+        if self._rows:
+            existing = np.asarray(self._rows)
+            # Existing points as potential dominators of the new one...
+            lt = (existing < point) @ self._weights
+            eq = (existing == point) @ self._weights
+            le = lt + eq
+            self.counters.dominance_tests += len(existing)
+            mask = 0
+            for pair in set(zip(le.tolist(), eq.tolist())):
+                if pair[0]:
+                    mask |= self._closures.dominated_update(*pair)
+                    self.counters.bitmask_ops += 1
+            self._masks[point_id] = mask
+            # ...and the new point as a dominator of existing ones.
+            gt = (existing > point) @ self._weights
+            ge = gt + eq
+            self.counters.dominance_tests += len(existing)
+            for existing_id, ge_mask, eq_mask in zip(
+                self._ids, ge.tolist(), eq.tolist()
+            ):
+                if ge_mask:
+                    self._masks[existing_id] |= self._closures.dominated_update(
+                        ge_mask, eq_mask
+                    )
+                    self.counters.bitmask_ops += 1
+        else:
+            self._masks[point_id] = 0
+
+        self._rows.append(point)
+        self._ids.append(point_id)
+        return point_id
+
+    def delete(self, point_id: int) -> None:
+        """Remove a point; recomputes the masks it may have shaped."""
+        try:
+            index = self._ids.index(point_id)
+        except ValueError:
+            raise KeyError(f"unknown point id {point_id}") from None
+        removed = self._rows.pop(index)
+        self._ids.pop(index)
+        self._masks.pop(point_id)
+        if not self._rows:
+            return
+        existing = np.asarray(self._rows)
+        # The removed point contributed dominated-bits to any point it
+        # strictly beat on at least one dimension; recompute exactly
+        # those masks from scratch.
+        touched = (existing > removed).any(axis=1)
+        affected = [self._ids[i] for i in np.flatnonzero(touched)]
+        for pid in affected:
+            self._masks[pid] = self._recompute_mask(pid)
+
+    def _recompute_mask(self, point_id: int) -> int:
+        index = self._ids.index(point_id)
+        point = self._rows[index]
+        existing = np.asarray(self._rows)
+        lt = (existing < point) @ self._weights
+        eq = (existing == point) @ self._weights
+        le = lt + eq
+        self.counters.dominance_tests += len(existing)
+        mask = 0
+        for pair in set(zip(le.tolist(), eq.tolist())):
+            if pair[0]:
+                mask |= self._closures.dominated_update(*pair)
+                self.counters.bitmask_ops += 1
+        return mask
+
+    # -- views ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def membership_mask(self, point_id: int) -> int:
+        """Current exact ``B_{p∉S}`` of a live point."""
+        return self._masks[point_id]
+
+    def point(self, point_id: int) -> np.ndarray:
+        """The coordinates of a live point (copy)."""
+        try:
+            index = self._ids.index(point_id)
+        except ValueError:
+            raise KeyError(f"unknown point id {point_id}") from None
+        return self._rows[index].copy()
+
+    def points(self) -> "Dict[int, np.ndarray]":
+        """``{id: coordinates}`` of every live point."""
+        return {
+            pid: row.copy() for pid, row in zip(self._ids, self._rows)
+        }
+
+    def skyline(self, delta: int) -> List[int]:
+        """Current ``S_δ`` ids without materialising the whole cube."""
+        if not 0 < delta <= full_space(self.d):
+            raise KeyError(f"invalid subspace {delta} for d={self.d}")
+        bit = 1 << (delta - 1)
+        return sorted(
+            pid for pid, mask in self._masks.items() if not mask & bit
+        )
+
+    def skycube(self, word_width: int = HashCube.DEFAULT_WORD_WIDTH) -> Skycube:
+        """Materialise the current state as a HashCube-backed skycube."""
+        cube = HashCube(self.d, word_width)
+        for pid in sorted(self._masks):
+            cube.insert(pid, self._masks[pid])
+        # Ids are stable across deletions and need not be dense, so no
+        # row array is attached (point lookups go through the caller).
+        return Skycube(cube)

@@ -1,0 +1,102 @@
+"""Persistence for materialised skycubes.
+
+A skycube is expensive to build and cheap to query — the whole point of
+materialisation — so a downstream user needs to compute once and load
+thereafter.  This module serialises the two primary representations:
+
+* lattices as ``.npz`` (one id array per cuboid, keyed by subspace);
+* HashCubes as ``.npz`` via their per-point masks (word-width and bit
+  order preserved), reconstructing exact structures on load.
+
+The format embeds a small JSON header with the representation type,
+dimensionality and library version, and refuses files whose header it
+does not understand — loud failure over silent misreads.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.core.hashcube import HashCube
+from repro.core.lattice import Lattice
+from repro.core.skycube import Skycube
+
+__all__ = ["save_skycube", "load_skycube"]
+
+FORMAT_VERSION = 1
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_skycube(skycube: Skycube, path: PathLike) -> None:
+    """Serialise a (complete or partial) skycube to ``path`` (.npz)."""
+    store = skycube.store
+    header = {
+        "format": FORMAT_VERSION,
+        "d": skycube.d,
+        "max_level": skycube.max_level,
+    }
+    arrays = {}
+    if isinstance(store, Lattice):
+        header["representation"] = "lattice"
+        for delta, ids in store.cuboids():
+            arrays[f"cuboid_{delta}"] = np.asarray(ids, dtype=np.int64)
+    elif isinstance(store, HashCube):
+        header["representation"] = "hashcube"
+        header["word_width"] = store.word_width
+        header["bit_order"] = store.bit_order
+        point_ids = store.point_ids()
+        arrays["point_ids"] = np.asarray(point_ids, dtype=np.int64)
+        # Masks can exceed 64 bits: store as fixed-width byte rows.
+        num_bytes = -(-store.num_subspaces // 8)
+        masks = np.zeros((len(point_ids), num_bytes), dtype=np.uint8)
+        for row, pid in enumerate(point_ids):
+            mask = store.membership_mask(pid)
+            masks[row] = np.frombuffer(
+                mask.to_bytes(num_bytes, "little"), dtype=np.uint8
+            )
+        arrays["masks"] = masks
+    else:
+        raise TypeError(f"unsupported store type {type(store).__name__}")
+    arrays["header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(os.fspath(path), **arrays)
+
+
+def load_skycube(path: PathLike) -> Skycube:
+    """Load a skycube written by :func:`save_skycube`."""
+    with np.load(os.fspath(path)) as archive:
+        try:
+            header = json.loads(bytes(archive["header"]).decode("utf-8"))
+        except (KeyError, ValueError) as error:
+            raise ValueError(f"{path} is not a skycube file: {error}")
+        if header.get("format") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported skycube format {header.get('format')!r}"
+            )
+        d = header["d"]
+        max_level = header["max_level"]
+        representation = header["representation"]
+        if representation == "lattice":
+            lattice = Lattice(d)
+            for key in archive.files:
+                if key.startswith("cuboid_"):
+                    delta = int(key[len("cuboid_"):])
+                    lattice.set_cuboid(delta, archive[key].tolist())
+            return Skycube(lattice, max_level=max_level)
+        if representation == "hashcube":
+            cube = HashCube(
+                d,
+                word_width=header["word_width"],
+                bit_order=header["bit_order"],
+            )
+            point_ids = archive["point_ids"]
+            masks = archive["masks"]
+            for pid, row in zip(point_ids.tolist(), masks):
+                cube.insert(pid, int.from_bytes(row.tobytes(), "little"))
+            return Skycube(cube, max_level=max_level)
+        raise ValueError(f"unknown representation {representation!r}")

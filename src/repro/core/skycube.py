@@ -1,0 +1,107 @@
+"""Unified skycube facade over both representations.
+
+Algorithms in this library return a :class:`Skycube`, wrapping either a
+:class:`~repro.core.lattice.Lattice` (the lattice-traversal templates) or
+a :class:`~repro.core.hashcube.HashCube` (MDMC), so callers can query
+subspace skylines without caring how the result was materialised.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.bitmask import full_space, popcount
+from repro.core.hashcube import HashCube
+from repro.core.lattice import Lattice
+
+__all__ = ["Skycube"]
+
+
+class Skycube:
+    """Query facade over a materialised skycube."""
+
+    def __init__(
+        self,
+        store: Union[Lattice, HashCube],
+        data: Optional[np.ndarray] = None,
+        max_level: Optional[int] = None,
+    ):
+        if not isinstance(store, (Lattice, HashCube)):
+            raise TypeError(f"unsupported store type {type(store).__name__}")
+        self._store = store
+        self.d = store.d
+        self.data = None if data is None else np.asarray(data, dtype=np.float64)
+        #: For partial skycubes (Appendix A.2): levels above this carry
+        #: no correctness guarantee and raise on query.
+        self.max_level = max_level
+
+    # -- queries ------------------------------------------------------
+
+    def skyline(self, delta: int) -> Tuple[int, ...]:
+        """Sorted point ids of ``S_δ(P)``."""
+        if not 0 < delta <= full_space(self.d):
+            raise KeyError(f"invalid subspace {delta} for d={self.d}")
+        if self.max_level is not None and popcount(delta) > self.max_level:
+            raise KeyError(
+                f"subspace {delta} has {popcount(delta)} dims but this is a "
+                f"partial skycube materialised up to level {self.max_level}"
+            )
+        return self._store.skyline(delta)
+
+    def skyline_points(self, delta: int) -> np.ndarray:
+        """The actual skyline rows, if the dataset was attached."""
+        if self.data is None:
+            raise ValueError("no dataset attached to this skycube")
+        return self.data[list(self.skyline(delta))]
+
+    def subspaces(self) -> Iterator[int]:
+        """All queryable subspaces, ascending."""
+        top = self.d if self.max_level is None else self.max_level
+        for delta in range(1, full_space(self.d) + 1):
+            if popcount(delta) <= top:
+                yield delta
+
+    def to_dict(self) -> Dict[int, Tuple[int, ...]]:
+        """``{δ: ids}`` over all queryable subspaces."""
+        return {delta: self.skyline(delta) for delta in self.subspaces()}
+
+    # -- representation interop ---------------------------------------
+
+    @property
+    def store(self) -> Union[Lattice, HashCube]:
+        """The underlying representation object."""
+        return self._store
+
+    def as_lattice(self) -> Lattice:
+        """This skycube as a lattice (copy if HashCube-backed)."""
+        if isinstance(self._store, Lattice):
+            return self._store
+        return self._store.to_lattice()
+
+    def as_hashcube(self, word_width: int = HashCube.DEFAULT_WORD_WIDTH) -> HashCube:
+        """This skycube as a HashCube (compress if lattice-backed)."""
+        if isinstance(self._store, HashCube):
+            return self._store
+        if self.max_level is not None:
+            raise ValueError("cannot compress a partial skycube")
+        return HashCube.from_lattice(self._store, word_width)
+
+    def memory_bytes(self) -> int:
+        """Resident size estimate of the underlying store."""
+        return self._store.memory_bytes()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Skycube):
+            return NotImplemented
+        if self.d != other.d:
+            return False
+        mine, theirs = set(self.subspaces()), set(other.subspaces())
+        if mine != theirs:
+            return False
+        return all(self.skyline(delta) == other.skyline(delta) for delta in mine)
+
+    def __repr__(self) -> str:
+        partial = "" if self.max_level is None else f", max_level={self.max_level}"
+        return f"Skycube(d={self.d}, store={type(self._store).__name__}{partial})"

@@ -1,0 +1,114 @@
+"""Reference skyline and extended-skyline operators.
+
+These are the straightforward O(n²) implementations of Definition 2,
+used as the correctness oracle for every optimised algorithm in the
+library and as the building block of the brute-force skycube in
+:mod:`repro.core.verify`.  They favour clarity over speed; the fast
+paths live in :mod:`repro.engine` and :mod:`repro.skyline`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bitmask import full_space
+from repro.core.dominance import dominance_masks_vs_all
+from repro.instrument.counters import Counters
+
+__all__ = [
+    "skyline_indices",
+    "extended_skyline_indices",
+    "skyline_and_extended",
+]
+
+
+def _validate(data: np.ndarray, delta: Optional[int]) -> Tuple[np.ndarray, int]:
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D (points x dims), got shape {data.shape}")
+    d = data.shape[1]
+    if delta is None:
+        delta = full_space(d)
+    if not 0 < delta <= full_space(d):
+        raise ValueError(f"invalid subspace {delta} for d={d}")
+    return data, delta
+
+
+def skyline_indices(
+    data: np.ndarray,
+    delta: Optional[int] = None,
+    counters: Optional[Counters] = None,
+) -> List[int]:
+    """Point ids of ``S_δ(data)`` (Definition 2), sorted ascending.
+
+    A point survives iff no *distinct* point is at least as good on every
+    dimension of δ and strictly better on one.  Vectorized per candidate:
+    one pass of mask construction against the whole dataset.
+    """
+    data, delta = _validate(data, delta)
+    n = len(data)
+    result = []
+    for j in range(n):
+        le, _, eq = dominance_masks_vs_all(data, data[j])
+        if counters is not None:
+            counters.dominance_tests += n
+        dominated = ((le & delta) == delta) & ((eq & delta) != delta)
+        if not dominated.any():
+            result.append(j)
+    return result
+
+
+def extended_skyline_indices(
+    data: np.ndarray,
+    delta: Optional[int] = None,
+    counters: Optional[Counters] = None,
+) -> List[int]:
+    """Point ids of the extended skyline ``S+_δ(data)`` (Definition 2).
+
+    A point survives unless some other point is *strictly* better on
+    every dimension of δ.  The extended skyline of δ contains the
+    (extended) skylines of every subspace of δ, which is what makes the
+    top-down lattice traversal sound.
+    """
+    data, delta = _validate(data, delta)
+    n = len(data)
+    result = []
+    for j in range(n):
+        _, lt, _ = dominance_masks_vs_all(data, data[j])
+        if counters is not None:
+            counters.dominance_tests += n
+        strictly_dominated = (lt & delta) == delta
+        if not strictly_dominated.any():
+            result.append(j)
+    return result
+
+
+def skyline_and_extended(
+    data: np.ndarray,
+    delta: Optional[int] = None,
+    counters: Optional[Counters] = None,
+) -> Tuple[List[int], List[int]]:
+    """``(S_δ, S+_δ \\ S_δ)`` in one pass — the pair the lattices store.
+
+    Algorithms 1 and 2 keep, per cuboid, the skyline ``L[δ]`` and the
+    extra extended-skyline points ``L+[δ]`` separately; this helper
+    produces exactly those two disjoint id lists.
+    """
+    data, delta = _validate(data, delta)
+    n = len(data)
+    sky: List[int] = []
+    extended_only: List[int] = []
+    for j in range(n):
+        le, lt, eq = dominance_masks_vs_all(data, data[j])
+        if counters is not None:
+            counters.dominance_tests += n
+        if ((lt & delta) == delta).any():
+            continue  # strictly dominated: in neither set
+        dominated = ((le & delta) == delta) & ((eq & delta) != delta)
+        if dominated.any():
+            extended_only.append(j)
+        else:
+            sky.append(j)
+    return sky, extended_only

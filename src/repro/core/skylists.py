@@ -1,0 +1,123 @@
+"""Skylist compression — parent-delta cuboid storage along a DFS tree.
+
+Yuan et al.'s lattice compression (Section 3): cuboids adjacent in the
+lattice overlap heavily (a child cuboid's skyline is drawn from its
+parent's extended skyline), so a depth-first spanning tree of the
+lattice stores every cuboid as a *delta* against its parent — ids
+removed plus ids added — falling back to the plain list whenever the
+delta would be larger (anticorrelated subspaces can churn more ids
+than they keep), so storage never exceeds the lattice's.  Queries
+replay the ≤ d entries on the root-to-cuboid path.
+
+Where the HashCube compresses *across* each point's subspace bitmask,
+skylists compress *along* lattice edges; the representation bench
+contrasts the two.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.bitmask import full_space, immediate_subspaces
+from repro.core.lattice import Lattice
+
+__all__ = ["SkylistCube"]
+
+
+class SkylistCube:
+    """Parent-delta skycube storage over a DFS spanning tree."""
+
+    def __init__(self, d: int):
+        self.d = d
+        #: δ -> parent subspace on the spanning tree (root maps to None).
+        self._parent: Dict[int, Optional[int]] = {}
+        #: δ -> ("delta", removed, added) vs the parent, or
+        #: ("full", ids) when the delta would be larger.
+        self._deltas: Dict[int, Tuple] = {}
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_lattice(cls, lattice: Lattice) -> "SkylistCube":
+        if not lattice.is_complete():
+            raise ValueError("can only compress a fully materialised lattice")
+        cube = cls(lattice.d)
+        root = full_space(lattice.d)
+        cube._parent[root] = None
+        cube._deltas[root] = ("full", lattice.skyline(root))
+        stack = [root]
+        seen: Set[int] = {root}
+        while stack:
+            delta = stack.pop()
+            parent_ids = set(lattice.skyline(delta))
+            for child in sorted(immediate_subspaces(delta), reverse=True):
+                if child in seen:
+                    continue
+                seen.add(child)
+                child_ids = set(lattice.skyline(child))
+                removed = tuple(sorted(parent_ids - child_ids))
+                added = tuple(sorted(child_ids - parent_ids))
+                cube._parent[child] = delta
+                if len(removed) + len(added) < len(child_ids):
+                    cube._deltas[child] = ("delta", removed, added)
+                else:
+                    cube._deltas[child] = (
+                        "full", tuple(sorted(child_ids))
+                    )
+                stack.append(child)
+        return cube
+
+    # -- queries ------------------------------------------------------------
+
+    def skyline(self, delta: int) -> Tuple[int, ...]:
+        """``S_δ`` by replaying the ≤ d deltas from the root."""
+        if delta not in self._deltas:
+            raise KeyError(f"invalid subspace {delta} for d={self.d}")
+        # Walk up only until a "full" entry: it resets the state.
+        path: List[int] = []
+        node: Optional[int] = delta
+        while node is not None:
+            path.append(node)
+            if self._deltas[node][0] == "full":
+                break
+            node = self._parent[node]
+        current: Set[int] = set()
+        for step in reversed(path):
+            entry = self._deltas[step]
+            if entry[0] == "full":
+                current = set(entry[1])
+            else:
+                current.difference_update(entry[1])
+                current.update(entry[2])
+        return tuple(sorted(current))
+
+    def to_lattice(self) -> Lattice:
+        lattice = Lattice(self.d)
+        for delta in self._deltas:
+            lattice.set_cuboid(delta, self.skyline(delta))
+        return lattice
+
+    # -- statistics -----------------------------------------------------------
+
+    def total_ids_stored(self) -> int:
+        """Ids across the root list and all deltas."""
+        total = 0
+        for entry in self._deltas.values():
+            if entry[0] == "full":
+                total += len(entry[1])
+            else:
+                total += len(entry[1]) + len(entry[2])
+        return total
+
+    def memory_bytes(self) -> int:
+        return 4 * self.total_ids_stored() + 12 * len(self._deltas)
+
+    def compression_ratio_vs(self, lattice: Lattice) -> float:
+        own = self.total_ids_stored()
+        return float("inf") if own == 0 else lattice.total_ids_stored() / own
+
+    def __repr__(self) -> str:
+        return (
+            f"SkylistCube(d={self.d}, cuboids={len(self._deltas)}, "
+            f"ids={self.total_ids_stored()})"
+        )

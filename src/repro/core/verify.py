@@ -1,0 +1,100 @@
+"""Brute-force skycube oracle and verification helpers.
+
+Everything optimised in this library is checked against these functions.
+They make no attempt at efficiency beyond per-point vectorization and
+directly realise the definitions of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.bitmask import all_subspaces, full_space, popcount
+from repro.core.dominance import dominance_masks_vs_all
+from repro.core.lattice import Lattice
+from repro.core.skycube import Skycube
+from repro.core.skyline import skyline_indices
+
+__all__ = [
+    "brute_force_skycube",
+    "brute_force_membership_masks",
+    "verify_skycube",
+]
+
+
+def brute_force_skycube(
+    data: np.ndarray, max_level: Optional[int] = None
+) -> Skycube:
+    """The exact skycube of ``data`` by direct evaluation of Definition 3.
+
+    Computes all per-point comparison masks once and derives every
+    cuboid from them, so it stays usable as a test oracle up to roughly
+    ``n = 2000, d = 10``.
+    """
+    masks = brute_force_membership_masks(data)
+    d = np.asarray(data).shape[1]
+    lattice = Lattice(d)
+    for delta in all_subspaces(d):
+        if max_level is not None and popcount(delta) > max_level:
+            continue
+        bit = 1 << (delta - 1)
+        lattice.set_cuboid(
+            delta, [pid for pid, mask in masks.items() if not mask & bit]
+        )
+    return Skycube(lattice, data=np.asarray(data, dtype=np.float64), max_level=max_level)
+
+
+def brute_force_membership_masks(data: np.ndarray) -> Dict[int, int]:
+    """``{point_id: B_{p∉S}}`` for every point, by exhaustive comparison.
+
+    Bit ``δ - 1`` of the mask is set iff the point is dominated in
+    subspace ``δ``.  This is the quantity MDMC computes per parallel
+    task, so the oracle doubles as its direct correctness reference.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    n, d = data.shape
+    num_subspaces = full_space(d)
+    masks: Dict[int, int] = {}
+    for j in range(n):
+        le, _, eq = dominance_masks_vs_all(data, data[j])
+        not_in = 0
+        # Distinct (le, eq) pairs repeat heavily; deduplicate before the
+        # exponential subspace sweep.
+        seen = set(zip(le.tolist(), eq.tolist()))
+        for delta in range(1, num_subspaces + 1):
+            for le_mask, eq_mask in seen:
+                if (le_mask & delta) == delta and (eq_mask & delta) != delta:
+                    not_in |= 1 << (delta - 1)
+                    break
+        masks[j] = not_in
+    return masks
+
+
+def verify_skycube(
+    skycube: Skycube, data: np.ndarray, sample_subspaces: Optional[int] = None
+) -> List[str]:
+    """Compare a skycube against per-subspace naive skylines.
+
+    Returns a list of human-readable mismatch descriptions (empty means
+    verified).  ``sample_subspaces`` caps the number of subspaces checked
+    (evenly spread) for large d.
+    """
+    data = np.asarray(data, dtype=np.float64)
+    d = data.shape[1]
+    subspaces = list(skycube.subspaces())
+    if sample_subspaces is not None and sample_subspaces < len(subspaces):
+        step = len(subspaces) / sample_subspaces
+        subspaces = [subspaces[int(i * step)] for i in range(sample_subspaces)]
+    problems = []
+    for delta in subspaces:
+        expected = tuple(skyline_indices(data, delta))
+        actual = skycube.skyline(delta)
+        if expected != actual:
+            missing = set(expected) - set(actual)
+            spurious = set(actual) - set(expected)
+            problems.append(
+                f"δ={delta:#b}: missing={sorted(missing)} spurious={sorted(spurious)}"
+            )
+    return problems

@@ -1,0 +1,45 @@
+"""Dataset load/save in the benchmark generator's text format.
+
+The classic skyline benchmark tooling exchanges datasets as whitespace-
+separated text, one point per line.  We support that plus a compact
+``.npy`` binary path for larger workloads.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+__all__ = ["save_dataset", "load_dataset"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_dataset(data: np.ndarray, path: PathLike) -> None:
+    """Write an ``(n, d)`` dataset; format chosen by file extension.
+
+    ``.npy`` saves binary; anything else writes the benchmark text
+    format (space-separated, ``%.9g`` precision).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError(f"expected 2-D dataset, got shape {data.shape}")
+    path = os.fspath(path)
+    if path.endswith(".npy"):
+        np.save(path, data)
+    else:
+        np.savetxt(path, data, fmt="%.9g")
+
+
+def load_dataset(path: PathLike) -> np.ndarray:
+    """Read a dataset written by :func:`save_dataset`."""
+    path = os.fspath(path)
+    if path.endswith(".npy"):
+        data = np.load(path)
+    else:
+        data = np.loadtxt(path, dtype=np.float64, ndmin=2)
+    if data.ndim != 2 or data.shape[0] == 0 or data.shape[1] == 0:
+        raise ValueError(f"{path} does not contain a non-empty 2-D dataset")
+    return np.asarray(data, dtype=np.float64)

@@ -1,0 +1,186 @@
+"""Stand-ins for the paper's real datasets (Table 2, Appendix A.1).
+
+The originals (NBA basketball statistics, IPUMS household expenditure,
+UCI Covertype cartography, CRU global weather) are not redistributable
+here, so each is replaced by a seeded synthesizer that reproduces the
+*structural properties the evaluation depends on*:
+
+* **NBA**  — small (17 264 × 8), several strongly correlated attributes
+  (minutes/points/rebounds all track playing time), tiny extended
+  skyline (~0.1 % of n).
+* **HH**   — 127 931 × 6, percentage-of-budget rows (non-negative,
+  near-constant row sums), tiny extended skyline (~0.005 · n).
+* **CT**   — 581 012 × 10, low-cardinality attributes (e.g. hillshade on
+  a 255-value scale) so many points share optimum values; ~74 % of the
+  dataset lands in the extended skyline.
+* **WE**   — 566 268 × 15, coordinates clustered into continents and
+  mountain ranges plus 12 seasonally-correlated precipitation values;
+  moderate extended skyline (~14 % of n).
+
+Sizes scale with ``scale`` (default 1/20th of the original) so pure
+Python remains practical; the per-dataset ratios of n, d and |S+| are
+preserved, which is what Table 3's relative results hinge on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+import numpy as np
+
+__all__ = ["RealDataset", "REAL_DATASETS", "load_real", "dataset_summary"]
+
+
+@dataclass(frozen=True)
+class RealDataset:
+    """A named real-data stand-in with its paper-reported statistics."""
+
+    name: str
+    paper_n: int
+    d: int
+    paper_extended_size: int
+    description: str
+    maker: Callable[[int, int], np.ndarray]
+
+    def generate(self, scale: float = 0.05, seed: int = 0) -> np.ndarray:
+        """Materialise the stand-in at ``round(paper_n * scale)`` rows."""
+        n = max(64, int(round(self.paper_n * scale)))
+        return self.maker(n, seed)
+
+
+def _nba(n: int, seed: int) -> np.ndarray:
+    """Per-season player statistics: skill × playing-time structure."""
+    rng = np.random.default_rng(seed)
+    # Latent skill and minutes drive most counting stats, producing the
+    # strong inter-attribute correlation of the real table.
+    skill = rng.beta(2.0, 5.0, n)
+    minutes = rng.beta(2.0, 2.0, n)
+    volume = skill * minutes
+    stats = []
+    for weight in (1.0, 0.9, 0.8, 0.7, 0.6):
+        noise = rng.normal(0.0, 0.08, n)
+        stats.append(np.clip(weight * volume + noise, 0.0, 1.0))
+    # Three specialist stats (blocks, steals, 3pt%) are weakly coupled.
+    for _ in range(3):
+        specialist = rng.beta(1.5, 6.0, n)
+        stats.append(np.clip(0.3 * volume + 0.7 * specialist, 0.0, 1.0))
+    # Smaller is better throughout the library, so invert "bigger is
+    # better" sports stats.
+    return 1.0 - np.column_stack(stats)
+
+
+def _household(n: int, seed: int) -> np.ndarray:
+    """Budget shares around a common spending profile (6 categories).
+
+    Households mostly scale one canonical profile by their spending
+    level, with small idiosyncratic noise — the positive correlation
+    that gives the real HH its tiny extended skyline (Table 2).
+    """
+    rng = np.random.default_rng(seed)
+    profile = np.array([0.35, 0.20, 0.15, 0.12, 0.10, 0.08])
+    level = rng.beta(2.0, 2.0, n)[:, None]  # overall spending level
+    noise = rng.normal(0.0, 0.015, (n, len(profile)))
+    return np.clip(profile * (0.5 + level) + noise, 0.0, 1.0)
+
+
+def _covertype(n: int, seed: int) -> np.ndarray:
+    """Cartographic variables quantised to low-cardinality scales.
+
+    Hillshade-like attributes use 64 distinct values and several others
+    192, so optimum values are massively duplicated — driving the real
+    CT's 74 % extended skyline and the parent/child sharing advantage
+    PQSkycube shows on it (Table 3 discussion).
+    """
+    rng = np.random.default_rng(seed)
+    columns = []
+    cardinalities = (192, 192, 64, 64, 64, 128, 128, 96, 96, 192)
+    for card in cardinalities:
+        values = rng.integers(0, card, n)
+        columns.append(values / (card - 1))
+    data = np.column_stack(columns)
+    # Terrain correlation: elevation influences slope-facing attributes.
+    data[:, 1] = np.clip(0.5 * data[:, 0] + 0.5 * data[:, 1], 0.0, 1.0)
+    steps = np.maximum(np.round(data[:, 1] * 191), 0)
+    data[:, 1] = steps / 191
+    return data
+
+
+def _weather(n: int, seed: int) -> np.ndarray:
+    """Clustered coordinates + 12 seasonally correlated precip values."""
+    rng = np.random.default_rng(seed)
+    num_clusters = 24  # continents / mountain ranges
+    centers = rng.random((num_clusters, 3))
+    assignment = rng.integers(0, num_clusters, n)
+    coords = np.clip(
+        centers[assignment] + rng.normal(0.0, 0.04, (n, 3)), 0.0, 1.0
+    )
+    # Each cluster is a biome with its own annual precipitation curve;
+    # a record deviates from its biome's curve mostly by a single
+    # wetness scalar (wet year vs dry year), so the 12 month values are
+    # strongly correlated — keeping the extended skyline moderate
+    # despite d=15, as in the real data (Table 2).
+    phase = rng.random(num_clusters) * 2 * np.pi
+    wetness = rng.beta(2.0, 2.0, num_clusters)
+    months = np.arange(12) / 12.0 * 2 * np.pi
+    seasonal = 0.5 + 0.4 * np.sin(months[None, :] + phase[:, None])
+    base = wetness[:, None] * seasonal  # (clusters, 12)
+    year_shift = rng.normal(0.0, 0.10, (n, 1))
+    precip = np.clip(
+        base[assignment] + year_shift + rng.normal(0.0, 0.015, (n, 12)),
+        0.0,
+        1.0,
+    )
+    # Smaller is better: prefer extreme (high) precipitation → invert.
+    return np.column_stack([coords, 1.0 - precip])
+
+
+REAL_DATASETS: Dict[str, RealDataset] = {
+    "NBA": RealDataset(
+        "NBA", 17_264, 8, 1_796,
+        "basketball player seasons (correlated counting stats)", _nba,
+    ),
+    "HH": RealDataset(
+        "HH", 127_931, 6, 5_774,
+        "household budget shares (tiny extended skyline)", _household,
+    ),
+    "CT": RealDataset(
+        "CT", 581_012, 10, 432_253,
+        "cartography with low-cardinality attributes (duplicate-heavy)",
+        _covertype,
+    ),
+    "WE": RealDataset(
+        "WE", 566_268, 15, 78_036,
+        "clustered coordinates + seasonal precipitation", _weather,
+    ),
+}
+
+
+def load_real(name: str, scale: float = 0.05, seed: int = 0) -> np.ndarray:
+    """Generate the named stand-in dataset (case-insensitive)."""
+    try:
+        dataset = REAL_DATASETS[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown real dataset {name!r}; available: {sorted(REAL_DATASETS)}"
+        ) from None
+    return dataset.generate(scale=scale, seed=seed)
+
+
+def dataset_summary(name: str, scale: float = 0.05, seed: int = 0) -> Dict[str, object]:
+    """Table-2-style row: n, d, |S+| for the generated stand-in."""
+    from repro.core.skyline import extended_skyline_indices
+
+    dataset = REAL_DATASETS[name.upper()]
+    data = dataset.generate(scale=scale, seed=seed)
+    extended = extended_skyline_indices(data)
+    return {
+        "name": dataset.name,
+        "n": data.shape[0],
+        "d": data.shape[1],
+        "extended_skyline": len(extended),
+        "extended_fraction": len(extended) / data.shape[0],
+        "paper_n": dataset.paper_n,
+        "paper_extended_fraction": dataset.paper_extended_size / dataset.paper_n,
+        "description": dataset.description,
+    }

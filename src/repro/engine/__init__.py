@@ -1,0 +1,9 @@
+"""Uninstrumented, vectorized fast kernels for large inputs."""
+
+from repro.engine.kernels import (
+    fast_extended_skyline,
+    fast_skycube,
+    fast_skyline,
+)
+
+__all__ = ["fast_skyline", "fast_extended_skyline", "fast_skycube"]

@@ -1,0 +1,57 @@
+"""Experiment harness: one module per figure/table of the paper."""
+
+from repro.experiments import (
+    ablations,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    table02,
+    table03,
+)
+from repro.experiments.report import Table, format_seconds, results_dir
+from repro.experiments.runner import build_real_run, build_run
+
+__all__ = [
+    "ablations",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table02",
+    "table03",
+    "Table",
+    "format_seconds",
+    "results_dir",
+    "build_run",
+    "build_real_run",
+]
+
+#: Experiment registry: id -> module with a ``run(quick)`` entry point.
+EXPERIMENTS = {
+    "fig04": fig04,
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "table02": table02,
+    "table03": table03,
+    "ablations": ablations,
+}

@@ -1,0 +1,60 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures without pytest::
+
+    python -m repro.experiments fig05
+    python -m repro.experiments table03 ablations
+    python -m repro.experiments all          # everything (slow)
+
+Tables are printed and also written to ``results/`` (override with the
+``REPRO_RESULTS_DIR`` environment variable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.report import results_dir
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment ids (or 'all')",
+    )
+    parser.add_argument(
+        "--no-save",
+        action="store_true",
+        help="print only; do not write results/ files",
+    )
+    args = parser.parse_args(argv)
+
+    selected = sorted(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    directory = results_dir()
+    for name in selected:
+        module = EXPERIMENTS[name]
+        started = time.time()
+        tables = module.run(quick=True)
+        elapsed = time.time() - started
+        for index, table in enumerate(tables):
+            print(table.format())
+            if not args.no_save:
+                suffix = "" if len(tables) == 1 else f"_{chr(ord('a') + index)}"
+                table.save(f"{name}{suffix}.txt", directory)
+        print(f"[{name}: regenerated in {elapsed:.1f} s]\n")
+    if not args.no_save:
+        print(f"tables written to {directory}/")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,221 @@
+"""Ablation studies of the design choices DESIGN.md calls out.
+
+Each function isolates one decision the paper makes and quantifies it
+with the library's own counters:
+
+* ``tree_depth`` — the third (octile) level added to SkyAlign's static
+  tree for skycubes (Section 4.3): filter strength and refine DTs of
+  MDMC with 2- vs 3-level trees;
+* ``mask_tests_vs_dts`` — the MT-for-DT trade of point-based
+  partitioning (Appendix B.2) against plain BNL;
+* ``mask_memoization`` — the duplicate-bitmask skip in MDMC's refine
+  (Algorithm 3, lines 10–11): distinct masks processed vs leaf DTs;
+* ``hashcube_word_width`` — compression vs word width w (App. B.1);
+* ``level_ordered_hashcube`` — the Appendix A.2 future-work bit layout
+  on partial skycubes;
+* ``parent_selection`` — Algorithm 1 line 5's argmin parent against
+  taking any parent: total reduced-input sizes;
+* ``traversal_direction`` — top-down (QSkycube) vs bottom-up (BUS).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.hashcube import HashCube
+from repro.data.generator import generate
+from repro.experiments.report import Table
+from repro.instrument.counters import Counters
+from repro.partitioning.static_tree import StaticTree
+from repro.skycube.bottom_up import BottomUpSkycube
+from repro.skycube.qskycube import QSkycube
+from repro.skycube.topdown import top_down_lattice
+from repro.skyline.bnl import BlockNestedLoops
+from repro.skyline.bskytree import BSkyTree
+from repro.skyline.hybrid import Hybrid
+
+__all__ = [
+    "tree_depth",
+    "mask_tests_vs_dts",
+    "mask_memoization",
+    "hashcube_word_width",
+    "level_ordered_hashcube",
+    "parent_selection",
+    "traversal_direction",
+    "run",
+]
+
+ABLATION_N = 500
+ABLATION_D = 8
+SEED = 13
+
+
+def _data(distribution: str = "independent") -> np.ndarray:
+    return generate(distribution, ABLATION_N, ABLATION_D, seed=SEED)
+
+
+def tree_depth() -> Table:
+    """2-level vs 3-level static tree: filter strength for MDMC."""
+    data = _data()
+    table = Table(
+        "Ablation: static tree depth (Section 4.3's third level)",
+        ["levels", "avg strict dims provable / point", "label bytes"],
+        notes=["the octile level doubles the per-dim information carried"],
+    )
+    for levels in (2, 3):
+        tree = StaticTree(data, levels=levels)
+        provable = 0
+        for pos in range(len(tree)):
+            masks = tree.leaf_strict_masks(pos)
+            provable += bin(int(np.bitwise_or.reduce(masks))).count("1")
+        table.add_row(levels, provable / len(tree), tree.label_bytes())
+    return table
+
+
+def mask_tests_vs_dts() -> Table:
+    """The MT-for-DT trade of point-based partitioning."""
+    data = _data()
+    table = Table(
+        "Ablation: mask tests vs dominance tests (Appendix B.2)",
+        ["algorithm", "DTs", "MTs", "values loaded"],
+        notes=["MTs load one integer; DTs load up to 2|δ| floats"],
+    )
+    for algorithm in (BlockNestedLoops(), BSkyTree(), Hybrid()):
+        counters = Counters()
+        algorithm.compute(data, counters=counters)
+        table.add_row(
+            algorithm.name,
+            counters.dominance_tests,
+            counters.mask_tests,
+            counters.values_loaded,
+        )
+    return table
+
+
+def mask_memoization() -> Table:
+    """Duplicate-bitmask skipping in MDMC's refine."""
+    from repro.core.closures import SubspaceClosures
+    from repro.templates.mdmc import CPUPointEngine
+
+    data = _data()
+    tree = StaticTree(data, levels=3)
+    closures = SubspaceClosures(ABLATION_D)
+    engine = CPUPointEngine()
+    counters = Counters()
+    full_bits = (1 << ((1 << ABLATION_D) - 1)) - 1
+    distinct_updates = 0
+    for pos in range(len(tree)):
+        before = counters.bitmask_ops
+        engine.process_point(tree, pos, closures, counters, full_bits)
+        distinct_updates += counters.bitmask_ops - before
+    table = Table(
+        "Ablation: mask memoization in MDMC refine (Alg. 3 lines 10-12)",
+        ["quantity", "value"],
+        notes=[
+            "without memoization every DT would expand its submasks: "
+            "the expansions column would equal the DT column",
+        ],
+    )
+    table.add_row("points processed", len(tree))
+    table.add_row("leaf DTs executed", counters.dominance_tests)
+    table.add_row("closure expansions (word ops)", distinct_updates)
+    table.add_row("distinct masks cached globally", closures.cache_size())
+    return table
+
+
+def hashcube_word_width() -> Table:
+    """HashCube compression as the word width varies (Appendix B.1)."""
+    data = _data()
+    lattice = QSkycube().materialise(data).skycube.as_lattice()
+    table = Table(
+        "Ablation: HashCube word width vs compression (Appendix B.1)",
+        ["word width", "ids stored", "hash keys", "lattice ids / hashcube ids"],
+    )
+    for width in (4, 8, 16, 32, 64):
+        cube = HashCube.from_lattice(lattice, word_width=width)
+        table.add_row(
+            width,
+            cube.total_ids_stored(),
+            cube.num_keys(),
+            cube.compression_ratio_vs(lattice),
+        )
+    return table
+
+
+def level_ordered_hashcube() -> Table:
+    """Appendix A.2 future work: level-ordered HashCube bits.
+
+    On partial skycubes, grouping same-level subspaces into words lets
+    the omission rule drop the all-set upper-level words wholesale.
+    """
+    from repro.templates.mdmc import MDMC
+
+    data = _data()
+    table = Table(
+        "Extension: level-ordered HashCube bits on partial skycubes",
+        ["levels d'", "numeric-order ids", "level-order ids", "saving %"],
+        notes=["implements the bit reorganisation Appendix A.2 proposes"],
+    )
+    for max_level in (2, 3, 4):
+        numeric = MDMC("cpu", word_width=8).materialise(
+            data, max_level=max_level
+        ).skycube.store
+        level = HashCube(ABLATION_D, word_width=8, bit_order="level")
+        for pid in numeric.point_ids():
+            level.insert(pid, numeric.membership_mask(pid))
+        saved = numeric.total_ids_stored() - level.total_ids_stored()
+        table.add_row(
+            max_level,
+            numeric.total_ids_stored(),
+            level.total_ids_stored(),
+            100.0 * saved / max(1, numeric.total_ids_stored()),
+        )
+    return table
+
+
+def parent_selection() -> Table:
+    """Smallest-parent rule vs first-parent (Alg. 1 line 5)."""
+    data = _data("anticorrelated")
+    table = Table(
+        "Ablation: parent-selection rule in the top-down traversal",
+        ["rule", "dominance tests", "values loaded"],
+        notes=["the argmin parent shrinks every cuboid's reduced input"],
+    )
+    for rule in ("smallest", "first"):
+        counters = Counters()
+        top_down_lattice(data, BSkyTree(), counters, parent_rule=rule)
+        table.add_row(rule, counters.dominance_tests, counters.values_loaded)
+    return table
+
+
+def traversal_direction() -> Table:
+    """Top-down vs bottom-up lattice traversal (Section 3)."""
+    data = _data()
+    table = Table(
+        "Ablation: lattice traversal direction",
+        ["strategy", "dominance tests", "peak memory (bytes)"],
+        notes=["bottom-up rescans the full dataset for every cuboid"],
+    )
+    for label, builder in (("top-down", QSkycube()), ("bottom-up", BottomUpSkycube())):
+        run_trace = builder.materialise(data)
+        table.add_row(
+            label,
+            run_trace.counters.dominance_tests,
+            run_trace.peak_memory_bytes(),
+        )
+    return table
+
+
+def run(quick: bool = True) -> List[Table]:
+    """All ablations, in DESIGN.md order."""
+    return [
+        tree_depth(),
+        mask_tests_vs_dts(),
+        mask_memoization(),
+        hashcube_word_width(),
+        level_ordered_hashcube(),
+        parent_selection(),
+        traversal_direction(),
+    ]

@@ -1,0 +1,71 @@
+"""Figure 4 — QSkycube vs our PQSkycube parallelisation, single-threaded.
+
+The point of the paper's Figure 4: the baseline parallelisation
+introduces no overhead over the authors' QSkycube code (and gains a
+little from freeing dead structures early).  We replay both runs
+single-threaded against the scaled machine across the n and d sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.report import Table, format_seconds
+from repro.experiments.runner import build_run
+from repro.experiments.workloads import (
+    D_SWEEP,
+    D_SWEEP_N,
+    DEFAULT_DIST,
+    N_SWEEP,
+    scaled_cpu,
+)
+from repro.hardware.simulate import simulate_cpu
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True) -> List[Table]:
+    """Regenerate both panels of Figure 4 (vs n; vs d)."""
+    cpu = scaled_cpu()
+    sweep_d = 6  # keeps the n-sweep lattice narrow, as a baseline probe
+
+    by_n = Table(
+        "Figure 4 (left): single-threaded QSkycube vs PQSkycube vs n "
+        f"((I), d={sweep_d})",
+        ["n", "qskycube", "pqskycube", "pq/q ratio"],
+        notes=["paper: the curves coincide (PQ adds no overhead)"],
+    )
+    for n in N_SWEEP:
+        q = simulate_cpu(
+            build_run("qskycube", DEFAULT_DIST, n, sweep_d), cpu, threads=1
+        )
+        pq = simulate_cpu(
+            build_run("pqskycube", DEFAULT_DIST, n, sweep_d), cpu, threads=1
+        )
+        by_n.add_row(
+            n,
+            format_seconds(q.seconds),
+            format_seconds(pq.seconds),
+            pq.seconds / q.seconds,
+        )
+
+    by_d = Table(
+        "Figure 4 (right): single-threaded QSkycube vs PQSkycube vs d "
+        f"((I), n={D_SWEEP_N})",
+        ["d", "qskycube", "pqskycube", "pq/q ratio"],
+        notes=["paper: the curves coincide (PQ adds no overhead)"],
+    )
+    for d in D_SWEEP:
+        q = simulate_cpu(
+            build_run("qskycube", DEFAULT_DIST, D_SWEEP_N, d), cpu, threads=1
+        )
+        pq = simulate_cpu(
+            build_run("pqskycube", DEFAULT_DIST, D_SWEEP_N, d), cpu, threads=1
+        )
+        by_d.add_row(
+            d,
+            format_seconds(q.seconds),
+            format_seconds(pq.seconds),
+            pq.seconds / q.seconds,
+        )
+    return [by_n, by_d]

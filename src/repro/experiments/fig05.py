@@ -1,0 +1,69 @@
+"""Figure 5 — parallel scalability of the CPU specialisations.
+
+Speedup of PQ, ST, SD and MD relative to their own single-threaded
+execution, as threads are pinned to one socket (left panel; the last
+point hyper-threaded) or spread over two (right panel).  The paper's
+shape: ST and MD scale well (MD keeps scaling under HT), SD scales
+less and degrades under HT, PQ flattens early and loses its speedup
+the moment a second socket is involved.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.experiments.report import Table
+from repro.experiments.runner import build_run
+from repro.experiments.workloads import (
+    DEFAULT_D,
+    DEFAULT_DIST,
+    DEFAULT_N,
+    scaled_cpu,
+)
+from repro.hardware.simulate import simulate_cpu
+
+__all__ = ["run", "speedups"]
+
+ALGORITHMS = ("pqskycube", "stsc", "sdsc-cpu", "mdmc-cpu")
+LABELS = {"pqskycube": "PQ", "stsc": "ST", "sdsc-cpu": "SD", "mdmc-cpu": "MD"}
+
+ONE_SOCKET = [1, 2, 5, 10, 20]           # 20 = hyper-threaded
+TWO_SOCKETS = [10, 20, 40]               # 40 = hyper-threaded
+
+
+def speedups(algorithm: str) -> Tuple[Dict[int, float], Dict[int, float]]:
+    """(one-socket, two-socket) speedup maps for one algorithm."""
+    cpu = scaled_cpu()
+    run_trace = build_run(algorithm, DEFAULT_DIST, DEFAULT_N, DEFAULT_D)
+    base = simulate_cpu(run_trace, cpu, threads=1, sockets=1).seconds
+    one = {
+        t: base / simulate_cpu(run_trace, cpu, threads=t, sockets=1).seconds
+        for t in ONE_SOCKET
+    }
+    two = {
+        t: base / simulate_cpu(run_trace, cpu, threads=t, sockets=2).seconds
+        for t in TWO_SOCKETS
+    }
+    return one, two
+
+
+def run(quick: bool = True) -> List[Table]:
+    """Regenerate both panels of Figure 5."""
+    left = Table(
+        "Figure 5 (left): speedup vs threads, one socket "
+        f"((I), n={DEFAULT_N}, d={DEFAULT_D}; t=20 is HT)",
+        ["algorithm"] + [f"t={t}" for t in ONE_SOCKET],
+        notes=[
+            "paper: MD/ST scale best, SD degrades with HT, PQ flattens",
+        ],
+    )
+    right = Table(
+        "Figure 5 (right): speedup vs threads, two sockets (t=40 is HT)",
+        ["algorithm"] + [f"t={t}" for t in TWO_SOCKETS],
+        notes=["paper: PQ gains almost nothing once a 2nd socket is used"],
+    )
+    for algorithm in ALGORITHMS:
+        one, two = speedups(algorithm)
+        left.add_row(LABELS[algorithm], *(one[t] for t in ONE_SOCKET))
+        right.add_row(LABELS[algorithm], *(two[t] for t in TWO_SOCKETS))
+    return [left, right]

@@ -1,0 +1,77 @@
+"""Figure 6 — CPU execution times across workloads.
+
+Six panels in the paper: execution time against cardinality (left
+column) and dimensionality (right column) for anticorrelated,
+independent and correlated data, with every algorithm under its
+optimal thread configuration.  The shape to reproduce: MD fastest
+almost everywhere, then ST, then SD, then PQ — with SD slipping behind
+PQ on correlated data, and PQ degrading hardest as d grows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.report import Table, format_seconds
+from repro.experiments.runner import build_run
+from repro.experiments.workloads import (
+    D_SWEEP,
+    D_SWEEP_N,
+    DISTRIBUTIONS,
+    N_SWEEP,
+    OPTIMAL_THREADS,
+    scaled_cpu,
+)
+from repro.hardware.simulate import simulate_cpu
+
+__all__ = ["run", "cpu_seconds", "ALGORITHMS"]
+
+ALGORITHMS = ("pqskycube", "stsc", "sdsc-cpu", "mdmc-cpu")
+LABELS = {"pqskycube": "PQ", "stsc": "ST", "sdsc-cpu": "SD", "mdmc-cpu": "MD"}
+
+#: The d used in the cardinality sweep (the paper uses its default 12).
+N_SWEEP_D = 8
+
+
+def cpu_seconds(algorithm: str, distribution: str, n: int, d: int) -> float:
+    """Execution time under the algorithm's optimal thread config."""
+    base_key = algorithm.split("-", 1)[0]
+    threads, sockets = OPTIMAL_THREADS[base_key]
+    run_trace = build_run(algorithm, distribution, n, d)
+    return simulate_cpu(
+        run_trace, scaled_cpu(), threads=threads, sockets=sockets
+    ).seconds
+
+
+def run(quick: bool = True) -> List[Table]:
+    """Regenerate all six panels of Figure 6."""
+    tables: List[Table] = []
+    for distribution in DISTRIBUTIONS:
+        by_n = Table(
+            f"Figure 6: CPU times vs n ({distribution}, d={N_SWEEP_D})",
+            ["n"] + [LABELS[a] for a in ALGORITHMS],
+        )
+        for n in N_SWEEP:
+            by_n.add_row(
+                n,
+                *(
+                    format_seconds(cpu_seconds(a, distribution, n, N_SWEEP_D))
+                    for a in ALGORITHMS
+                ),
+            )
+        tables.append(by_n)
+
+        by_d = Table(
+            f"Figure 6: CPU times vs d ({distribution}, n={D_SWEEP_N})",
+            ["d"] + [LABELS[a] for a in ALGORITHMS],
+        )
+        for d in D_SWEEP:
+            by_d.add_row(
+                d,
+                *(
+                    format_seconds(cpu_seconds(a, distribution, D_SWEEP_N, d))
+                    for a in ALGORITHMS
+                ),
+            )
+        tables.append(by_d)
+    return tables

@@ -1,0 +1,79 @@
+"""Figure 7 — GPU and cross-device execution times across workloads.
+
+Same grid as Figure 6, but for the GPU specialisations of SDSC and
+MDMC (solid lines in the paper) and their heterogeneous runs over
+2 CPU sockets + 3 GPUs (dashed, the "-All" series).  Shapes: MD-GPU
+beats SD-GPU, converging as n grows; the -All runs gain roughly the
+combined throughput of the devices, except where the workload exposes
+too few tasks (correlated data).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.report import Table, format_seconds
+from repro.experiments.runner import build_run
+from repro.experiments.workloads import (
+    D_SWEEP,
+    D_SWEEP_N,
+    DISTRIBUTIONS,
+    N_SWEEP,
+    scaled_gpu,
+    scaled_platform,
+)
+from repro.hardware.simulate import simulate_gpu, simulate_heterogeneous
+
+__all__ = ["run", "gpu_seconds", "all_seconds"]
+
+ALGORITHMS = ("sdsc-gpu", "mdmc-gpu")
+LABELS = {"sdsc-gpu": "SD-GPU", "mdmc-gpu": "MD-GPU"}
+N_SWEEP_D = 8
+
+
+def gpu_seconds(algorithm: str, distribution: str, n: int, d: int) -> float:
+    """Single-GPU execution time."""
+    run_trace = build_run(algorithm, distribution, n, d)
+    return simulate_gpu(run_trace, scaled_gpu()).seconds
+
+
+def all_seconds(algorithm: str, distribution: str, n: int, d: int) -> float:
+    """Cross-device execution time over the full platform."""
+    run_trace = build_run(algorithm, distribution, n, d)
+    return simulate_heterogeneous(run_trace, scaled_platform()).seconds
+
+
+def run(quick: bool = True) -> List[Table]:
+    """Regenerate all six panels of Figure 7."""
+    tables: List[Table] = []
+    for distribution in DISTRIBUTIONS:
+        by_n = Table(
+            f"Figure 7: GPU/cross-device times vs n ({distribution}, "
+            f"d={N_SWEEP_D})",
+            ["n", "SD-GPU", "MD-GPU", "SD-All", "MD-All"],
+        )
+        for n in N_SWEEP:
+            by_n.add_row(
+                n,
+                format_seconds(gpu_seconds("sdsc-gpu", distribution, n, N_SWEEP_D)),
+                format_seconds(gpu_seconds("mdmc-gpu", distribution, n, N_SWEEP_D)),
+                format_seconds(all_seconds("sdsc-gpu", distribution, n, N_SWEEP_D)),
+                format_seconds(all_seconds("mdmc-gpu", distribution, n, N_SWEEP_D)),
+            )
+        tables.append(by_n)
+
+        by_d = Table(
+            f"Figure 7: GPU/cross-device times vs d ({distribution}, "
+            f"n={D_SWEEP_N})",
+            ["d", "SD-GPU", "MD-GPU", "SD-All", "MD-All"],
+        )
+        for d in D_SWEEP:
+            by_d.add_row(
+                d,
+                format_seconds(gpu_seconds("sdsc-gpu", distribution, D_SWEEP_N, d)),
+                format_seconds(gpu_seconds("mdmc-gpu", distribution, D_SWEEP_N, d)),
+                format_seconds(all_seconds("sdsc-gpu", distribution, D_SWEEP_N, d)),
+                format_seconds(all_seconds("mdmc-gpu", distribution, D_SWEEP_N, d)),
+            )
+        tables.append(by_d)
+    return tables

@@ -1,0 +1,41 @@
+"""Figure 9 — cycles stalled on pending L2/L3 loads.
+
+Paper shape: the stall counts track the CPI differences of Figure 11 —
+PQ stalls dramatically (NUMA-amplified), ST/SD moderately, MD least;
+latencies that L3 hits absorb for MD/ST turn into memory stalls for PQ.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.hwcounters import ALGORITHMS, LABELS, counter_simulations
+from repro.experiments.report import Table
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True) -> List[Table]:
+    sims = counter_simulations()
+    l2 = Table(
+        "Figure 9a: stall cycles, load pending at L2 (10 cores)",
+        ["algorithm", "1 socket", "2 sockets"],
+    )
+    l3 = Table(
+        "Figure 9b: stall cycles, load pending at L3/memory (10 cores)",
+        ["algorithm", "1 socket", "2 sockets"],
+        notes=["paper: PQ dramatically NUMA-affected, MD minorly"],
+    )
+    for algorithm in ALGORITHMS:
+        one, two = sims[(algorithm, 1)], sims[(algorithm, 2)]
+        l2.add_row(
+            LABELS[algorithm],
+            one.hardware.l2_stall_cycles,
+            two.hardware.l2_stall_cycles,
+        )
+        l3.add_row(
+            LABELS[algorithm],
+            one.hardware.l3_stall_cycles,
+            two.hardware.l3_stall_cycles,
+        )
+    return [l2, l3]

@@ -1,0 +1,52 @@
+"""Figure 11 — cycles per instruction (default workload, 10 cores).
+
+Paper shape: PQ's CPI is by far the worst and nearly doubles with the
+second socket; the templates stay comparatively stable, with the
+data-parallel MD sustaining the best compute throughput.  The paper
+also reports PQ's CPI creeping up with the core count on one socket
+(compute-bound sequentially, memory-bound in parallel) — reproduced in
+the second table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.hwcounters import ALGORITHMS, LABELS, counter_simulations
+from repro.experiments.report import Table
+from repro.experiments.runner import build_run
+from repro.experiments.workloads import DEFAULT_D, DEFAULT_DIST, DEFAULT_N, scaled_cpu
+from repro.hardware.simulate import simulate_cpu
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True) -> List[Table]:
+    sims = counter_simulations()
+    cpi = Table(
+        "Figure 11: cycles per instruction (10 cores; 1 vs 2 sockets)",
+        ["algorithm", "1 socket", "2 sockets"],
+        notes=["paper: PQ ~2.5 and doubling across sockets; templates <1"],
+    )
+    for algorithm in ALGORITHMS:
+        cpi.add_row(
+            LABELS[algorithm],
+            sims[(algorithm, 1)].cpi,
+            sims[(algorithm, 2)].cpi,
+        )
+
+    creep = Table(
+        "Section 7.2: PQ CPI vs thread count (one socket)",
+        ["threads", "PQ CPI", "MD CPI"],
+        notes=["paper: PQ grows 0.92 -> 2.46 over t=1..10; MD flat"],
+    )
+    cpu = scaled_cpu()
+    pq = build_run("pqskycube", DEFAULT_DIST, DEFAULT_N, DEFAULT_D)
+    md = build_run("mdmc-cpu", DEFAULT_DIST, DEFAULT_N, DEFAULT_D)
+    for threads in (1, 2, 4, 6, 8, 10):
+        creep.add_row(
+            threads,
+            simulate_cpu(pq, cpu, threads=threads, sockets=1).cpi,
+            simulate_cpu(md, cpu, threads=threads, sockets=1).cpi,
+        )
+    return [cpi, creep]

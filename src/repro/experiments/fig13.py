@@ -1,0 +1,94 @@
+"""Figure 13 / Appendix A.2 — partial skycube computation.
+
+Execution time when only lattice levels ≤ d' are required.  Paper
+shape: the lattice-based methods gain substantially when d' ≤ d/2
+(they skip whole levels, trading a larger input at the start level);
+MD's savings are modest — its filter cannot skip the work, only the
+refine list shrinks — so on correlated data one may as well compute
+the full cube.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.report import Table, format_seconds
+from repro.experiments.runner import build_run
+from repro.experiments.workloads import (
+    DISTRIBUTIONS,
+    OPTIMAL_THREADS,
+    scaled_cpu,
+    scaled_gpu,
+)
+from repro.hardware.simulate import simulate_cpu, simulate_gpu
+
+__all__ = ["run", "partial_cpu_seconds"]
+
+#: Workload for the partial sweep (paper: 16d; scaled to 8d).
+PARTIAL_N = 400
+PARTIAL_D = 8
+LEVELS = [2, 4, 6, 8]
+
+CPU_ALGOS = ("pqskycube", "stsc", "sdsc-cpu", "mdmc-cpu")
+LABELS = {"pqskycube": "PQ", "stsc": "ST", "sdsc-cpu": "SD", "mdmc-cpu": "MD"}
+
+
+def partial_cpu_seconds(
+    algorithm: str, distribution: str, max_level: int
+) -> float:
+    base_key = algorithm.split("-", 1)[0]
+    threads, sockets = OPTIMAL_THREADS[base_key]
+    level = None if max_level >= PARTIAL_D else max_level
+    run_trace = build_run(
+        algorithm, distribution, PARTIAL_N, PARTIAL_D, max_level=level
+    )
+    return simulate_cpu(
+        run_trace, scaled_cpu(), threads=threads, sockets=sockets
+    ).seconds
+
+
+def run(quick: bool = True) -> List[Table]:
+    tables: List[Table] = []
+    for distribution in DISTRIBUTIONS:
+        cpu_table = Table(
+            f"Figure 13 (CPU): partial skycube times vs levels computed "
+            f"({distribution}, n={PARTIAL_N}, d={PARTIAL_D})",
+            ["levels d'"] + [LABELS[a] for a in CPU_ALGOS],
+            notes=["paper: lattice methods gain for d' <= d/2; MD modest"],
+        )
+        for level in LEVELS:
+            cpu_table.add_row(
+                level,
+                *(
+                    format_seconds(partial_cpu_seconds(a, distribution, level))
+                    for a in CPU_ALGOS
+                ),
+            )
+        tables.append(cpu_table)
+
+        gpu_table = Table(
+            f"Figure 13 (GPU): partial skycube times ({distribution})",
+            ["levels d'", "SD-GPU", "MD-GPU"],
+        )
+        gpu = scaled_gpu()
+        for level in LEVELS:
+            opt_level = None if level >= PARTIAL_D else level
+            sd = simulate_gpu(
+                build_run(
+                    "sdsc-gpu", distribution, PARTIAL_N, PARTIAL_D,
+                    max_level=opt_level,
+                ),
+                gpu,
+            )
+            md = simulate_gpu(
+                build_run(
+                    "mdmc-gpu", distribution, PARTIAL_N, PARTIAL_D,
+                    max_level=opt_level,
+                ),
+                gpu,
+            )
+            gpu_table.add_row(
+                level, format_seconds(sd.seconds), format_seconds(md.seconds)
+            )
+        tables.append(gpu_table)
+    return tables

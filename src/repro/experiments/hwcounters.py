@@ -1,0 +1,43 @@
+"""Shared hardware-counter simulations behind Figures 8–11.
+
+The four counter figures of the paper all come from the same setup:
+the default workload on 10 physical cores, once packed onto one socket
+and once split evenly over two.  This module runs (and caches) those
+eight simulations; the per-figure modules format slices of them.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.experiments.runner import build_run
+from repro.experiments.workloads import (
+    DEFAULT_D,
+    DEFAULT_DIST,
+    DEFAULT_N,
+    scaled_cpu,
+)
+from repro.hardware.simulate import CPUSimulation, simulate_cpu
+
+__all__ = ["counter_simulations", "ALGORITHMS", "LABELS"]
+
+ALGORITHMS = ("pqskycube", "stsc", "sdsc-cpu", "mdmc-cpu")
+LABELS = {"pqskycube": "PQ", "stsc": "ST", "sdsc-cpu": "SD", "mdmc-cpu": "MD"}
+
+#: Figures 8–11 use 10 cores (no HT) — one socket vs two.
+THREADS = 10
+
+
+@lru_cache(maxsize=None)
+def counter_simulations() -> Dict[Tuple[str, int], CPUSimulation]:
+    """``{(algorithm, sockets): simulation}`` for the default workload."""
+    cpu = scaled_cpu()
+    simulations: Dict[Tuple[str, int], CPUSimulation] = {}
+    for algorithm in ALGORITHMS:
+        run_trace = build_run(algorithm, DEFAULT_DIST, DEFAULT_N, DEFAULT_D)
+        for sockets in (1, 2):
+            simulations[(algorithm, sockets)] = simulate_cpu(
+                run_trace, cpu, threads=THREADS, sockets=sockets
+            )
+    return simulations

@@ -1,0 +1,96 @@
+"""Plain-text result tables for the experiment harness."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+__all__ = ["Table", "format_seconds", "results_dir"]
+
+Cell = Union[str, int, float]
+
+
+def format_seconds(seconds: float) -> str:
+    """Engineering-style time rendering (ms below 100 s)."""
+    if seconds < 0.1:
+        return f"{seconds * 1000:.2f} ms"
+    if seconds < 100:
+        return f"{seconds:.2f} s"
+    return f"{seconds:.0f} s"
+
+
+def results_dir() -> str:
+    """Directory experiment tables are written to (created on demand)."""
+    path = os.environ.get("REPRO_RESULTS_DIR", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@dataclass
+class Table:
+    """A titled, monospace-aligned result table with footnotes."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[Cell]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, name: str) -> List[Cell]:
+        """All values of a named column."""
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def cell(self, row_key: Cell, column: str) -> Cell:
+        """Value at (first column == row_key, column)."""
+        index = self.headers.index(column)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[index]
+        raise KeyError(f"no row keyed {row_key!r}")
+
+    def format(self) -> str:
+        rendered = [
+            [self._render(cell) for cell in row] for row in self.rows
+        ]
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in rendered))
+            if rendered
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title), ""]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in rendered:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if self.notes:
+            lines.append("")
+            lines.extend(f"note: {note}" for note in self.notes)
+        return "\n".join(lines) + "\n"
+
+    def save(self, filename: str, directory: Optional[str] = None) -> str:
+        """Write the formatted table under the results directory."""
+        directory = directory if directory is not None else results_dir()
+        path = os.path.join(directory, filename)
+        with open(path, "w") as handle:
+            handle.write(self.format())
+        return path
+
+    @staticmethod
+    def _render(cell: Cell) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+                return f"{cell:.2e}"
+            return f"{cell:.3f}".rstrip("0").rstrip(".")
+        return str(cell)

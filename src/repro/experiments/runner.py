@@ -1,0 +1,94 @@
+"""Shared materialisation cache for the experiment suite.
+
+Building a skycube run is by far the dominant cost of an experiment
+(pure Python at thousands of points); simulating it on a device
+configuration is cheap.  Every figure/table module therefore obtains
+runs through :func:`build_run`, which memoises per
+``(algorithm, distribution, n, d, seed, max_level)`` for the lifetime
+of the process — one pytest session reuses runs across all benchmark
+files.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from repro.data.generator import generate
+from repro.data.realistic import load_real
+from repro.skycube import (
+    BottomUpSkycube,
+    DistributedSkycube,
+    PQSkycube,
+    QSkycube,
+)
+from repro.skycube.base import SkycubeRun
+from repro.templates import MDMC, SDSC, STSC
+
+__all__ = ["build_run", "build_real_run", "ALGORITHM_KEYS"]
+
+ALGORITHM_KEYS = (
+    "qskycube",
+    "pqskycube",
+    "bottomup",
+    "distributed",
+    "stsc",
+    "sdsc-cpu",
+    "sdsc-gpu",
+    "mdmc-cpu",
+    "mdmc-gpu",
+)
+
+
+def _builder(key: str):
+    if key == "qskycube":
+        return QSkycube()
+    if key == "pqskycube":
+        return PQSkycube()
+    if key == "bottomup":
+        return BottomUpSkycube()
+    if key == "distributed":
+        return DistributedSkycube()
+    if key == "stsc":
+        return STSC()
+    if key.startswith("sdsc"):
+        return SDSC(key.split("-", 1)[1])
+    if key.startswith("mdmc"):
+        return MDMC(key.split("-", 1)[1])
+    raise KeyError(f"unknown algorithm key {key!r}; known: {ALGORITHM_KEYS}")
+
+
+@lru_cache(maxsize=None)
+def build_run(
+    algorithm: str,
+    distribution: str,
+    n: int,
+    d: int,
+    seed: int = 0,
+    max_level: Optional[int] = None,
+) -> SkycubeRun:
+    """Materialise (once) the named algorithm on a synthetic workload."""
+    data = generate(distribution, n, d, seed=seed)
+    return _builder(algorithm).materialise(data, max_level=max_level)
+
+
+@lru_cache(maxsize=None)
+def build_real_run(
+    algorithm: str,
+    dataset: str,
+    scale: float,
+    seed: int = 0,
+    max_dims: Optional[int] = None,
+) -> SkycubeRun:
+    """Materialise (once) the named algorithm on a real-data stand-in.
+
+    ``max_dims`` truncates the widest datasets (WE has d=15; a
+    32767-cuboid lattice is out of pure-Python reach — the truncation
+    is recorded in EXPERIMENTS.md).
+    """
+    data = load_real(dataset, scale=scale, seed=seed)
+    if max_dims is not None and data.shape[1] > max_dims:
+        data = np.ascontiguousarray(data[:, :max_dims])
+    return _builder(algorithm).materialise(data)

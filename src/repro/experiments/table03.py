@@ -1,0 +1,124 @@
+"""Table 3 — execution times on the real datasets.
+
+Every algorithm on every dataset stand-in, on the architecture(s) it
+supports: CPU (optimal thread config), one GPU, and all devices.
+Paper shapes to hold: MD is the overall winner on every dataset; the
+tiny NBA/HH inputs make the GPU *worse* than the CPU for SD (too few
+threads to occupy the card, expensive synchronisation) and give the
+cross-device runs nothing to distribute; the big duplicate-heavy CT
+and wide WE reward the GPU and the heterogeneous runs handsomely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.experiments.report import Table, format_seconds
+from repro.experiments.runner import build_real_run
+from repro.experiments.workloads import (
+    OPTIMAL_THREADS,
+    scaled_cpu,
+    scaled_gpu,
+    scaled_platform,
+)
+from repro.hardware.simulate import (
+    simulate_cpu,
+    simulate_gpu,
+    simulate_heterogeneous,
+)
+
+__all__ = ["run", "real_seconds", "DATASET_SCALES", "DATASET_MAX_DIMS"]
+
+DATASETS = ("NBA", "HH", "CT", "WE")
+
+#: Size scaling per dataset (fraction of the paper's n) — chosen so
+#: every stand-in lands near 10^3 points, pure-Python territory.
+DATASET_SCALES: Dict[str, float] = {
+    "NBA": 0.05,
+    "HH": 0.008,
+    "CT": 0.002,
+    "WE": 0.002,
+}
+
+#: WE has 15 dimensions; a 32767-cuboid lattice is out of reach for the
+#: pure-Python traversals, so the stand-in is truncated to its 3
+#: coordinates + 6 months (recorded in EXPERIMENTS.md).
+DATASET_MAX_DIMS: Dict[str, Optional[int]] = {
+    "NBA": None,
+    "HH": None,
+    "CT": None,
+    "WE": 9,
+}
+
+CPU_ROWS = (
+    ("QSkycube", "qskycube"),
+    ("PQSkycube", "pqskycube"),
+    ("STSC", "stsc"),
+    ("SDSC", "sdsc-cpu"),
+    ("MDMC", "mdmc-cpu"),
+)
+GPU_ROWS = (("SDSC", "sdsc-gpu"), ("MDMC", "mdmc-gpu"))
+
+
+def _run_for(algorithm: str, dataset: str):
+    return build_real_run(
+        algorithm,
+        dataset,
+        DATASET_SCALES[dataset],
+        max_dims=DATASET_MAX_DIMS[dataset],
+    )
+
+
+def real_seconds(algorithm: str, dataset: str, where: str) -> float:
+    """Execution time of one (algorithm, dataset) cell of Table 3."""
+    run_trace = _run_for(algorithm, dataset)
+    if where == "cpu":
+        base_key = algorithm.split("-", 1)[0]
+        threads, sockets = OPTIMAL_THREADS[base_key]
+        return simulate_cpu(
+            run_trace, scaled_cpu(), threads=threads, sockets=sockets
+        ).seconds
+    if where == "gpu":
+        return simulate_gpu(run_trace, scaled_gpu()).seconds
+    if where == "all":
+        return simulate_heterogeneous(run_trace, scaled_platform()).seconds
+    raise ValueError(f"unknown location {where!r}")
+
+
+def run(quick: bool = True) -> List[Table]:
+    table = Table(
+        "Table 3: execution time on real-data stand-ins",
+        ["arch", "algorithm"] + list(DATASETS),
+        notes=[
+            "paper: MD best everywhere; GPUs lose on the tiny NBA/HH; "
+            "cross-device pays off only on CT/WE",
+        ],
+    )
+    for label, key in CPU_ROWS:
+        table.add_row(
+            "CPU",
+            label,
+            *(
+                format_seconds(real_seconds(key, dataset, "cpu"))
+                for dataset in DATASETS
+            ),
+        )
+    for label, key in GPU_ROWS:
+        table.add_row(
+            "GPU",
+            label,
+            *(
+                format_seconds(real_seconds(key, dataset, "gpu"))
+                for dataset in DATASETS
+            ),
+        )
+    for label, key in GPU_ROWS:
+        table.add_row(
+            "All",
+            label,
+            *(
+                format_seconds(real_seconds(key, dataset, "all"))
+                for dataset in DATASETS
+            ),
+        )
+    return [table]

@@ -1,0 +1,96 @@
+"""Standard experiment workloads and the global scale factor.
+
+The paper's synthetic defaults are (I), n = 500 000, d = 12 on a
+machine with 25 MB of L3 per socket.  Pure Python cannot traverse a
+4096-cuboid lattice over half a million points in reasonable time, so
+every experiment here runs at ``1/SCALE`` of the paper's cardinality
+against a machine miniaturised by the same factor
+(:meth:`repro.hardware.config.CPUConfig.scaled`): working-set to
+capacity ratios — the quantity every contention effect depends on —
+match the paper's regime.  EXPERIMENTS.md records this translation per
+experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hardware.config import (
+    CPUConfig,
+    GPUConfig,
+    PlatformConfig,
+    gtx_titan,
+)
+
+__all__ = [
+    "SCALE",
+    "DEFAULT_DIST",
+    "DEFAULT_N",
+    "DEFAULT_D",
+    "N_SWEEP",
+    "D_SWEEP",
+    "DISTRIBUTIONS",
+    "scaled_cpu",
+    "scaled_gpu",
+    "scaled_platform",
+    "OPTIMAL_THREADS",
+    "D_SWEEP_N",
+]
+
+#: Workload and machine miniaturisation factor (paper n=500k → 2000).
+SCALE = 250
+
+#: The paper's default workload, scaled: (I), n = 500k/SCALE, d below.
+DEFAULT_DIST = "independent"
+DEFAULT_N = 500_000 // SCALE
+#: The paper defaults to d=12; we use d=8 so that n ≫ 2**d still holds
+#: at the scaled cardinality (the regime in which the static trees'
+#: path labels collide and prune, as they do at paper scale).
+DEFAULT_D = 8
+
+#: Cardinality sweep (paper: 1..10 × 10^5, scaled by 1/SCALE).
+N_SWEEP: List[int] = [400, 1000, 2000]
+
+#: Dimensionality sweep (paper: 4..16; ≥ 10 is impractical for the
+#: lattice methods in pure Python — EXPERIMENTS.md notes the cut).
+D_SWEEP: List[int] = [4, 6, 8]
+
+#: Cardinality used for the dimensionality sweep (paper: 500 000).
+D_SWEEP_N = 500
+
+DISTRIBUTIONS = ("anticorrelated", "independent", "correlated")
+
+#: Per-algorithm optimal thread configuration (Section 7.2, Figure 5):
+#: (threads, sockets) used for the workload-scalability experiments.
+OPTIMAL_THREADS: Dict[str, Tuple[int, int]] = {
+    "pqskycube": (20, 1),   # 20 HT on one socket
+    "qskycube": (1, 1),
+    "bottomup": (20, 1),
+    "stsc": (40, 2),
+    "sdsc": (20, 2),
+    "mdmc": (40, 2),
+}
+
+
+def scaled_cpu() -> CPUConfig:
+    """The miniaturised dual-socket Xeon."""
+    return CPUConfig().scaled(SCALE)
+
+
+def scaled_gpu(name: str = "gtx-980") -> GPUConfig:
+    """A miniaturised GTX 980 (or Titan with ``name='gtx-titan'``)."""
+    if name == "gtx-titan":
+        return gtx_titan().scaled(SCALE)
+    return GPUConfig(name=name).scaled(SCALE)
+
+
+def scaled_platform() -> PlatformConfig:
+    """The full heterogeneous ecosystem, miniaturised."""
+    return PlatformConfig(
+        cpu=scaled_cpu(),
+        gpus=[
+            scaled_gpu(),
+            scaled_gpu("gtx-980-b"),
+            scaled_gpu("gtx-titan"),
+        ],
+    )

@@ -1,0 +1,52 @@
+"""Simulated heterogeneous hardware: devices, cost models, scheduling."""
+
+from repro.hardware.cache import Cache, CacheHierarchy, TLB
+from repro.hardware.config import (
+    CPUConfig,
+    GPUConfig,
+    PlatformConfig,
+    gtx_titan,
+    paper_platform,
+)
+from repro.hardware.model import (
+    CPUContext,
+    CPUTaskCost,
+    GPUPhaseCost,
+    cpu_task_cost,
+    gpu_phase_cost,
+    miss_fraction,
+)
+from repro.hardware.schedule import lpt_assign, lpt_makespan
+from repro.hardware.simulate import (
+    CPUSimulation,
+    GPUSimulation,
+    HeterogeneousSimulation,
+    simulate_cpu,
+    simulate_gpu,
+    simulate_heterogeneous,
+)
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "TLB",
+    "CPUConfig",
+    "GPUConfig",
+    "PlatformConfig",
+    "gtx_titan",
+    "paper_platform",
+    "CPUContext",
+    "CPUTaskCost",
+    "GPUPhaseCost",
+    "cpu_task_cost",
+    "gpu_phase_cost",
+    "miss_fraction",
+    "lpt_assign",
+    "lpt_makespan",
+    "CPUSimulation",
+    "GPUSimulation",
+    "HeterogeneousSimulation",
+    "simulate_cpu",
+    "simulate_gpu",
+    "simulate_heterogeneous",
+]

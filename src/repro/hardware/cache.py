@@ -1,0 +1,155 @@
+"""Set-associative LRU cache simulator.
+
+A faithful (if simple) cache model used two ways:
+
+* directly, by unit tests and the calibration suite, to validate the
+  qualitative claims the analytic model encodes (streaming over a
+  too-large array misses every line; pointer chasing over a resident
+  structure hits; two threads interleaving evict each other);
+* as the reference behaviour the closed-form
+  :func:`repro.hardware.model.miss_fraction` approximates.
+
+Addresses are byte addresses; the cache tracks 64-byte lines in
+``sets × ways`` LRU order.  A :class:`CacheHierarchy` chains levels so
+one access probes L1 → L2 → L3 and reports the deepest miss.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["Cache", "CacheHierarchy", "LINE_BYTES"]
+
+LINE_BYTES = 64
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss tallies of one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return 0.0 if self.accesses == 0 else self.misses / self.accesses
+
+
+class Cache:
+    """One set-associative LRU cache level."""
+
+    def __init__(self, capacity_bytes: int, ways: int = 8, line_bytes: int = LINE_BYTES):
+        if capacity_bytes < ways * line_bytes:
+            raise ValueError(
+                f"capacity {capacity_bytes} too small for {ways} ways "
+                f"of {line_bytes}-byte lines"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.num_sets = capacity_bytes // (ways * line_bytes)
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        """Touch ``address``; returns True on hit.  Misses install."""
+        line = address // self.line_bytes
+        index = line % self.num_sets
+        entries = self._sets[index]
+        if line in entries:
+            entries.move_to_end(line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        entries[line] = True
+        if len(entries) > self.ways:
+            entries.popitem(last=False)
+        return False
+
+    def resident_lines(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def flush(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+
+class CacheHierarchy:
+    """An inclusive-probe chain of cache levels (e.g. L1 → L2 → L3).
+
+    ``access`` probes levels in order, stopping at the first hit, and
+    installs the line into every missed level above the hit — the
+    behaviour whose aggregate miss counts the analytic model mimics.
+    """
+
+    def __init__(self, levels: Dict[str, Cache]):
+        if not levels:
+            raise ValueError("hierarchy needs at least one level")
+        self.levels = levels
+
+    def access(self, address: int) -> str:
+        """Touch ``address``; returns the name of the level that hit
+        (or ``"memory"`` if every level missed)."""
+        missed: List[Cache] = []
+        hit_level = "memory"
+        for name, cache in self.levels.items():
+            if cache.access(address):
+                hit_level = name
+                break
+            missed.append(cache)
+        return hit_level
+
+    def stream(self, start: int, num_bytes: int, stride: int = LINE_BYTES) -> Dict[str, int]:
+        """Sequentially touch a byte range; returns per-level miss counts."""
+        before = {name: cache.stats.misses for name, cache in self.levels.items()}
+        address = start
+        end = start + num_bytes
+        while address < end:
+            self.access(address)
+            address += stride
+        return {
+            name: cache.stats.misses - before[name]
+            for name, cache in self.levels.items()
+        }
+
+    def reset_stats(self) -> None:
+        for cache in self.levels.values():
+            cache.reset_stats()
+
+
+class TLB:
+    """A tiny fully-associative LRU translation lookaside buffer."""
+
+    def __init__(self, entries: int = 1024, page_bytes: int = 4096):
+        if entries < 1:
+            raise ValueError(f"TLB needs at least one entry, got {entries}")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._pages: OrderedDict = OrderedDict()
+        self.stats = CacheStats()
+
+    def access(self, address: int) -> bool:
+        page = address // self.page_bytes
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._pages[page] = True
+        if len(self._pages) > self.entries:
+            self._pages.popitem(last=False)
+        return False
+
+    @property
+    def coverage_bytes(self) -> int:
+        """Span of memory the TLB can map at once."""
+        return self.entries * self.page_bytes

@@ -1,0 +1,194 @@
+"""Device configurations mirroring the paper's testbed (Section 7.1).
+
+All constants carry the real spec of the hardware the paper used; the
+analytic cost model consumes them.  Alternate configurations can be
+constructed freely — the experiments only rely on the defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["CPUConfig", "GPUConfig", "PlatformConfig", "paper_platform"]
+
+
+@dataclass(frozen=True)
+class CPUConfig:
+    """A multi-socket multicore CPU (default: 2× Xeon E5-2687W v3)."""
+
+    name: str = "xeon-e5-2687w-v3"
+    sockets: int = 2
+    cores_per_socket: int = 10
+    smt_per_core: int = 2
+    clock_hz: float = 3.1e9
+    l1_bytes: int = 32 * 1024
+    l2_bytes: int = 256 * 1024
+    l3_bytes_per_socket: int = 25 * 1024 * 1024
+    #: Load-to-use latencies in cycles.
+    l2_latency: int = 12
+    l3_latency: int = 35
+    memory_latency: int = 200
+    #: Extra factor on memory latency for remote-socket (NUMA) accesses.
+    numa_latency_factor: float = 1.75
+    #: Second-level (shared) TLB reach with transparent huge pages
+    #: covering the big flat allocations; pointer-heavy heap structures
+    #: still live on 4 KB pages, so reach is modest.
+    stlb_coverage_bytes: int = 4 * 1024 * 1024
+    page_walk_cycles: int = 90
+    #: Ideal issue throughput: 4 µops/cycle → 0.25 cycles/instruction.
+    base_cpi: float = 0.25
+    #: Aggregate issue throughput gain from running 2 SMT threads on a
+    #: core (each thread then sustains ``smt_throughput / 2`` of a core).
+    smt_throughput: float = 1.25
+    #: 8-wide AVX2 lanes (folds into instruction counts upstream).
+    simd_width: int = 8
+    #: Barrier latency of one synchronisation point.
+    sync_cycles: int = 50_000
+
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def max_threads(self) -> int:
+        return self.physical_cores * self.smt_per_core
+
+    def scaled(self, factor: float) -> "CPUConfig":
+        """A proportionally miniaturised machine for scaled workloads.
+
+        The experiments run at roughly ``1/factor`` of the paper's
+        dataset sizes (DESIGN.md §2); capacity-type resources (L2, L3,
+        TLB reach) shrink by the same factor so working-set:capacity
+        ratios — and with them every contention and NUMA effect — match
+        the paper's regime.  Core counts, clocks and latencies stay
+        real: they are what the experiments measure against.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return CPUConfig(
+            name=f"{self.name}-scaled-{factor:g}",
+            sockets=self.sockets,
+            cores_per_socket=self.cores_per_socket,
+            smt_per_core=self.smt_per_core,
+            clock_hz=self.clock_hz,
+            l1_bytes=max(1024, int(self.l1_bytes / factor)),
+            l2_bytes=max(2048, int(self.l2_bytes / factor)),
+            l3_bytes_per_socket=max(16 * 1024, int(self.l3_bytes_per_socket / factor)),
+            l2_latency=self.l2_latency,
+            l3_latency=self.l3_latency,
+            memory_latency=self.memory_latency,
+            numa_latency_factor=self.numa_latency_factor,
+            stlb_coverage_bytes=max(4096, int(self.stlb_coverage_bytes / factor)),
+            page_walk_cycles=self.page_walk_cycles,
+            base_cpi=self.base_cpi,
+            smt_throughput=self.smt_throughput,
+            simd_width=self.simd_width,
+            # Fixed latencies shrink with the workload so overheads
+            # keep their paper-scale share of the runtime.
+            sync_cycles=max(1_000, int(self.sync_cycles / factor)),
+        )
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """A CUDA GPU (defaults: GTX 980; a Titan preset is provided)."""
+
+    name: str = "gtx-980"
+    sms: int = 16
+    cores_per_sm: int = 128
+    max_threads_per_sm: int = 2048
+    clock_hz: float = 1.126e9
+    shared_mem_per_sm_bytes: int = 96 * 1024
+    l2_bytes: int = 2 * 1024 * 1024
+    memory_bandwidth_bytes_per_s: float = 224e9
+    #: Host link (PCIe 3 x16 effective).
+    pcie_bandwidth_bytes_per_s: float = 12e9
+    #: Fixed cost of one kernel launch + device synchronisation.
+    kernel_launch_s: float = 8e-6
+    #: Cycles a divergent warp wastes re-executing both branch sides.
+    divergence_penalty_cycles: int = 24
+    #: Transaction granularities: coalesced vs scattered loads.
+    coalesced_bytes_per_transaction: int = 128
+    scattered_bytes_per_transaction: int = 8
+    #: Fraction of peak issue rate sustained on irregular integer/branch
+    #: code (Kepler's dual-issue scheme sustains far less than Maxwell).
+    compute_efficiency: float = 1.0
+
+    @property
+    def total_cores(self) -> int:
+        return self.sms * self.cores_per_sm
+
+    @property
+    def max_resident_threads(self) -> int:
+        return self.sms * self.max_threads_per_sm
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.memory_bandwidth_bytes_per_s / self.clock_hz
+
+    def scaled(self, factor: float) -> "GPUConfig":
+        """Miniaturised GPU matching a ``1/factor`` workload.
+
+        Thread residency (the occupancy denominator) shrinks with the
+        task counts; per-point shared-memory *state* does not scale
+        with n (it is ``2**d`` bits), so shared memory is kept real.
+        Compute width, clock and bandwidth stay real — both CPU and GPU
+        task work shrinks identically, so cross-device ratios hold.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return GPUConfig(
+            name=f"{self.name}-scaled-{factor:g}",
+            sms=self.sms,
+            cores_per_sm=self.cores_per_sm,
+            max_threads_per_sm=max(32, int(self.max_threads_per_sm / factor)),
+            clock_hz=self.clock_hz,
+            shared_mem_per_sm_bytes=self.shared_mem_per_sm_bytes,
+            l2_bytes=max(16 * 1024, int(self.l2_bytes / factor)),
+            memory_bandwidth_bytes_per_s=self.memory_bandwidth_bytes_per_s,
+            pcie_bandwidth_bytes_per_s=self.pcie_bandwidth_bytes_per_s,
+            # Driver round-trips do not miniaturise with the data:
+            # keep a quarter of the real launch latency as the floor.
+            kernel_launch_s=max(2e-6, self.kernel_launch_s / factor),
+            divergence_penalty_cycles=self.divergence_penalty_cycles,
+            coalesced_bytes_per_transaction=self.coalesced_bytes_per_transaction,
+            scattered_bytes_per_transaction=self.scattered_bytes_per_transaction,
+            compute_efficiency=self.compute_efficiency,
+        )
+
+
+def gtx_titan() -> GPUConfig:
+    """The older-generation GTX Titan of the cross-device experiments."""
+    return GPUConfig(
+        name="gtx-titan",
+        sms=14,
+        cores_per_sm=192,
+        max_threads_per_sm=2048,
+        clock_hz=0.837e9,
+        shared_mem_per_sm_bytes=48 * 1024,
+        l2_bytes=1536 * 1024,
+        memory_bandwidth_bytes_per_s=288e9,
+        compute_efficiency=0.55,
+    )
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """The whole heterogeneous ecosystem (Section 7.1)."""
+
+    cpu: CPUConfig = field(default_factory=CPUConfig)
+    gpus: List[GPUConfig] = field(default_factory=list)
+
+    def device_names(self) -> List[str]:
+        names = [f"cpu-socket-{s}" for s in range(self.cpu.sockets)]
+        names += [f"{gpu.name}-{i}" for i, gpu in enumerate(self.gpus)]
+        return names
+
+
+def paper_platform() -> PlatformConfig:
+    """2 CPU sockets + two GTX 980s + one GTX Titan, as in the paper."""
+    return PlatformConfig(
+        cpu=CPUConfig(),
+        gpus=[GPUConfig(), GPUConfig(name="gtx-980-b"), gtx_titan()],
+    )

@@ -1,0 +1,48 @@
+"""Task scheduling for the simulated devices.
+
+Longest-processing-time (LPT) greedy assignment approximates the
+OpenMP dynamic scheduling / boost thread pools of the paper's
+implementation: tasks sorted by decreasing cost, each placed on the
+least-loaded worker.  Used for thread-level makespans on the simulated
+CPU and for cross-device distribution.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+__all__ = ["lpt_assign", "lpt_makespan"]
+
+
+def lpt_assign(costs: Sequence[float], workers: int) -> List[List[int]]:
+    """Assign task indices to ``workers`` bins by LPT; returns bins."""
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    bins: List[List[int]] = [[] for _ in range(workers)]
+    if not costs:
+        return bins
+    heap: List[Tuple[float, int]] = [(0.0, w) for w in range(workers)]
+    heapq.heapify(heap)
+    order = sorted(range(len(costs)), key=lambda i: -costs[i])
+    for index in order:
+        load, worker = heapq.heappop(heap)
+        bins[worker].append(index)
+        heapq.heappush(heap, (load + costs[index], worker))
+    return bins
+
+
+def lpt_makespan(costs: Sequence[float], workers: int) -> float:
+    """Makespan of the LPT assignment (max worker load)."""
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    if not costs:
+        return 0.0
+    loads = [0.0] * workers
+    heap: List[Tuple[float, int]] = [(0.0, w) for w in range(workers)]
+    heapq.heapify(heap)
+    for cost in sorted(costs, reverse=True):
+        load, worker = heapq.heappop(heap)
+        loads[worker] = load + cost
+        heapq.heappush(heap, (loads[worker], worker))
+    return max(loads)

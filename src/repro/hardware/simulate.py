@@ -1,0 +1,327 @@
+"""Replaying skycube execution traces on simulated devices.
+
+The entry points take a :class:`~repro.skycube.base.SkycubeRun` — the
+real algorithm's trace of phases, tasks, counters and memory profiles —
+plus a device configuration, and synthesize the execution time and
+hardware counters the paper measures:
+
+* :func:`simulate_cpu` — thread-level replay on the multicore model
+  (Figures 4–6, 8–11, 13);
+* :func:`simulate_gpu` — kernel-level replay on a GPU model
+  (Figures 7, 13);
+* :func:`simulate_heterogeneous` — cross-device distribution over CPU
+  sockets and several GPUs (Figures 7, 12).
+
+Phase semantics are uniform across algorithms: tasks that carry
+``subtask_units`` are *device-parallel* (one cuboid occupying the whole
+device, SDSC-style) and run serially with internal parallelism; tasks
+without are atomic thread-level work items (STSC cuboids, MDMC points)
+scheduled LPT across the thread pool.  QSkycube is pinned to a single
+thread, being the sequential baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hardware.config import CPUConfig, GPUConfig, PlatformConfig
+from repro.hardware.model import (
+    CPUContext,
+    CPUTaskCost,
+    GPUPhaseCost,
+    cpu_task_cost,
+    gpu_phase_cost,
+)
+from repro.hardware.schedule import lpt_makespan
+from repro.instrument.counters import Counters
+from repro.skycube.base import SkycubeRun, TaskTrace
+
+__all__ = [
+    "CPUSimulation",
+    "GPUSimulation",
+    "HeterogeneousSimulation",
+    "simulate_cpu",
+    "simulate_gpu",
+    "simulate_heterogeneous",
+    "sharing_for_algorithm",
+]
+
+def device_parallel_efficiency(threads: int) -> float:
+    """Efficiency of intra-cuboid (device-parallel) thread cooperation.
+
+    Threads splitting one tree and inserting into one shared result pay
+    coordination costs that *grow with the number of cooperating
+    threads* — tile handoff, shared-window contention — which
+    independent cuboid tasks never pay.  This is why SDSC scales below
+    STSC and degrades under hyper-threading (Figure 5, "consistent
+    with the underlying skyline algorithm").
+    """
+    return max(0.4, 0.85 - 0.011 * threads)
+
+#: Threads a thread block devotes to one MDMC point at dimensionality d
+#: (Section 6.2: block size adapts to the 2**d-bit shared-memory state).
+def mdmc_threads_per_point(d: int) -> int:
+    return max(32, min(1024, (2**d) // 64))
+
+
+def sharing_for_algorithm(algorithm: str) -> Dict[str, bool]:
+    """Cross-task structure sharing, by algorithm (see CPUContext)."""
+    if algorithm in ("mdmc", "sdsc"):
+        return {"share_flat_across_tasks": True, "share_pointer_across_tasks": False}
+    if algorithm == "pqskycube":
+        return {"share_flat_across_tasks": False, "share_pointer_across_tasks": True}
+    return {"share_flat_across_tasks": False, "share_pointer_across_tasks": False}
+
+
+@dataclass
+class CPUSimulation:
+    """Synthesized CPU execution: makespan + aggregate hardware counters."""
+
+    algorithm: str
+    threads: int
+    sockets: int
+    makespan_cycles: float = 0.0
+    busy_cycles: float = 0.0
+    hardware: CPUTaskCost = field(default_factory=CPUTaskCost)
+    config: CPUConfig = field(default_factory=CPUConfig)
+
+    @property
+    def seconds(self) -> float:
+        return self.makespan_cycles / self.config.clock_hz
+
+    @property
+    def cpi(self) -> float:
+        """Average cycles per retired instruction across busy threads."""
+        if self.hardware.instructions == 0:
+            return 0.0
+        return self.busy_cycles / self.hardware.instructions
+
+    @property
+    def stlb_miss_rate(self) -> float:
+        """Fraction of load µops missing the shared TLB (Figure 10a)."""
+        return self.hardware.tlb_misses / max(1, self.hardware.load_uops)
+
+    @property
+    def page_walk_fraction(self) -> float:
+        """Fraction of busy cycles spent in page walks (Figure 10b)."""
+        if self.busy_cycles == 0:
+            return 0.0
+        return self.hardware.page_walk_cycles / self.busy_cycles
+
+
+def _smt_inflation(context: CPUContext, config: CPUConfig) -> float:
+    """Per-thread cycle inflation when two SMT threads share a core."""
+    if context.smt_active(config):
+        return 2.0 / config.smt_throughput
+    return 1.0
+
+
+def simulate_cpu(
+    run: SkycubeRun,
+    config: Optional[CPUConfig] = None,
+    threads: int = 1,
+    sockets: int = 1,
+) -> CPUSimulation:
+    """Replay ``run`` on the multicore model with a fixed thread pool."""
+    config = config if config is not None else CPUConfig()
+    if sockets < 1 or sockets > config.sockets:
+        raise ValueError(f"sockets must be in [1, {config.sockets}], got {sockets}")
+    if threads < 1 or threads > sockets * config.cores_per_socket * config.smt_per_core:
+        raise ValueError(f"thread count {threads} exceeds the configured machine")
+    if run.algorithm == "qskycube":
+        threads, sockets = 1, 1
+
+    context = CPUContext(
+        threads=threads,
+        sockets_used=sockets,
+        **sharing_for_algorithm(run.algorithm),
+    )
+    inflation = _smt_inflation(context, config)
+    sim = CPUSimulation(run.algorithm, threads, sockets, config=config)
+
+    for phase in run.phases:
+        serial_cycles = 0.0
+        pool_costs: List[float] = []
+        for task in phase.tasks:
+            cost = cpu_task_cost(task.counters, task.profile, config, context)
+            sim.hardware.merge(cost)
+            task_cycles = cost.cycles * inflation
+            sim.busy_cycles += task_cycles
+            if task.subtask_units:
+                # Device-parallel task: the whole pool cooperates; its
+                # makespan follows the subtask size distribution, and
+                # each such task ends with its own barrier (SDSC's
+                # 2**d - 2 synchronisation points).
+                units = task.subtask_units
+                total_units = sum(units)
+                if total_units == 0:
+                    serial_cycles += task_cycles
+                else:
+                    subtask_cycles = [
+                        task_cycles * unit / total_units for unit in units
+                    ]
+                    # MDMC's setup tiles are append-only and meet no
+                    # shared result structure, unlike SDSC's per-cuboid
+                    # cooperative classification; only the latter pays
+                    # the coordination penalty.
+                    efficiency = (
+                        1.0
+                        if run.algorithm == "mdmc"
+                        else device_parallel_efficiency(threads)
+                    )
+                    serial_cycles += (
+                        lpt_makespan(subtask_cycles, threads) / efficiency
+                    )
+                serial_cycles += config.sync_cycles
+            elif phase.name == "root" and threads > 1:
+                # Line 2 of Algorithms 1/2: the root input is computed
+                # in parallel even when the hook exposes no subtasks
+                # (the baseline blocks it PSkyline-style).
+                serial_cycles += task_cycles / (0.9 * threads)
+            else:
+                pool_costs.append(task_cycles)
+        sim.makespan_cycles += serial_cycles
+        if pool_costs:
+            sim.makespan_cycles += lpt_makespan(pool_costs, threads)
+        sim.makespan_cycles += config.sync_cycles
+    return sim
+
+
+@dataclass
+class GPUSimulation:
+    """Synthesized GPU execution of one run."""
+
+    algorithm: str
+    seconds: float = 0.0
+    kernel_seconds: float = 0.0
+    pcie_seconds: float = 0.0
+    phase_costs: List[GPUPhaseCost] = field(default_factory=list)
+    config: GPUConfig = field(default_factory=GPUConfig)
+
+    @property
+    def launches(self) -> int:
+        return sum(cost.launches for cost in self.phase_costs)
+
+
+def simulate_gpu(
+    run: SkycubeRun,
+    config: Optional[GPUConfig] = None,
+    data_bytes: Optional[int] = None,
+) -> GPUSimulation:
+    """Replay ``run`` on one GPU (SDSC and MDMC traces only)."""
+    config = config if config is not None else GPUConfig()
+    if run.algorithm not in ("sdsc", "mdmc"):
+        raise ValueError(
+            f"{run.algorithm!r} has no GPU specialisation "
+            "(STSC's weakness, Section 6.1; baselines are CPU-only)"
+        )
+    sim = GPUSimulation(run.algorithm, config=config)
+    d = run.skycube.d
+
+    for phase in run.phases:
+        atomic: List[TaskTrace] = []
+        for task in phase.tasks:
+            if task.subtask_units:
+                cost = gpu_phase_cost(
+                    task.counters, config, parallel_tasks=len(task.subtask_units)
+                )
+                sim.phase_costs.append(cost)
+                sim.kernel_seconds += cost.seconds
+            else:
+                atomic.append(task)
+        if atomic:
+            merged = Counters()
+            state = 0
+            for task in atomic:
+                merged.merge(task.counters)
+                state = max(state, task.counters.extra.get("state_bytes", 0))
+            cost = gpu_phase_cost(
+                merged,
+                config,
+                parallel_tasks=len(atomic),
+                threads_per_task=mdmc_threads_per_point(d) if state else 1,
+                state_bytes_per_task=state,
+            )
+            sim.phase_costs.append(cost)
+            sim.kernel_seconds += cost.seconds
+
+    if data_bytes is None:
+        data = run.skycube.data
+        data_bytes = 0 if data is None else data.nbytes
+    result_bytes = run.skycube.memory_bytes()
+    sim.pcie_seconds = (data_bytes + result_bytes) / config.pcie_bandwidth_bytes_per_s
+    sim.seconds = sim.kernel_seconds + sim.pcie_seconds
+    return sim
+
+
+@dataclass
+class HeterogeneousSimulation:
+    """Cross-device execution: makespan + per-device work shares."""
+
+    algorithm: str
+    seconds: float = 0.0
+    device_seconds: Dict[str, float] = field(default_factory=dict)
+    device_shares: Dict[str, float] = field(default_factory=dict)
+    parallel_tasks: int = 0
+
+
+def simulate_heterogeneous(
+    run: SkycubeRun,
+    platform: Optional[PlatformConfig] = None,
+) -> HeterogeneousSimulation:
+    """Distribute ``run`` over all CPU sockets and GPUs (Section 7.2).
+
+    Each device's standalone time for the parallel workload is computed
+    first; work is then split proportionally to device throughput (the
+    steady state of work stealing over many independent tasks), with a
+    distribution-efficiency discount when there are too few tasks to
+    keep every device busy — the effect that flattens MDMC-All on
+    correlated data (Figure 7).
+    """
+    platform = platform if platform is not None else PlatformConfig()
+    if run.algorithm not in ("sdsc", "mdmc"):
+        raise ValueError(
+            f"cross-device execution needs an SDSC or MDMC trace, got "
+            f"{run.algorithm!r}"
+        )
+    sim = HeterogeneousSimulation(run.algorithm)
+    sim.parallel_tasks = run.total_tasks()
+
+    # Standalone times per device.
+    socket_cpu = CPUConfig(
+        name=platform.cpu.name + "-socket",
+        sockets=1,
+        cores_per_socket=platform.cpu.cores_per_socket,
+        smt_per_core=platform.cpu.smt_per_core,
+        clock_hz=platform.cpu.clock_hz,
+        l2_bytes=platform.cpu.l2_bytes,
+        l3_bytes_per_socket=platform.cpu.l3_bytes_per_socket,
+    )
+    times: Dict[str, float] = {}
+    for socket in range(platform.cpu.sockets):
+        cpu_sim = simulate_cpu(
+            run, socket_cpu, threads=socket_cpu.cores_per_socket, sockets=1
+        )
+        times[f"cpu-socket-{socket}"] = cpu_sim.seconds
+    for index, gpu in enumerate(platform.gpus):
+        gpu_sim = simulate_gpu(run, gpu)
+        times[f"{gpu.name}-{index}"] = gpu_sim.seconds
+
+    if not times:
+        raise ValueError("platform has no devices")
+
+    # Work-stealing steady state: share ∝ throughput.
+    rates = {name: 1.0 / t for name, t in times.items() if t > 0}
+    total_rate = sum(rates.values())
+    ideal_seconds = 1.0 / total_rate
+    efficiency = min(1.0, sim.parallel_tasks / (4.0 * len(times)))
+    # The combined run can never beat the fastest device by more than
+    # the available task parallelism allows.
+    fastest = min(times.values())
+    sim.seconds = max(ideal_seconds / max(efficiency, 1e-6), ideal_seconds)
+    sim.seconds = min(sim.seconds, fastest)
+    for name, rate in rates.items():
+        sim.device_shares[name] = rate / total_rate
+        sim.device_seconds[name] = times[name]
+    return sim

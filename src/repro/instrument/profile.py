@@ -1,0 +1,80 @@
+"""Memory-footprint profiles of algorithm runs.
+
+The cost model (Figures 8–11) needs to know not just *how much* work an
+algorithm did (its :class:`~repro.instrument.counters.Counters`) but what
+its resident structures looked like: pointer-based trees thrash caches
+and TLBs, flat shared arrays do not.  Each algorithm therefore reports a
+:class:`MemoryProfile` describing its working set, split by structure
+kind and shareability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryProfile"]
+
+
+@dataclass
+class MemoryProfile:
+    """Resident working set of one algorithm run or parallel task.
+
+    * ``data_bytes`` — raw point coordinates touched (dominance tests);
+    * ``pointer_bytes`` — pointer-based structures (recursive trees):
+      traversed by dependent loads, never prefetchable, TLB-hostile;
+    * ``flat_bytes`` — private flat arrays (tiles, windows, sort keys):
+      streamed, prefetcher-friendly;
+    * ``shared_flat_bytes`` — read-only flat structures shared by every
+      thread/device (the static tree's label arrays): one resident copy
+      serves all cores of a socket;
+    * ``shared_pointer_bytes`` — pointer structures shared *between*
+      tasks (PQSkycube's parent quad trees reused by child cuboids):
+      when threads sit on different sockets these are chased across the
+      interconnect, the NUMA behaviour of Figures 8–9;
+    * ``output_bytes`` — result structures written (lattice cuboids or
+      HashCube masks).
+    """
+
+    data_bytes: int = 0
+    pointer_bytes: int = 0
+    flat_bytes: int = 0
+    shared_flat_bytes: int = 0
+    shared_pointer_bytes: int = 0
+    output_bytes: int = 0
+
+    def private_working_set(self) -> int:
+        """Bytes each task needs for itself (competes for cache)."""
+        return self.data_bytes + self.pointer_bytes + self.flat_bytes
+
+    def total_working_set(self) -> int:
+        """All resident bytes, shared structures included once."""
+        return (
+            self.private_working_set()
+            + self.shared_flat_bytes
+            + self.shared_pointer_bytes
+            + self.output_bytes
+        )
+
+    def merge(self, other: "MemoryProfile") -> "MemoryProfile":
+        """Accumulate another profile into this one (max for shared)."""
+        self.data_bytes += other.data_bytes
+        self.pointer_bytes += other.pointer_bytes
+        self.flat_bytes += other.flat_bytes
+        # Shared structures do not replicate across tasks.
+        self.shared_flat_bytes = max(self.shared_flat_bytes, other.shared_flat_bytes)
+        self.shared_pointer_bytes = max(
+            self.shared_pointer_bytes, other.shared_pointer_bytes
+        )
+        self.output_bytes += other.output_bytes
+        return self
+
+    def scaled(self, factor: float) -> "MemoryProfile":
+        """A copy with private structures scaled (per-task splitting)."""
+        return MemoryProfile(
+            data_bytes=int(self.data_bytes * factor),
+            pointer_bytes=int(self.pointer_bytes * factor),
+            flat_bytes=int(self.flat_bytes * factor),
+            shared_flat_bytes=self.shared_flat_bytes,
+            shared_pointer_bytes=self.shared_pointer_bytes,
+            output_bytes=int(self.output_bytes * factor),
+        )

@@ -1,0 +1,128 @@
+"""Pivot selection for point-based partitioning.
+
+Point-based partitioning (Appendix B.2) replaces many exact dominance
+tests with single-integer mask tests by relating points to a common
+pivot.  How the pivot is chosen is the main axis of variation among the
+prior algorithms (Section 3):
+
+* **balanced** — BSkyTree's choice: the skyline point with the smallest
+  *range-normalised* L1 distance from the origin, which splits the data
+  into the most evenly filled partitions;
+* **random skyline point** — OSP's choice;
+* **virtual median / quantile points** — VMPSP, Hybrid and SkyAlign use
+  coordinate-wise quantiles of the data, which need not be real points
+  but make the tree shape *static* and its traversal predictable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bitmask import dims_of
+from repro.instrument.counters import Counters
+
+__all__ = [
+    "balanced_pivot",
+    "random_skyline_pivot",
+    "quantile_pivots",
+    "partition_mask",
+    "partition_masks_vectorized",
+]
+
+
+def _local_skyline(data: np.ndarray, ids: Sequence[int], dims: List[int]) -> List[int]:
+    """Ids (from ``ids``) on the skyline of the projection onto ``dims``."""
+    sub = data[np.asarray(ids)][:, dims]
+    keep = []
+    for j in range(len(ids)):
+        le = np.all(sub <= sub[j], axis=1)
+        eq = np.all(sub == sub[j], axis=1)
+        if not np.any(le & ~eq):
+            keep.append(ids[j])
+    return keep
+
+
+def balanced_pivot(
+    data: np.ndarray,
+    ids: Sequence[int],
+    delta: Optional[int] = None,
+    counters: Optional[Counters] = None,
+) -> int:
+    """BSkyTree's balanced pivot: the min scaled-L1 skyline point.
+
+    Coordinates are normalised by the per-dimension range of the current
+    point set so no dimension dominates the distance.  Any dominator of a
+    point has a strictly smaller scaled-L1 distance, so the global
+    minimum is itself a skyline point — selection is a single O(k·d)
+    scan rather than a skyline computation.  Returns a point id.
+    """
+    ids = list(ids)
+    if not ids:
+        raise ValueError("cannot select a pivot from an empty point set")
+    data = np.asarray(data, dtype=np.float64)
+    dims = dims_of(delta) if delta is not None else list(range(data.shape[1]))
+    sub = data[np.asarray(ids)][:, dims]
+    if counters is not None:
+        counters.values_loaded += sub.size
+    lo = sub.min(axis=0)
+    span = sub.max(axis=0) - lo
+    span[span == 0.0] = 1.0
+    scaled_l1 = ((sub - lo) / span).sum(axis=1)
+    return ids[int(np.argmin(scaled_l1))]
+
+
+def random_skyline_pivot(
+    data: np.ndarray,
+    ids: Sequence[int],
+    delta: Optional[int] = None,
+    seed: int = 0,
+) -> int:
+    """OSP-style pivot: a uniformly random skyline point of the set."""
+    ids = list(ids)
+    if not ids:
+        raise ValueError("cannot select a pivot from an empty point set")
+    data = np.asarray(data, dtype=np.float64)
+    dims = dims_of(delta) if delta is not None else list(range(data.shape[1]))
+    skyline_ids = _local_skyline(data, ids, dims)
+    rng = np.random.default_rng(seed)
+    return skyline_ids[int(rng.integers(len(skyline_ids)))]
+
+
+def quantile_pivots(data: np.ndarray, quantiles: Sequence[float]) -> np.ndarray:
+    """Virtual pivot points: per-dimension quantiles of the dataset.
+
+    Returns an array of shape ``(len(quantiles), d)``; row ``k`` is the
+    virtual point whose every coordinate is the ``quantiles[k]`` quantile
+    of that dimension.  SkyAlign uses medians and quartiles; our static
+    tree adds octiles (Section 4.3).
+    """
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2 or data.shape[0] == 0:
+        raise ValueError(f"expected a non-empty 2-D dataset, got shape {data.shape}")
+    for q in quantiles:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantiles must lie strictly in (0, 1), got {q}")
+    return np.quantile(data, list(quantiles), axis=0)
+
+
+def partition_mask(point: Sequence[float], pivot: Sequence[float]) -> int:
+    """Partition bitmask of ``point`` relative to ``pivot``.
+
+    Bit ``i`` is set iff ``point[i] >= pivot[i]`` — the ``B_{piv<=p}``
+    encoding of Appendix B.2 (Figure 14), the operand of Equation 1.
+    """
+    mask = 0
+    for i, (value, threshold) in enumerate(zip(point, pivot)):
+        if value >= threshold:
+            mask |= 1 << i
+    return mask
+
+
+def partition_masks_vectorized(data: np.ndarray, pivot: np.ndarray) -> np.ndarray:
+    """:func:`partition_mask` for every row of ``data`` at once."""
+    data = np.asarray(data, dtype=np.float64)
+    d = data.shape[1]
+    weights = (1 << np.arange(d, dtype=np.int64))
+    return (data >= np.asarray(pivot, dtype=np.float64)) @ weights

@@ -1,0 +1,280 @@
+"""Recursive point-based partitioning (BSkyTree / SkyTree).
+
+This is the variable-depth, pointer-based quad tree underlying the
+sequential state of the art, QSkycube (Sections 3, 5.1).  A *balanced
+pivot* (min scaled-L1 skyline point) splits the point set into up to
+``2**|δ|`` partitions by each point's position mask relative to the
+pivot; partitions are processed in increasing mask order so that, by
+Equation 1, all potential dominators of a partition (strict submask
+partitions) are already classified.
+
+:func:`classify_skytree` returns, for a point set and subspace, every
+point of the *extended* skyline together with a flag marking whether it
+is merely in ``S+ \\ S`` (dominated but not strictly) — exactly the
+``(L[δ], L+[δ])`` pair the lattice templates store per cuboid.
+
+Implementation note — vectorized, scalar-faithful counting: the filter
+loops use numpy over candidate arrays for speed, but the counters are
+incremented by the number of mask tests and (early-exiting) dominance
+tests the sequential algorithm would have executed, so the hardware
+cost model sees the real algorithmic work.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bitmask import dims_of
+from repro.instrument.counters import Counters
+from repro.partitioning.pivots import balanced_pivot
+
+__all__ = ["SkyTreeNode", "classify_skytree", "ClassifiedPoint"]
+
+#: ``(point_id, dominated)`` — a member of S+ with its ∉S flag.
+ClassifiedPoint = Tuple[int, bool]
+
+#: Below this partition size the recursion falls back to all-pairs.
+LEAF_THRESHOLD = 8
+
+#: Estimated resident bytes of one pointer-based tree node (pivot id,
+#: mask, child map header and pointers) — used by the memory profiles
+#: that feed the cache model; QSkycube's trees are "not very compact".
+NODE_BYTES = 96
+
+
+@dataclass
+class SkyTreeNode:
+    """One node of the pointer-based recursive tree."""
+
+    pivot_id: int
+    mask: int
+    children: List["SkyTreeNode"] = field(default_factory=list)
+
+    def node_count(self) -> int:
+        """Total nodes in this subtree (including self)."""
+        return 1 + sum(child.node_count() for child in self.children)
+
+    def memory_bytes(self) -> int:
+        """Resident size estimate of the subtree."""
+        return NODE_BYTES * self.node_count()
+
+
+def _pairwise_classify(
+    data: np.ndarray,
+    ids: Sequence[int],
+    delta: int,
+    counters: Counters,
+) -> List[ClassifiedPoint]:
+    """All-pairs base case: classify a small set under δ-dominance."""
+    kept: List[ClassifiedPoint] = []
+    dims = dims_of(delta)
+    sub = data[np.asarray(ids)][:, dims]
+    k = len(ids)
+    for j in range(k):
+        dominated = False
+        strictly = False
+        for i in range(k):
+            if i == j:
+                continue
+            counters.dominance_tests += 1
+            counters.values_loaded += 2 * len(dims)
+            counters.random_bytes += 16 * len(dims)
+            le = bool(np.all(sub[i] <= sub[j]))
+            if not le:
+                continue
+            if np.all(sub[i] < sub[j]):
+                strictly = True
+                break
+            if not np.all(sub[i] == sub[j]):
+                dominated = True
+        if not strictly:
+            kept.append((ids[j], dominated))
+    return kept
+
+
+def _classify_vs_candidates(
+    sub_candidates: np.ndarray,
+    point: np.ndarray,
+    counters: Counters,
+    dims_count: int,
+) -> Tuple[bool, bool]:
+    """(strictly_dominated, dominated) of ``point`` vs candidate rows.
+
+    Vectorized, but DTs are counted with the sequential early exit: the
+    scan would stop at the first strict dominator.
+    """
+    if len(sub_candidates) == 0:
+        return False, False
+    le = np.all(sub_candidates <= point, axis=1)
+    lt = np.all(sub_candidates < point, axis=1)
+    eq = np.all(sub_candidates == point, axis=1)
+    strict_hits = np.flatnonzero(lt)
+    if strict_hits.size:
+        tests = int(strict_hits[0]) + 1
+        counters.dominance_tests += tests
+        counters.values_loaded += 2 * dims_count * tests
+        counters.random_bytes += 16 * dims_count * tests
+        # Candidate points live in tree nodes: reaching each is a
+        # dependent pointer dereference.
+        counters.pointer_hops += tests
+        return True, True
+    counters.dominance_tests += len(sub_candidates)
+    counters.values_loaded += 2 * dims_count * len(sub_candidates)
+    counters.random_bytes += 16 * dims_count * len(sub_candidates)
+    counters.pointer_hops += len(sub_candidates)
+    dominated = bool(np.any(le & ~eq))
+    return False, dominated
+
+
+def classify_skytree(
+    data: np.ndarray,
+    ids: Sequence[int],
+    delta: int,
+    counters: Optional[Counters] = None,
+    leaf_threshold: int = LEAF_THRESHOLD,
+    pivot_selector=None,
+) -> Tuple[List[ClassifiedPoint], Optional[SkyTreeNode]]:
+    """Extended-skyline members of ``ids`` in ``δ`` with ∉S flags.
+
+    Returns ``(kept, root)`` where ``kept`` lists ``(id, dominated)``
+    for every point of ``S+_δ`` (``dominated`` true iff the point is in
+    ``S+_δ \\ S_δ``) and ``root`` is the pointer tree built along the
+    way (``None`` for base-case sets).
+
+    ``pivot_selector(data, ids, delta, counters) -> point_id`` swaps
+    the pivot rule (default: BSkyTree's balanced pivot); OSP plugs in
+    a random skyline point here.
+    """
+    counters = counters if counters is not None else Counters()
+    data = np.asarray(data, dtype=np.float64)
+    ids = list(ids)
+    if not ids:
+        return [], None
+    # Chains of single-partition splits can nest as deep as the point
+    # count on duplicate-heavy inputs; keep Python's limit above that.
+    minimum_limit = len(ids) + 1000
+    if sys.getrecursionlimit() < minimum_limit:
+        sys.setrecursionlimit(minimum_limit)
+    if pivot_selector is None:
+        pivot_selector = balanced_pivot
+    dims = dims_of(delta)
+    kept, root = _recurse(
+        data, ids, delta, dims, counters, leaf_threshold, pivot_selector
+    )
+    return kept, root
+
+
+def _recurse(
+    data: np.ndarray,
+    ids: List[int],
+    delta: int,
+    dims: List[int],
+    counters: Counters,
+    leaf_threshold: int,
+    pivot_selector,
+) -> Tuple[List[ClassifiedPoint], Optional[SkyTreeNode]]:
+    if len(ids) <= leaf_threshold:
+        kept = _pairwise_classify(data, ids, delta, counters)
+        node = None
+        if kept:
+            node = SkyTreeNode(pivot_id=kept[0][0], mask=0)
+            node.children = [
+                SkyTreeNode(pivot_id=pid, mask=0) for pid, _ in kept[1:]
+            ]
+            counters.tree_nodes_visited += len(kept)
+        return kept, node
+
+    pivot_id = pivot_selector(data, ids, delta, counters)
+    pivot = data[pivot_id][dims]
+    root = SkyTreeNode(pivot_id=pivot_id, mask=0)
+    counters.tree_nodes_visited += 1
+    counters.pointer_hops += 1
+
+    # Partition the remaining points by their δ-restricted position mask.
+    rest = [pid for pid in ids if pid != pivot_id]
+    if not rest:
+        return [(pivot_id, False)], root
+    rest_arr = np.asarray(rest)
+    sub = data[rest_arr][:, dims]
+    counters.values_loaded += sub.size
+    # Every point descends through this pivot node: one dependent
+    # (pointer-chased) load per point per tree level — the traffic
+    # signature of the variable-depth tree (Sections 3, 5.1).
+    counters.pointer_hops += len(rest)
+    # The partitioning pass gathers the subset's rows once, in order:
+    # page-locality is good even though the rows are non-contiguous.
+    counters.sequential_bytes += 8 * sub.size
+    weights = (1 << np.arange(len(dims), dtype=np.int64))
+    masks = (sub >= pivot) @ weights
+    full = (1 << len(dims)) - 1
+
+    groups: dict = {}
+    for pid, mask in zip(rest, masks.tolist()):
+        groups.setdefault(mask, []).append(pid)
+
+    # Pivot behaves as a member of the full-mask group for filtering.
+    kept: List[ClassifiedPoint] = [(pivot_id, False)]
+    kept_masks: List[int] = [full]
+
+    for mask in sorted(groups):
+        members = groups[mask]
+        if mask == full:
+            # Fully classified by the pivot: ≥ pivot on every dim of δ.
+            local: List[ClassifiedPoint] = []
+            member_rows = data[np.asarray(members)][:, dims]
+            counters.dominance_tests += len(members)
+            counters.values_loaded += 2 * len(dims) * len(members)
+            counters.random_bytes += 16 * len(dims) * len(members)
+            strictly = np.all(member_rows > pivot, axis=1)
+            equal = np.all(member_rows == pivot, axis=1)
+            for pid, is_strict, is_equal in zip(members, strictly, equal):
+                if is_strict:
+                    continue
+                local.append((pid, not is_equal))
+            child = None
+        else:
+            local, child = _recurse(
+                data, members, delta, dims, counters, leaf_threshold,
+                pivot_selector,
+            )
+        if child is not None:
+            child.mask = mask
+            root.children.append(child)
+            counters.pointer_hops += 1
+
+        if not local:
+            continue
+
+        # Cross-partition filter against kept members of submask groups.
+        candidate_rows = []
+        scan_order = []
+        for idx, kmask in enumerate(kept_masks):
+            counters.mask_tests += 1
+            counters.values_loaded += 2
+            if kmask != mask and (kmask & mask) == kmask:
+                scan_order.append(idx)
+        if scan_order:
+            candidate_ids = [kept[idx][0] for idx in scan_order]
+            candidate_rows = data[np.asarray(candidate_ids)][:, dims]
+
+        survivors: List[ClassifiedPoint] = []
+        for pid, dominated in local:
+            if len(scan_order) == 0:
+                survivors.append((pid, dominated))
+                continue
+            strictly, dom = _classify_vs_candidates(
+                candidate_rows, data[pid][dims], counters, len(dims)
+            )
+            if strictly:
+                continue
+            survivors.append((pid, dominated or dom))
+
+        for pid, dominated in survivors:
+            kept.append((pid, dominated))
+            kept_masks.append(mask)
+
+    return kept, root

@@ -1,0 +1,229 @@
+"""The global, static quad tree of SkyAlign — extended to three levels.
+
+Unlike the recursive tree, the pivots here are *virtual* points defined
+globally: per-dimension medians (level 1), quartiles (level 2) and — the
+paper's skycube-specific addition (Section 4.3) — octiles (level 3).
+Every point is summarised by three small bitmasks describing which side
+of each virtual threshold it falls on; the tree can then be "traversed"
+by scanning flat mask arrays, without ever touching point coordinates —
+exactly the property that makes the MDMC filter phase load nothing but
+path labels and keeps its memory traffic coalesced/sequential.
+
+Mask semantics (per point ``p``, local dimension ``i`` of the subspace):
+
+* ``med``   bit ``i`` set iff ``p[i] <  median[i]``   (better half);
+* ``quart`` bit ``i`` set iff ``p[i] <  quartile[i]`` where the
+  reference quartile is Q1 in the better half, Q3 in the worse half;
+* ``oct``   bit ``i`` set iff ``p[i] <  octile[i]`` for the octile of
+  the point's quarter.
+
+Transitive strict-dominance inference between points ``q`` and ``p``:
+
+* ``q.med & ~p.med`` — dims where ``q < median ≤ p``;
+* quartile bits count only on dims where the median bits agree
+  (same half ⇒ same reference quartile); octile bits likewise require
+  agreement on both coarser levels.
+
+Leaves are sorted by path ``(med, quart, oct)`` and all label arrays are
+stored flat in leaf order (the reverse point→node lookup of Section 4.3),
+so a leaf-order scan is fully sequential.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bitmask import dims_of, full_space
+from repro.instrument.counters import Counters
+
+__all__ = ["StaticTree"]
+
+
+class StaticTree:
+    """Three-level (median/quartile/octile) global partitioning tree."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        ids: Optional[List[int]] = None,
+        delta: Optional[int] = None,
+        levels: int = 3,
+        counters: Optional[Counters] = None,
+    ):
+        if levels not in (1, 2, 3):
+            raise ValueError(f"levels must be 1, 2 or 3, got {levels}")
+        data = np.asarray(data, dtype=np.float64)
+        self.levels = levels
+        self.d = data.shape[1]
+        self.delta = full_space(self.d) if delta is None else delta
+        self.dims = dims_of(self.delta)
+        self.k = len(self.dims)
+        ids = list(range(len(data))) if ids is None else list(ids)
+        if not ids:
+            raise ValueError("cannot build a static tree over an empty set")
+        counters = counters if counters is not None else Counters()
+
+        rows = data[np.asarray(ids)][:, self.dims]
+        counters.values_loaded += rows.size
+        counters.sequential_bytes += 8 * rows.size
+
+        # Virtual pivots: global per-dimension quantiles of the input.
+        self.medians = np.quantile(rows, 0.5, axis=0)
+        self.q1 = np.quantile(rows, 0.25, axis=0)
+        self.q3 = np.quantile(rows, 0.75, axis=0)
+        self.octiles = np.quantile(
+            rows, [0.125, 0.375, 0.625, 0.875], axis=0
+        )  # (4, k)
+
+        weights = (1 << np.arange(self.k, dtype=np.int64))
+        below_med = rows < self.medians
+        med = below_med @ weights
+
+        # Reference quartile per point and dim: Q1 in the better half.
+        quart_ref = np.where(below_med, self.q1, self.q3)
+        below_quart = rows < quart_ref
+        quart = below_quart @ weights
+
+        # Octile of the point's quarter.  Quarter order within a dim:
+        # (<med, <q1)=0, (<med, >=q1)=1, (>=med, <q3)=2, (>=med, >=q3)=3.
+        quarter_index = (~below_med).astype(np.int64) * 2 + (
+            ~below_quart
+        ).astype(np.int64)
+        oct_ref = self.octiles[quarter_index, np.arange(self.k)]
+        below_oct = rows < oct_ref
+        octl = below_oct @ weights
+        counters.bitmask_ops += 3 * len(ids)
+
+        if levels < 3:
+            octl = np.zeros_like(octl)
+        if levels < 2:
+            quart = np.zeros_like(quart)
+
+        # Sort into leaf order (path-major) and keep flat label arrays.
+        order = np.lexsort((octl, quart, med))
+        self.ids = np.asarray(ids)[order]
+        self.med = med[order]
+        self.quart = quart[order]
+        self.octl = octl[order]
+        self.rows = rows[order]
+        self._position: Dict[int, int] = {
+            int(pid): idx for idx, pid in enumerate(self.ids)
+        }
+
+        # Top-two-level node directory: (med, quart) -> [start, end).
+        self.nodes: List[Tuple[int, int, int, int]] = []
+        start = 0
+        n = len(self.ids)
+        while start < n:
+            end = start
+            m, q = int(self.med[start]), int(self.quart[start])
+            while end < n and int(self.med[end]) == m and int(self.quart[end]) == q:
+                end += 1
+            self.nodes.append((m, q, start, end))
+            start = end
+        self.node_med = np.asarray([node[0] for node in self.nodes], dtype=np.int64)
+        self.node_quart = np.asarray([node[1] for node in self.nodes], dtype=np.int64)
+        self.node_start = np.asarray([node[2] for node in self.nodes], dtype=np.int64)
+        self.node_end = np.asarray([node[3] for node in self.nodes], dtype=np.int64)
+
+    # -- lookups -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def position_of(self, point_id: int) -> int:
+        """Leaf-order index of a point id."""
+        return self._position[point_id]
+
+    def masks_of(self, point_id: int) -> Tuple[int, int, int]:
+        """``(med, quart, oct)`` path labels of a point."""
+        pos = self._position[point_id]
+        return int(self.med[pos]), int(self.quart[pos]), int(self.octl[pos])
+
+    # -- transitive strict-dominance inference --------------------------
+
+    def node_strict_masks(self, pos: int) -> np.ndarray:
+        """Per-node masks of dims where the node's points beat leaf ``pos``.
+
+        For each top-two-level node, the returned mask has bit ``i`` set
+        iff *every* point of that node is provably strictly better than
+        the target point on local dim ``i``, by median- or quartile-level
+        transitivity.  This is the CPU filter's evidence (Section 5.2).
+        """
+        pm = int(self.med[pos])
+        pq = int(self.quart[pos])
+        t1 = self.node_med & ~pm
+        same_half = ~(self.node_med ^ pm)
+        t2 = (self.node_quart & ~pq) & same_half
+        return t1 | t2
+
+    def leaf_strict_masks(self, pos: int) -> np.ndarray:
+        """Per-leaf strict-dominance masks using the full 3-level path.
+
+        The GPU filter's evidence (Section 6.2): one composite mask per
+        leaf, read with coalesced sequential loads.
+        """
+        pm = int(self.med[pos])
+        pq = int(self.quart[pos])
+        po = int(self.octl[pos])
+        t1 = self.med & ~pm
+        same_half = ~(self.med ^ pm)
+        t2 = (self.quart & ~pq) & same_half
+        same_quarter = same_half & ~(self.quart ^ pq)
+        t3 = (self.octl & ~po) & same_quarter
+        return t1 | t2 | t3
+
+    def node_prune_masks(self, pos: int) -> np.ndarray:
+        """Per-node masks of dims where the target provably beats the node.
+
+        Bit ``i`` set means *every* point of the node is provably worse
+        than the target on local dim ``i`` (via median/quartile
+        transitivity), so the whole node can be skipped as a candidate
+        dominator for any subspace containing dim ``i`` — Hybrid's
+        partition pruning.
+        """
+        pm = int(self.med[pos])
+        pq = int(self.quart[pos])
+        t1 = pm & ~self.node_med
+        same_half = ~(self.node_med ^ pm)
+        t2 = (pq & ~self.node_quart) & same_half
+        return t1 | t2
+
+    def leaf_prune_masks(self, pos: int) -> np.ndarray:
+        """Per-leaf masks of dims where the *target* provably beats the leaf.
+
+        Bit ``i`` set means the leaf point cannot be ≤ the target on dim
+        ``i``; any subspace containing such a dim can prune the leaf as a
+        candidate dominator (the refine phase's Equation-1 analogue).
+        """
+        pm = int(self.med[pos])
+        pq = int(self.quart[pos])
+        po = int(self.octl[pos])
+        t1 = pm & ~self.med
+        same_half = ~(self.med ^ pm)
+        t2 = (pq & ~self.quart) & same_half
+        same_quarter = same_half & ~(self.quart ^ pq)
+        t3 = (po & ~self.octl) & same_quarter
+        return t1 | t2 | t3
+
+    # -- memory profile --------------------------------------------------
+
+    def label_bytes(self) -> int:
+        """Bytes of the flat path-label arrays (the scan working set)."""
+        return 8 * self.levels * len(self.ids)
+
+    def top_level_bytes(self) -> int:
+        """Bytes of the top-two-level node directory (the L2-resident part)."""
+        return 32 * len(self.nodes)
+
+    def memory_bytes(self) -> int:
+        """Total resident size: labels + directory + id array."""
+        return self.label_bytes() + self.top_level_bytes() + 8 * len(self.ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"StaticTree(points={len(self.ids)}, dims={self.k}, "
+            f"levels={self.levels}, nodes={len(self.nodes)})"
+        )

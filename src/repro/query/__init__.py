@@ -1,0 +1,15 @@
+"""Ad-hoc and query-relative skyline computation."""
+
+from repro.query.dynamic import (
+    dynamic_skycube,
+    dynamic_skyline,
+    dynamic_transform,
+)
+from repro.query.subsky import SubskyIndex
+
+__all__ = [
+    "SubskyIndex",
+    "dynamic_skycube",
+    "dynamic_skyline",
+    "dynamic_transform",
+]

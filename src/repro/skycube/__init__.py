@@ -1,0 +1,25 @@
+"""Skycube algorithms: baselines and shared traversal machinery."""
+
+from repro.skycube.base import (
+    PhaseTrace,
+    SkycubeAlgorithm,
+    SkycubeRun,
+    TaskTrace,
+)
+from repro.skycube.bottom_up import BottomUpSkycube
+from repro.skycube.distributed import DistributedSkycube
+from repro.skycube.qskycube import PQSkycube, QSkycube
+from repro.skycube.topdown import select_parent, top_down_lattice
+
+__all__ = [
+    "PhaseTrace",
+    "SkycubeAlgorithm",
+    "SkycubeRun",
+    "TaskTrace",
+    "BottomUpSkycube",
+    "DistributedSkycube",
+    "QSkycube",
+    "PQSkycube",
+    "select_parent",
+    "top_down_lattice",
+]

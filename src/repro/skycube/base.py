@@ -1,0 +1,115 @@
+"""Common interface and execution traces of skycube algorithms.
+
+A skycube algorithm materialises the full (or partial) skycube and, in
+doing so, produces an *execution trace*: the phases it went through
+(lattice levels, filter/refine sweeps), the parallel tasks within each
+phase and the counters/memory profile of each task.  The simulated
+hardware layer replays the trace against a device configuration to
+obtain makespans and hardware counters; the result itself is always the
+real, exact skycube.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.skycube import Skycube
+from repro.instrument.counters import Counters
+from repro.instrument.profile import MemoryProfile
+
+__all__ = ["TaskTrace", "PhaseTrace", "SkycubeRun", "SkycubeAlgorithm"]
+
+
+@dataclass
+class TaskTrace:
+    """One parallel work item: a cuboid computation or a point task."""
+
+    label: str
+    counters: Counters
+    profile: MemoryProfile = field(default_factory=MemoryProfile)
+    #: For device-parallel tasks (SDSC): per-subtask work units from
+    #: which a device simulator derives the intra-task makespan.
+    subtask_units: Optional[List[int]] = None
+
+
+@dataclass
+class PhaseTrace:
+    """A group of tasks separated from the next group by a barrier."""
+
+    name: str
+    tasks: List[TaskTrace] = field(default_factory=list)
+
+    def total_counters(self) -> Counters:
+        total = Counters()
+        for task in self.tasks:
+            total.merge(task.counters)
+        return total
+
+
+@dataclass
+class SkycubeRun:
+    """A materialised skycube plus the trace that produced it."""
+
+    skycube: Skycube
+    counters: Counters
+    phases: List[PhaseTrace] = field(default_factory=list)
+    algorithm: str = ""
+
+    def total_tasks(self) -> int:
+        return sum(len(phase.tasks) for phase in self.phases)
+
+    def peak_memory_bytes(self) -> int:
+        """Largest simultaneous working set across phases."""
+        peak = 0
+        for phase in self.phases:
+            total = MemoryProfile()
+            for task in phase.tasks:
+                total.merge(task.profile)
+            peak = max(peak, total.total_working_set())
+        return peak + self.skycube.memory_bytes()
+
+
+class SkycubeAlgorithm(ABC):
+    """Base class: materialise the skycube of a dataset."""
+
+    name: str = "abstract"
+
+    def materialise(
+        self,
+        data: np.ndarray,
+        max_level: Optional[int] = None,
+        counters: Optional[Counters] = None,
+    ) -> SkycubeRun:
+        """Compute the skycube (levels ≤ ``max_level`` if given)."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(
+                f"data must be a non-empty 2-D array, got shape {data.shape}"
+            )
+        if np.isnan(data).any():
+            raise ValueError(
+                "data contains NaN: dominance is undefined for NaN values"
+            )
+        d = data.shape[1]
+        if max_level is not None and not 1 <= max_level <= d:
+            raise ValueError(f"max_level must be in [1, {d}], got {max_level}")
+        counters = counters if counters is not None else Counters()
+        run = self._materialise(data, max_level, counters)
+        run.algorithm = self.name
+        return run
+
+    @abstractmethod
+    def _materialise(
+        self,
+        data: np.ndarray,
+        max_level: Optional[int],
+        counters: Counters,
+    ) -> SkycubeRun:
+        """Algorithm body; inputs validated."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

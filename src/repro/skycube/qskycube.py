@@ -1,0 +1,89 @@
+"""QSkycube and PQSkycube — the sequential state of the art + baseline.
+
+QSkycube (Lee & Hwang) is the top-down lattice traversal with BSkyTree
+point-based partitioning per cuboid.  PQSkycube is the paper's baseline
+parallelisation (Section 7.1): a parallel pragma over the cuboids of
+each lattice level — structurally identical work, but the per-cuboid
+pointer-based quad trees are kept alive across levels and shared
+between threads, which is exactly what makes it memory-bound as cores
+scale (Figures 5, 8–11).
+
+Both classes produce identical skycubes; they differ in the execution
+trace handed to the hardware simulator:
+
+* QSkycube's trace is replayed single-threaded and frees each tree as
+  soon as the cuboid finishes (small resident set);
+* PQSkycube's trace marks one task per cuboid with the retained parent
+  trees as *shared pointer* bytes and the thread-private trees as
+  private pointer bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.skycube import Skycube
+from repro.instrument.counters import Counters
+from repro.skycube.base import SkycubeAlgorithm, SkycubeRun
+from repro.skycube.topdown import top_down_lattice
+from repro.skyline.bskytree import BSkyTree
+
+__all__ = ["QSkycube", "PQSkycube"]
+
+
+class QSkycube(SkycubeAlgorithm):
+    """Sequential top-down skycube with BSkyTree cuboid computation."""
+
+    name = "qskycube"
+    #: Trees of finished cuboids are freed immediately when running
+    #: sequentially; the parallel baseline overrides this.
+    retain_parent_trees = False
+
+    def __init__(self, leaf_threshold: int = 8):
+        self._hook = BSkyTree(leaf_threshold)
+
+    def _materialise(
+        self,
+        data: np.ndarray,
+        max_level: Optional[int],
+        counters: Counters,
+    ) -> SkycubeRun:
+        lattice, phases = top_down_lattice(
+            data, self._hook, counters, max_level
+        )
+        if self.retain_parent_trees:
+            self._mark_shared_trees(data.shape[1], phases)
+        skycube = Skycube(lattice, data=data, max_level=max_level)
+        return SkycubeRun(skycube, counters, phases)
+
+    def _mark_shared_trees(self, d: int, phases) -> None:
+        """Attribute retained parent trees as shared pointer bytes.
+
+        PQSkycube keeps the quad trees of the previous lattice level
+        resident so children can reuse them; every task of a level
+        therefore shares read access to all trees built one level up.
+        """
+        previous_tree_bytes = 0
+        for phase in phases:
+            level_tree_bytes = sum(
+                task.profile.pointer_bytes for task in phase.tasks
+            )
+            for task in phase.tasks:
+                task.profile.shared_pointer_bytes = previous_tree_bytes
+            previous_tree_bytes = level_tree_bytes
+
+
+class PQSkycube(QSkycube):
+    """The paper's baseline: QSkycube with parallel per-level pragmas.
+
+    Identical per-cuboid work (Figure 4 shows it introduces no overhead
+    and a minor speed-up from earlier memory freeing); the hardware
+    simulator parallelises each level's tasks across threads, where the
+    retained, pointer-based, cross-thread-shared trees become the
+    bottleneck the paper dissects.
+    """
+
+    name = "pqskycube"
+    retain_parent_trees = True

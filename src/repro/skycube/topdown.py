@@ -1,0 +1,155 @@
+"""Shared top-down lattice traversal (Algorithms 1 and 2, lines 1–6).
+
+QSkycube, PQSkycube, STSC and SDSC all follow the same control flow:
+materialise the full space first, then walk the lattice level by level,
+computing each cuboid δ from the smallest immediate superspace's
+``S ∪ S+`` instead of from the raw dataset.  What differs between them
+is *which skyline algorithm* runs per cuboid and *how tasks map onto
+hardware* — both of which this helper leaves to the caller via the
+per-cuboid hook and the returned per-level traces.
+
+Partial skycubes (Appendix A.2): when ``max_level < d`` the traversal
+starts at level ``max_level``, feeding every cuboid of that level the
+full-space *extended skyline* as reduced input (computing the skipped
+upper levels would be wasted work, but the extended skyline of the full
+space still contains every lower skyline).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bitmask import (
+    format_mask,
+    full_space,
+    immediate_superspaces,
+    subspaces_at_level,
+)
+from repro.core.lattice import Lattice
+from repro.instrument.counters import Counters
+from repro.skycube.base import PhaseTrace, TaskTrace
+from repro.skyline.base import SkylineAlgorithm
+
+__all__ = ["top_down_lattice", "select_parent"]
+
+#: Hook signature: (data, input_ids, delta) -> SkylineResult.
+CuboidHook = Callable[[np.ndarray, List[int], int], "object"]
+
+
+def select_parent(
+    lattice: Lattice, delta: int, d: int, rule: str = "smallest"
+) -> int:
+    """Line 5 of Algorithms 1/2: choose the parent cuboid to read from.
+
+    ``rule="smallest"`` is the paper's argmin over ``|L| + |L+|``;
+    ``rule="first"`` takes the first materialised superspace (the
+    ablation bench quantifies what the argmin buys).  Ties break
+    towards the numerically smallest superspace so runs are
+    deterministic.
+    """
+    best = None
+    best_size = None
+    for parent in immediate_superspaces(delta, d):
+        if not lattice.has_cuboid(parent):
+            continue
+        if rule == "first":
+            return parent
+        size = lattice.input_size(parent)
+        if best_size is None or size < best_size:
+            best, best_size = parent, size
+    if best is None:
+        raise ValueError(
+            f"no materialised parent for subspace {delta:#b}; "
+            "was the previous level computed?"
+        )
+    return best
+
+
+def top_down_lattice(
+    data: np.ndarray,
+    algorithm: SkylineAlgorithm,
+    counters: Counters,
+    max_level: Optional[int] = None,
+    free_finished_levels: bool = True,
+    parent_rule: str = "smallest",
+) -> Tuple[Lattice, List[PhaseTrace]]:
+    """Materialise a lattice top-down with ``algorithm`` per cuboid.
+
+    Returns the complete (or partial) lattice plus one
+    :class:`PhaseTrace` per synchronisation region: the initial
+    full-space computation and then one per lattice level.
+    ``free_finished_levels`` drops the construction-only extended ids
+    two levels behind the frontier (PQSkycube's memory optimisation).
+    """
+    d = data.shape[1]
+    top = d if max_level is None else max_level
+    lattice = Lattice(d)
+    phases: List[PhaseTrace] = []
+
+    # Phase 0: the root input.  For a full skycube this is the top
+    # cuboid itself; for a partial one, just the full-space extended
+    # skyline used as reduced input for level `top`.
+    all_ids = list(range(len(data)))
+    root_counters = Counters()
+    root_result = algorithm.compute(data, all_ids, full_space(d), root_counters)
+    counters.merge(root_counters)
+    root_phase = PhaseTrace("root")
+    root_phase.tasks.append(
+        TaskTrace(
+            label=f"δ={format_mask(full_space(d), d)}",
+            counters=root_counters,
+            profile=root_result.profile,
+            subtask_units=root_result.task_units,
+        )
+    )
+    counters.sync_points += 1
+    phases.append(root_phase)
+
+    if top == d:
+        lattice.set_cuboid(full_space(d), root_result.skyline, root_result.extended_only)
+        start_level = d - 1
+    else:
+        # Partial skycube: stash the reduced input under the full-space
+        # key for parent selection, then remove it afterwards.
+        lattice.set_cuboid(full_space(d), root_result.skyline, root_result.extended_only)
+        start_level = top
+
+    levels_computed: List[int] = []
+    for level in range(start_level, 0, -1):
+        phase = PhaseTrace(f"level-{level}")
+        for delta in subspaces_at_level(d, level):
+            if top < d and level == top:
+                parent = full_space(d)
+            else:
+                parent = select_parent(lattice, delta, d, parent_rule)
+            input_ids = list(lattice.skyline(parent)) + list(
+                lattice.extended_only(parent)
+            )
+            task_counters = Counters()
+            result = algorithm.compute(data, input_ids, delta, task_counters)
+            counters.merge(task_counters)
+            lattice.set_cuboid(delta, result.skyline, result.extended_only)
+            phase.tasks.append(
+                TaskTrace(
+                    label=f"δ={format_mask(delta, d)}",
+                    counters=task_counters,
+                    profile=result.profile,
+                    subtask_units=result.task_units,
+                )
+            )
+        counters.sync_points += 1
+        phases.append(phase)
+        levels_computed.append(level)
+        if free_finished_levels and len(levels_computed) >= 2:
+            for old in subspaces_at_level(d, levels_computed[-2] + 1):
+                if lattice.has_cuboid(old):
+                    lattice.drop_extended(old)
+
+    if top < d:
+        # A partial build stashed the reduced root input under the
+        # full-space key for parent selection; remove it again.
+        lattice.remove_cuboid(full_space(d))
+
+    return lattice, phases

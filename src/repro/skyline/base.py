@@ -1,0 +1,96 @@
+"""Common interface of all skyline algorithms.
+
+Every algorithm classifies a point set under subspace δ-dominance into
+the skyline, the extended-skyline extras and the (strictly dominated)
+rest — the ``(L[δ], L+[δ])`` pair that the lattice templates consume.
+Results carry the operation counters and memory profile the simulated
+hardware layer needs, plus (for parallel algorithms) the per-task work
+units from which a device simulator derives parallel makespan.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.bitmask import full_space
+from repro.instrument.counters import Counters
+from repro.instrument.profile import MemoryProfile
+
+__all__ = ["SkylineResult", "SkylineAlgorithm"]
+
+
+@dataclass
+class SkylineResult:
+    """Outcome of one skyline computation.
+
+    ``skyline`` and ``extended_only`` are disjoint sorted id lists;
+    their union is ``S+_δ``.  ``task_units`` (parallel algorithms only)
+    lists one abstract work unit per parallel task — tiles for Hybrid,
+    points for SkyAlign — used by the device simulators for makespan.
+    """
+
+    skyline: List[int]
+    extended_only: List[int]
+    counters: Counters
+    profile: MemoryProfile = field(default_factory=MemoryProfile)
+    task_units: Optional[List[int]] = None
+
+    @property
+    def extended(self) -> List[int]:
+        """``S+_δ`` — the union of skyline and extras, sorted."""
+        return sorted(self.skyline + self.extended_only)
+
+
+class SkylineAlgorithm(ABC):
+    """Base class: subspace skyline + extended skyline of a point set."""
+
+    #: Short name used in reports and benchmark tables.
+    name: str = "abstract"
+    #: Whether the algorithm exposes intra-query data parallelism
+    #: (an SDSC hook) or is inherently single-threaded (an STSC hook).
+    parallel: bool = False
+
+    def compute(
+        self,
+        data: np.ndarray,
+        ids: Optional[Sequence[int]] = None,
+        delta: Optional[int] = None,
+        counters: Optional[Counters] = None,
+    ) -> SkylineResult:
+        """Classify ``ids`` (default: all rows) under δ-dominance."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if np.isnan(data).any():
+            raise ValueError(
+                "data contains NaN: dominance is undefined for NaN values"
+            )
+        d = data.shape[1]
+        delta = full_space(d) if delta is None else delta
+        if not 0 < delta <= full_space(d):
+            raise ValueError(f"invalid subspace {delta} for d={d}")
+        ids = list(range(len(data))) if ids is None else list(ids)
+        counters = counters if counters is not None else Counters()
+        if not ids:
+            return SkylineResult([], [], counters)
+        result = self._compute(data, ids, delta, counters)
+        result.skyline.sort()
+        result.extended_only.sort()
+        return result
+
+    @abstractmethod
+    def _compute(
+        self,
+        data: np.ndarray,
+        ids: List[int],
+        delta: int,
+        counters: Counters,
+    ) -> SkylineResult:
+        """Algorithm body; inputs validated, ``ids`` non-empty."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, parallel={self.parallel})"

@@ -1,0 +1,96 @@
+"""Block-nested-loops skyline (Börzsönyi et al., ICDE 2001).
+
+The canonical baseline: stream points past a window of surviving
+candidates, comparing both directions.  The window invariant is that it
+always holds the exact S+-classification of the prefix processed so
+far, with per-member flags marking ``S+ \\ S`` membership; incoming
+points can evict (strictly dominate) or demote (dominate) window
+members and vice versa.
+
+Quadratic in the skyline size, no auxiliary structures — the reference
+point against which the partitioning algorithms' MT savings show up.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.bitmask import dims_of
+from repro.instrument.counters import Counters
+from repro.instrument.profile import MemoryProfile
+from repro.skyline.base import SkylineAlgorithm, SkylineResult
+
+__all__ = ["BlockNestedLoops"]
+
+
+class BlockNestedLoops(SkylineAlgorithm):
+    """Window-based nested-loops skyline with S/S+ classification."""
+
+    name = "bnl"
+    parallel = False
+
+    def _compute(
+        self,
+        data: np.ndarray,
+        ids: List[int],
+        delta: int,
+        counters: Counters,
+    ) -> SkylineResult:
+        dims = dims_of(delta)
+        k = len(dims)
+        window_ids: List[int] = []
+        window_dominated: List[bool] = []
+        window_rows: List[np.ndarray] = []
+
+        for pid in ids:
+            point = data[pid][dims]
+            counters.sequential_bytes += 8 * k
+            dropped = False
+            dominated = False
+            if window_rows:
+                rows = np.asarray(window_rows)
+                le = np.all(rows <= point, axis=1)
+                lt = np.all(rows < point, axis=1)
+                eq = np.all(rows == point, axis=1)
+                # Sequential semantics: scan stops at the first strict
+                # dominator; count DTs accordingly.
+                strict_hits = np.flatnonzero(lt)
+                if strict_hits.size:
+                    tests = int(strict_hits[0]) + 1
+                    counters.dominance_tests += tests
+                    counters.values_loaded += 2 * k * tests
+                    counters.random_bytes += 8 * k * tests
+                    dropped = True
+                else:
+                    counters.dominance_tests += len(window_rows)
+                    counters.values_loaded += 2 * k * len(window_rows)
+                    counters.random_bytes += 8 * k * len(window_rows)
+                    dominated = bool(np.any(le & ~eq))
+                    # Reverse direction: the incoming point may evict or
+                    # demote window members.
+                    ge = np.all(rows >= point, axis=1)
+                    gt = np.all(rows > point, axis=1)
+                    if np.any(gt) or np.any(ge & ~eq):
+                        keep = ~gt
+                        demote = ge & ~eq & keep
+                        new_ids, new_dom, new_rows = [], [], []
+                        for idx in np.flatnonzero(keep):
+                            new_ids.append(window_ids[idx])
+                            new_dom.append(window_dominated[idx] or bool(demote[idx]))
+                            new_rows.append(window_rows[idx])
+                        window_ids, window_dominated = new_ids, new_dom
+                        window_rows = new_rows
+            if not dropped:
+                window_ids.append(pid)
+                window_dominated.append(dominated)
+                window_rows.append(point)
+
+        profile = MemoryProfile(
+            data_bytes=8 * k * len(ids),
+            flat_bytes=8 * k * len(window_ids),
+        )
+        skyline = [p for p, dom in zip(window_ids, window_dominated) if not dom]
+        extras = [p for p, dom in zip(window_ids, window_dominated) if dom]
+        return SkylineResult(skyline, extras, counters, profile)

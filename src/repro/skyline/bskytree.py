@@ -1,0 +1,51 @@
+"""BSkyTree — the sequential state-of-the-art skyline (Lee & Hwang).
+
+A thin algorithm wrapper over the recursive balanced-pivot partitioning
+of :mod:`repro.partitioning.recursive_tree`.  This is the engine inside
+QSkycube and, being pointer-based and variable-depth, the source of its
+cache/TLB troubles on parallel hardware (Sections 3, 5.1) — its memory
+profile accordingly reports the built tree as pointer bytes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.bitmask import dims_of
+from repro.instrument.counters import Counters
+from repro.instrument.profile import MemoryProfile
+from repro.partitioning.recursive_tree import classify_skytree
+from repro.skyline.base import SkylineAlgorithm, SkylineResult
+
+__all__ = ["BSkyTree"]
+
+
+class BSkyTree(SkylineAlgorithm):
+    """Balanced-pivot recursive point-based partitioning skyline."""
+
+    name = "bskytree"
+    parallel = False
+
+    def __init__(self, leaf_threshold: int = 8):
+        self.leaf_threshold = leaf_threshold
+
+    def _compute(
+        self,
+        data: np.ndarray,
+        ids: List[int],
+        delta: int,
+        counters: Counters,
+    ) -> SkylineResult:
+        kept, root = classify_skytree(
+            data, ids, delta, counters, self.leaf_threshold
+        )
+        k = len(dims_of(delta))
+        profile = MemoryProfile(
+            data_bytes=8 * k * len(ids),
+            pointer_bytes=root.memory_bytes() if root is not None else 0,
+        )
+        skyline = [pid for pid, dominated in kept if not dominated]
+        extras = [pid for pid, dominated in kept if dominated]
+        return SkylineResult(skyline, extras, counters, profile)

@@ -1,0 +1,74 @@
+"""OSP — object-based space partitioning (Zhang, Mamoulis & Cheung).
+
+The earliest of the recursive point-based partitioning skylines the
+paper surveys (Section 3): identical control flow to BSkyTree, but the
+pivot of each sub-partition is a *random* skyline point rather than
+the balanced (min scaled-L1) choice.  Included as the pivot-selection
+baseline the balanced rule improves on; the pivot ablation bench
+quantifies the difference on identical inputs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.bitmask import dims_of
+from repro.instrument.counters import Counters
+from repro.instrument.profile import MemoryProfile
+from repro.partitioning import recursive_tree
+from repro.partitioning.pivots import random_skyline_pivot
+from repro.skyline.base import SkylineAlgorithm, SkylineResult
+
+__all__ = ["OSP"]
+
+
+class OSP(SkylineAlgorithm):
+    """Recursive partitioning with random skyline-point pivots."""
+
+    name = "osp"
+    parallel = False
+
+    def __init__(self, seed: int = 0, leaf_threshold: int = 8):
+        self.seed = seed
+        self.leaf_threshold = leaf_threshold
+
+    def _compute(
+        self,
+        data: np.ndarray,
+        ids: List[int],
+        delta: int,
+        counters: Counters,
+    ) -> SkylineResult:
+        selector = _SeededSelector(self.seed)
+        kept, root = recursive_tree.classify_skytree(
+            data,
+            ids,
+            delta,
+            counters,
+            self.leaf_threshold,
+            pivot_selector=selector,
+        )
+        k = len(dims_of(delta))
+        profile = MemoryProfile(
+            data_bytes=8 * k * len(ids),
+            pointer_bytes=root.memory_bytes() if root is not None else 0,
+        )
+        skyline = [pid for pid, dominated in kept if not dominated]
+        extras = [pid for pid, dominated in kept if dominated]
+        return SkylineResult(skyline, extras, counters, profile)
+
+
+class _SeededSelector:
+    """Per-call reseeded random pivot selection (deterministic runs)."""
+
+    def __init__(self, seed: int):
+        self.seed = seed
+        self._calls = 0
+
+    def __call__(self, data, ids, delta, counters):
+        self._calls += 1
+        return random_skyline_pivot(
+            data, ids, delta, seed=self.seed + self._calls
+        )

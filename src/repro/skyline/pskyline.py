@@ -1,0 +1,119 @@
+"""PSkyline — naive divide-and-conquer parallel skyline (Im/Park).
+
+The dataset is split horizontally into one block per (simulated) core;
+each block's local S+-classification is computed independently (an SFS
+pass), then blocks are merged pairwise by cross-filtering.  The paper
+cites this family as the baseline that better partitioning (APSkyline,
+Hybrid) improves upon; we include it both as an SDSC hook candidate and
+for the ablation benches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.bitmask import dims_of
+from repro.instrument.counters import Counters
+from repro.instrument.profile import MemoryProfile
+from repro.skyline.base import SkylineAlgorithm, SkylineResult
+from repro.skyline.sfs import SortFilterSkyline
+
+__all__ = ["PSkyline"]
+
+#: ``(id, dominated)`` classified member lists exchanged between merges.
+Classified = List[Tuple[int, bool]]
+
+
+class PSkyline(SkylineAlgorithm):
+    """Block-parallel divide & conquer skyline."""
+
+    name = "pskyline"
+    parallel = True
+
+    def __init__(self, blocks: int = 8):
+        if blocks < 1:
+            raise ValueError(f"block count must be positive, got {blocks}")
+        self.blocks = blocks
+
+    def _compute(
+        self,
+        data: np.ndarray,
+        ids: List[int],
+        delta: int,
+        counters: Counters,
+    ) -> SkylineResult:
+        dims = dims_of(delta)
+        k = len(dims)
+        blocks = min(self.blocks, len(ids))
+        chunks = [list(chunk) for chunk in np.array_split(np.asarray(ids), blocks)]
+        local = SortFilterSkyline()
+
+        classified: List[Classified] = []
+        task_units: List[int] = []
+        for chunk in chunks:
+            if not len(chunk):
+                continue
+            before = counters.dominance_tests
+            result = local.compute(data, [int(c) for c in chunk], delta, counters)
+            task_units.append(counters.dominance_tests - before)
+            members = [(pid, False) for pid in result.skyline]
+            members += [(pid, True) for pid in result.extended_only]
+            classified.append(members)
+        counters.tasks += len(classified)
+        counters.sync_points += 1
+
+        # Pairwise merge rounds (a reduction tree).
+        while len(classified) > 1:
+            merged: List[Classified] = []
+            for i in range(0, len(classified) - 1, 2):
+                merged.append(
+                    _merge(data, dims, classified[i], classified[i + 1], counters)
+                )
+            if len(classified) % 2:
+                merged.append(classified[-1])
+            classified = merged
+            counters.sync_points += 1
+
+        final = classified[0]
+        profile = MemoryProfile(
+            data_bytes=8 * k * len(ids),
+            flat_bytes=8 * k * sum(len(c) for c in chunks) // max(1, blocks),
+        )
+        skyline = [pid for pid, dom in final if not dom]
+        extras = [pid for pid, dom in final if dom]
+        return SkylineResult(skyline, extras, counters, profile, task_units)
+
+
+def _merge(
+    data: np.ndarray,
+    dims: List[int],
+    left: Classified,
+    right: Classified,
+    counters: Counters,
+) -> Classified:
+    """Cross-filter two classified lists into one."""
+    out: Classified = []
+    for side, other in ((left, right), (right, left)):
+        if not other:
+            out.extend(side)
+            continue
+        other_rows = data[np.asarray([pid for pid, _ in other])][:, dims]
+        for pid, dominated in side:
+            point = data[pid][dims]
+            lt = np.all(other_rows < point, axis=1)
+            strict_hits = np.flatnonzero(lt)
+            if strict_hits.size:
+                counters.dominance_tests += int(strict_hits[0]) + 1
+                counters.values_loaded += 2 * len(dims) * (int(strict_hits[0]) + 1)
+                continue
+            counters.dominance_tests += len(other)
+            counters.values_loaded += 2 * len(dims) * len(other)
+            counters.random_bytes += 8 * len(dims) * len(other)
+            if not dominated:
+                le = np.all(other_rows <= point, axis=1)
+                eq = np.all(other_rows == point, axis=1)
+                dominated = bool(np.any(le & ~eq))
+            out.append((pid, dominated))
+    return out

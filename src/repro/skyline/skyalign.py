@@ -1,0 +1,120 @@
+"""SkyAlign — the work-efficient GPU skyline of Bøgh et al. (PVLDB'15).
+
+The paper's SDSC GPU hook (Section 6.1).  SkyAlign replaces recursive
+partitioning with a *statically defined* global tree (medians and
+quartiles), so every thread's traversal is the same leaf-order scan of
+flat label arrays: coalesced loads and minimal branch divergence.  A
+point is ruled out the moment a scanned stretch proves transitive
+strict dominance; otherwise a dominance test runs only for leaves whose
+labels neither prove nor exclude dominance.
+
+Execution is simulated at warp granularity: leaves are scanned in
+chunks of 32, early exit happens at chunk boundaries, and a chunk where
+only some lanes need a dominance test records a branch divergence —
+these counts drive the GPU cost model.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.instrument.counters import Counters
+from repro.instrument.profile import MemoryProfile
+from repro.partitioning.static_tree import StaticTree
+from repro.skyline.base import SkylineAlgorithm, SkylineResult
+
+__all__ = ["SkyAlign", "WARP_SIZE"]
+
+#: Threads per warp on every CUDA generation the paper uses.
+WARP_SIZE = 32
+
+
+class SkyAlign(SkylineAlgorithm):
+    """Static-tree GPU-paradigm skyline with warp-granular execution."""
+
+    name = "skyalign"
+    parallel = True
+
+    def __init__(self, levels: int = 2):
+        if levels not in (2, 3):
+            raise ValueError(f"SkyAlign uses 2 (or 3) tree levels, got {levels}")
+        self.levels = levels
+
+    def _compute(
+        self,
+        data: np.ndarray,
+        ids: List[int],
+        delta: int,
+        counters: Counters,
+    ) -> SkylineResult:
+        tree = StaticTree(data, ids, delta, levels=self.levels, counters=counters)
+        n = len(tree)
+        k = tree.k
+        full_local = (1 << k) - 1
+        rows = tree.rows
+
+        strict = np.zeros(n, dtype=bool)
+        dominated = np.zeros(n, dtype=bool)
+        task_units: List[int] = []
+
+        for pos in range(n):
+            point = rows[pos]
+            strict_masks = tree.leaf_strict_masks(pos)
+            prune_masks = tree.leaf_prune_masks(pos)
+            counters.mask_tests += n
+            counters.values_loaded += n
+            counters.sequential_bytes += 8 * n
+
+            is_strict = False
+            is_dominated = False
+            work = n  # label loads
+            for chunk_start in range(0, n, WARP_SIZE):
+                chunk_end = min(n, chunk_start + WARP_SIZE)
+                chunk_strict = strict_masks[chunk_start:chunk_end]
+                chunk_prune = prune_masks[chunk_start:chunk_end]
+                if np.any(chunk_strict == full_local):
+                    is_strict = True
+                    is_dominated = True
+                    break
+                # Lanes that still need an exact test: labels neither
+                # prove dominance nor exclude it.
+                need = np.flatnonzero(chunk_prune == 0)
+                if need.size == 0:
+                    continue
+                if need.size < chunk_end - chunk_start:
+                    counters.branch_divergences += 1
+                # Warp vote true: every lane performs the DT together.
+                leaves = rows[chunk_start:chunk_end]
+                count = chunk_end - chunk_start
+                counters.dominance_tests += count
+                counters.values_loaded += 2 * k * count
+                counters.sequential_bytes += 8 * k * count
+                work += count
+                lt = np.all(leaves < point, axis=1)
+                if bool(np.any(lt)):
+                    is_strict = True
+                    is_dominated = True
+                    break
+                if not is_dominated:
+                    le = np.all(leaves <= point, axis=1)
+                    eq = np.all(leaves == point, axis=1)
+                    if bool(np.any(le & ~eq)):
+                        is_dominated = True
+            strict[pos] = is_strict
+            dominated[pos] = is_dominated
+            task_units.append(work)
+
+        counters.tasks += n
+        profile = MemoryProfile(
+            data_bytes=8 * k * n,
+            shared_flat_bytes=tree.memory_bytes(),
+        )
+        skyline = [int(tree.ids[pos]) for pos in range(n) if not dominated[pos]]
+        extras = [
+            int(tree.ids[pos])
+            for pos in range(n)
+            if dominated[pos] and not strict[pos]
+        ]
+        return SkylineResult(skyline, extras, counters, profile, task_units)

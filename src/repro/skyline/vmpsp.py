@@ -1,0 +1,124 @@
+"""VMPSP — virtual-median-point space partitioning (Zhang et al.).
+
+The recursive point-based partitioning variant that uses *virtual*
+pivots (Section 3): each recursion level splits its point set by the
+per-dimension medians of that subset, instead of electing a real
+skyline point.  No point is consumed per level, so a degenerate guard
+(all points in one partition — e.g. heavy duplicates) falls back to
+the all-pairs base case.
+
+Partitions are cross-filtered exactly as in BSkyTree: with the
+``>= pivot`` mask encoding, a partition with mask ``m1`` can only
+dominate one with ``m2 ⊇ m1`` (Equation 1), so masks are processed in
+increasing numeric order — every potential dominator partition first.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+import numpy as np
+
+from repro.core.bitmask import dims_of
+from repro.instrument.counters import Counters
+from repro.instrument.profile import MemoryProfile
+from repro.partitioning.recursive_tree import (
+    NODE_BYTES,
+    _classify_vs_candidates,
+    _pairwise_classify,
+)
+from repro.skyline.base import SkylineAlgorithm, SkylineResult
+
+__all__ = ["VMPSP"]
+
+LEAF_THRESHOLD = 8
+
+
+class VMPSP(SkylineAlgorithm):
+    """Recursive partitioning around virtual per-dimension medians."""
+
+    name = "vmpsp"
+    parallel = False
+
+    def __init__(self, leaf_threshold: int = LEAF_THRESHOLD):
+        self.leaf_threshold = leaf_threshold
+
+    def _compute(
+        self,
+        data: np.ndarray,
+        ids: List[int],
+        delta: int,
+        counters: Counters,
+    ) -> SkylineResult:
+        dims = dims_of(delta)
+        minimum_limit = len(ids) + 1000
+        if sys.getrecursionlimit() < minimum_limit:
+            sys.setrecursionlimit(minimum_limit)
+        self._nodes = 0
+        kept = self._recurse(data, list(ids), dims, counters)
+        profile = MemoryProfile(
+            data_bytes=8 * len(dims) * len(ids),
+            pointer_bytes=NODE_BYTES * self._nodes,
+        )
+        skyline = [pid for pid, dominated in kept if not dominated]
+        extras = [pid for pid, dominated in kept if dominated]
+        return SkylineResult(skyline, extras, counters, profile)
+
+    def _recurse(self, data, ids, dims, counters):
+        if len(ids) <= self.leaf_threshold:
+            delta_local = 0
+            for dim in dims:
+                delta_local |= 1 << dim
+            return _pairwise_classify(data, ids, delta_local, counters)
+
+        rows = data[np.asarray(ids)][:, dims]
+        counters.values_loaded += rows.size
+        counters.sequential_bytes += 8 * rows.size
+        medians = np.median(rows, axis=0)
+        weights = (1 << np.arange(len(dims), dtype=np.int64))
+        masks = (rows >= medians) @ weights
+        self._nodes += 1
+        counters.tree_nodes_visited += 1
+        counters.pointer_hops += len(ids)
+
+        groups: dict = {}
+        for pid, mask in zip(ids, masks.tolist()):
+            groups.setdefault(mask, []).append(pid)
+        if len(groups) == 1:
+            # Degenerate split (duplicates / all on one side of every
+            # median): the virtual pivot cannot make progress.
+            delta_local = 0
+            for dim in dims:
+                delta_local |= 1 << dim
+            return _pairwise_classify(data, ids, delta_local, counters)
+
+        kept = []
+        kept_masks: List[int] = []
+        for mask in sorted(groups):
+            local = self._recurse(data, groups[mask], dims, counters)
+            # Filter against kept members of strict submask groups.
+            scan = []
+            for index, kmask in enumerate(kept_masks):
+                counters.mask_tests += 1
+                counters.values_loaded += 2
+                if kmask != mask and (kmask & mask) == kmask:
+                    scan.append(index)
+            if scan:
+                candidate_ids = [kept[index][0] for index in scan]
+                candidate_rows = data[np.asarray(candidate_ids)][:, dims]
+            survivors = []
+            for pid, dominated in local:
+                if not scan:
+                    survivors.append((pid, dominated))
+                    continue
+                strictly, dom = _classify_vs_candidates(
+                    candidate_rows, data[pid][dims], counters, len(dims)
+                )
+                if strictly:
+                    continue
+                survivors.append((pid, dominated or dom))
+            for pid, dominated in survivors:
+                kept.append((pid, dominated))
+                kept_masks.append(mask)
+        return kept

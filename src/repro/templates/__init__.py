@@ -1,0 +1,21 @@
+"""The paper's parallel skycube templates and their specialisations."""
+
+from repro.templates.base import (
+    ARCHITECTURES,
+    SkycubeTemplate,
+    TemplateSpecialisationError,
+)
+from repro.templates.mdmc import MDMC, CPUPointEngine, GPUPointEngine
+from repro.templates.sdsc import SDSC
+from repro.templates.stsc import STSC
+
+__all__ = [
+    "ARCHITECTURES",
+    "SkycubeTemplate",
+    "TemplateSpecialisationError",
+    "STSC",
+    "SDSC",
+    "MDMC",
+    "CPUPointEngine",
+    "GPUPointEngine",
+]

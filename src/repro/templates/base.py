@@ -1,0 +1,48 @@
+"""Template methodology scaffolding (Section 4.1).
+
+A *template* fixes the architecture-oblivious parts of a parallel
+skycube algorithm — the shared read-only structures and the overall
+control flow — and declares *hooks* for the hot parallel work.  A
+*specialisation* fills the hooks for a concrete architecture ("cpu" or
+"gpu" here).  A template instance therefore needs both pieces before it
+can run; attempting an impossible combination (e.g. STSC on a GPU,
+which has no notion of a single-threaded algorithm) raises
+:class:`TemplateSpecialisationError` — faithfully to the paper, which
+calls this out as a limitation of that template.
+"""
+
+from __future__ import annotations
+
+from repro.skycube.base import SkycubeAlgorithm
+
+__all__ = ["SkycubeTemplate", "TemplateSpecialisationError", "ARCHITECTURES"]
+
+ARCHITECTURES = ("cpu", "gpu")
+
+
+class TemplateSpecialisationError(ValueError):
+    """A template cannot be specialised for the requested architecture."""
+
+
+class SkycubeTemplate(SkycubeAlgorithm):
+    """Base class of the three parallel skycube templates."""
+
+    #: Architectures this template can be specialised for.
+    supported_architectures = ARCHITECTURES
+
+    def __init__(self, specialisation: str = "cpu"):
+        specialisation = specialisation.lower()
+        if specialisation not in ARCHITECTURES:
+            raise TemplateSpecialisationError(
+                f"unknown architecture {specialisation!r}; "
+                f"expected one of {ARCHITECTURES}"
+            )
+        if specialisation not in self.supported_architectures:
+            raise TemplateSpecialisationError(
+                f"{type(self).__name__} cannot be specialised for "
+                f"{specialisation!r} (supports {self.supported_architectures})"
+            )
+        self.specialisation = specialisation
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(specialisation={self.specialisation!r})"

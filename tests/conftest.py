@@ -1,0 +1,47 @@
+"""Shared fixtures: the paper's running example and small workloads."""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import generate
+
+
+@pytest.fixture
+def flights():
+    """Table 1 of the paper: (price, duration, arrival) for f0..f4.
+
+    Dimension order matches the paper's bitmask examples: bit 0 =
+    Arrival, bit 1 = Duration, bit 2 = Price (so δ=3 is the business
+    traveller's {Duration, Arrival} subspace).
+    """
+    return np.array(
+        [
+            # arrival, duration, price
+            [12.20, 17.0, 120.0],  # f0
+            [9.00, 12.0, 148.0],  # f1
+            [8.20, 13.0, 169.0],  # f2
+            [21.25, 3.0, 186.0],  # f3
+            [21.25, 5.0, 196.0],  # f4
+        ]
+    )
+
+
+def small_workloads():
+    """A deterministic matrix of (name, data) pairs used across suites."""
+    cases = []
+    for dist in ("independent", "correlated", "anticorrelated"):
+        for n, d, seed in ((40, 3, 1), (80, 4, 2), (60, 5, 3)):
+            cases.append(
+                (f"{dist[:1]}-n{n}-d{d}", generate(dist, n, d, seed=seed))
+            )
+    # Duplicate-heavy low-cardinality workload (Covertype-like).
+    cases.append(
+        ("dup-n80-d4", generate("independent", 80, 4, seed=7, distinct_values=3))
+    )
+    return cases
+
+
+@pytest.fixture(params=small_workloads(), ids=lambda case: case[0])
+def workload(request):
+    """Parametrized small dataset covering all distributions + duplicates."""
+    return request.param[1]

@@ -1,0 +1,171 @@
+"""Tests for skycube analytics and online maintenance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analytics import (
+    membership_masks,
+    minimal_subspaces,
+    most_robust_points,
+    skyline_frequency,
+    subspace_stability,
+)
+from repro.core.bitmask import all_subspaces
+from repro.core.maintain import SkycubeMaintainer
+from repro.core.verify import brute_force_skycube
+from repro.data.generator import generate
+
+
+class TestAnalytics:
+    def test_membership_masks_match_oracle(self, workload):
+        from repro.core.verify import brute_force_membership_masks
+
+        cube = brute_force_skycube(workload)
+        masks = membership_masks(cube)
+        oracle = brute_force_membership_masks(workload)
+        full = (1 << (2 ** workload.shape[1] - 1)) - 1
+        for pid, not_in in oracle.items():
+            assert masks.get(pid, 0) == full & ~not_in
+
+    def test_frequency_flights(self, flights):
+        cube = brute_force_skycube(flights)
+        frequency = skyline_frequency(cube)
+        # Figure 1a: f1 appears in S7, S6, S5, S3 (4 subspaces).
+        assert frequency[1] == 4
+        assert 4 not in frequency  # f4 is in no skyline
+
+    def test_most_robust(self, flights):
+        cube = brute_force_skycube(flights)
+        ranked = most_robust_points(cube, k=2)
+        assert len(ranked) == 2
+        assert ranked[0][1] >= ranked[1][1]
+        with pytest.raises(ValueError):
+            most_robust_points(cube, k=0)
+
+    def test_minimal_subspaces_flights(self, flights):
+        cube = brute_force_skycube(flights)
+        minimal = minimal_subspaces(cube)
+        # f0 is the price minimum: δ=4 is minimal for it.
+        assert 0b100 in minimal[0]
+        # f1 is in S3/S5/S6/S7 but no singleton: minimal = {3, 5, 6}.
+        assert sorted(minimal[1]) == [0b011, 0b101, 0b110]
+        # A point in no skyline has no minimal subspaces.
+        assert minimal_subspaces(cube, point_id=4) == {4: []}
+
+    def test_minimal_subspaces_are_minimal(self, workload):
+        cube = brute_force_skycube(workload)
+        masks = membership_masks(cube)
+        for pid, deltas in minimal_subspaces(cube).items():
+            for delta in deltas:
+                assert masks[pid] & (1 << (delta - 1))
+                from repro.core.bitmask import proper_submasks
+
+                for sub in proper_submasks(delta):
+                    assert not masks[pid] & (1 << (sub - 1))
+
+    def test_subspace_stability(self, flights):
+        cube = brute_force_skycube(flights)
+        # f0 (cheapest): in every superspace of {price}.
+        assert subspace_stability(cube, 0, 0b100)
+        # f3: in S2 and its superspaces S3, S6, S7.
+        assert subspace_stability(cube, 3, 0b010)
+        # f2: in S1 but not in S... S1⊂S3✓ S5✓ S7✓ — stable too; test
+        # a negative: f1 is in S3 but not in singleton subspaces of it.
+        assert not subspace_stability(cube, 1, 0b001)
+        assert not subspace_stability(cube, 4, 0b001)
+
+
+class TestMaintainer:
+    def test_batch_matches_oracle(self, workload):
+        maintainer = SkycubeMaintainer(workload)
+        oracle = brute_force_skycube(workload)
+        for delta in all_subspaces(workload.shape[1]):
+            assert maintainer.skyline(delta) == list(oracle.skyline(delta))
+        assert maintainer.skycube() == oracle
+
+    def test_incremental_equals_batch(self):
+        data = generate("independent", 60, 3, seed=8)
+        maintainer = SkycubeMaintainer(d=3)
+        for row in data:
+            maintainer.insert(row)
+        assert maintainer.skycube() == brute_force_skycube(data)
+
+    def test_insert_then_delete_roundtrip(self):
+        data = generate("anticorrelated", 40, 3, seed=2)
+        maintainer = SkycubeMaintainer(data)
+        before = {d: maintainer.skyline(d) for d in all_subspaces(3)}
+        new_id = maintainer.insert(np.zeros(3))  # dominates everything
+        assert maintainer.skyline(0b111) == [new_id]
+        maintainer.delete(new_id)
+        for delta in all_subspaces(3):
+            assert maintainer.skyline(delta) == before[delta], (
+                f"delete must restore δ={delta:#b}"
+            )
+
+    def test_delete_original_point(self):
+        data = generate("independent", 50, 3, seed=4)
+        maintainer = SkycubeMaintainer(data)
+        victim = maintainer.skyline(0b111)[0]
+        maintainer.delete(victim)
+        remaining = np.array(
+            [row for i, row in enumerate(data) if i != victim]
+        )
+        oracle = brute_force_skycube(remaining)
+        # Compare by value: ids shift after deletion in the oracle.
+        kept_ids = [i for i in range(len(data)) if i != victim]
+        for delta in all_subspaces(3):
+            expected = sorted(kept_ids[j] for j in oracle.skyline(delta))
+            assert maintainer.skyline(delta) == expected
+
+    def test_duplicate_insertion(self):
+        maintainer = SkycubeMaintainer(d=2)
+        a = maintainer.insert([0.5, 0.5])
+        b = maintainer.insert([0.5, 0.5])
+        assert maintainer.skyline(0b11) == [a, b]
+
+    def test_errors(self):
+        maintainer = SkycubeMaintainer(d=2)
+        with pytest.raises(ValueError):
+            maintainer.insert([1.0, 2.0, 3.0])
+        with pytest.raises(ValueError):
+            maintainer.insert([np.nan, 1.0])
+        with pytest.raises(KeyError):
+            maintainer.delete(99)
+        with pytest.raises(ValueError):
+            SkycubeMaintainer()
+        with pytest.raises(ValueError):
+            SkycubeMaintainer(np.zeros((2, 3)), d=4)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["insert", "delete"]),
+                st.lists(st.integers(0, 3).map(float), min_size=3, max_size=3),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    def test_random_update_sequences(self, operations):
+        """After any update sequence, the maintained masks equal a
+        from-scratch computation on the surviving points."""
+        maintainer = SkycubeMaintainer(d=3)
+        live = {}
+        for action, values in operations:
+            if action == "insert" or not live:
+                pid = maintainer.insert(values)
+                live[pid] = values
+            else:
+                victim = sorted(live)[0]
+                maintainer.delete(victim)
+                del live[victim]
+        if not live:
+            return
+        rows = np.array([live[pid] for pid in sorted(live)])
+        oracle = brute_force_skycube(rows)
+        ordered = sorted(live)
+        for delta in all_subspaces(3):
+            expected = sorted(ordered[j] for j in oracle.skyline(delta))
+            assert maintainer.skyline(delta) == expected

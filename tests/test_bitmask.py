@@ -1,0 +1,150 @@
+"""Unit tests for subspace bitmask algebra."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import bitmask as bm
+
+
+class TestPopcount:
+    def test_zero(self):
+        assert bm.popcount(0) == 0
+
+    def test_full(self):
+        assert bm.popcount(0b1111) == 4
+
+    def test_sparse(self):
+        assert bm.popcount(0b1010001) == 3
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_matches_bin_count(self, value):
+        assert bm.popcount(value) == bin(value).count("1")
+
+
+class TestFullSpace:
+    def test_values(self):
+        assert bm.full_space(1) == 1
+        assert bm.full_space(4) == 15
+        assert bm.full_space(16) == 65535
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bm.full_space(0)
+
+
+class TestSubspaceRelations:
+    def test_validity(self):
+        assert bm.is_valid_subspace(1, 3)
+        assert bm.is_valid_subspace(7, 3)
+        assert not bm.is_valid_subspace(0, 3)
+        assert not bm.is_valid_subspace(8, 3)
+
+    def test_subspace_of(self):
+        assert bm.is_subspace_of(0b010, 0b110)
+        assert bm.is_subspace_of(0b110, 0b110)
+        assert not bm.is_subspace_of(0b101, 0b110)
+
+    def test_strict_subspace(self):
+        assert bm.is_strict_subspace_of(0b010, 0b110)
+        assert not bm.is_strict_subspace_of(0b110, 0b110)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_subspace_iff_and_identity(self, a, b):
+        assert bm.is_subspace_of(a, b) == ((a | b) == b)
+
+
+class TestDims:
+    def test_roundtrip(self):
+        for mask in (1, 5, 0b1101, 0b100000):
+            assert bm.mask_from_dims(bm.dims_of(mask)) == mask
+
+    def test_dims_sorted(self):
+        assert bm.dims_of(0b1011) == [0, 1, 3]
+
+    def test_mask_from_dims_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bm.mask_from_dims([-1])
+
+    @given(st.sets(st.integers(0, 20)))
+    def test_mask_from_dims_roundtrip(self, dims):
+        assert set(bm.dims_of(bm.mask_from_dims(sorted(dims)))) == dims
+
+
+class TestEnumeration:
+    def test_all_subspaces_count(self):
+        assert len(list(bm.all_subspaces(4))) == 15
+
+    def test_level_counts_binomial(self):
+        for d in range(1, 8):
+            for level in range(1, d + 1):
+                assert len(bm.subspaces_at_level(d, level)) == math.comb(d, level)
+
+    def test_level_popcounts(self):
+        for delta in bm.subspaces_at_level(6, 3):
+            assert bm.popcount(delta) == 3
+
+    def test_level_sorted_ascending(self):
+        masks = bm.subspaces_at_level(8, 4)
+        assert masks == sorted(masks)
+
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            bm.subspaces_at_level(4, 0)
+        with pytest.raises(ValueError):
+            bm.subspaces_at_level(4, 5)
+
+    def test_levels_top_down_order_and_partition(self):
+        seen = []
+        levels = []
+        for level, masks in bm.levels_top_down(5):
+            levels.append(level)
+            seen.extend(masks)
+        assert levels == [5, 4, 3, 2, 1]
+        assert sorted(seen) == list(bm.all_subspaces(5))
+
+
+class TestSubmasks:
+    def test_counts(self):
+        assert len(list(bm.submasks(0b111))) == 7
+        assert len(list(bm.proper_submasks(0b111))) == 6
+
+    def test_all_are_submasks(self):
+        mask = 0b10110
+        for sub in bm.submasks(mask):
+            assert bm.is_subspace_of(sub, mask)
+
+    def test_empty_mask(self):
+        assert list(bm.submasks(0)) == []
+
+    @given(st.integers(1, 1023))
+    def test_submask_count_is_2k_minus_1(self, mask):
+        assert len(list(bm.submasks(mask))) == 2 ** bm.popcount(mask) - 1
+
+
+class TestNeighbours:
+    def test_immediate_subspaces(self):
+        assert sorted(bm.immediate_subspaces(0b110)) == [0b010, 0b100]
+        assert bm.immediate_subspaces(0b1) == []
+
+    def test_immediate_superspaces(self):
+        assert sorted(bm.immediate_superspaces(0b010, 3)) == [0b011, 0b110]
+        assert bm.immediate_superspaces(0b111, 3) == []
+
+    @given(st.integers(1, 255))
+    def test_neighbour_levels(self, delta):
+        d = 8
+        for child in bm.immediate_subspaces(delta):
+            assert bm.popcount(child) == bm.popcount(delta) - 1
+        for parent in bm.immediate_superspaces(delta, d):
+            assert bm.popcount(parent) == bm.popcount(delta) + 1
+
+
+class TestMisc:
+    def test_format_mask(self):
+        assert bm.format_mask(0b101, 5) == "00101"
+
+    def test_lattice_width(self):
+        assert bm.lattice_width(4) == 6
+        assert bm.lattice_width(12) == math.comb(12, 6)

@@ -1,0 +1,83 @@
+"""Tests for the command-line interfaces."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main as repro_main
+from repro.data.io import save_dataset
+from repro.experiments.__main__ import main as experiments_main
+
+
+@pytest.fixture
+def dataset_file(tmp_path, flights):
+    path = tmp_path / "flights.txt"
+    save_dataset(flights, path)
+    return str(path)
+
+
+class TestReproCLI:
+    def test_skyline(self, dataset_file, capsys):
+        assert repro_main(["skyline", dataset_file, "--subspace", "0b011"]) == 0
+        out = capsys.readouterr().out
+        assert "skyline: 3 of 5" in out
+        assert "1 2 3" in out
+
+    def test_skyline_extended(self, dataset_file, capsys):
+        repro_main(["skyline", dataset_file, "--subspace", "0b011", "--extended"])
+        assert "extended skyline: 4 of 5" in capsys.readouterr().out
+
+    def test_skyline_dims_syntax(self, dataset_file, capsys):
+        repro_main(["skyline", dataset_file, "--subspace", "0,1"])
+        assert "3 of 5" in capsys.readouterr().out
+
+    def test_skycube(self, dataset_file, capsys):
+        code = repro_main(
+            ["skycube", dataset_file, "--algorithm", "stsc",
+             "--show", "0b100", "0b011"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "materialised 7 subspace skylines" in out
+        assert "S_0b100: 1 points: 0" in out
+
+    def test_skycube_partial(self, dataset_file, capsys):
+        repro_main(["skycube", dataset_file, "--max-level", "1",
+                    "--show", "0b001"])
+        assert "materialised 3 subspace skylines" in capsys.readouterr().out
+
+    def test_generate_and_stats(self, tmp_path, capsys):
+        out_path = str(tmp_path / "gen.npy")
+        repro_main(["generate", "correlated", "200", "4",
+                    "--seed", "3", "--out", out_path])
+        assert "wrote 200 x 4" in capsys.readouterr().out
+        repro_main(["stats", out_path])
+        out = capsys.readouterr().out
+        assert "n=200 d=4" in out and "|S+|" in out
+
+    def test_bad_inputs(self, dataset_file, tmp_path):
+        with pytest.raises(SystemExit):
+            repro_main(["skyline", dataset_file, "--subspace", "0b1000"])
+        with pytest.raises(SystemExit):
+            repro_main(["skyline", str(tmp_path / "missing.txt")])
+        with pytest.raises(SystemExit):
+            repro_main(["skycube", dataset_file, "--algorithm", "magic"])
+        with pytest.raises(SystemExit):
+            repro_main(["skyline", dataset_file, "--subspace", "pizza"])
+
+
+class TestExperimentsCLI:
+    def test_single_experiment(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert experiments_main(["table02"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert (tmp_path / "table02.txt").exists()
+
+    def test_no_save(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        experiments_main(["table02", "--no-save"])
+        assert not (tmp_path / "table02.txt").exists()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            experiments_main(["fig99"])

@@ -1,0 +1,164 @@
+"""Tests for synthetic generators, real stand-ins and dataset I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.generator import anticorrelated, correlated, generate, independent
+from repro.data.io import load_dataset, save_dataset
+from repro.data.realistic import REAL_DATASETS, dataset_summary, load_real
+
+
+class TestGenerator:
+    def test_shapes_and_ranges(self):
+        for dist in ("independent", "correlated", "anticorrelated"):
+            data = generate(dist, 200, 5, seed=1)
+            assert data.shape == (200, 5)
+            assert np.all(data >= 0.0) and np.all(data <= 1.0)
+            assert not np.any(np.isnan(data))
+
+    def test_deterministic(self):
+        a = generate("independent", 100, 4, seed=3)
+        b = generate("independent", 100, 4, seed=3)
+        assert np.array_equal(a, b)
+
+    def test_seeds_differ(self):
+        a = generate("independent", 100, 4, seed=3)
+        b = generate("independent", 100, 4, seed=4)
+        assert not np.array_equal(a, b)
+
+    def test_single_letter_aliases(self):
+        assert np.array_equal(
+            generate("A", 50, 3, seed=1), generate("anticorrelated", 50, 3, seed=1)
+        )
+        assert np.array_equal(
+            generate("i", 50, 3, seed=1), generate("independent", 50, 3, seed=1)
+        )
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            generate("zipfian", 10, 2)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            generate("independent", 0, 3)
+        with pytest.raises(ValueError):
+            generate("independent", 10, 0)
+
+    def test_correlation_signs(self):
+        """The distributions must actually correlate as named."""
+        corr = correlated(3000, 2, seed=5)
+        anti = anticorrelated(3000, 2, seed=5)
+        indep = independent(3000, 2, seed=5)
+        assert np.corrcoef(corr[:, 0], corr[:, 1])[0, 1] > 0.5
+        assert np.corrcoef(anti[:, 0], anti[:, 1])[0, 1] < -0.2
+        assert abs(np.corrcoef(indep[:, 0], indep[:, 1])[0, 1]) < 0.1
+
+    def test_skyline_size_ordering(self):
+        """Anticorrelated skylines dwarf correlated ones (the premise
+        of every workload figure)."""
+        from repro.core.skyline import skyline_indices
+
+        sizes = {}
+        for dist in ("anticorrelated", "independent", "correlated"):
+            data = generate(dist, 400, 5, seed=2)
+            sizes[dist] = len(skyline_indices(data))
+        assert sizes["anticorrelated"] > sizes["independent"] > sizes["correlated"]
+
+    def test_distinct_values_quantisation(self):
+        data = generate("independent", 500, 3, seed=1, distinct_values=4)
+        for column in data.T:
+            assert len(np.unique(column)) <= 4
+
+    def test_distinct_values_bounds(self):
+        with pytest.raises(ValueError):
+            generate("independent", 10, 2, distinct_values=1)
+
+    @given(st.integers(1, 200), st.integers(1, 8), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_any_size_valid(self, n, d, seed):
+        data = generate("anticorrelated", n, d, seed=seed)
+        assert data.shape == (n, d)
+        assert np.all((data >= 0) & (data <= 1))
+
+
+class TestRealStandIns:
+    def test_registry(self):
+        assert set(REAL_DATASETS) == {"NBA", "HH", "CT", "WE"}
+
+    def test_dimensions_match_table2(self):
+        for name, d in (("NBA", 8), ("HH", 6), ("CT", 10), ("WE", 15)):
+            data = load_real(name, scale=0.005)
+            assert data.shape[1] == d
+
+    def test_scaled_sizes(self):
+        data = load_real("NBA", scale=0.1)
+        assert abs(data.shape[0] - 1726) <= 1
+
+    def test_minimum_size_floor(self):
+        assert load_real("NBA", scale=1e-9).shape[0] == 64
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            load_real("CT", scale=0.001, seed=2), load_real("CT", scale=0.001, seed=2)
+        )
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_real("IMDB")
+
+    def test_extended_skyline_structure(self):
+        """The structural property each stand-in exists to reproduce."""
+        summaries = {
+            name: dataset_summary(name, scale=scale)
+            for name, scale in (
+                ("NBA", 0.02), ("HH", 0.005), ("CT", 0.001), ("WE", 0.001)
+            )
+        }
+        assert summaries["NBA"]["extended_fraction"] < 0.3
+        assert summaries["HH"]["extended_fraction"] < 0.2
+        assert summaries["CT"]["extended_fraction"] > 0.5
+        assert 0.03 < summaries["WE"]["extended_fraction"] < 0.7
+
+    def test_ct_low_cardinality(self):
+        """CT's duplicate-heavy attributes (max 192 distinct values)."""
+        data = load_real("CT", scale=0.002)
+        for column in data.T:
+            assert len(np.unique(column)) <= 192
+
+    def test_values_in_unit_range(self):
+        for name in REAL_DATASETS:
+            data = load_real(name, scale=0.003)
+            assert np.all((data >= 0) & (data <= 1))
+            assert not np.any(np.isnan(data))
+
+
+class TestIO:
+    def test_text_roundtrip(self, tmp_path):
+        data = generate("independent", 30, 4, seed=1)
+        path = tmp_path / "points.txt"
+        save_dataset(data, path)
+        loaded = load_dataset(path)
+        assert np.allclose(loaded, data)
+
+    def test_npy_roundtrip(self, tmp_path):
+        data = generate("correlated", 30, 4, seed=1)
+        path = tmp_path / "points.npy"
+        save_dataset(data, path)
+        assert np.array_equal(load_dataset(path), data)
+
+    def test_single_point_text(self, tmp_path):
+        data = np.array([[0.5, 0.25]])
+        path = tmp_path / "one.txt"
+        save_dataset(data, path)
+        assert load_dataset(path).shape == (1, 2)
+
+    def test_rejects_bad_shapes(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_dataset(np.array([1.0, 2.0]), tmp_path / "bad.txt")
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.npy"
+        np.save(path, np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            load_dataset(path)

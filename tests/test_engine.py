@@ -1,0 +1,65 @@
+"""Fast-engine kernels must match the reference implementations."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.bitmask import all_subspaces
+from repro.core.skyline import extended_skyline_indices, skyline_indices
+from repro.core.verify import brute_force_skycube
+from repro.data.generator import generate
+from repro.engine import fast_extended_skyline, fast_skycube, fast_skyline
+
+
+class TestFastSkyline:
+    def test_matches_reference(self, workload):
+        d = workload.shape[1]
+        for delta in all_subspaces(d):
+            assert list(fast_skyline(workload, delta)) == skyline_indices(
+                workload, delta
+            )
+
+    def test_extended_matches_reference(self, workload):
+        d = workload.shape[1]
+        for delta in all_subspaces(d):
+            got = list(fast_extended_skyline(workload, delta))
+            assert got == extended_skyline_indices(workload, delta)
+
+    def test_flights(self, flights):
+        assert list(fast_skyline(flights, 0b011)) == [1, 2, 3]
+        assert list(fast_extended_skyline(flights, 0b011)) == [1, 2, 3, 4]
+
+    def test_larger_than_block(self):
+        data = generate("anticorrelated", 1500, 4, seed=8)
+        assert list(fast_skyline(data)) == skyline_indices(data)
+
+    def test_duplicates(self):
+        data = np.tile([[0.25, 0.5]], (700, 1))
+        assert len(fast_skyline(data)) == 700
+
+    def test_invalid(self, flights):
+        with pytest.raises(ValueError):
+            fast_skyline(flights, 0)
+        with pytest.raises(ValueError):
+            fast_skyline(np.empty((0, 3)))
+
+
+class TestFastSkycube:
+    def test_matches_oracle(self, workload):
+        assert fast_skycube(workload) == brute_force_skycube(workload)
+
+    def test_partial(self, workload):
+        cube = fast_skycube(workload, max_level=2)
+        oracle = brute_force_skycube(workload, max_level=2)
+        assert cube == oracle
+
+    def test_medium_scale(self):
+        data = generate("independent", 3000, 6, seed=4)
+        cube = fast_skycube(data)
+        for delta in (1, 0b101, 0b111111):
+            assert list(cube.skyline(delta)) == skyline_indices(data, delta)
+
+    def test_invalid_level(self, flights):
+        with pytest.raises(ValueError):
+            fast_skycube(flights, max_level=0)

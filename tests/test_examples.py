@@ -1,0 +1,23 @@
+"""Smoke tests: every shipped example runs end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.stem} printed nothing"
+
+
+def test_examples_exist():
+    names = {script.stem for script in EXAMPLES}
+    assert {"quickstart", "hotel_finder", "nba_allstars",
+            "heterogeneous_tour", "live_catalog"} <= names

@@ -1,0 +1,83 @@
+"""Smoke tests of the experiment harness (tables, runner, report)."""
+
+import os
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.report import Table, format_seconds
+from repro.experiments.runner import ALGORITHM_KEYS, build_run
+
+
+class TestTable:
+    def test_add_and_lookup(self):
+        table = Table("t", ["k", "v"])
+        table.add_row("a", 1)
+        table.add_row("b", 2.5)
+        assert table.cell("a", "v") == 1
+        assert table.column("v") == [1, 2.5]
+
+    def test_wrong_arity(self):
+        table = Table("t", ["k", "v"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_missing_row(self):
+        table = Table("t", ["k", "v"])
+        with pytest.raises(KeyError):
+            table.cell("nope", "v")
+
+    def test_format_contains_everything(self):
+        table = Table("Title", ["a", "b"], notes=["hello"])
+        table.add_row("x", 12345)
+        text = table.format()
+        assert "Title" in text and "12345" in text and "hello" in text
+
+    def test_save(self, tmp_path):
+        table = Table("T", ["a"])
+        table.add_row(1)
+        path = table.save("out.txt", str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert "T" in handle.read()
+
+    def test_float_rendering(self):
+        table = Table("t", ["v"])
+        table.add_row(0.00001)
+        table.add_row(123456.0)
+        table.add_row(1.5)
+        text = table.format()
+        assert "1.00e-05" in text and "1.23e+05" in text and "1.5" in text
+
+
+class TestFormatSeconds:
+    def test_ranges(self):
+        assert format_seconds(0.0005) == "0.50 ms"
+        assert format_seconds(1.25) == "1.25 s"
+        assert format_seconds(250.0) == "250 s"
+
+
+class TestRunner:
+    def test_cache_returns_same_object(self):
+        a = build_run("mdmc-cpu", "independent", 80, 4, seed=1)
+        b = build_run("mdmc-cpu", "independent", 80, 4, seed=1)
+        assert a is b
+
+    def test_all_keys_buildable(self):
+        for key in ALGORITHM_KEYS:
+            run = build_run(key, "independent", 60, 3, seed=2)
+            assert run.skycube.skyline(0b111)
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError):
+            build_run("magic", "independent", 10, 3)
+
+    def test_registry_covers_every_figure_and_table(self):
+        expected = {
+            "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+            "fig10", "fig11", "fig12", "fig13", "table02", "table03",
+            "ablations",
+        }
+        assert set(EXPERIMENTS) == expected
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)

@@ -1,0 +1,120 @@
+"""Tests for the related-work extensions: ClosedSkycube and SUBSKY."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmask import all_subspaces, is_subspace_of
+from repro.core.closed import ClosedSkycube
+from repro.core.verify import brute_force_skycube
+from repro.data.generator import generate
+from repro.instrument.counters import Counters
+from repro.query import SubskyIndex
+
+
+class TestClosedSkycube:
+    def build(self, workload):
+        lattice = brute_force_skycube(workload).as_lattice()
+        return lattice, ClosedSkycube.from_lattice(lattice)
+
+    def test_queries_match_lattice(self, workload):
+        lattice, closed = self.build(workload)
+        for delta in all_subspaces(workload.shape[1]):
+            assert closed.skyline(delta) == lattice.skyline(delta)
+
+    def test_compresses(self, workload):
+        lattice, closed = self.build(workload)
+        assert closed.num_classes() <= len(lattice.materialised_subspaces())
+        assert closed.total_ids_stored() <= lattice.total_ids_stored()
+
+    def test_correlated_data_compresses_hard(self):
+        """Tiny skylines repeat across subspaces → few classes."""
+        data = generate("correlated", 200, 6, seed=4)
+        lattice = brute_force_skycube(data).as_lattice()
+        closed = ClosedSkycube.from_lattice(lattice)
+        assert closed.num_classes() < 63 / 2
+        assert closed.compression_ratio_vs(lattice) > 1.5
+
+    def test_closed_subspaces_are_maximal(self, workload):
+        _, closed = self.build(workload)
+        for delta in all_subspaces(workload.shape[1]):
+            maximal = closed.closed_subspaces(delta)
+            assert maximal, "every class has at least one closed subspace"
+            for closed_delta in maximal:
+                assert closed.skyline(closed_delta) == closed.skyline(delta)
+            # No closed member contains another.
+            for a in maximal:
+                for b in maximal:
+                    assert a == b or not is_subspace_of(a, b)
+
+    def test_class_sizes_partition_lattice(self, workload):
+        _, closed = self.build(workload)
+        total = sum(size * count for size, count in closed.class_sizes().items())
+        assert total == 2 ** workload.shape[1] - 1
+
+    def test_rejects_incomplete(self):
+        from repro.core.lattice import Lattice
+
+        partial = Lattice(3)
+        partial.set_cuboid(0b111, [0])
+        with pytest.raises(ValueError):
+            ClosedSkycube.from_lattice(partial)
+
+    def test_invalid_query(self, workload):
+        _, closed = self.build(workload)
+        with pytest.raises(KeyError):
+            closed.skyline(0)
+
+
+class TestSubskyIndex:
+    def test_exact_on_every_subspace(self, workload):
+        from repro.core.skyline import skyline_indices
+
+        index = SubskyIndex(workload, num_anchors=3)
+        for delta in all_subspaces(workload.shape[1]):
+            assert index.subspace_skyline(delta) == skyline_indices(
+                workload, delta
+            )
+
+    def test_anchor_counts(self, workload):
+        from repro.core.skyline import skyline_indices
+
+        full = (1 << workload.shape[1]) - 1
+        for anchors in (1, 2, 8):
+            index = SubskyIndex(workload, num_anchors=anchors)
+            assert index.subspace_skyline(full) == skyline_indices(workload)
+
+    def test_pruning_saves_work_on_correlated_data(self):
+        data = generate("correlated", 800, 4, seed=2)
+        index = SubskyIndex(data)
+        counters = Counters()
+        index.subspace_skyline(0b1111, counters)
+        assert counters.values_loaded < 4 * len(data) / 2, (
+            "early termination should skip most of a correlated dataset"
+        )
+
+    def test_degrades_with_dimensionality(self):
+        """The paper's point: ad-hoc pruning collapses as d grows."""
+        visited = {}
+        for d in (2, 6):
+            data = generate("independent", 400, d, seed=5)
+            index = SubskyIndex(data)
+            counters = Counters()
+            index.subspace_skyline((1 << d) - 1, counters)
+            visited[d] = counters.values_loaded / d
+        assert visited[6] > visited[2]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            SubskyIndex(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            SubskyIndex(np.array([[np.nan, 1.0]]))
+        with pytest.raises(ValueError):
+            SubskyIndex(np.array([[1.0, 2.0]]), num_anchors=0)
+        index = SubskyIndex(np.array([[1.0, 2.0]]))
+        with pytest.raises(ValueError):
+            index.subspace_skyline(0)
+
+    def test_memory_linear(self):
+        data = generate("independent", 500, 4, seed=0)
+        index = SubskyIndex(data)
+        assert index.memory_bytes() < 16 * 500 + 1024

@@ -1,0 +1,62 @@
+"""Failure-injection tests: malformed inputs must fail loudly."""
+
+import numpy as np
+import pytest
+
+from repro.core.skycube import Skycube
+from repro.engine import fast_skycube, fast_skyline
+from repro.skycube import QSkycube
+from repro.skyline import BSkyTree, Hybrid
+from repro.templates import MDMC, SDSC, STSC
+
+
+NAN_DATA = np.array([[0.1, np.nan], [0.2, 0.3]])
+RAGGED = np.array([1.0, 2.0, 3.0])
+
+
+class TestNaNRejection:
+    def test_skyline_algorithms(self):
+        for algorithm in (BSkyTree(), Hybrid()):
+            with pytest.raises(ValueError, match="NaN"):
+                algorithm.compute(NAN_DATA)
+
+    def test_skycube_algorithms(self):
+        for builder in (QSkycube(), STSC(), SDSC("cpu"), MDMC("cpu")):
+            with pytest.raises(ValueError, match="NaN"):
+                builder.materialise(NAN_DATA)
+
+
+class TestShapeRejection:
+    def test_one_dimensional(self):
+        with pytest.raises(ValueError):
+            QSkycube().materialise(RAGGED)
+        with pytest.raises(ValueError):
+            Hybrid().compute(RAGGED)
+
+    def test_empty_dataset(self):
+        with pytest.raises(ValueError):
+            MDMC("cpu").materialise(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            fast_skyline(np.empty((0, 3)))
+
+    def test_infinities_are_legal(self):
+        # ±inf is an ordered value: dominance is well-defined.
+        data = np.array([[0.0, np.inf], [1.0, 1.0], [-np.inf, 2.0]])
+        cube = fast_skycube(data)
+        assert cube.skyline(0b11)  # does not raise, returns something
+
+    def test_out_of_range_subspace_everywhere(self):
+        data = np.array([[0.1, 0.2]])
+        run = STSC().materialise(data)
+        with pytest.raises(KeyError):
+            run.skycube.skyline(0b100)
+        with pytest.raises(KeyError):
+            run.skycube.skyline(0)
+
+
+class TestFacadeMisuse:
+    def test_skycube_without_data_blocks_point_queries(self):
+        run = QSkycube().materialise(np.array([[0.1, 0.2]]))
+        cube = Skycube(run.skycube.store)  # re-wrap without data
+        with pytest.raises(ValueError):
+            cube.skyline_points(0b11)

@@ -1,0 +1,177 @@
+"""Tests for the LRU cache/TLB simulators and scheduler."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.cache import LINE_BYTES, Cache, CacheHierarchy, TLB
+from repro.hardware.schedule import lpt_assign, lpt_makespan
+
+
+class TestCache:
+    def test_repeat_access_hits(self):
+        cache = Cache(64 * 1024)
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.access(0x1020)  # same 64-byte line
+
+    def test_capacity_eviction(self):
+        cache = Cache(8 * LINE_BYTES, ways=8)  # one set, 8 ways
+        for i in range(9):
+            cache.access(i * LINE_BYTES * cache.num_sets)
+        # First line was LRU-evicted by the ninth insert.
+        assert not cache.access(0)
+
+    def test_lru_order(self):
+        cache = Cache(2 * LINE_BYTES, ways=2)  # one set, two ways
+        cache.access(0)
+        cache.access(LINE_BYTES)
+        cache.access(0)  # refresh line 0
+        cache.access(2 * LINE_BYTES)  # evicts line 1 (LRU)
+        assert cache.access(0)
+        assert not cache.access(LINE_BYTES)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(LINE_BYTES, ways=8)
+
+    def test_streaming_large_array_misses_every_line(self):
+        cache = Cache(32 * 1024)
+        hierarchy = CacheHierarchy({"l2": cache})
+        misses = hierarchy.stream(0, 1024 * 1024)
+        assert misses["l2"] == 1024 * 1024 // LINE_BYTES
+
+    def test_resident_structure_hits_after_warmup(self):
+        cache = Cache(64 * 1024)
+        hierarchy = CacheHierarchy({"l2": cache})
+        hierarchy.stream(0, 16 * 1024)  # warm
+        cache.reset_stats()
+        hierarchy.stream(0, 16 * 1024)
+        assert cache.stats.miss_rate < 0.05
+
+    def test_hierarchy_probe_order(self):
+        l2 = Cache(4 * 1024, ways=4)
+        l3 = Cache(64 * 1024, ways=8)
+        hierarchy = CacheHierarchy({"l2": l2, "l3": l3})
+        assert hierarchy.access(0) == "memory"
+        assert hierarchy.access(0) == "l2"
+        # Evict from tiny L2 by streaming, then find it in L3.
+        for i in range(1, 200):
+            hierarchy.access(i * LINE_BYTES)
+        assert hierarchy.access(0) == "l3"
+
+    def test_empty_hierarchy_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy({})
+
+
+class TestContentionBehaviour:
+    """The qualitative claims the analytic model encodes."""
+
+    def test_two_interleaved_working_sets_thrash(self):
+        """Two 'threads' sharing a cache evict each other once their
+        combined working set exceeds capacity (the L3 story of Fig 8)."""
+        capacity = 64 * 1024
+        solo = Cache(capacity)
+        CacheHierarchy({"c": solo}).stream(0, 48 * 1024)
+        solo.reset_stats()
+        CacheHierarchy({"c": solo}).stream(0, 48 * 1024)
+        solo_rate = solo.stats.miss_rate
+
+        shared = Cache(capacity)
+        hierarchy = CacheHierarchy({"c": shared})
+        # warm both, then interleave accesses of two 48 KB sets.
+        hierarchy.stream(0, 48 * 1024)
+        hierarchy.stream(1 << 20, 48 * 1024)
+        shared.reset_stats()
+        for offset in range(0, 48 * 1024, LINE_BYTES):
+            hierarchy.access(offset)
+            hierarchy.access((1 << 20) + offset)
+        assert shared.stats.miss_rate > solo_rate + 0.3
+
+    def test_miss_fraction_matches_simulator(self):
+        """The closed form tracks steady-state LRU under the random
+        re-touch pattern it models (cyclic scans are LRU's worst case
+        and intentionally not what the formula describes)."""
+        import numpy as np
+
+        from repro.hardware.model import miss_fraction
+
+        capacity = 32 * 1024
+        rng = np.random.default_rng(0)
+        for ws_factor in (0.5, 2.0, 4.0):
+            ws = int(capacity * ws_factor)
+            lines = ws // LINE_BYTES
+            cache = Cache(capacity, ways=16)
+            addresses = rng.integers(0, lines, 6 * lines) * LINE_BYTES
+            for address in addresses[: 2 * lines]:  # warm
+                cache.access(int(address))
+            cache.reset_stats()
+            for address in addresses[2 * lines:]:
+                cache.access(int(address))
+            predicted = miss_fraction(ws, capacity)
+            assert abs(cache.stats.miss_rate - predicted) < 0.15, (
+                f"ws={ws_factor}×cap: sim={cache.stats.miss_rate:.3f} "
+                f"model={predicted:.3f}"
+            )
+
+
+class TestTLB:
+    def test_page_granularity(self):
+        tlb = TLB(entries=4, page_bytes=4096)
+        assert not tlb.access(0)
+        assert tlb.access(100)  # same page
+        assert not tlb.access(4096)
+
+    def test_eviction(self):
+        tlb = TLB(entries=2, page_bytes=4096)
+        tlb.access(0)
+        tlb.access(4096)
+        tlb.access(8192)
+        assert not tlb.access(0)
+
+    def test_coverage(self):
+        assert TLB(entries=1024, page_bytes=4096).coverage_bytes == 4 * 1024 * 1024
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            TLB(entries=0)
+
+
+class TestScheduler:
+    def test_single_worker_sums(self):
+        assert lpt_makespan([3.0, 1.0, 2.0], 1) == 6.0
+
+    def test_perfect_split(self):
+        assert lpt_makespan([2.0, 2.0, 2.0, 2.0], 2) == 4.0
+
+    def test_dominant_task_bounds_makespan(self):
+        assert lpt_makespan([10.0, 1.0, 1.0], 4) == 10.0
+
+    def test_empty(self):
+        assert lpt_makespan([], 4) == 0.0
+        assert lpt_assign([], 2) == [[], []]
+
+    def test_assignment_covers_all_tasks(self):
+        bins = lpt_assign([5.0, 3.0, 2.0, 2.0, 1.0], 2)
+        assert sorted(i for b in bins for i in b) == [0, 1, 2, 3, 4]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            lpt_makespan([1.0], 0)
+
+    @given(
+        st.lists(st.floats(0.1, 100.0), min_size=1, max_size=30),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_makespan_bounds(self, costs, workers):
+        makespan = lpt_makespan(costs, workers)
+        assert makespan >= max(costs) - 1e-9
+        assert makespan >= sum(costs) / workers - 1e-9
+        assert makespan <= sum(costs) + 1e-9
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_more_workers_never_worse(self, costs):
+        times = [lpt_makespan(costs, w) for w in (1, 2, 4, 8)]
+        assert all(a >= b - 1e-9 for a, b in zip(times, times[1:]))

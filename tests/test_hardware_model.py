@@ -1,0 +1,196 @@
+"""Tests for the analytic cost model and device configurations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.config import CPUConfig, GPUConfig, gtx_titan, paper_platform
+from repro.hardware.model import (
+    CPUContext,
+    cpu_task_cost,
+    gpu_phase_cost,
+    miss_fraction,
+)
+from repro.instrument.counters import Counters
+from repro.instrument.profile import MemoryProfile
+
+
+def typical_counters(scale: int = 1000) -> Counters:
+    counters = Counters()
+    counters.dominance_tests = 10 * scale
+    counters.mask_tests = 30 * scale
+    counters.values_loaded = 100 * scale
+    counters.sequential_bytes = 800 * scale
+    counters.random_bytes = 400 * scale
+    counters.pointer_hops = 5 * scale
+    return counters
+
+
+class TestMissFraction:
+    def test_resident(self):
+        assert miss_fraction(1000, 10_000) < 0.05
+
+    def test_oversized(self):
+        assert miss_fraction(20_000, 10_000) == pytest.approx(0.5)
+        assert miss_fraction(100_000, 10_000) == pytest.approx(0.9)
+
+    def test_zero_capacity(self):
+        assert miss_fraction(1000, 0) == 1.0
+
+    @given(st.floats(1, 1e9), st.floats(1, 1e9))
+    @settings(max_examples=50, deadline=None)
+    def test_bounded(self, ws, cap):
+        assert 0.0 <= miss_fraction(ws, cap) <= 1.0
+
+    @given(st.floats(1, 1e9))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_working_set(self, cap):
+        fractions = [miss_fraction(ws, cap) for ws in (cap / 2, cap, 2 * cap, 8 * cap)]
+        assert all(a <= b + 1e-12 for a, b in zip(fractions, fractions[1:]))
+
+
+class TestCPUTaskCost:
+    def test_more_threads_more_misses(self):
+        """Shrinking per-thread L3 quota raises L3 misses (the CPI creep)."""
+        config = CPUConfig().scaled(250)
+        profile = MemoryProfile(data_bytes=100_000, pointer_bytes=80_000)
+        counters = typical_counters()
+        lone = cpu_task_cost(counters, profile, config, CPUContext(threads=1))
+        crowd = cpu_task_cost(counters, profile, config, CPUContext(threads=10))
+        assert crowd.l3_misses >= lone.l3_misses
+        assert crowd.cycles >= lone.cycles
+
+    def test_shared_pointer_numa_penalty(self):
+        """Cross-socket shared pointer structures inflate L3 misses."""
+        config = CPUConfig().scaled(250)
+        profile = MemoryProfile(pointer_bytes=60_000, shared_pointer_bytes=500_000)
+        counters = typical_counters()
+        one = cpu_task_cost(
+            counters, profile, config,
+            CPUContext(threads=10, sockets_used=1, share_pointer_across_tasks=True),
+        )
+        two = cpu_task_cost(
+            counters, profile, config,
+            CPUContext(threads=10, sockets_used=2, share_pointer_across_tasks=True),
+        )
+        assert two.l3_misses > 1.5 * one.l3_misses
+        assert two.l3_stall_cycles > one.l3_stall_cycles
+
+    def test_private_structures_benefit_from_second_socket(self):
+        """Without sharing, two sockets double the available L3."""
+        config = CPUConfig().scaled(250)
+        profile = MemoryProfile(data_bytes=400_000, flat_bytes=100_000)
+        counters = typical_counters()
+        one = cpu_task_cost(counters, profile, config, CPUContext(10, 1))
+        two = cpu_task_cost(counters, profile, config, CPUContext(10, 2))
+        assert two.l3_misses <= one.l3_misses
+
+    def test_sequential_streams_stall_least(self):
+        config = CPUConfig().scaled(250)
+        seq = Counters()
+        seq.sequential_bytes = 10_000_000
+        rand = Counters()
+        rand.random_bytes = 10_000_000
+        profile = MemoryProfile(data_bytes=1_000_000, flat_bytes=1_000_000)
+        context = CPUContext(threads=10)
+        seq_cost = cpu_task_cost(seq, profile, config, context)
+        rand_cost = cpu_task_cost(rand, profile, config, context)
+        assert seq_cost.l3_stall_cycles < rand_cost.l3_stall_cycles
+
+    def test_instructions_preserved(self):
+        config = CPUConfig()
+        counters = typical_counters()
+        cost = cpu_task_cost(counters, MemoryProfile(), config, CPUContext())
+        assert cost.instructions == counters.instructions
+        assert cost.cycles >= cost.instructions * config.base_cpi
+
+    def test_smt_halves_l2(self):
+        config = CPUConfig().scaled(250)
+        profile = MemoryProfile(flat_bytes=config.l2_bytes - 256)
+        counters = Counters()
+        counters.sequential_bytes = 1_000_000
+        fits = cpu_task_cost(counters, profile, config, CPUContext(threads=10))
+        smt = cpu_task_cost(counters, profile, config, CPUContext(threads=20))
+        assert smt.l2_misses > fits.l2_misses
+
+
+class TestGPUPhaseCost:
+    def test_occupancy_starvation(self):
+        """Few parallel tasks leave the device underutilised (SDSC on
+        small cuboids)."""
+        config = GPUConfig().scaled(250)
+        counters = typical_counters()
+        starved = gpu_phase_cost(counters, config, parallel_tasks=4)
+        saturated = gpu_phase_cost(counters, config, parallel_tasks=100_000)
+        assert starved.occupancy < saturated.occupancy
+        assert starved.cycles > saturated.cycles
+
+    def test_state_limits_residency(self):
+        """Big per-point state (high d) throttles MDMC's concurrency."""
+        config = GPUConfig()
+        counters = typical_counters()
+        light = gpu_phase_cost(
+            counters, config, parallel_tasks=10_000, state_bytes_per_task=64
+        )
+        heavy = gpu_phase_cost(
+            counters, config, parallel_tasks=10_000,
+            state_bytes_per_task=16_384,
+        )
+        assert heavy.occupancy <= light.occupancy
+
+    def test_divergence_costs_cycles(self):
+        config = GPUConfig()
+        smooth = typical_counters()
+        divergent = typical_counters()
+        divergent.branch_divergences = 100_000
+        a = gpu_phase_cost(smooth, config, parallel_tasks=1000)
+        b = gpu_phase_cost(divergent, config, parallel_tasks=1000)
+        assert b.compute_cycles > a.compute_cycles
+
+    def test_coalescing_beats_scatter(self):
+        config = GPUConfig()
+        coalesced, scattered = Counters(), Counters()
+        coalesced.sequential_bytes = 10_000_000
+        scattered.random_bytes = 10_000_000
+        a = gpu_phase_cost(coalesced, config, parallel_tasks=1000)
+        b = gpu_phase_cost(scattered, config, parallel_tasks=1000)
+        assert b.memory_cycles > 4 * a.memory_cycles
+
+    def test_titan_slower_on_compute_bound_kernels(self):
+        # Kepler's poor sustained issue rate loses on compute-bound
+        # kernels (it can still win memory-bound ones: more bandwidth).
+        counters = Counters()
+        counters.dominance_tests = 10_000_000
+        counters.bitmask_ops = 50_000_000
+        maxwell = gpu_phase_cost(counters, GPUConfig(), parallel_tasks=10_000)
+        kepler = gpu_phase_cost(counters, gtx_titan(), parallel_tasks=10_000)
+        assert kepler.seconds > maxwell.seconds
+
+
+class TestConfigs:
+    def test_paper_platform(self):
+        platform = paper_platform()
+        assert platform.cpu.physical_cores == 20
+        assert len(platform.gpus) == 3
+        assert len(platform.device_names()) == 5
+
+    def test_scaled_preserves_cores(self):
+        scaled = CPUConfig().scaled(250)
+        assert scaled.physical_cores == 20
+        assert scaled.l3_bytes_per_socket < CPUConfig().l3_bytes_per_socket
+
+    def test_scaled_floors(self):
+        tiny = CPUConfig().scaled(1e9)
+        assert tiny.l2_bytes >= 2048
+        assert tiny.stlb_coverage_bytes >= 4096
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            CPUConfig().scaled(0)
+        with pytest.raises(ValueError):
+            GPUConfig().scaled(-1)
+
+    def test_gpu_derived_properties(self):
+        gpu = GPUConfig()
+        assert gpu.total_cores == 2048
+        assert gpu.max_resident_threads == 32768
+        assert gpu.bytes_per_cycle == pytest.approx(224e9 / 1.126e9)

@@ -1,0 +1,83 @@
+"""Tests for counters and memory profiles."""
+
+from hypothesis import given, strategies as st
+
+from repro.instrument.counters import Counters
+from repro.instrument.profile import MemoryProfile
+
+
+class TestCounters:
+    def test_starts_zero(self):
+        counters = Counters()
+        assert counters.instructions == 0
+        assert all(v == 0 for v in counters.as_dict().values())
+
+    def test_merge_adds(self):
+        a, b = Counters(), Counters()
+        a.dominance_tests = 3
+        a.extra["warp_votes"] = 2
+        b.dominance_tests = 4
+        b.mask_tests = 5
+        b.extra["warp_votes"] = 1
+        a.merge(b)
+        assert a.dominance_tests == 7
+        assert a.mask_tests == 5
+        assert a.extra["warp_votes"] == 3
+
+    def test_copy_independent(self):
+        a = Counters()
+        a.mask_tests = 2
+        b = a.copy()
+        b.mask_tests = 99
+        assert a.mask_tests == 2
+
+    def test_reset(self):
+        a = Counters()
+        a.values_loaded = 10
+        a.extra["x"] = 1
+        a.reset()
+        assert a.values_loaded == 0
+        assert a.extra == {}
+
+    def test_instructions_monotone_in_work(self):
+        a, b = Counters(), Counters()
+        b.dominance_tests = 100
+        assert b.instructions > a.instructions
+
+    def test_str_omits_zeros(self):
+        a = Counters()
+        a.sync_points = 3
+        text = str(a)
+        assert "sync_points=3" in text
+        assert "dominance_tests" not in text
+
+    @given(st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_merge_commutative_on_totals(self, x, y):
+        a, b = Counters(), Counters()
+        a.dominance_tests, b.dominance_tests = x, y
+        left = Counters().merge(a).merge(b)
+        right = Counters().merge(b).merge(a)
+        assert left.dominance_tests == right.dominance_tests
+
+
+class TestMemoryProfile:
+    def test_working_sets(self):
+        profile = MemoryProfile(
+            data_bytes=100, pointer_bytes=50, flat_bytes=25,
+            shared_flat_bytes=10, shared_pointer_bytes=5, output_bytes=1,
+        )
+        assert profile.private_working_set() == 175
+        assert profile.total_working_set() == 191
+
+    def test_merge_shared_takes_max(self):
+        a = MemoryProfile(flat_bytes=10, shared_flat_bytes=100)
+        b = MemoryProfile(flat_bytes=20, shared_flat_bytes=60)
+        a.merge(b)
+        assert a.flat_bytes == 30
+        assert a.shared_flat_bytes == 100
+
+    def test_scaled(self):
+        profile = MemoryProfile(data_bytes=100, shared_flat_bytes=40)
+        half = profile.scaled(0.5)
+        assert half.data_bytes == 50
+        assert half.shared_flat_bytes == 40  # shared structures do not split

@@ -1,0 +1,65 @@
+"""Small unit tests for helpers not covered elsewhere."""
+
+import pytest
+
+from repro.hardware.simulate import (
+    device_parallel_efficiency,
+    mdmc_threads_per_point,
+)
+
+
+class TestMDMCBlockSizing:
+    def test_grows_with_dimensionality(self):
+        """Section 6.2: more shared-memory state per point → more
+        threads cooperate on each point."""
+        sizes = [mdmc_threads_per_point(d) for d in (4, 8, 12, 16)]
+        assert sizes == sorted(sizes)
+
+    def test_warp_floor_and_block_ceiling(self):
+        assert mdmc_threads_per_point(4) == 32     # never below a warp
+        assert mdmc_threads_per_point(16) == 1024  # max CUDA block
+
+    def test_mid_range(self):
+        assert mdmc_threads_per_point(12) == (2**12) // 64
+
+
+class TestCooperationEfficiency:
+    def test_degrades_with_threads(self):
+        values = [device_parallel_efficiency(t) for t in (1, 10, 20, 40)]
+        assert values == sorted(values, reverse=True)
+
+    def test_bounded(self):
+        assert 0.0 < device_parallel_efficiency(1000) <= 1.0
+        assert device_parallel_efficiency(1) <= 1.0
+
+
+class TestSkycubeFacadeMisc:
+    def test_to_dict_round_shape(self, flights):
+        from repro.core.verify import brute_force_skycube
+
+        cube = brute_force_skycube(flights)
+        mapping = cube.to_dict()
+        assert len(mapping) == 7
+        assert mapping[0b100] == (0,)
+
+    def test_memory_bytes_positive(self, flights):
+        from repro.core.verify import brute_force_skycube
+
+        assert brute_force_skycube(flights).memory_bytes() > 0
+
+    def test_repr_mentions_store(self, flights):
+        from repro.core.verify import brute_force_skycube
+
+        assert "Lattice" in repr(brute_force_skycube(flights))
+
+
+class TestResultsDir:
+    def test_env_override(self, tmp_path, monkeypatch):
+        from repro.experiments.report import results_dir
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "deep"))
+        path = results_dir()
+        assert path.endswith("deep")
+        import os
+
+        assert os.path.isdir(path)

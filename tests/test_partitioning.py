@@ -1,0 +1,246 @@
+"""Tests for pivot selection and both partitioning trees."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmask import all_subspaces, dims_of
+from repro.core.closures import SubspaceClosures
+from repro.core.skyline import skyline_indices
+from repro.instrument.counters import Counters
+from repro.partitioning.pivots import (
+    balanced_pivot,
+    partition_mask,
+    partition_masks_vectorized,
+    quantile_pivots,
+    random_skyline_pivot,
+)
+from repro.partitioning.recursive_tree import classify_skytree
+from repro.partitioning.static_tree import StaticTree
+
+
+class TestPivots:
+    def test_balanced_pivot_is_skyline_point(self, workload):
+        sky = set(skyline_indices(workload))
+        pivot = balanced_pivot(workload, list(range(len(workload))))
+        assert pivot in sky
+
+    def test_balanced_pivot_subspace(self, workload):
+        d = workload.shape[1]
+        delta = 0b11
+        sky = set(skyline_indices(workload, delta))
+        pivot = balanced_pivot(workload, list(range(len(workload))), delta)
+        assert pivot in sky
+
+    def test_balanced_pivot_subset_ids(self, workload):
+        ids = list(range(0, len(workload), 2))
+        pivot = balanced_pivot(workload, ids)
+        assert pivot in ids
+
+    def test_empty_raises(self, workload):
+        with pytest.raises(ValueError):
+            balanced_pivot(workload, [])
+
+    def test_random_pivot_is_skyline_point(self, workload):
+        sky = set(skyline_indices(workload))
+        for seed in range(3):
+            pivot = random_skyline_pivot(
+                workload, list(range(len(workload))), seed=seed
+            )
+            assert pivot in sky
+
+    def test_quantile_pivots_shape_and_order(self, workload):
+        pivots = quantile_pivots(workload, [0.25, 0.5, 0.75])
+        assert pivots.shape == (3, workload.shape[1])
+        assert np.all(pivots[0] <= pivots[1])
+        assert np.all(pivots[1] <= pivots[2])
+
+    def test_quantile_bounds(self, workload):
+        with pytest.raises(ValueError):
+            quantile_pivots(workload, [0.0])
+
+    def test_partition_mask_figure14(self, flights):
+        # Figure 14 uses f2 as pivot over (price, duration).  In our
+        # (arrival, duration, price) layout, f0 beats f2 on price
+        # (bit 2 unset) but is worse on duration and arrival.
+        mask = partition_mask(flights[0], flights[2])
+        assert mask == 0b011
+
+    def test_partition_masks_vectorized_matches_scalar(self, workload):
+        pivot = np.quantile(workload, 0.5, axis=0)
+        vec = partition_masks_vectorized(workload, pivot)
+        for i in range(0, len(workload), 5):
+            assert int(vec[i]) == partition_mask(workload[i], pivot)
+
+
+class TestRecursiveTree:
+    def test_classification_matches_oracle(self, workload):
+        from repro.core.skyline import skyline_and_extended
+
+        d = workload.shape[1]
+        ids = list(range(len(workload)))
+        for delta in all_subspaces(d):
+            kept, _ = classify_skytree(workload, ids, delta)
+            got_sky = sorted(pid for pid, dom in kept if not dom)
+            got_ext = sorted(pid for pid, _ in kept)
+            exp_sky, exp_ext_only = skyline_and_extended(workload, delta)
+            assert got_sky == exp_sky, f"skyline mismatch in δ={delta:#b}"
+            assert got_ext == sorted(
+                exp_sky + exp_ext_only
+            ), f"extended mismatch in δ={delta:#b}"
+
+    def test_subset_input(self, workload):
+        from repro.core.skyline import skyline_indices
+
+        ids = list(range(0, len(workload), 2))
+        delta = (1 << workload.shape[1]) - 1
+        kept, _ = classify_skytree(workload, ids, delta)
+        sub = workload[np.asarray(ids)]
+        expected = [ids[j] for j in skyline_indices(sub, delta)]
+        assert sorted(pid for pid, dom in kept if not dom) == expected
+
+    def test_empty_input(self, workload):
+        kept, root = classify_skytree(workload, [], 1)
+        assert kept == [] and root is None
+
+    def test_counts_work(self, workload):
+        counters = Counters()
+        delta = (1 << workload.shape[1]) - 1
+        classify_skytree(workload, list(range(len(workload))), delta, counters)
+        assert counters.dominance_tests > 0
+        assert counters.tree_nodes_visited > 0
+
+    def test_all_duplicates(self):
+        data = np.tile([[0.5, 0.5, 0.5]], (20, 1))
+        kept, _ = classify_skytree(data, list(range(20)), 0b111)
+        assert sorted(pid for pid, dom in kept if not dom) == list(range(20))
+
+    def test_deep_chain(self):
+        # Strictly increasing chain: only point 0 survives anywhere.
+        n = 50
+        data = np.column_stack([np.arange(n, dtype=float)] * 2) + [[0.0, 0.0]]
+        kept, _ = classify_skytree(data, list(range(n)), 0b11)
+        assert kept == [(0, False)]
+
+
+class TestStaticTree:
+    def test_masks_have_expected_meaning(self, workload):
+        tree = StaticTree(workload)
+        for pos in range(0, len(tree), 5):
+            pid = int(tree.ids[pos])
+            row = workload[pid][tree.dims]
+            med_mask = int(tree.med[pos])
+            for i in range(tree.k):
+                assert bool(med_mask & (1 << i)) == (row[i] < tree.medians[i])
+
+    def test_leaf_order_sorted_by_path(self, workload):
+        tree = StaticTree(workload)
+        paths = list(zip(tree.med.tolist(), tree.quart.tolist(), tree.octl.tolist()))
+        assert paths == sorted(paths)
+
+    def test_strict_mask_soundness(self, workload):
+        """Every dim claimed strict by the tree really is strict."""
+        tree = StaticTree(workload)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            pos = int(rng.integers(len(tree)))
+            masks = tree.leaf_strict_masks(pos)
+            target = workload[int(tree.ids[pos])][tree.dims]
+            for other in range(0, len(tree), 3):
+                claim = int(masks[other])
+                row = workload[int(tree.ids[other])][tree.dims]
+                for i in dims_of(claim):
+                    assert row[i] < target[i], (
+                        f"tree claimed leaf {other} beats {pos} on dim {i}"
+                    )
+
+    def test_node_strict_mask_soundness(self, workload):
+        tree = StaticTree(workload)
+        for pos in range(0, len(tree), 7):
+            node_masks = tree.node_strict_masks(pos)
+            target = workload[int(tree.ids[pos])][tree.dims]
+            for node_idx, (m, q, start, end) in enumerate(tree.nodes):
+                claim = int(node_masks[node_idx])
+                for leaf in range(start, end):
+                    row = workload[int(tree.ids[leaf])][tree.dims]
+                    for i in dims_of(claim):
+                        assert row[i] < target[i]
+
+    def test_prune_mask_soundness(self, workload):
+        """A pruned dim proves the leaf cannot dominate the target there."""
+        tree = StaticTree(workload)
+        for pos in range(0, len(tree), 7):
+            prune = tree.leaf_prune_masks(pos)
+            target = workload[int(tree.ids[pos])][tree.dims]
+            for other in range(len(tree)):
+                row = workload[int(tree.ids[other])][tree.dims]
+                for i in dims_of(int(prune[other])):
+                    assert row[i] > target[i]
+
+    def test_subspace_tree(self, workload):
+        delta = 0b11
+        tree = StaticTree(workload, delta=delta)
+        assert tree.k == 2
+        assert tree.dims == [0, 1]
+
+    def test_levels_parameter(self, workload):
+        tree1 = StaticTree(workload, levels=1)
+        assert np.all(tree1.quart == 0) and np.all(tree1.octl == 0)
+        tree2 = StaticTree(workload, levels=2)
+        assert np.all(tree2.octl == 0)
+        with pytest.raises(ValueError):
+            StaticTree(workload, levels=4)
+
+    def test_three_levels_filter_at_least_as_strong(self, workload):
+        """Octiles only add strict-dominance evidence (Section 4.3)."""
+        tree2 = StaticTree(workload, levels=2)
+        tree3 = StaticTree(workload, levels=3)
+        for pid in range(0, len(workload), 9):
+            pos2, pos3 = tree2.position_of(pid), tree3.position_of(pid)
+            strength2 = int(
+                np.bitwise_or.reduce(tree2.leaf_strict_masks(pos2))
+            )
+            strength3 = int(
+                np.bitwise_or.reduce(tree3.leaf_strict_masks(pos3))
+            )
+            assert strength2 & strength3 == strength2
+
+    def test_memory_profile(self, workload):
+        tree = StaticTree(workload)
+        assert tree.label_bytes() == 24 * len(workload)
+        assert tree.memory_bytes() > tree.label_bytes()
+
+    def test_empty_raises(self, workload):
+        with pytest.raises(ValueError):
+            StaticTree(workload, ids=[])
+
+
+class TestClosures:
+    def test_closure_bits(self):
+        closures = SubspaceClosures(3)
+        bits = closures.closure(0b101)
+        members = {delta for delta in range(1, 8) if bits & (1 << (delta - 1))}
+        assert members == {0b001, 0b100, 0b101}
+
+    def test_closure_cached(self):
+        closures = SubspaceClosures(4)
+        first = closures.closure(0b1111)
+        assert closures.cache_size() == 1
+        assert closures.closure(0b1111) is first
+
+    def test_dominated_update_matches_definition(self):
+        closures = SubspaceClosures(4)
+        le, eq = 0b1011, 0b0010
+        bits = closures.dominated_update(le, eq)
+        for delta in range(1, 16):
+            expected = (delta & le) == delta and (delta & eq) != delta
+            assert bool(bits & (1 << (delta - 1))) == expected
+
+    def test_empty_masks(self):
+        closures = SubspaceClosures(3)
+        assert closures.closure(0) == 0
+        assert closures.dominated_update(0, 0) == 0
+
+    def test_out_of_range(self):
+        closures = SubspaceClosures(3)
+        with pytest.raises(ValueError):
+            closures.closure(0b1000)

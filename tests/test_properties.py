@@ -1,0 +1,144 @@
+"""Property-based tests of the library's core invariants (hypothesis).
+
+These encode DESIGN.md §5: containment laws between skylines and
+extended skylines, equivalence of every materialisation path, and
+round-trips between representations — on adversarially small random
+datasets where duplicate values and degenerate shapes are common.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitmask import all_subspaces, proper_submasks
+from repro.core.hashcube import HashCube
+from repro.core.skyline import extended_skyline_indices, skyline_indices
+from repro.core.verify import brute_force_skycube
+from repro.engine import fast_skycube, fast_skyline
+from repro.skycube import QSkycube
+from repro.templates import MDMC, STSC
+
+
+def datasets(max_n=16, max_d=4):
+    """Small datasets over a tiny value grid: duplicates guaranteed."""
+    return st.integers(1, max_d).flatmap(
+        lambda d: st.lists(
+            st.lists(st.integers(0, 3).map(float), min_size=d, max_size=d),
+            min_size=1,
+            max_size=max_n,
+        )
+    ).map(np.array)
+
+
+@settings(max_examples=40, deadline=None)
+@given(datasets())
+def test_skyline_inside_extended_inside_all(rows):
+    d = rows.shape[1]
+    for delta in all_subspaces(d):
+        sky = set(skyline_indices(rows, delta))
+        ext = set(extended_skyline_indices(rows, delta))
+        assert sky <= ext <= set(range(len(rows)))
+        assert sky, "skyline of a non-empty set cannot be empty"
+
+
+@settings(max_examples=40, deadline=None)
+@given(datasets())
+def test_extended_skyline_monotone(rows):
+    """S+_δ ⊇ S+_δ' for δ' ⊂ δ — the top-down traversal's licence."""
+    d = rows.shape[1]
+    full = (1 << d) - 1
+    outer = set(extended_skyline_indices(rows, full))
+    for delta in proper_submasks(full):
+        assert set(extended_skyline_indices(rows, delta)) <= outer
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets())
+def test_points_outside_splus_in_no_skyline(rows):
+    """Strictly dominated points appear in no subspace skyline —
+    the fact that lets MDMC restrict itself to S+(P)."""
+    d = rows.shape[1]
+    full = (1 << d) - 1
+    splus = set(extended_skyline_indices(rows, full))
+    for delta in all_subspaces(d):
+        assert set(skyline_indices(rows, delta)) <= splus
+
+
+@settings(max_examples=25, deadline=None)
+@given(datasets())
+def test_all_materialisation_paths_agree(rows):
+    oracle = brute_force_skycube(rows)
+    assert QSkycube().materialise(rows).skycube == oracle
+    assert STSC().materialise(rows).skycube == oracle
+    assert MDMC("cpu").materialise(rows).skycube == oracle
+    assert fast_skycube(rows) == oracle
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets())
+def test_fast_skyline_matches_reference(rows):
+    d = rows.shape[1]
+    for delta in all_subspaces(d):
+        assert list(fast_skyline(rows, delta)) == skyline_indices(rows, delta)
+
+
+@settings(max_examples=40, deadline=None)
+@given(datasets(), st.sampled_from([1, 2, 4, 8, 32]))
+def test_hashcube_lattice_roundtrip(rows, width):
+    lattice = brute_force_skycube(rows).as_lattice()
+    cube = HashCube.from_lattice(lattice, word_width=width)
+    assert cube.to_lattice() == lattice
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets(), st.integers(1, 4))
+def test_partial_matches_full_below_cut(rows, level):
+    d = rows.shape[1]
+    level = min(level, d)
+    full = brute_force_skycube(rows)
+    partial = MDMC("cpu").materialise(rows, max_level=level).skycube
+    for delta in partial.subspaces():
+        assert partial.skyline(delta) == full.skyline(delta)
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets())
+def test_scale_invariance(rows):
+    """Dominance only depends on value order: any strictly increasing
+    per-dimension transform preserves the skycube."""
+    transformed = 3.0 * rows + 7.0
+    assert brute_force_skycube(rows).to_dict() == (
+        brute_force_skycube(transformed).to_dict()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets(max_n=10), st.permutations(range(4)))
+def test_dimension_permutation_consistency(rows, perm):
+    """Permuting dimensions permutes subspace masks accordingly."""
+    d = rows.shape[1]
+    perm = [p for p in perm if p < d]
+    if sorted(perm) != list(range(d)):
+        return
+    permuted = rows[:, perm]
+    original = brute_force_skycube(rows)
+    shuffled = brute_force_skycube(permuted)
+    for delta in all_subspaces(d):
+        # dim j of `permuted` is dim perm[j] of `rows`.
+        mapped = 0
+        for j in range(d):
+            if delta & (1 << j):
+                mapped |= 1 << perm[j]
+        assert shuffled.skyline(delta) == original.skyline(mapped)
+
+
+@settings(max_examples=25, deadline=None)
+@given(datasets(max_n=12))
+def test_adding_dominated_point_changes_nothing(rows):
+    """Appending a point strictly worse than an existing one leaves
+    every subspace skyline unchanged (ids refer to original rows)."""
+    worst = rows.max(axis=0) + 1.0
+    extended = np.vstack([rows, worst])
+    a = brute_force_skycube(rows)
+    b = brute_force_skycube(extended)
+    for delta in all_subspaces(rows.shape[1]):
+        assert a.skyline(delta) == b.skyline(delta)

@@ -1,0 +1,110 @@
+"""Tests for dynamic skylines and skylist compression."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmask import all_subspaces
+from repro.core.skylists import SkylistCube
+from repro.core.verify import brute_force_skycube
+from repro.data.generator import generate
+from repro.query.dynamic import (
+    dynamic_skycube,
+    dynamic_skyline,
+    dynamic_transform,
+)
+from repro.templates import MDMC
+
+
+class TestDynamicSkyline:
+    def test_transform_semantics(self):
+        data = np.array([[1.0, 5.0], [3.0, 3.0]])
+        out = dynamic_transform(data, [2.0, 4.0])
+        assert np.allclose(out, [[1.0, 1.0], [1.0, 1.0]])
+
+    def test_matches_static_at_origin_like_query(self):
+        """With a query below every value, dynamic == static skyline."""
+        from repro.engine import fast_skyline
+
+        data = generate("independent", 200, 4, seed=3)
+        query = np.zeros(4) - 1.0
+        assert dynamic_skyline(data, query) == [
+            int(i) for i in fast_skyline(data)
+        ]
+
+    def test_query_point_relative(self):
+        # Points equidistant around the query: all undominated.
+        data = np.array([[0.0, 2.0], [2.0, 0.0], [2.0, 2.0], [0.0, 0.0]])
+        ids = dynamic_skyline(data, [1.0, 1.0])
+        assert ids == [0, 1, 2, 3]
+        # Move the query: point 3 becomes the unique ideal neighbour.
+        ids = dynamic_skyline(data, [-0.5, -0.5])
+        assert ids == [3]
+
+    def test_dynamic_skycube_matches_per_subspace(self):
+        data = generate("anticorrelated", 80, 3, seed=1)
+        query = np.full(3, 0.4)
+        cube = dynamic_skycube(data, query)
+        transformed = dynamic_transform(data, query)
+        oracle = brute_force_skycube(transformed)
+        for delta in all_subspaces(3):
+            assert cube.skyline(delta) == oracle.skyline(delta)
+
+    def test_dynamic_skycube_any_algorithm(self):
+        data = generate("independent", 60, 3, seed=2)
+        query = np.full(3, 0.5)
+        a = dynamic_skycube(data, query)
+        b = dynamic_skycube(data, query, algorithm=MDMC("cpu"))
+        assert a == b
+
+    def test_attached_points_are_original(self):
+        data = generate("independent", 40, 3, seed=4)
+        cube = dynamic_skycube(data, np.full(3, 0.5))
+        ids = cube.skyline(0b111)
+        assert np.allclose(cube.skyline_points(0b111), data[list(ids)])
+
+    def test_invalid_query(self):
+        data = generate("independent", 10, 3, seed=0)
+        with pytest.raises(ValueError):
+            dynamic_transform(data, [0.1, 0.2])
+        with pytest.raises(ValueError):
+            dynamic_transform(data, [0.1, np.nan, 0.2])
+
+
+class TestSkylistCube:
+    def build(self, workload):
+        lattice = brute_force_skycube(workload).as_lattice()
+        return lattice, SkylistCube.from_lattice(lattice)
+
+    def test_queries_match_lattice(self, workload):
+        lattice, cube = self.build(workload)
+        for delta in all_subspaces(workload.shape[1]):
+            assert cube.skyline(delta) == lattice.skyline(delta)
+
+    def test_roundtrip(self, workload):
+        lattice, cube = self.build(workload)
+        assert cube.to_lattice() == lattice
+
+    def test_tree_covers_every_subspace_once(self, workload):
+        _, cube = self.build(workload)
+        d = workload.shape[1]
+        assert sorted(cube._deltas) == list(all_subspaces(d))
+        roots = [s for s, p in cube._parent.items() if p is None]
+        assert roots == [(1 << d) - 1]
+
+    def test_compresses_on_overlapping_cuboids(self):
+        for dist in ("correlated", "independent"):
+            data = generate(dist, 300, 6, seed=9)
+            lattice = brute_force_skycube(data).as_lattice()
+            cube = SkylistCube.from_lattice(lattice)
+            assert cube.compression_ratio_vs(lattice) > 1.3, dist
+
+    def test_invalid(self, workload):
+        lattice, cube = self.build(workload)
+        with pytest.raises(KeyError):
+            cube.skyline(0)
+        from repro.core.lattice import Lattice
+
+        partial = Lattice(3)
+        partial.set_cuboid(0b111, [0])
+        with pytest.raises(ValueError):
+            SkylistCube.from_lattice(partial)

@@ -1,0 +1,228 @@
+"""Tests for the lattice, HashCube and Skycube facade."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitmask import all_subspaces, full_space
+from repro.core.hashcube import HashCube
+from repro.core.lattice import Lattice
+from repro.core.skycube import Skycube
+from repro.core.verify import brute_force_skycube
+
+
+def figure1_lattice():
+    """The flights skycube of Figure 1a as a Lattice."""
+    return Lattice.from_dict(
+        3,
+        {
+            0b111: [0, 1, 2, 3],
+            0b110: [0, 1, 3],
+            0b101: [0, 1, 2],
+            0b011: [1, 2, 3],
+            0b100: [0],
+            0b010: [3],
+            0b001: [2],
+        },
+    )
+
+
+class TestLattice:
+    def test_figure1_redundancy(self):
+        # The paper notes each id is stored 4 times over 7 subspaces.
+        lattice = figure1_lattice()
+        assert lattice.total_ids_stored() == 16
+        assert lattice.is_complete()
+
+    def test_sorted_storage(self):
+        lattice = Lattice(2)
+        lattice.set_cuboid(0b01, [3, 1, 2])
+        assert lattice.skyline(0b01) == (1, 2, 3)
+
+    def test_extended_bookkeeping(self):
+        lattice = Lattice(2)
+        lattice.set_cuboid(0b11, [0, 1], extended_only_ids=[4])
+        assert lattice.extended_skyline(0b11) == (0, 1, 4)
+        assert lattice.extended_only(0b11) == (4,)
+        assert lattice.input_size(0b11) == 3
+        lattice.drop_extended(0b11)
+        assert lattice.extended_only(0b11) == ()
+        assert lattice.skyline(0b11) == (0, 1)
+
+    def test_incomplete(self):
+        lattice = Lattice(3)
+        lattice.set_cuboid(0b111, [0])
+        assert not lattice.is_complete()
+        assert lattice.is_complete(max_level=3) is False
+        assert lattice.has_cuboid(0b111)
+        assert not lattice.has_cuboid(0b001)
+
+    def test_partial_completeness(self):
+        lattice = Lattice(2)
+        lattice.set_cuboid(0b01, [0])
+        lattice.set_cuboid(0b10, [1])
+        assert lattice.is_complete(max_level=1)
+        assert not lattice.is_complete()
+
+    def test_invalid_subspace_rejected(self):
+        lattice = Lattice(2)
+        with pytest.raises(KeyError):
+            lattice.set_cuboid(0b100, [0])
+        with pytest.raises(KeyError):
+            lattice.skyline(0)
+
+    def test_level_sizes(self):
+        lattice = figure1_lattice()
+        assert lattice.level_sizes() == {3: 4, 2: 9, 1: 3}
+
+    def test_equality(self):
+        assert figure1_lattice() == figure1_lattice()
+        other = figure1_lattice()
+        other.set_cuboid(0b001, [0])
+        assert figure1_lattice() != other
+
+
+class TestHashCube:
+    def test_figure1_roundtrip(self):
+        lattice = figure1_lattice()
+        cube = HashCube.from_lattice(lattice, word_width=4)
+        for delta in all_subspaces(3):
+            assert cube.skyline(delta) == lattice.skyline(delta)
+        assert cube.to_lattice() == lattice
+
+    def test_figure1_word_split(self):
+        # Paper Appendix B.1: B_{f1∉S} splits into w1=000, w0=1011 at
+        # w=4... our flights fixture reverses dim order, so check the
+        # relation via the membership mask instead.
+        lattice = figure1_lattice()
+        cube = HashCube.from_lattice(lattice, word_width=4)
+        mask = cube.membership_mask(4)
+        # f4 is in no skyline: mask must have all 7 bits set.
+        assert mask == (1 << 7) - 1
+
+    def test_insert_query(self):
+        cube = HashCube(2, word_width=2)
+        cube.insert(0, 0b000)  # in every skyline
+        cube.insert(1, 0b011)  # only in S_3
+        assert cube.skyline(1) == (0,)
+        assert cube.skyline(2) == (0,)
+        assert cube.skyline(3) == (0, 1)
+
+    def test_fully_dominated_point_not_stored(self):
+        cube = HashCube(2, word_width=4)
+        cube.insert(7, 0b111)
+        assert cube.total_ids_stored() == 0
+        assert cube.point_ids() == ()
+
+    def test_compression_beats_lattice(self):
+        lattice = figure1_lattice()
+        cube = HashCube.from_lattice(lattice, word_width=8)
+        # One word of width >= 7: each point stored at most once, and
+        # the everywhere-dominated f4 not at all.
+        assert cube.total_ids_stored() == 4
+        assert cube.compression_ratio_vs(lattice) >= 4
+
+    def test_mask_out_of_range(self):
+        cube = HashCube(2)
+        with pytest.raises(ValueError):
+            cube.insert(0, 1 << 3)
+
+    def test_rejects_incomplete_lattice(self):
+        lattice = Lattice(2)
+        lattice.set_cuboid(0b11, [0])
+        with pytest.raises(ValueError):
+            HashCube.from_lattice(lattice)
+
+    @given(
+        st.lists(st.integers(0, 2**7 - 1), min_size=1, max_size=12),
+        st.sampled_from([1, 3, 4, 7, 8, 32]),
+    )
+    def test_roundtrip_any_masks(self, masks, width):
+        cube = HashCube(3, word_width=width)
+        for pid, mask in enumerate(masks):
+            cube.insert(pid, mask)
+        for pid, mask in enumerate(masks):
+            assert cube.membership_mask(pid) == mask
+        for delta in all_subspaces(3):
+            expected = tuple(
+                pid for pid, mask in enumerate(masks)
+                if not mask & (1 << (delta - 1))
+            )
+            assert cube.skyline(delta) == expected
+
+
+class TestSkycube:
+    def test_facade_over_lattice(self, flights):
+        cube = Skycube(figure1_lattice(), data=flights)
+        assert cube.skyline(0b011) == (1, 2, 3)
+        assert cube.skyline_points(0b100).shape == (1, 3)
+        assert len(list(cube.subspaces())) == 7
+
+    def test_facade_over_hashcube(self):
+        store = HashCube.from_lattice(figure1_lattice())
+        cube = Skycube(store)
+        assert cube.skyline(0b011) == (1, 2, 3)
+        assert cube.as_lattice() == figure1_lattice()
+
+    def test_equality_across_representations(self):
+        a = Skycube(figure1_lattice())
+        b = Skycube(HashCube.from_lattice(figure1_lattice()))
+        assert a == b
+
+    def test_partial_raises_above_level(self):
+        lattice = Lattice(3)
+        for delta in (1, 2, 4):
+            lattice.set_cuboid(delta, [0])
+        cube = Skycube(lattice, max_level=1)
+        assert cube.skyline(1) == (0,)
+        with pytest.raises(KeyError):
+            cube.skyline(0b011)
+        with pytest.raises(ValueError):
+            cube.as_hashcube()
+
+    def test_rejects_unknown_store(self):
+        with pytest.raises(TypeError):
+            Skycube({})
+
+
+class TestBruteForceOracle:
+    def test_matches_reference_per_subspace(self, workload):
+        from repro.core.skyline import skyline_indices
+
+        cube = brute_force_skycube(workload)
+        for delta in all_subspaces(workload.shape[1]):
+            assert list(cube.skyline(delta)) == skyline_indices(workload, delta)
+
+    def test_flights_matches_figure1(self, flights):
+        cube = brute_force_skycube(flights)
+        assert cube.as_lattice() == figure1_lattice()
+
+    def test_membership_masks_match_lattice(self, flights):
+        from repro.core.verify import brute_force_membership_masks
+
+        masks = brute_force_membership_masks(flights)
+        lattice = figure1_lattice()
+        for delta in all_subspaces(3):
+            ids = tuple(
+                pid for pid in range(5) if not masks[pid] & (1 << (delta - 1))
+            )
+            assert ids == lattice.skyline(delta)
+
+    def test_verify_skycube_flags_mismatch(self, flights):
+        from repro.core.verify import verify_skycube
+
+        cube = brute_force_skycube(flights)
+        assert verify_skycube(cube, flights) == []
+        bad = Lattice(3)
+        for delta, ids in cube.as_lattice().cuboids():
+            bad.set_cuboid(delta, ids)
+        bad.set_cuboid(0b001, [0, 2])  # inject a spurious id
+        problems = verify_skycube(Skycube(bad), flights)
+        assert len(problems) == 1
+        assert "spurious" in problems[0]
+
+    def test_partial_oracle(self, flights):
+        cube = brute_force_skycube(flights, max_level=2)
+        assert len(list(cube.subspaces())) == 6
+        with pytest.raises(KeyError):
+            cube.skyline(0b111)

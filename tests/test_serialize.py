@@ -1,0 +1,87 @@
+"""Tests for skycube persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.serialize import load_skycube, save_skycube
+from repro.core.verify import brute_force_skycube
+from repro.templates import MDMC, STSC
+
+
+class TestRoundtrip:
+    def test_lattice_roundtrip(self, workload, tmp_path):
+        cube = STSC().materialise(workload).skycube
+        path = tmp_path / "cube.npz"
+        save_skycube(cube, path)
+        loaded = load_skycube(path)
+        assert loaded == cube
+
+    def test_hashcube_roundtrip(self, workload, tmp_path):
+        cube = MDMC("cpu", word_width=8).materialise(workload).skycube
+        path = tmp_path / "cube.npz"
+        save_skycube(cube, path)
+        loaded = load_skycube(path)
+        assert loaded == cube
+        assert loaded.store.word_width == 8
+
+    def test_level_ordered_hashcube_roundtrip(self, flights, tmp_path):
+        cube = MDMC("cpu", bit_order="level").materialise(flights).skycube
+        path = tmp_path / "cube.npz"
+        save_skycube(cube, path)
+        loaded = load_skycube(path)
+        assert loaded == cube
+        assert loaded.store.bit_order == "level"
+
+    def test_partial_roundtrip(self, flights, tmp_path):
+        cube = STSC().materialise(flights, max_level=2).skycube
+        path = tmp_path / "cube.npz"
+        save_skycube(cube, path)
+        loaded = load_skycube(path)
+        assert loaded.max_level == 2
+        assert loaded == cube
+        with pytest.raises(KeyError):
+            loaded.skyline(0b111)
+
+    def test_loaded_matches_oracle(self, workload, tmp_path):
+        cube = MDMC("cpu").materialise(workload).skycube
+        path = tmp_path / "cube.npz"
+        save_skycube(cube, path)
+        assert load_skycube(path) == brute_force_skycube(workload)
+
+
+class TestFailures:
+    def test_rejects_non_skycube_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ValueError, match="not a skycube"):
+            load_skycube(path)
+
+    def test_rejects_unknown_format_version(self, flights, tmp_path):
+        import json
+
+        cube = STSC().materialise(flights).skycube
+        path = tmp_path / "cube.npz"
+        save_skycube(cube, path)
+        with np.load(path) as archive:
+            arrays = {key: archive[key] for key in archive.files}
+        header = json.loads(bytes(arrays["header"]).decode())
+        header["format"] = 99
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="unsupported"):
+            load_skycube(path)
+
+    def test_rejects_unsupported_store(self, flights, tmp_path):
+        from repro.core.closed import ClosedSkycube
+        from repro.core.skycube import Skycube
+
+        lattice = STSC().materialise(flights).skycube.as_lattice()
+        closed = ClosedSkycube.from_lattice(lattice)
+        fake = Skycube.__new__(Skycube)
+        fake._store = closed
+        fake.d = 3
+        fake.max_level = None
+        with pytest.raises(TypeError):
+            save_skycube(fake, tmp_path / "x.npz")

@@ -1,0 +1,136 @@
+"""Tests for trace replay on the simulated devices."""
+
+import pytest
+
+from repro.data.generator import generate
+from repro.hardware.config import CPUConfig, GPUConfig, PlatformConfig, gtx_titan
+from repro.hardware.simulate import (
+    sharing_for_algorithm,
+    simulate_cpu,
+    simulate_gpu,
+    simulate_heterogeneous,
+)
+from repro.skycube import PQSkycube, QSkycube
+from repro.templates import MDMC, SDSC, STSC
+
+DATA = generate("independent", 300, 6, seed=21)
+CPU = CPUConfig().scaled(250)
+GPU = GPUConfig().scaled(250)
+PLATFORM = PlatformConfig(
+    cpu=CPU, gpus=[GPU, GPUConfig(name="b").scaled(250), gtx_titan().scaled(250)]
+)
+
+
+def runs():
+    return {
+        "stsc": STSC().materialise(DATA),
+        "sdsc": SDSC("cpu").materialise(DATA),
+        "mdmc": MDMC("cpu").materialise(DATA),
+        "pq": PQSkycube().materialise(DATA),
+        "q": QSkycube().materialise(DATA),
+        "sdsc-gpu": SDSC("gpu").materialise(DATA),
+        "mdmc-gpu": MDMC("gpu").materialise(DATA),
+    }
+
+
+RUNS = runs()
+
+
+class TestCPUSimulation:
+    def test_positive_time(self):
+        for run in RUNS.values():
+            sim = simulate_cpu(run, CPU, threads=1)
+            assert sim.seconds > 0
+            assert sim.hardware.instructions > 0
+
+    def test_more_threads_never_slower(self):
+        for name in ("stsc", "sdsc", "mdmc"):
+            times = [
+                simulate_cpu(RUNS[name], CPU, threads=t, sockets=1).seconds
+                for t in (1, 2, 5, 10)
+            ]
+            assert all(a >= b - 1e-12 for a, b in zip(times, times[1:])), (
+                f"{name}: {times}"
+            )
+
+    def test_qskycube_pinned_single_thread(self):
+        a = simulate_cpu(RUNS["q"], CPU, threads=1).seconds
+        b = simulate_cpu(RUNS["q"], CPU, threads=10).seconds
+        assert a == pytest.approx(b)
+
+    def test_busy_exceeds_ideal(self):
+        sim = simulate_cpu(RUNS["stsc"], CPU, threads=4)
+        assert sim.busy_cycles >= sim.hardware.instructions * CPU.base_cpi
+
+    def test_makespan_at_least_busy_over_threads(self):
+        sim = simulate_cpu(RUNS["mdmc"], CPU, threads=10)
+        assert sim.makespan_cycles >= sim.busy_cycles / 10 - 1e-6
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            simulate_cpu(RUNS["stsc"], CPU, threads=0)
+        with pytest.raises(ValueError):
+            simulate_cpu(RUNS["stsc"], CPU, threads=1, sockets=3)
+        with pytest.raises(ValueError):
+            simulate_cpu(RUNS["stsc"], CPU, threads=1000)
+
+    def test_sharing_map(self):
+        assert sharing_for_algorithm("mdmc")["share_flat_across_tasks"]
+        assert sharing_for_algorithm("pqskycube")["share_pointer_across_tasks"]
+        assert not sharing_for_algorithm("stsc")["share_flat_across_tasks"]
+
+    def test_metrics_well_defined(self):
+        sim = simulate_cpu(RUNS["sdsc"], CPU, threads=10)
+        assert 0 < sim.cpi < 50
+        assert 0 <= sim.stlb_miss_rate < 1
+        assert 0 <= sim.page_walk_fraction < 1
+
+
+class TestGPUSimulation:
+    def test_only_specialised_templates(self):
+        for name in ("stsc", "pq", "q"):
+            with pytest.raises(ValueError):
+                simulate_gpu(RUNS[name], GPU)
+
+    def test_positive_time_with_pcie(self):
+        for name in ("sdsc-gpu", "mdmc-gpu"):
+            sim = simulate_gpu(RUNS[name], GPU)
+            assert sim.seconds > 0
+            assert sim.pcie_seconds > 0
+            assert sim.kernel_seconds > 0
+
+    def test_sdsc_launches_per_cuboid(self):
+        sim = simulate_gpu(RUNS["sdsc-gpu"], GPU)
+        # One kernel per cuboid: 2^6 - 1 cuboids.
+        assert sim.launches >= 63
+
+    def test_mdmc_few_launches(self):
+        sim = simulate_gpu(RUNS["mdmc-gpu"], GPU)
+        assert sim.launches <= 4
+
+
+class TestHeterogeneous:
+    def test_shares_sum_to_one(self):
+        for name in ("sdsc-gpu", "mdmc-gpu"):
+            sim = simulate_heterogeneous(RUNS[name], PLATFORM)
+            assert sum(sim.device_shares.values()) == pytest.approx(1.0)
+            assert len(sim.device_shares) == 5
+
+    def test_never_slower_than_fastest_device(self):
+        for name in ("sdsc-gpu", "mdmc-gpu"):
+            sim = simulate_heterogeneous(RUNS[name], PLATFORM)
+            fastest = min(sim.device_seconds.values())
+            assert sim.seconds <= fastest + 1e-12
+
+    def test_rejects_unspecialised(self):
+        with pytest.raises(ValueError):
+            simulate_heterogeneous(RUNS["pq"], PLATFORM)
+
+    def test_faster_devices_take_more_work(self):
+        sim = simulate_heterogeneous(RUNS["mdmc-gpu"], PLATFORM)
+        pairs = sorted(
+            (seconds, sim.device_shares[name])
+            for name, seconds in sim.device_seconds.items()
+        )
+        shares = [share for _, share in pairs]
+        assert all(a >= b - 1e-9 for a, b in zip(shares, shares[1:]))

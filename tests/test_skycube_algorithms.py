@@ -1,0 +1,210 @@
+"""Cross-validation of every skycube algorithm/template vs the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmask import all_subspaces, popcount, subspaces_at_level
+from repro.core.verify import brute_force_skycube, verify_skycube
+from repro.instrument.counters import Counters
+from repro.skycube import (
+    BottomUpSkycube,
+    DistributedSkycube,
+    PQSkycube,
+    QSkycube,
+)
+from repro.templates import MDMC, SDSC, STSC, TemplateSpecialisationError
+
+
+def all_builders():
+    return [
+        ("qskycube", QSkycube()),
+        ("pqskycube", PQSkycube()),
+        ("bottomup", BottomUpSkycube()),
+        ("distributed", DistributedSkycube(workers=3)),
+        ("stsc-cpu", STSC()),
+        ("sdsc-cpu", SDSC("cpu")),
+        ("sdsc-gpu", SDSC("gpu")),
+        ("mdmc-cpu", MDMC("cpu")),
+        ("mdmc-gpu", MDMC("gpu")),
+    ]
+
+
+@pytest.fixture(params=all_builders(), ids=lambda pair: pair[0])
+def builder(request):
+    return request.param[1]
+
+
+class TestCorrectness:
+    def test_matches_oracle(self, builder, workload):
+        expected = brute_force_skycube(workload)
+        run = builder.materialise(workload)
+        assert run.skycube == expected, (
+            f"{builder.name}: {verify_skycube(run.skycube, workload)[:3]}"
+        )
+
+    def test_flights(self, builder, flights):
+        run = builder.materialise(flights)
+        assert run.skycube.skyline(0b111) == (0, 1, 2, 3)
+        assert run.skycube.skyline(0b011) == (1, 2, 3)
+        assert run.skycube.skyline(0b100) == (0,)
+
+    def test_duplicate_heavy(self, builder):
+        from repro.data.generator import generate
+
+        data = generate("independent", 60, 3, seed=5, distinct_values=2)
+        expected = brute_force_skycube(data)
+        run = builder.materialise(data)
+        assert run.skycube == expected
+
+    def test_single_point(self, builder):
+        data = np.array([[0.5, 0.5, 0.5]])
+        run = builder.materialise(data)
+        for delta in all_subspaces(3):
+            assert run.skycube.skyline(delta) == (0,)
+
+
+class TestPartialSkycube:
+    """Appendix A.2: materialise only levels ≤ d'."""
+
+    @pytest.mark.parametrize("max_level", [1, 2, 3])
+    def test_partial_matches_oracle_below_cut(self, builder, max_level):
+        from repro.data.generator import generate
+
+        data = generate("anticorrelated", 50, 4, seed=9)
+        expected = brute_force_skycube(data)
+        run = builder.materialise(data, max_level=max_level)
+        assert run.skycube.max_level == max_level
+        for level in range(1, max_level + 1):
+            for delta in subspaces_at_level(4, level):
+                assert run.skycube.skyline(delta) == expected.skyline(delta), (
+                    f"{builder.name} δ={delta:#b}"
+                )
+
+    def test_partial_blocks_queries_above_cut(self, builder, flights):
+        run = builder.materialise(flights, max_level=1)
+        with pytest.raises(KeyError):
+            run.skycube.skyline(0b011)
+
+    def test_invalid_max_level(self, builder, flights):
+        with pytest.raises(ValueError):
+            builder.materialise(flights, max_level=0)
+        with pytest.raises(ValueError):
+            builder.materialise(flights, max_level=4)
+
+
+class TestTraces:
+    def test_lattice_methods_have_level_phases(self, workload):
+        d = workload.shape[1]
+        run = STSC().materialise(workload)
+        # root + one phase per level below the top.
+        assert len(run.phases) == d
+        assert run.phases[0].name == "root"
+        widths = [len(phase.tasks) for phase in run.phases[1:]]
+        import math
+
+        assert widths == [math.comb(d, level) for level in range(d - 1, 0, -1)]
+
+    def test_mdmc_has_point_tasks(self, workload):
+        run = MDMC("cpu").materialise(workload)
+        assert len(run.phases) == 2
+        from repro.core.skyline import extended_skyline_indices
+
+        splus = extended_skyline_indices(workload)
+        assert len(run.phases[1].tasks) == len(splus)
+
+    def test_counters_aggregate(self, workload):
+        counters = Counters()
+        run = QSkycube().materialise(workload, counters=counters)
+        assert run.counters is counters
+        assert counters.dominance_tests > 0
+        total = Counters()
+        for phase in run.phases:
+            total.merge(phase.total_counters())
+        assert total.dominance_tests == counters.dominance_tests
+
+    def test_peak_memory_positive(self, workload):
+        for builder in (PQSkycube(), MDMC("cpu")):
+            run = builder.materialise(workload)
+            assert run.peak_memory_bytes() > 0
+
+    def test_pq_marks_shared_trees_stsc_does_not(self, workload):
+        pq_run = PQSkycube().materialise(workload)
+        st_run = STSC().materialise(workload)
+        pq_shared = sum(
+            task.profile.shared_pointer_bytes
+            for phase in pq_run.phases
+            for task in phase.tasks
+        )
+        st_shared = sum(
+            task.profile.shared_pointer_bytes
+            for phase in st_run.phases
+            for task in phase.tasks
+        )
+        assert pq_shared > 0
+        assert st_shared == 0
+
+    def test_mdmc_gpu_reports_state(self, workload):
+        run = MDMC("gpu").materialise(workload)
+        d = workload.shape[1]
+        task = run.phases[1].tasks[0]
+        assert task.counters.extra["state_bytes"] == 2 * (2**d) // 8
+
+
+class TestTemplateSpecialisation:
+    def test_stsc_rejects_gpu(self):
+        with pytest.raises(TemplateSpecialisationError):
+            STSC("gpu")
+
+    def test_unknown_architecture(self):
+        with pytest.raises(TemplateSpecialisationError):
+            SDSC("fpga")
+
+    def test_sdsc_rejects_sequential_hook(self):
+        from repro.skyline import BlockNestedLoops
+
+        with pytest.raises(ValueError):
+            SDSC("cpu", hook=BlockNestedLoops())
+
+    def test_sdsc_default_hooks(self):
+        assert SDSC("cpu").hook.name == "hybrid"
+        assert SDSC("gpu").hook.name == "skyalign"
+
+    def test_mdmc_engines(self):
+        assert MDMC("cpu").engine.name == "cpu"
+        assert MDMC("gpu").engine.name == "gpu"
+
+
+class TestRelativeWork:
+    def test_topdown_beats_bottomup(self):
+        """The motivation for top-down traversal (Section 3)."""
+        from repro.data.generator import generate
+
+        data = generate("independent", 150, 5, seed=2)
+        top, bottom = Counters(), Counters()
+        QSkycube().materialise(data, counters=top)
+        BottomUpSkycube().materialise(data, counters=bottom)
+        assert top.dominance_tests < bottom.dominance_tests
+
+    def test_distributed_records_communication(self):
+        """The cluster baseline pays shipping costs shared memory
+        does not (Section 3: Anthill is not for a single node)."""
+        from repro.data.generator import generate
+
+        data = generate("independent", 120, 4, seed=6)
+        counters = Counters()
+        DistributedSkycube(workers=4).materialise(data, counters=counters)
+        assert counters.extra["messages"] >= 4 * 15  # workers x cuboids
+        assert counters.extra["bytes_shipped"] > 0
+
+    def test_gpu_spec_does_more_processing_than_cpu(self):
+        """Section 6.2: warp votes make every lane test, so the GPU
+        engine performs far more DTs than the node-pruned CPU engine."""
+        from repro.data.generator import generate
+
+        data = generate("independent", 150, 5, seed=2)
+        cpu, gpu = Counters(), Counters()
+        MDMC("cpu").materialise(data, counters=cpu)
+        MDMC("gpu").materialise(data, counters=gpu)
+        assert gpu.dominance_tests > cpu.dominance_tests
+        # ... while its coalesced scans dominate its traffic profile.
+        assert gpu.sequential_bytes > gpu.random_bytes

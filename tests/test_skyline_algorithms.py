@@ -1,0 +1,179 @@
+"""Cross-validation of every skyline algorithm against the oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmask import all_subspaces
+from repro.core.skyline import skyline_and_extended
+from repro.instrument.counters import Counters
+from repro.skyline import (
+    ALGORITHMS,
+    APSkyline,
+    BSkyTree,
+    BlockNestedLoops,
+    GGS,
+    GNL,
+    Hybrid,
+    OSP,
+    PSkyline,
+    Scalagon,
+    SkyAlign,
+    SortFilterSkyline,
+    VMPSP,
+)
+
+ALGO_INSTANCES = [
+    BlockNestedLoops(),
+    SortFilterSkyline(),
+    PSkyline(blocks=4),
+    APSkyline(partitions=4),
+    Scalagon(max_cells=4096),
+    BSkyTree(),
+    OSP(seed=5),
+    VMPSP(),
+    Hybrid(tile_size=16),
+    SkyAlign(),
+    GNL(),
+    GGS(),
+]
+
+
+@pytest.fixture(params=ALGO_INSTANCES, ids=lambda a: a.name)
+def algorithm(request):
+    return request.param
+
+
+class TestCorrectness:
+    def test_full_space(self, algorithm, workload):
+        exp_sky, exp_extra = skyline_and_extended(workload)
+        result = algorithm.compute(workload)
+        assert result.skyline == exp_sky
+        assert result.extended_only == exp_extra
+
+    def test_every_subspace(self, algorithm, workload):
+        d = workload.shape[1]
+        for delta in all_subspaces(d):
+            exp_sky, exp_extra = skyline_and_extended(workload, delta)
+            result = algorithm.compute(workload, delta=delta)
+            assert result.skyline == exp_sky, f"{algorithm.name} δ={delta:#b}"
+            assert result.extended_only == exp_extra, (
+                f"{algorithm.name} δ={delta:#b}"
+            )
+
+    def test_subset_of_ids(self, algorithm, workload):
+        ids = list(range(0, len(workload), 3))
+        delta = (1 << workload.shape[1]) - 1
+        sub = workload[np.asarray(ids)]
+        exp_sky, exp_extra = skyline_and_extended(sub, delta)
+        result = algorithm.compute(workload, ids=ids, delta=delta)
+        assert result.skyline == sorted(ids[j] for j in exp_sky)
+        assert result.extended_only == sorted(ids[j] for j in exp_extra)
+
+    def test_flights(self, algorithm, flights):
+        result = algorithm.compute(flights, delta=0b011)
+        assert result.skyline == [1, 2, 3]
+        assert result.extended_only == [4]
+
+
+class TestEdgeCases:
+    def test_empty_ids(self, algorithm, flights):
+        result = algorithm.compute(flights, ids=[])
+        assert result.skyline == [] and result.extended_only == []
+
+    def test_single_point(self, algorithm, flights):
+        result = algorithm.compute(flights, ids=[2])
+        assert result.skyline == [2]
+
+    def test_all_duplicates(self, algorithm):
+        data = np.tile([[0.3, 0.7]], (20, 1))
+        result = algorithm.compute(data)
+        assert result.skyline == list(range(20))
+        assert result.extended_only == []
+
+    def test_dominance_chain(self, algorithm):
+        data = np.column_stack([np.arange(10.0), np.arange(10.0)])
+        result = algorithm.compute(data)
+        assert result.skyline == [0]
+        assert result.extended_only == []
+
+    def test_invalid_subspace(self, algorithm, flights):
+        with pytest.raises(ValueError):
+            algorithm.compute(flights, delta=0)
+        with pytest.raises(ValueError):
+            algorithm.compute(flights, delta=1 << 3)
+
+
+class TestInstrumentation:
+    def test_counters_accumulate(self, algorithm, workload):
+        counters = Counters()
+        result = algorithm.compute(workload, counters=counters)
+        assert result.counters is counters
+        assert counters.dominance_tests + counters.mask_tests > 0
+
+    def test_profile_nonzero(self, algorithm, workload):
+        result = algorithm.compute(workload)
+        assert result.profile.total_working_set() > 0
+
+    def test_parallel_algorithms_report_tasks(self, workload):
+        for algorithm in ALGO_INSTANCES:
+            result = algorithm.compute(workload)
+            if algorithm.parallel:
+                assert result.task_units, f"{algorithm.name} lacks task units"
+            assert (result.task_units is None) == (not algorithm.parallel)
+
+    def test_extended_property(self, algorithm, flights):
+        result = algorithm.compute(flights)
+        assert result.extended == sorted(
+            result.skyline + result.extended_only
+        )
+
+
+class TestRelativeWork:
+    def test_tree_methods_do_fewer_dts_than_bnl(self):
+        """The MT-for-DT trade (Appendix B.2) must actually save DTs."""
+        from repro.data.generator import generate
+
+        data = generate("independent", 300, 6, seed=11)
+        bnl_counters = Counters()
+        BlockNestedLoops().compute(data, counters=bnl_counters)
+        for cls in (BSkyTree(), Hybrid()):
+            counters = Counters()
+            cls.compute(data, counters=counters)
+            assert counters.dominance_tests < bnl_counters.dominance_tests, (
+                f"{cls.name} should DT less than BNL"
+            )
+            assert counters.mask_tests > 0
+
+    def test_ggs_does_less_work_than_gnl(self):
+        from repro.data.generator import generate
+
+        data = generate("independent", 300, 5, seed=3)
+        gnl_counters, ggs_counters = Counters(), Counters()
+        GNL().compute(data, counters=gnl_counters)
+        GGS().compute(data, counters=ggs_counters)
+        assert ggs_counters.dominance_tests < gnl_counters.dominance_tests
+
+    def test_registry_complete(self):
+        assert set(ALGORITHMS) == {
+            "bnl", "sfs", "pskyline", "apskyline", "scalagon",
+            "bskytree", "osp", "vmpsp",
+            "hybrid", "skyalign", "gnl", "ggs",
+        }
+
+    def test_scalagon_prefilters_low_cardinality(self):
+        """The lattice prefilter bites on duplicate-heavy data (the
+        paper's low-cardinality domain setting)."""
+        from repro.data.generator import generate
+
+        data = generate("independent", 500, 3, seed=7, distinct_values=4)
+        counters = Counters()
+        Scalagon().compute(data, counters=counters)
+        assert counters.extra["scalagon_prefiltered"] > 150
+
+    def test_apskyline_partitions_report_units(self):
+        from repro.data.generator import generate
+
+        data = generate("anticorrelated", 600, 3, seed=5)
+        balanced = APSkyline(partitions=4).compute(data)
+        assert len(balanced.task_units) == 4
+        assert all(units > 0 for units in balanced.task_units)

@@ -1,0 +1,138 @@
+"""Tests for the reference skyline/extended-skyline operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitmask import all_subspaces, proper_submasks
+from repro.core.skyline import (
+    extended_skyline_indices,
+    skyline_and_extended,
+    skyline_indices,
+)
+
+small_dataset = st.lists(
+    st.lists(st.integers(0, 5).map(float), min_size=2, max_size=4),
+    min_size=1,
+    max_size=24,
+).filter(lambda rows: len({len(r) for r in rows}) == 1)
+
+
+class TestPaperExample:
+    def test_full_space_skyline(self, flights):
+        # Table 1: f0..f3 in the skyline, f4 dominated by f3.
+        assert skyline_indices(flights) == [0, 1, 2, 3]
+
+    def test_business_traveller_subspace(self, flights):
+        # δ=3 ({Duration, Arrival}): S_3 = {f1, f2, f3}.
+        assert skyline_indices(flights, 0b011) == [1, 2, 3]
+
+    def test_extended_skyline_includes_shared_value(self, flights):
+        # S+_3 also contains f4 (shares arrival time with f3).
+        assert extended_skyline_indices(flights, 0b011) == [1, 2, 3, 4]
+
+    def test_singleton_subspaces(self, flights):
+        # Fig 1a: S_4 = {f0} (price), S_2 = {f3} (duration), S_1 = {f2}.
+        assert skyline_indices(flights, 0b100) == [0]
+        assert skyline_indices(flights, 0b010) == [3]
+        assert skyline_indices(flights, 0b001) == [2]
+
+    def test_full_lattice_matches_figure_1a(self, flights):
+        expected = {
+            0b111: [0, 1, 2, 3],
+            0b110: [0, 1, 3],
+            0b101: [0, 1, 2],
+            0b011: [1, 2, 3],
+            0b100: [0],
+            0b010: [3],
+            0b001: [2],
+        }
+        for delta, ids in expected.items():
+            assert skyline_indices(flights, delta) == ids
+
+
+class TestEdgeCases:
+    def test_single_point(self):
+        data = np.array([[1.0, 2.0]])
+        assert skyline_indices(data) == [0]
+        assert extended_skyline_indices(data) == [0]
+
+    def test_all_duplicates(self):
+        data = np.array([[1.0, 2.0]] * 5)
+        # Duplicates do not dominate each other: all in the skyline.
+        assert skyline_indices(data) == [0, 1, 2, 3, 4]
+
+    def test_chain(self):
+        data = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        assert skyline_indices(data) == [0]
+        assert extended_skyline_indices(data) == [0]
+
+    def test_invalid_subspace(self):
+        data = np.array([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            skyline_indices(data, 0)
+        with pytest.raises(ValueError):
+            skyline_indices(data, 0b100)
+
+    def test_rejects_1d_array(self):
+        with pytest.raises(ValueError):
+            skyline_indices(np.array([1.0, 2.0]))
+
+
+class TestInvariants:
+    def test_skyline_subset_of_extended(self, workload):
+        d = workload.shape[1]
+        for delta in all_subspaces(d):
+            sky = set(skyline_indices(workload, delta))
+            ext = set(extended_skyline_indices(workload, delta))
+            assert sky <= ext
+
+    def test_extended_monotone_in_subspace(self, workload):
+        """S+_δ ⊇ S+_δ' for δ' ⊂ δ — the top-down traversal's licence."""
+        d = workload.shape[1]
+        full = (1 << d) - 1
+        ext_full = set(extended_skyline_indices(workload, full))
+        for delta in proper_submasks(full):
+            assert set(extended_skyline_indices(workload, delta)) <= ext_full
+
+    def test_skyline_of_subspace_inside_parent_extended(self, workload):
+        d = workload.shape[1]
+        full = (1 << d) - 1
+        ext_full = set(extended_skyline_indices(workload, full))
+        for delta in proper_submasks(full):
+            assert set(skyline_indices(workload, delta)) <= ext_full
+
+    def test_pair_function_consistent(self, workload):
+        d = workload.shape[1]
+        for delta in all_subspaces(d):
+            sky, ext_only = skyline_and_extended(workload, delta)
+            assert sky == skyline_indices(workload, delta)
+            combined = sorted(set(sky) | set(ext_only))
+            assert combined == extended_skyline_indices(workload, delta)
+            assert not set(sky) & set(ext_only)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_dataset)
+    def test_no_skyline_point_dominated(self, rows):
+        from repro.core.dominance import dominates
+
+        data = np.array(rows)
+        delta = (1 << data.shape[1]) - 1
+        sky = skyline_indices(data, delta)
+        assert sky, "skyline of a non-empty set is non-empty"
+        for j in sky:
+            for i in range(len(data)):
+                assert not dominates(data[i], data[j], delta)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_dataset)
+    def test_every_dropped_point_has_a_skyline_dominator(self, rows):
+        from repro.core.dominance import dominates
+
+        data = np.array(rows)
+        delta = (1 << data.shape[1]) - 1
+        sky = skyline_indices(data, delta)
+        for j in range(len(data)):
+            if j in sky:
+                continue
+            assert any(dominates(data[i], data[j], delta) for i in sky)

@@ -1,0 +1,110 @@
+"""Property-based tests on the partitioning/compression structures."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitmask import popcount
+from repro.core.closures import SubspaceClosures
+from repro.instrument.counters import Counters
+from repro.partitioning.static_tree import StaticTree
+
+datasets = st.integers(2, 4).flatmap(
+    lambda d: st.lists(
+        st.lists(st.integers(0, 7).map(float), min_size=d, max_size=d),
+        min_size=2,
+        max_size=20,
+    )
+).map(np.array)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 10), st.integers(0, 1023))
+def test_closure_popcount_identity(d, raw):
+    """|closure(m)| = 2^|m| - 1: every non-empty submask, once."""
+    mask = raw & ((1 << d) - 1)
+    closures = SubspaceClosures(d)
+    assert popcount(closures.closure(mask)) == 2 ** popcount(mask) - 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 8), st.integers(0, 255), st.integers(0, 255))
+def test_closure_monotone_under_union(d, a, b):
+    """closure(a) and closure(b) are both inside closure(a | b)."""
+    limit = (1 << d) - 1
+    a &= limit
+    b &= limit
+    closures = SubspaceClosures(d)
+    union = closures.closure(a | b)
+    assert closures.closure(a) & ~union == 0
+    assert closures.closure(b) & ~union == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 8), st.integers(0, 255), st.integers(0, 255))
+def test_dominated_update_never_includes_equal_only_subspaces(d, le_raw, eq_raw):
+    limit = (1 << d) - 1
+    le = le_raw & limit
+    eq = eq_raw & le  # B_eq ⊆ B_le by construction
+    closures = SubspaceClosures(d)
+    bits = closures.dominated_update(le, eq)
+    for delta in range(1, limit + 1):
+        expected = (delta & le) == delta and (delta & eq) != delta
+        assert bool(bits & (1 << (delta - 1))) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets)
+def test_static_tree_strict_masks_always_sound(rows):
+    """Whatever the data (duplicates included), every strict-dominance
+    claim the tree's path labels make must hold on the raw values."""
+    tree = StaticTree(rows, counters=Counters())
+    for pos in range(len(tree)):
+        claims = tree.leaf_strict_masks(pos)
+        target = rows[int(tree.ids[pos])][tree.dims]
+        for other in range(len(tree)):
+            claim = int(claims[other])
+            row = rows[int(tree.ids[other])][tree.dims]
+            for i in range(tree.k):
+                if claim & (1 << i):
+                    assert row[i] < target[i]
+
+
+@settings(max_examples=30, deadline=None)
+@given(datasets)
+def test_static_tree_prune_masks_always_sound(rows):
+    tree = StaticTree(rows, counters=Counters())
+    for pos in range(len(tree)):
+        prune = tree.leaf_prune_masks(pos)
+        target = rows[int(tree.ids[pos])][tree.dims]
+        for other in range(len(tree)):
+            claim = int(prune[other])
+            row = rows[int(tree.ids[other])][tree.dims]
+            for i in range(tree.k):
+                if claim & (1 << i):
+                    assert row[i] > target[i]
+
+
+@settings(max_examples=25, deadline=None)
+@given(datasets)
+def test_scalagon_prefilter_only_drops_dominated(rows):
+    """Whatever the data, Scalagon equals the oracle — i.e. its grid
+    prefilter never drops a surviving point."""
+    from repro.core.skyline import skyline_and_extended
+    from repro.skyline.scalagon import Scalagon
+
+    result = Scalagon(max_cells=256).compute(rows)
+    exp_sky, exp_extra = skyline_and_extended(rows)
+    assert result.skyline == exp_sky
+    assert result.extended_only == exp_extra
+
+
+@settings(max_examples=25, deadline=None)
+@given(datasets, st.integers(0, 3))
+def test_subsky_exact_for_any_data(rows, anchors_minus_one):
+    from repro.core.skyline import skyline_indices
+    from repro.query import SubskyIndex
+
+    index = SubskyIndex(rows, num_anchors=anchors_minus_one + 1)
+    d = rows.shape[1]
+    full = (1 << d) - 1
+    assert index.subspace_skyline(full) == skyline_indices(rows, full)

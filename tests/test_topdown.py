@@ -1,0 +1,104 @@
+"""Unit tests for the shared top-down lattice traversal."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitmask import full_space, subspaces_at_level
+from repro.core.lattice import Lattice
+from repro.core.verify import brute_force_skycube
+from repro.data.generator import generate
+from repro.instrument.counters import Counters
+from repro.skycube.topdown import select_parent, top_down_lattice
+from repro.skyline.bskytree import BSkyTree
+from repro.skyline.hybrid import Hybrid
+
+
+class TestSelectParent:
+    def make_lattice(self):
+        lattice = Lattice(3)
+        lattice.set_cuboid(0b110, [0, 1, 2], extended_only_ids=[3])  # size 4
+        lattice.set_cuboid(0b011, [0, 1])                            # size 2
+        return lattice
+
+    def test_smallest_rule(self):
+        lattice = self.make_lattice()
+        assert select_parent(lattice, 0b010, 3) == 0b011
+
+    def test_first_rule(self):
+        lattice = self.make_lattice()
+        # First materialised superspace in enumeration order (0b011).
+        assert select_parent(lattice, 0b010, 3, rule="first") == 0b011
+        # For δ=0b100 only 0b110 is materialised under either rule.
+        assert select_parent(lattice, 0b100, 3, rule="first") == 0b110
+
+    def test_ties_break_deterministically(self):
+        lattice = Lattice(3)
+        lattice.set_cuboid(0b110, [0, 1])
+        lattice.set_cuboid(0b011, [2, 3])
+        assert select_parent(lattice, 0b010, 3) == 0b011  # numerically first
+
+    def test_missing_parent_raises(self):
+        lattice = Lattice(3)
+        with pytest.raises(ValueError):
+            select_parent(lattice, 0b001, 3)
+
+
+class TestTopDownLattice:
+    DATA = generate("independent", 120, 4, seed=6)
+
+    def test_complete_and_correct(self):
+        counters = Counters()
+        lattice, phases = top_down_lattice(self.DATA, BSkyTree(), counters)
+        assert lattice.is_complete()
+        oracle = brute_force_skycube(self.DATA).as_lattice()
+        assert lattice == oracle
+
+    def test_parent_rule_does_not_change_result(self):
+        a, _ = top_down_lattice(self.DATA, BSkyTree(), Counters())
+        b, _ = top_down_lattice(
+            self.DATA, BSkyTree(), Counters(), parent_rule="first"
+        )
+        assert a == b
+
+    def test_smallest_parent_never_costs_more(self):
+        smallest, first = Counters(), Counters()
+        top_down_lattice(self.DATA, BSkyTree(), smallest)
+        top_down_lattice(self.DATA, BSkyTree(), first, parent_rule="first")
+        assert smallest.dominance_tests <= first.dominance_tests
+
+    def test_phase_structure(self):
+        _, phases = top_down_lattice(self.DATA, Hybrid(), Counters())
+        assert [phase.name for phase in phases] == [
+            "root", "level-3", "level-2", "level-1",
+        ]
+        assert len(phases[1].tasks) == len(subspaces_at_level(4, 3))
+
+    def test_partial_uses_full_extended_as_input(self):
+        lattice, phases = top_down_lattice(
+            self.DATA, BSkyTree(), Counters(), max_level=2
+        )
+        assert not lattice.has_cuboid(full_space(4))
+        assert lattice.is_complete(max_level=2)
+        oracle = brute_force_skycube(self.DATA)
+        for level in (1, 2):
+            for delta in subspaces_at_level(4, level):
+                assert lattice.skyline(delta) == oracle.skyline(delta)
+
+    def test_free_finished_levels(self):
+        lattice, _ = top_down_lattice(
+            self.DATA, BSkyTree(), Counters(), free_finished_levels=True
+        )
+        # Levels two above the frontier lost their construction extras.
+        for delta in subspaces_at_level(4, 4):
+            assert lattice.extended_only(delta) == ()
+
+    def test_keep_extended_when_not_freeing(self):
+        data = generate("anticorrelated", 80, 3, seed=4)
+        lattice, _ = top_down_lattice(
+            data, BSkyTree(), Counters(), free_finished_levels=False
+        )
+        total_extras = sum(
+            len(lattice.extended_only(delta))
+            for delta, _ in lattice.cuboids()
+        )
+        assert total_extras > 0  # anticorrelated data has S+ ⊋ S somewhere

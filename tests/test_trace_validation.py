@@ -1,0 +1,87 @@
+"""Trace-driven calibration: analytic model vs LRU simulator."""
+
+import pytest
+
+from repro.hardware.config import CPUConfig
+from repro.hardware.trace import validate_against_simulator
+from repro.instrument.counters import Counters
+from repro.instrument.profile import MemoryProfile
+
+CONFIG = CPUConfig().scaled(250)  # L2 = 2 KB at this scale
+
+
+def make_counters(seq=0, rand=0, hops=0):
+    counters = Counters()
+    counters.sequential_bytes = seq
+    counters.random_bytes = rand
+    counters.pointer_hops = hops
+    return counters
+
+
+class TestTraceValidation:
+    def test_streaming_oversized_flat(self):
+        """Sequential sweeps over a too-large flat region: both the
+        model and the simulator see high miss counts."""
+        counters = make_counters(seq=2_000_000)
+        profile = MemoryProfile(flat_bytes=64 * 1024)
+        validation = validate_against_simulator(counters, profile, CONFIG)
+        assert 0.3 < validation.ratio < 3.0, validation
+
+    def test_random_over_large_data(self):
+        counters = make_counters(rand=1_000_000)
+        profile = MemoryProfile(data_bytes=256 * 1024)
+        validation = validate_against_simulator(counters, profile, CONFIG)
+        assert 0.5 < validation.ratio < 2.0, validation
+
+    def test_resident_structures_barely_miss(self):
+        counters = make_counters(rand=1_000_000)
+        profile = MemoryProfile(data_bytes=CONFIG.l2_bytes // 2)
+        validation = validate_against_simulator(counters, profile, CONFIG)
+        # Both sides should report near-zero misses.
+        assert validation.simulated_l2_misses < 0.1 * validation.accesses
+        assert validation.analytic_l2_misses < 0.1 * validation.accesses
+
+    def test_hot_cold_chase_skew(self):
+        """The chase stream's hot-set model tracks a skewed trace."""
+        counters = make_counters(hops=50_000)
+        profile = MemoryProfile(pointer_bytes=128 * 1024)
+        validation = validate_against_simulator(counters, profile, CONFIG)
+        assert 0.4 < validation.ratio < 2.5, validation
+
+    def test_mixed_streams(self):
+        counters = make_counters(seq=500_000, rand=500_000, hops=10_000)
+        profile = MemoryProfile(
+            flat_bytes=32 * 1024,
+            data_bytes=128 * 1024,
+            pointer_bytes=64 * 1024,
+        )
+        validation = validate_against_simulator(counters, profile, CONFIG)
+        assert 0.4 < validation.ratio < 2.5, validation
+
+    def test_empty_trace(self):
+        validation = validate_against_simulator(
+            Counters(), MemoryProfile(), CONFIG
+        )
+        assert validation.accesses == 0
+        assert validation.simulated_l2_misses == 0
+
+    def test_deterministic(self):
+        counters = make_counters(rand=200_000)
+        profile = MemoryProfile(data_bytes=64 * 1024)
+        a = validate_against_simulator(counters, profile, CONFIG, seed=1)
+        b = validate_against_simulator(counters, profile, CONFIG, seed=1)
+        assert a.simulated_l2_misses == b.simulated_l2_misses
+
+    def test_real_algorithm_trace(self):
+        """Validate against an actual algorithm's recorded counters."""
+        from repro.data.generator import generate
+        from repro.skyline import Hybrid
+
+        data = generate("independent", 600, 6, seed=3)
+        counters = Counters()
+        result = Hybrid().compute(data, counters=counters)
+        validation = validate_against_simulator(
+            counters, result.profile, CONFIG
+        )
+        assert validation.accesses > 0
+        assert 0.2 < validation.ratio < 5.0, validation
