@@ -2,7 +2,7 @@
 
 from repro.experiments import fig06
 from repro.experiments.fig06 import cpu_seconds
-from repro.experiments.workloads import D_SWEEP_N, N_SWEEP
+from repro.experiments.workloads import N_SWEEP
 
 
 def test_fig06_cpu_workloads(regenerate):

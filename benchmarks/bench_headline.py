@@ -5,6 +5,12 @@ ecosystem, the MDMC template accelerates skycube construction by more
 than 150x relative to the single-threaded state of the art.  This
 bench computes exactly that ratio on the default workload (scaled) and
 asserts the order of magnitude.
+
+With ``--quick`` the workload shrinks to CI-smoke size (and the
+magnitude assertion relaxes with it); with ``--executor process`` the
+bench additionally materialises MDMC on the real multicore backend and
+asserts it matches the serial reference, so a broken pool fails CI
+here before it can corrupt any longer run.
 """
 
 from repro.experiments.report import Table
@@ -19,15 +25,18 @@ from repro.experiments.workloads import (
 from repro.hardware.simulate import simulate_cpu, simulate_heterogeneous
 
 
-def test_headline_speedup(benchmark):
+def test_headline_speedup(benchmark, quick, executor):
+    n = 300 if quick else DEFAULT_N
+    d = 6 if quick else DEFAULT_D
+
     def measure():
         sequential = simulate_cpu(
-            build_run("qskycube", DEFAULT_DIST, DEFAULT_N, DEFAULT_D),
+            build_run("qskycube", DEFAULT_DIST, n, d),
             scaled_cpu(),
             threads=1,
         ).seconds
         heterogeneous = simulate_heterogeneous(
-            build_run("mdmc-gpu", DEFAULT_DIST, DEFAULT_N, DEFAULT_D),
+            build_run("mdmc-gpu", DEFAULT_DIST, n, d),
             scaled_platform(),
         ).seconds
         return sequential, heterogeneous
@@ -46,4 +55,16 @@ def test_headline_speedup(benchmark):
     table.add_row("speedup", speedup)
     table.save("headline.txt")
 
-    assert speedup > 100, table.format()
+    if executor == "process":
+        # Pool smoke: the real multicore backend must agree with the
+        # serial reference on the very same workload.
+        reference = build_run("mdmc-cpu", DEFAULT_DIST, n, d)
+        pooled = build_run(
+            "mdmc-cpu", DEFAULT_DIST, n, d, executor="process", workers=4
+        )
+        assert pooled.skycube == reference.skycube, (
+            "process backend diverged from the serial reference"
+        )
+
+    threshold = 5 if quick else 100
+    assert speedup > threshold, table.format()

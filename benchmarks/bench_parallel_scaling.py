@@ -1,0 +1,65 @@
+"""Real multicore scaling of the process execution backend.
+
+Every other bench in this suite replays *simulated* makespans; this one
+measures genuine wall clock.  It materialises the MDMC skycube of the
+correlated workload through :mod:`repro.engine.parallel` at 1/2/4/8
+workers, verifies each result equals the serial reference bit for bit,
+and reports the speedup curve.  The asserted floor — >1.5x over the
+serial backend at 4 workers — holds even on a single core because the
+in-worker kernels are vectorized; on real multicore hardware the curve
+additionally reflects pool parallelism.
+"""
+
+import os
+import time
+
+from repro.data.generator import generate
+from repro.experiments.report import Table
+from repro.templates import MDMC
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+def test_parallel_scaling(benchmark, quick):
+    n = 2_000 if quick else 20_000
+    d = 6
+    data = generate("correlated", n, d, seed=0)
+
+    def measure():
+        timings = {}
+        start = time.perf_counter()
+        reference = MDMC().materialise(data)
+        timings["serial"] = time.perf_counter() - start
+        for workers in WORKER_COUNTS:
+            start = time.perf_counter()
+            run = MDMC(executor="process", workers=workers).materialise(data)
+            timings[workers] = time.perf_counter() - start
+            assert run.skycube == reference.skycube, (
+                f"process backend diverged at workers={workers}"
+            )
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = Table(
+        f"Process-backend scaling: MDMC, correlated n={n} d={d}",
+        ["configuration", "seconds", "speedup vs serial"],
+        notes=[
+            f"host has {os.cpu_count()} cores; "
+            "speedup combines vectorized kernels and pool parallelism"
+        ],
+    )
+    table.add_row("serial backend", timings["serial"], 1.0)
+    for workers in WORKER_COUNTS:
+        table.add_row(
+            f"process, {workers} worker{'s' if workers > 1 else ''}",
+            timings[workers],
+            timings["serial"] / timings[workers],
+        )
+    table.save("parallel_scaling.txt")
+
+    # The 1.5x floor is the full-size (n >= 20k) criterion; at quick/CI
+    # size pool start-up overhead dominates, so only guard against a
+    # pathological slowdown there (equality above is always strict).
+    speedup_at_4 = timings["serial"] / timings[4]
+    threshold = 0.3 if quick else 1.5
+    assert speedup_at_4 > threshold, table.format()

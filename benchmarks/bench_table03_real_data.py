@@ -1,7 +1,7 @@
 """Table 3: execution times on the real-data stand-ins."""
 
 from repro.experiments import table03
-from repro.experiments.table03 import DATASETS, real_seconds
+from repro.experiments.table03 import real_seconds
 
 
 def test_table03_real_data(regenerate):

@@ -7,6 +7,17 @@ the result tables under ``results/`` and asserts the *shape* of the
 paper's finding (who wins, by what direction, where behaviour flips).
 Absolute numbers are not expected to match the paper's testbed; see
 EXPERIMENTS.md.
+
+Two CI-oriented options (used by the smoke job in
+``.github/workflows/ci.yml``):
+
+* ``--quick`` shrinks workloads so a bench finishes in well under a
+  minute, relaxing magnitude assertions accordingly (direction/shape
+  assertions stay);
+* ``--executor process`` additionally routes template materialisation
+  through the real multicore backend (:mod:`repro.engine.parallel`) and
+  asserts it agrees with the serial reference — a cheap end-to-end
+  guard against process-pool regressions.
 """
 
 import os
@@ -15,6 +26,33 @@ import sys
 import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="tiny workloads + relaxed magnitude asserts (CI smoke)",
+    )
+    parser.addoption(
+        "--executor",
+        choices=["serial", "process"],
+        default="serial",
+        help="execution backend exercised by the executor-aware benches",
+    )
+
+
+@pytest.fixture
+def quick(request):
+    """True when the CI smoke job asked for tiny workloads."""
+    return request.config.getoption("--quick")
+
+
+@pytest.fixture
+def executor(request):
+    """The execution backend under test: "serial" or "process"."""
+    return request.config.getoption("--executor")
 
 
 @pytest.fixture

@@ -35,7 +35,13 @@ from repro.core.skylists import SkylistCube
 from repro.core.skyline import extended_skyline_indices, skyline_indices
 from repro.data.generator import generate
 from repro.data.realistic import load_real
-from repro.engine import fast_extended_skyline, fast_skycube, fast_skyline
+from repro.engine import (
+    ParallelExecutor,
+    SharedDataset,
+    fast_extended_skyline,
+    fast_skycube,
+    fast_skyline,
+)
 from repro.hardware import (
     CPUConfig,
     GPUConfig,
@@ -79,6 +85,8 @@ __all__ = [
     "generate",
     "load_real",
     "fast_skyline",
+    "ParallelExecutor",
+    "SharedDataset",
     "fast_extended_skyline",
     "fast_skycube",
     "CPUConfig",

@@ -81,12 +81,18 @@ def cmd_skycube(args) -> int:
             f"unknown algorithm {args.algorithm!r}; choose from "
             f"{', '.join(ALGORITHM_KEYS)}"
         )
-    run = _builder(args.algorithm).materialise(data, max_level=args.max_level)
+    try:
+        builder = _builder(args.algorithm, args.executor, args.workers)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    run = builder.materialise(data, max_level=args.max_level)
     cube = run.skycube
     subspaces = list(cube.subspaces())
+    backend = "" if args.executor == "serial" else f", executor={args.executor}"
     print(
         f"materialised {len(subspaces)} subspace skylines with "
-        f"{args.algorithm} ({run.counters.dominance_tests} dominance tests)"
+        f"{args.algorithm} ({run.counters.dominance_tests} dominance tests"
+        f"{backend})"
     )
     for text in args.show:
         delta = _parse_subspace(text, data.shape[1])
@@ -141,6 +147,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     skycube.add_argument("dataset")
     skycube.add_argument("--algorithm", default="mdmc-cpu")
     skycube.add_argument("--max-level", type=int, default=None)
+    skycube.add_argument("--executor", choices=["serial", "process"],
+                         default="serial",
+                         help="serial reference or real multicore pool")
+    skycube.add_argument("--workers", type=int, default=None,
+                         help="process-pool size (default: all cores)")
     skycube.add_argument("--show", nargs="*", default=[],
                          help="subspaces to print")
     skycube.set_defaults(handler=cmd_skycube)

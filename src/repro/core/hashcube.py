@@ -25,7 +25,7 @@ compression exactly where the numeric order cannot.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Tuple
 
 from repro.core.bitmask import full_space, popcount
 from repro.core.lattice import Lattice
@@ -132,6 +132,40 @@ class HashCube:
             if word == self._valid_bits(word_index):
                 continue  # dominated in every subspace of this word: omit
             self._tables[word_index].setdefault(word, []).append(point_id)
+
+    def insert_batch(self, items: Iterable[Tuple[int, int]]) -> int:
+        """Batch-merge ``(point_id, mask)`` pairs; returns the count.
+
+        The parent-side merge of MDMC's process backend: workers ship
+        raw ``B_{p∉S}`` masks and the owning process folds them in
+        here.  Distinct masks are decomposed into stored words once
+        (there are typically far fewer distinct masks than points), so
+        a batch costs one dict probe plus the appends per point instead
+        of a full permute-and-split.
+        """
+        word_cache: Dict[int, List[Tuple[int, int]]] = {}
+        count = 0
+        for point_id, mask in items:
+            words = word_cache.get(mask)
+            if words is None:
+                if not 0 <= mask < (1 << self.num_subspaces):
+                    raise ValueError(
+                        f"mask {mask:#x} out of range for d={self.d}"
+                    )
+                stored_mask = self._permute(mask)
+                words = []
+                for word_index in range(self.num_words):
+                    word = (
+                        stored_mask >> (word_index * self.word_width)
+                    ) & self._word_mask
+                    if word == self._valid_bits(word_index):
+                        continue  # omission rule, as in insert()
+                    words.append((word_index, word))
+                word_cache[mask] = words
+            for word_index, word in words:
+                self._tables[word_index].setdefault(word, []).append(point_id)
+            count += 1
+        return count
 
     # -- queries ------------------------------------------------------
 

@@ -16,7 +16,6 @@ from __future__ import annotations
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.bitmask import (
-    all_subspaces,
     full_space,
     popcount,
     subspaces_at_level,

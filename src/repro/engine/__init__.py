@@ -1,9 +1,16 @@
-"""Uninstrumented, vectorized fast kernels for large inputs."""
+"""Uninstrumented, vectorized fast kernels and the real parallel backend."""
 
 from repro.engine.kernels import (
     fast_extended_skyline,
     fast_skycube,
     fast_skyline,
 )
+from repro.engine.parallel import ParallelExecutor, SharedDataset
 
-__all__ = ["fast_skyline", "fast_extended_skyline", "fast_skycube"]
+__all__ = [
+    "fast_skyline",
+    "fast_extended_skyline",
+    "fast_skycube",
+    "ParallelExecutor",
+    "SharedDataset",
+]

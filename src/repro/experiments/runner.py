@@ -42,7 +42,18 @@ ALGORITHM_KEYS = (
 )
 
 
-def _builder(key: str):
+def _builder(key: str, executor: str = "serial", workers: Optional[int] = None):
+    if key == "stsc":
+        return STSC(executor=executor, workers=workers)
+    if key.startswith("sdsc"):
+        return SDSC(key.split("-", 1)[1], executor=executor, workers=workers)
+    if key.startswith("mdmc"):
+        return MDMC(key.split("-", 1)[1], executor=executor, workers=workers)
+    if executor != "serial":
+        raise ValueError(
+            f"executor={executor!r} only applies to the template "
+            f"algorithms (stsc/sdsc/mdmc), not {key!r}"
+        )
     if key == "qskycube":
         return QSkycube()
     if key == "pqskycube":
@@ -51,12 +62,6 @@ def _builder(key: str):
         return BottomUpSkycube()
     if key == "distributed":
         return DistributedSkycube()
-    if key == "stsc":
-        return STSC()
-    if key.startswith("sdsc"):
-        return SDSC(key.split("-", 1)[1])
-    if key.startswith("mdmc"):
-        return MDMC(key.split("-", 1)[1])
     raise KeyError(f"unknown algorithm key {key!r}; known: {ALGORITHM_KEYS}")
 
 
@@ -68,10 +73,14 @@ def build_run(
     d: int,
     seed: int = 0,
     max_level: Optional[int] = None,
+    executor: str = "serial",
+    workers: Optional[int] = None,
 ) -> SkycubeRun:
     """Materialise (once) the named algorithm on a synthetic workload."""
     data = generate(distribution, n, d, seed=seed)
-    return _builder(algorithm).materialise(data, max_level=max_level)
+    return _builder(algorithm, executor, workers).materialise(
+        data, max_level=max_level
+    )
 
 
 @lru_cache(maxsize=None)

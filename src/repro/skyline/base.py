@@ -53,6 +53,9 @@ class SkylineAlgorithm(ABC):
     #: Whether the algorithm exposes intra-query data parallelism
     #: (an SDSC hook) or is inherently single-threaded (an STSC hook).
     parallel: bool = False
+    #: Which architecture the algorithm targets ("cpu" or "gpu"); the
+    #: templates validate hooks against their specialisation with this.
+    architecture: str = "cpu"
 
     def compute(
         self,

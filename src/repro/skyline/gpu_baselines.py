@@ -67,6 +67,7 @@ class GNL(SkylineAlgorithm):
 
     name = "gnl"
     parallel = True
+    architecture = "gpu"
 
     def _compute(
         self,
@@ -97,6 +98,7 @@ class GGS(SkylineAlgorithm):
 
     name = "ggs"
     parallel = True
+    architecture = "gpu"
 
     def _compute(
         self,

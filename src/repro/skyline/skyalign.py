@@ -36,6 +36,7 @@ class SkyAlign(SkylineAlgorithm):
 
     name = "skyalign"
     parallel = True
+    architecture = "gpu"
 
     def __init__(self, levels: int = 2):
         if levels not in (2, 3):

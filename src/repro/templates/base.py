@@ -13,6 +13,8 @@ calls this out as a limitation of that template.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.skycube.base import SkycubeAlgorithm
 
 __all__ = ["SkycubeTemplate", "TemplateSpecialisationError", "ARCHITECTURES"]
@@ -25,12 +27,29 @@ class TemplateSpecialisationError(ValueError):
 
 
 class SkycubeTemplate(SkycubeAlgorithm):
-    """Base class of the three parallel skycube templates."""
+    """Base class of the three parallel skycube templates.
+
+    Besides the architecture *specialisation* (which hooks fill the
+    template), every template carries an execution *backend*:
+    ``executor="serial"`` runs the instrumented reference
+    implementation on one thread (producing the operation counts the
+    simulated hardware layer replays), while ``executor="process"``
+    runs the same work genuinely in parallel on ``workers`` cores via
+    :mod:`repro.engine.parallel` — bit-identical results, real wall
+    clock, empty per-task counters.
+    """
 
     #: Architectures this template can be specialised for.
     supported_architectures = ARCHITECTURES
 
-    def __init__(self, specialisation: str = "cpu"):
+    def __init__(
+        self,
+        specialisation: str = "cpu",
+        executor: str = "serial",
+        workers: Optional[int] = None,
+    ):
+        from repro.engine.parallel import EXECUTORS
+
         specialisation = specialisation.lower()
         if specialisation not in ARCHITECTURES:
             raise TemplateSpecialisationError(
@@ -42,7 +61,60 @@ class SkycubeTemplate(SkycubeAlgorithm):
                 f"{type(self).__name__} cannot be specialised for "
                 f"{specialisation!r} (supports {self.supported_architectures})"
             )
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+            )
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.specialisation = specialisation
+        self.executor = executor
+        self.workers = workers
+
+    def _validate_hook(self, hook) -> None:
+        """Reject hook/architecture mismatches at construction time.
+
+        A specialisation is only meaningful when its hook actually runs
+        on the chosen architecture: hooking, say, the GPU-only SkyAlign
+        into a CPU template would silently execute a simulated-GPU cost
+        model on CPU counters.  Skyline algorithms default to
+        ``architecture="cpu"``; GPU-only ones declare ``"gpu"``.
+        """
+        hook_arch = getattr(hook, "architecture", "cpu")
+        if hook_arch != self.specialisation:
+            raise TemplateSpecialisationError(
+                f"{type(self).__name__}({self.specialisation!r}) cannot hook "
+                f"{type(hook).__name__} ({hook.name!r}): it is a "
+                f"{hook_arch}-only algorithm; pick a hook whose "
+                f"architecture matches the specialisation"
+            )
+
+    def _make_executor(self):
+        """The :class:`~repro.engine.parallel.ParallelExecutor` to use."""
+        from repro.engine.parallel import ParallelExecutor
+
+        return ParallelExecutor(workers=self.workers)
+
+    def _materialise_process(self, data, max_level, counters):
+        """Shared process-backend body of the lattice templates.
+
+        STSC and SDSC differ only in *what runs inside a cuboid task*
+        (a single thread vs a whole device); on the real process
+        backend both dispatch whole cuboids with the vectorized kernels
+        as the in-worker hook, so they share this path.  MDMC overrides
+        it with its point-block dispatch.
+        """
+        from repro.core.skycube import Skycube
+        from repro.engine.parallel import parallel_lattice
+        from repro.skycube.base import SkycubeRun
+
+        executor = self._make_executor()
+        lattice, phases = parallel_lattice(data, executor, max_level)
+        counters.tasks += sum(len(phase.tasks) for phase in phases)
+        counters.sync_points += len(phases)
+        skycube = Skycube(lattice, data=data, max_level=max_level)
+        return SkycubeRun(skycube, counters, phases)
 
     def __repr__(self) -> str:
-        return f"{type(self).__name__}(specialisation={self.specialisation!r})"
+        extra = "" if self.executor == "serial" else f", executor={self.executor!r}"
+        return f"{type(self).__name__}(specialisation={self.specialisation!r}{extra})"

@@ -253,8 +253,10 @@ class MDMC(SkycubeTemplate):
         specialisation: str = "cpu",
         word_width: int = HashCube.DEFAULT_WORD_WIDTH,
         bit_order: str = "numeric",
+        executor: str = "serial",
+        workers: Optional[int] = None,
     ):
-        super().__init__(specialisation)
+        super().__init__(specialisation, executor, workers)
         self.word_width = word_width
         #: "level" activates the Appendix A.2 future-work layout, which
         #: compresses partial skycubes harder (see core.hashcube).
@@ -272,6 +274,8 @@ class MDMC(SkycubeTemplate):
         max_level: Optional[int],
         counters: Counters,
     ) -> SkycubeRun:
+        if self.executor == "process":
+            return self._materialise_process(data, max_level, counters)
         d = data.shape[1]
         full = full_space(d)
 
@@ -332,6 +336,54 @@ class MDMC(SkycubeTemplate):
             )
         counters.tasks += len(point_phase.tasks)
 
+        skycube = Skycube(hashcube, data=data, max_level=max_level)
+        return SkycubeRun(skycube, counters, [setup_phase, point_phase])
+
+    def _materialise_process(
+        self,
+        data: np.ndarray,
+        max_level: Optional[int],
+        counters: Counters,
+    ) -> SkycubeRun:
+        """Process backend: point-block tasks, parent-side batch merge.
+
+        Lines 3–13 of Algorithm 3 parallelise over points; here blocks
+        of ``S+(P)`` points are real pool tasks whose ``B_{p∉S}`` masks
+        come back to the parent, which batch-merges them into the
+        HashCube — the only write ever performed on shared state, so
+        workers stay fully independent, exactly as the paper requires.
+        """
+        from repro.engine.kernels import fast_extended_skyline
+        from repro.engine.parallel import parallel_point_masks
+
+        d = data.shape[1]
+        splus_ids = fast_extended_skyline(data)
+        rows = np.ascontiguousarray(data[splus_ids])
+
+        executor = self._make_executor()
+        masks = parallel_point_masks(rows, executor)
+        counters.sync_points += 1
+
+        relevant = self._relevant_bits(d, max_level)
+        all_bits = (1 << full_space(d)) - 1
+        unmaterialised = all_bits & ~relevant
+        hashcube = HashCube(d, self.word_width, self.bit_order)
+        inserted = hashcube.insert_batch(
+            (int(pid), mask | unmaterialised)
+            for pid, mask in zip(splus_ids, masks)
+        )
+        counters.tasks += inserted
+        counters.points_processed += inserted
+
+        setup_phase = PhaseTrace("extended+shm")
+        setup_phase.tasks.append(
+            TaskTrace(label="S+(P) + shared segment", counters=Counters())
+        )
+        point_phase = PhaseTrace("points")
+        for pid in splus_ids:
+            point_phase.tasks.append(
+                TaskTrace(label=f"p={int(pid)}", counters=Counters())
+            )
         skycube = Skycube(hashcube, data=data, max_level=max_level)
         return SkycubeRun(skycube, counters, [setup_phase, point_phase])
 

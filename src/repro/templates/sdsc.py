@@ -28,7 +28,7 @@ from repro.skycube.topdown import top_down_lattice
 from repro.skyline.base import SkylineAlgorithm
 from repro.skyline.hybrid import Hybrid
 from repro.skyline.skyalign import SkyAlign
-from repro.templates.base import SkycubeTemplate
+from repro.templates.base import SkycubeTemplate, TemplateSpecialisationError
 
 __all__ = ["SDSC"]
 
@@ -43,15 +43,18 @@ class SDSC(SkycubeTemplate):
         self,
         specialisation: str = "cpu",
         hook: Optional[SkylineAlgorithm] = None,
+        executor: str = "serial",
+        workers: Optional[int] = None,
     ):
-        super().__init__(specialisation)
+        super().__init__(specialisation, executor, workers)
         if hook is None:
             hook = Hybrid() if self.specialisation == "cpu" else SkyAlign()
         if not hook.parallel:
-            raise ValueError(
+            raise TemplateSpecialisationError(
                 f"SDSC needs a parallel skyline algorithm as hook; "
                 f"{hook.name!r} is single-threaded"
             )
+        self._validate_hook(hook)
         #: The per-cuboid parallel skyline algorithm (the hook).
         self.hook = hook
 
@@ -61,6 +64,8 @@ class SDSC(SkycubeTemplate):
         max_level: Optional[int],
         counters: Counters,
     ) -> SkycubeRun:
+        if self.executor == "process":
+            return self._materialise_process(data, max_level, counters)
         lattice, phases = top_down_lattice(data, self.hook, counters, max_level)
         skycube = Skycube(lattice, data=data, max_level=max_level)
         return SkycubeRun(skycube, counters, phases)

@@ -42,10 +42,13 @@ class STSC(SkycubeTemplate):
         self,
         specialisation: str = "cpu",
         hook: Optional[SkylineAlgorithm] = None,
+        executor: str = "serial",
+        workers: Optional[int] = None,
     ):
-        super().__init__(specialisation)
+        super().__init__(specialisation, executor, workers)
         #: The per-cuboid sequential skyline algorithm (the hook).
         self.hook = hook if hook is not None else Hybrid()
+        self._validate_hook(self.hook)
 
     def _materialise(
         self,
@@ -53,6 +56,8 @@ class STSC(SkycubeTemplate):
         max_level: Optional[int],
         counters: Counters,
     ) -> SkycubeRun:
+        if self.executor == "process":
+            return self._materialise_process(data, max_level, counters)
         lattice, phases = top_down_lattice(data, self.hook, counters, max_level)
         # Cuboid tasks are single-threaded by definition: any intra-task
         # parallelism the hook reported is not exploitable here — except

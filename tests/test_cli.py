@@ -1,6 +1,5 @@
 """Tests for the command-line interfaces."""
 
-import numpy as np
 import pytest
 
 from repro.__main__ import main as repro_main

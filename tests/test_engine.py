@@ -1,7 +1,5 @@
 """Fast-engine kernels must match the reference implementations."""
 
-import time
-
 import numpy as np
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for the level-ordered HashCube (Appendix A.2 future work)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

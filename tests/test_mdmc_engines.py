@@ -1,6 +1,5 @@
 """Direct tests of MDMC's filter/refine engines (the template hooks)."""
 
-import numpy as np
 import pytest
 
 from repro.core.bitmask import full_space

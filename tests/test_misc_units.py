@@ -1,7 +1,5 @@
 """Small unit tests for helpers not covered elsewhere."""
 
-import pytest
-
 from repro.hardware.simulate import (
     device_parallel_efficiency,
     mdmc_threads_per_point,

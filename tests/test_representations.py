@@ -1,10 +1,9 @@
 """Tests for the lattice, HashCube and Skycube facade."""
 
-import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
 
-from repro.core.bitmask import all_subspaces, full_space
+from repro.core.bitmask import all_subspaces
 from repro.core.hashcube import HashCube
 from repro.core.lattice import Lattice
 from repro.core.skycube import Skycube

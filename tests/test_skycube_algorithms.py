@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.bitmask import all_subspaces, popcount, subspaces_at_level
+from repro.core.bitmask import all_subspaces, subspaces_at_level
 from repro.core.verify import brute_force_skycube, verify_skycube
 from repro.instrument.counters import Counters
 from repro.skycube import (
@@ -168,6 +168,29 @@ class TestTemplateSpecialisation:
     def test_sdsc_default_hooks(self):
         assert SDSC("cpu").hook.name == "hybrid"
         assert SDSC("gpu").hook.name == "skyalign"
+
+    def test_stsc_rejects_gpu_only_hook(self):
+        """Regression: STSC used to accept a GPU-only hook silently."""
+        from repro.skyline.skyalign import SkyAlign
+
+        with pytest.raises(TemplateSpecialisationError, match="gpu-only"):
+            STSC(hook=SkyAlign())
+
+    def test_sdsc_rejects_architecture_mismatched_hook(self):
+        from repro.skyline.gpu_baselines import GNL
+        from repro.skyline.hybrid import Hybrid
+
+        with pytest.raises(TemplateSpecialisationError, match="gpu-only"):
+            SDSC("cpu", hook=GNL())
+        with pytest.raises(TemplateSpecialisationError, match="cpu-only"):
+            SDSC("gpu", hook=Hybrid())
+
+    def test_matching_hooks_still_accepted(self):
+        from repro.skyline.hybrid import Hybrid
+        from repro.skyline.skyalign import SkyAlign
+
+        assert STSC(hook=Hybrid()).hook.name == "hybrid"
+        assert SDSC("gpu", hook=SkyAlign()).hook.name == "skyalign"
 
     def test_mdmc_engines(self):
         assert MDMC("cpu").engine.name == "cpu"

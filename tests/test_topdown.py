@@ -1,6 +1,5 @@
 """Unit tests for the shared top-down lattice traversal."""
 
-import numpy as np
 import pytest
 
 from repro.core.bitmask import full_space, subspaces_at_level

@@ -1,7 +1,5 @@
 """Trace-driven calibration: analytic model vs LRU simulator."""
 
-import pytest
-
 from repro.hardware.config import CPUConfig
 from repro.hardware.trace import validate_against_simulator
 from repro.instrument.counters import Counters
