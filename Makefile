@@ -1,0 +1,27 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: lint skylint typecheck test bench-smoke
+
+# Single entry point: ruff (when installed) + the repo-native skylint
+# pass.  Mirrors the CI lint gates.
+lint: skylint
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null; then \
+		$(PYTHON) -m ruff check . || exit 1; \
+	else \
+		echo "ruff not installed; skipping (pip install -e .[lint])"; \
+	fi
+
+skylint:
+	$(PYTHON) -m repro.analysis src/repro
+
+typecheck:
+	$(PYTHON) -m mypy -p repro.core -p repro.templates -p repro.engine -p repro.analysis
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_headline.py \
+		benchmarks/bench_parallel_scaling.py \
+		-q --quick --executor process --benchmark-disable

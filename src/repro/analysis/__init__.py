@@ -1,0 +1,41 @@
+"""skylint — repo-native static analysis for the skycube templates.
+
+The paper's methodology (one architecture-oblivious control flow,
+per-architecture hooks) and PR 1's shared-memory executor both rest on
+contracts that Python will not enforce at runtime: hooks matching
+their architecture, shared segments always unlinked, RNG always
+seeded, dominance defined exactly once.  This package enforces them
+statically; ``python -m repro.analysis`` is the CLI and
+``docs/ANALYSIS.md`` documents every rule.
+
+Importing the rule modules here is what populates the registry.
+"""
+
+from repro.analysis import determinism, dominance, hooks, shm  # noqa: F401
+from repro.analysis.base import (
+    Allowlist,
+    ModuleContext,
+    Rule,
+    RULE_REGISTRY,
+    Violation,
+    all_rules,
+    module_name,
+    register_rule,
+)
+from repro.analysis.cli import main
+from repro.analysis.runner import AnalysisReport, analyse_paths, iter_python_files
+
+__all__ = [
+    "Allowlist",
+    "AnalysisReport",
+    "ModuleContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "Violation",
+    "all_rules",
+    "analyse_paths",
+    "iter_python_files",
+    "main",
+    "module_name",
+    "register_rule",
+]

@@ -1,0 +1,266 @@
+"""Shared infrastructure of the skylint static-analysis pass.
+
+The pass AST-walks the package and enforces the repo-specific contracts
+that keep the paper's template methodology sound in Python: hooks match
+their architecture, shared-memory segments cannot leak, parallel and
+serial runs stay bit-identical, and dominance semantics live in one
+place.  This module holds everything the individual rules share — the
+:class:`Violation` record, the :class:`Rule` interface and registry,
+per-module AST context (with parent links), per-line suppression
+comments and the allowlist that grandfathers known violations.
+
+Suppression: append ``# skylint: disable=SKY001`` (comma-separate for
+several codes, or omit ``=...`` to silence every rule) to the flagged
+line.
+
+Allowlist: a text file of ``pattern: CODE`` lines, where ``pattern`` is
+an :mod:`fnmatch` glob matched against both the file path and the
+dotted module name — see :func:`Allowlist.load`.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+__all__ = [
+    "Violation",
+    "Rule",
+    "ModuleContext",
+    "Allowlist",
+    "RULE_REGISTRY",
+    "register_rule",
+    "all_rules",
+]
+
+#: ``# skylint: disable`` or ``# skylint: disable=SKY001,SKY102``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*skylint:\s*disable(?:\s*=\s*(?P<codes>[A-Z0-9,\s]+))?"
+)
+
+#: Marks "every code suppressed on this line".
+_ALL_CODES = "*"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a contract broken at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: str = "error"
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+class ModuleContext:
+    """A parsed module plus the derived state every rule needs.
+
+    Parent links let rules reason about enclosing scopes (which class
+    owns this ``SharedMemory`` call?  is this pool shut down in a
+    ``finally``?) without each rule re-walking the tree.
+    """
+
+    def __init__(self, path: Path, source: str, tree: ast.Module):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self.module = module_name(path)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._suppressed = _suppressed_codes(self.lines)
+
+    @classmethod
+    def parse(cls, path: Path) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        return cls(path, source, ast.parse(source, filename=str(path)))
+
+    # -- tree navigation ----------------------------------------------
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> Optional[ast.FunctionDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor  # type: ignore[return-value]
+        return None
+
+    def enclosing_class(self, node: ast.AST) -> Optional[ast.ClassDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    def is_with_context(self, node: ast.AST) -> bool:
+        """True iff ``node`` is the context expression of a ``with``."""
+        parent = self._parents.get(node)
+        if isinstance(parent, ast.withitem):
+            return parent.context_expr is node
+        return False
+
+    # -- suppression --------------------------------------------------
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        codes = self._suppressed.get(line)
+        if codes is None:
+            return False
+        return _ALL_CODES in codes or code in codes
+
+    def violation(
+        self, node: ast.AST, code: str, message: str, severity: str = "error"
+    ) -> Violation:
+        return Violation(
+            path=str(self.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+            severity=severity,
+        )
+
+
+def module_name(path: Path) -> str:
+    """Dotted module name, anchored at the last ``repro`` path part.
+
+    Files outside any ``repro`` directory (scratch scripts, fixtures)
+    fall back to their stem, which keeps the generic hygiene rules
+    applicable while the package-scoped ones simply never match.
+    """
+    parts = list(path.parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    anchors = [i for i, part in enumerate(parts) if part == "repro"]
+    if anchors:
+        return ".".join(parts[anchors[-1]:])
+    return parts[-1] if parts else ""
+
+
+def _suppressed_codes(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    suppressed: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        raw = match.group("codes")
+        if raw is None:
+            suppressed[lineno] = {_ALL_CODES}
+        else:
+            suppressed[lineno] = {
+                code.strip() for code in raw.split(",") if code.strip()
+            }
+    return suppressed
+
+
+class Rule(ABC):
+    """One lint rule: a code, a summary and an AST check."""
+
+    #: Stable error code (``SKY001`` …); unique across the registry.
+    code: str = ""
+    #: Short kebab-case rule name for ``--list-rules``.
+    name: str = ""
+    #: One-line statement of the enforced contract.
+    summary: str = ""
+
+    def applies_to(self, module: str) -> bool:
+        """Whether this rule runs on the given dotted module name."""
+        return True
+
+    @abstractmethod
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        """Yield every violation found in the module."""
+
+
+#: ``code -> rule class`` for every registered rule.
+RULE_REGISTRY: Dict[str, Type[Rule]] = {}
+
+
+def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not rule_class.code:
+        raise ValueError(f"{rule_class.__name__} has no code")
+    existing = RULE_REGISTRY.get(rule_class.code)
+    if existing is not None and existing is not rule_class:
+        raise ValueError(f"duplicate rule code {rule_class.code}")
+    RULE_REGISTRY[rule_class.code] = rule_class
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    return [RULE_REGISTRY[code]() for code in sorted(RULE_REGISTRY)]
+
+
+@dataclass
+class Allowlist:
+    """Grandfathered violations: ``(pattern, code)`` pairs.
+
+    A violation is allowlisted when any entry's code matches and its
+    glob pattern matches either the violation's file path (posix,
+    matched against the trailing components) or the module name.
+    """
+
+    entries: List[Tuple[str, str]] = field(default_factory=list)
+    path: Optional[Path] = None
+
+    @classmethod
+    def load(cls, path: Path) -> "Allowlist":
+        entries: List[Tuple[str, str]] = []
+        for raw_line in path.read_text(encoding="utf-8").splitlines():
+            line = raw_line.split("#", 1)[0].strip()
+            if not line:
+                continue
+            pattern, _, code = line.rpartition(":")
+            pattern, code = pattern.strip(), code.strip()
+            if not pattern or not code:
+                raise ValueError(
+                    f"{path}: malformed allowlist line {raw_line!r} "
+                    "(expected 'pattern: CODE')"
+                )
+            entries.append((pattern, code))
+        return cls(entries=entries, path=path)
+
+    def allows(self, violation: Violation, module: str) -> bool:
+        posix = Path(violation.path).as_posix()
+        for pattern, code in self.entries:
+            if code != violation.code and code != _ALL_CODES:
+                continue
+            if fnmatch.fnmatch(module, pattern):
+                return True
+            if fnmatch.fnmatch(posix, pattern):
+                return True
+            if fnmatch.fnmatch(posix, f"*/{pattern}"):
+                return True
+        return False

@@ -1,0 +1,151 @@
+"""The ``python -m repro.analysis`` command line.
+
+Human or ``--json`` output, ``--select``/``--ignore`` code filters, an
+``--allowlist`` file that grandfathers known violations, and ``--all``
+to chain the sibling gates (ruff, mypy) behind one entry point when
+they are installed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.analysis.base import Allowlist, all_rules
+from repro.analysis.runner import analyse_paths
+
+__all__ = ["main", "build_parser", "DEFAULT_ALLOWLIST"]
+
+#: Allowlist picked up automatically when it exists in the CWD.
+DEFAULT_ALLOWLIST = Path("skylint-allow.txt")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "skylint — repo-native static analysis for the skycube "
+            "templates: hook contracts, shared-memory hygiene, "
+            "determinism and dominance semantics (docs/ANALYSIS.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="run only these rule codes (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--ignore",
+        action="append",
+        metavar="CODE",
+        help="skip these rule codes (repeatable, comma-separable)",
+    )
+    parser.add_argument(
+        "--allowlist",
+        metavar="FILE",
+        default=None,
+        help=(
+            "allowlist of grandfathered violations "
+            f"(default: {DEFAULT_ALLOWLIST} if present)"
+        ),
+    )
+    parser.add_argument(
+        "--no-allowlist",
+        action="store_true",
+        help="ignore any allowlist, report everything",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    parser.add_argument(
+        "--all",
+        action="store_true",
+        dest="run_all",
+        help="also run ruff and mypy (when installed) after skylint",
+    )
+    return parser
+
+
+def _split_codes(values: Optional[Sequence[str]]) -> Optional[List[str]]:
+    if not values:
+        return None
+    codes: List[str] = []
+    for value in values:
+        codes.extend(code.strip() for code in value.split(",") if code.strip())
+    return codes
+
+
+def _load_allowlist(args: argparse.Namespace) -> Optional[Allowlist]:
+    if args.no_allowlist:
+        return None
+    if args.allowlist is not None:
+        return Allowlist.load(Path(args.allowlist))
+    if DEFAULT_ALLOWLIST.is_file():
+        return Allowlist.load(DEFAULT_ALLOWLIST)
+    return None
+
+
+def _run_companion(module: str, argv: List[str]) -> Optional[int]:
+    """Run a sibling gate as ``python -m module argv`` if installed."""
+    if importlib.util.find_spec(module) is None:
+        print(f"skylint --all: {module} not installed, skipping")
+        return None
+    command = [sys.executable, "-m", module, *argv]
+    print(f"skylint --all: running {' '.join(command[2:])}")
+    return subprocess.run(command, check=False).returncode
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        return 0
+
+    try:
+        allowlist = _load_allowlist(args)
+        report = analyse_paths(
+            [Path(p) for p in args.paths],
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+            allowlist=allowlist,
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print(f"skylint: {error}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(report.to_json())
+    else:
+        report.render()
+    exit_code = report.exit_code
+
+    if args.run_all:
+        ruff_code = _run_companion("ruff", ["check", "."])
+        mypy_code = _run_companion(
+            "mypy",
+            ["-p", "repro.core", "-p", "repro.templates",
+             "-p", "repro.engine", "-p", "repro.analysis"],
+        )
+        for companion in (ruff_code, mypy_code):
+            if companion:
+                exit_code = exit_code or companion
+    return exit_code

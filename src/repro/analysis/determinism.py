@@ -1,0 +1,161 @@
+"""Determinism rule (SKY201).
+
+The executor contract (ROADMAP, PR 1) is that parallel and serial runs
+are *bit-identical*: the process backend is only trusted because its
+results equal the instrumented serial reference.  One unseeded RNG call
+anywhere in an algorithm, template or experiment silently voids that
+guarantee — two runs of the "same" computation diverge and the
+benchmark-vs-reference comparison becomes noise.  All randomness must
+therefore flow from :mod:`repro.data` or from an explicitly seeded
+``numpy.random.Generator`` passed in by the caller.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.base import ModuleContext, Rule, Violation, register_rule
+
+__all__ = ["DeterminismRule"]
+
+#: numpy.random names that are fine to use anywhere *when seeded*.
+SEEDED_CONSTRUCTORS = frozenset({"default_rng", "Generator", "RandomState"})
+
+#: numpy.random names importable anywhere (types, not entropy sources).
+SAFE_RANDOM_IMPORTS = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator"}
+)
+
+
+def _attribute_chain(node: ast.expr) -> List[str]:
+    """``np.random.rand`` → ``["np", "random", "rand"]`` (or [])."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return parts[::-1]
+    return []
+
+
+@register_rule
+class DeterminismRule(Rule):
+    """SKY201 — no bare RNG calls outside ``repro.data``.
+
+    Flags module-level entropy: ``np.random.<anything>(...)`` except a
+    *seeded* ``default_rng``/``Generator``/``RandomState``, any use of
+    the stdlib :mod:`random` module (seeded ``random.Random(seed)``
+    excepted), and ``from random import ...``/``from numpy.random
+    import ...`` of entropy functions.
+    """
+
+    code = "SKY201"
+    name = "no-unseeded-rng"
+    summary = (
+        "randomness must come from repro.data or an explicitly seeded "
+        "Generator; bare np.random.*/random.* calls break bit-identical "
+        "parallel-vs-serial runs"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return not (
+            module == "repro.data" or module.startswith("repro.data.")
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        numpy_aliases = {"numpy"}
+        stdlib_random_aliases = set()
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    if alias.name == "numpy":
+                        numpy_aliases.add(local)
+                    elif alias.name == "random":
+                        stdlib_random_aliases.add(local)
+        numpy_aliases.add("np")
+
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(context, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(
+                    context, node, numpy_aliases, stdlib_random_aliases
+                )
+
+    def _check_import_from(
+        self, context: ModuleContext, node: ast.ImportFrom
+    ) -> Iterator[Violation]:
+        if node.module == "random":
+            message = (
+                "import of stdlib entropy functions; take a seeded "
+                "numpy Generator parameter instead"
+            )
+        elif node.module in ("numpy.random", "np.random"):
+            bad = sorted(
+                alias.name
+                for alias in node.names
+                if alias.name not in SAFE_RANDOM_IMPORTS
+            )
+            if not bad:
+                return
+            message = (
+                f"import of unseeded entropy source(s) {', '.join(bad)} "
+                "from numpy.random; take a seeded Generator parameter "
+                "instead"
+            )
+        else:
+            return
+        if context.is_suppressed(node.lineno, self.code):
+            return
+        yield context.violation(node, self.code, message)
+
+    def _check_call(
+        self,
+        context: ModuleContext,
+        node: ast.Call,
+        numpy_aliases: set,
+        stdlib_random_aliases: set,
+    ) -> Iterator[Violation]:
+        chain = _attribute_chain(node.func)
+        message: Optional[str] = None
+        if (
+            len(chain) == 3
+            and chain[0] in numpy_aliases
+            and chain[1] == "random"
+        ):
+            fn = chain[2]
+            if fn in SEEDED_CONSTRUCTORS:
+                if not node.args and not node.keywords:
+                    message = (
+                        f"np.random.{fn}() without a seed; parallel and "
+                        "serial runs will diverge — pass an explicit "
+                        "seed or accept a Generator parameter"
+                    )
+            else:
+                message = (
+                    f"bare np.random.{fn}(...) draws from global state; "
+                    "use a seeded np.random.default_rng(seed) / an "
+                    "injected Generator so runs stay reproducible"
+                )
+        elif len(chain) == 2 and chain[0] in stdlib_random_aliases:
+            fn = chain[1]
+            if fn == "Random":
+                if not node.args and not node.keywords:
+                    message = (
+                        "random.Random() without a seed; pass an "
+                        "explicit seed so runs stay reproducible"
+                    )
+            else:
+                message = (
+                    f"stdlib random.{fn}(...) draws from global state; "
+                    "use a seeded numpy Generator instead"
+                )
+        if message is None:
+            return
+        if context.is_suppressed(node.lineno, self.code):
+            return
+        yield context.violation(node, self.code, message)

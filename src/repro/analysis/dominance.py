@@ -1,0 +1,94 @@
+"""Dominance-semantics rule (SKY301).
+
+Ciaccia & Martinenghi's point about parallel skyline variants — they
+are only correct if they preserve the *exact* dominance semantics of
+the sequential baseline — applies with force here: the templates and
+the engine re-derive the same ``p ≺δ q`` comparisons in vectorized
+form, and a single ``<`` written where the baseline uses ``<=`` (or a
+missing tie-break against equality) silently changes which points are
+"dominated" without failing any template test.  All dominance mask and
+membership computations therefore live in :mod:`repro.core.dominance`
+(scalar + vectorized) and :mod:`repro.engine.kernels` is required to
+build on those helpers rather than re-rolling comparison chains.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.base import ModuleContext, Rule, Violation, register_rule
+
+__all__ = ["DominanceSemanticsRule"]
+
+#: Ordered-comparison operators that make up dominance tests.
+ORDER_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq)
+
+
+def _is_order_compare(node: ast.expr) -> bool:
+    return isinstance(node, ast.Compare) and any(
+        isinstance(op, ORDER_OPS) for op in node.ops
+    )
+
+
+@register_rule
+class DominanceSemanticsRule(Rule):
+    """SKY301 — no ad-hoc dominance chains in templates or the engine.
+
+    Flags the vectorized tell-tales of a hand-rolled dominance test in
+    ``repro.templates``/``repro.engine``: an elementwise comparison
+    reduced with ``.all()``/``.any()`` (``(a <= b).all()``) or folded
+    into a bitmask via matrix multiplication (``(rows < p) @ weights``).
+    Use :func:`repro.core.dominance.dominance_masks_vs_all` and
+    :func:`repro.core.dominance.dominated_mask` instead — one
+    definition of ``≺δ``, shared by serial reference, kernels and
+    workers alike.
+    """
+
+    code = "SKY301"
+    name = "dominance-via-core-helpers"
+    summary = (
+        "templates/engine must use repro.core.dominance helpers, not "
+        "ad-hoc <=/>= comparison chains"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith(("repro.templates", "repro.engine"))
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            flagged: Optional[ast.expr] = None
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("all", "any")
+                    and _is_order_compare(func.value)
+                ):
+                    flagged = func.value
+                elif (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in ("all", "any")
+                    and node.args
+                    and _is_order_compare(node.args[0])
+                ):
+                    flagged = node.args[0]  # np.all(a <= b)
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, ast.MatMult
+            ):
+                if _is_order_compare(node.left):
+                    flagged = node.left
+                elif _is_order_compare(node.right):
+                    flagged = node.right
+            if flagged is None:
+                continue
+            if context.is_suppressed(node.lineno, self.code):
+                continue
+            yield context.violation(
+                node,
+                self.code,
+                "ad-hoc dominance comparison chain; route it through "
+                "repro.core.dominance (dominance_masks_vs_all / "
+                "dominated_mask) so every engine shares one definition "
+                "of the dominance relation",
+            )

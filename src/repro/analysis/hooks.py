@@ -1,0 +1,202 @@
+"""Hook-contract rules (SKY001–SKY003).
+
+The paper's central claim (Section 4.1) is that one hardware-oblivious
+template control flow stays correct while hooks are swapped per
+architecture.  That only holds if the hook/architecture pairing is
+machine-checkable: every skyline algorithm must say which architecture
+it targets, and templates must acquire hooks through the validated
+channels (the registry and the ``set_hook`` setter) instead of
+hard-wiring GPU-only classes into hardware-oblivious control flow.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext, Rule, Violation, register_rule
+
+__all__ = [
+    "HookArchitectureRule",
+    "GpuHookImportRule",
+    "HookSetterRule",
+]
+
+#: Modules that define GPU-only skyline algorithms.  Importing them
+#: from a template module hard-wires an architecture into code the
+#: paper requires to be architecture-oblivious.
+GPU_ONLY_MODULES = frozenset(
+    {"repro.skyline.skyalign", "repro.skyline.gpu_baselines"}
+)
+
+#: GPU-only algorithm class names, for ``from repro.skyline import X``.
+GPU_ONLY_NAMES = frozenset({"SkyAlign", "GNL", "GGS"})
+
+#: The template base module, which implements the validated setter and
+#: is therefore the one place allowed to assign hook attributes.
+TEMPLATE_BASE = "repro.templates.base"
+
+
+def _class_assigns(node: ast.ClassDef, attr: str) -> bool:
+    """True iff the class body assigns ``attr`` at class level."""
+    for statement in node.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == attr:
+                    return True
+        elif isinstance(statement, ast.AnnAssign):
+            target = statement.target
+            if isinstance(target, ast.Name) and target.id == attr:
+                return True
+    return False
+
+
+@register_rule
+class HookArchitectureRule(Rule):
+    """SKY001 — every skyline algorithm declares its architecture.
+
+    The templates validate hooks against their specialisation through
+    the ``architecture`` class attribute (``templates.base``).  An
+    algorithm that merely inherits the default would pass validation by
+    accident of the base-class default rather than by declaration, so
+    each concrete algorithm states ``architecture`` explicitly.
+    """
+
+    code = "SKY001"
+    name = "hook-architecture-declared"
+    summary = (
+        "concrete skyline algorithms must declare `architecture` explicitly"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return (
+            module.startswith("repro.skyline.")
+            and module != "repro.skyline.base"
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not node.bases:
+                continue  # not an algorithm: no base class
+            if not _class_assigns(node, "name"):
+                continue  # helper classes carry no registry name
+            if _class_assigns(node, "architecture"):
+                continue
+            if context.is_suppressed(node.lineno, self.code):
+                continue
+            yield context.violation(
+                node,
+                self.code,
+                f"skyline algorithm {node.name!r} does not declare "
+                "`architecture`; templates validate hooks against this "
+                "attribute, so inheriting the base default hides the "
+                "hook/architecture contract",
+            )
+
+
+@register_rule
+class GpuHookImportRule(Rule):
+    """SKY002 — template modules never import GPU-only hooks directly.
+
+    Defaults come from :mod:`repro.skyline.registry`, which owns the
+    architecture → algorithm mapping; a direct import of SkyAlign/GNL/
+    GGS inside a template couples hardware-oblivious control flow to
+    one architecture's implementation.
+    """
+
+    code = "SKY002"
+    name = "no-direct-gpu-hook-import"
+    summary = (
+        "template modules must get GPU hooks from the registry, "
+        "not import them directly"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module.startswith("repro.templates")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ImportFrom):
+                if node.module in GPU_ONLY_MODULES:
+                    yield from self._flag(context, node, node.module)
+                elif node.module in ("repro.skyline", "repro::skyline"):
+                    bad = sorted(
+                        alias.name
+                        for alias in node.names
+                        if alias.name in GPU_ONLY_NAMES
+                    )
+                    if bad:
+                        yield from self._flag(
+                            context, node, ", ".join(bad)
+                        )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in GPU_ONLY_MODULES:
+                        yield from self._flag(context, node, alias.name)
+
+    def _flag(
+        self, context: ModuleContext, node: ast.stmt, what: str
+    ) -> Iterator[Violation]:
+        if context.is_suppressed(node.lineno, self.code):
+            return
+        yield context.violation(
+            node,
+            self.code,
+            f"template module imports GPU-only hook(s) from {what!r}; "
+            "route the default through repro.skyline.registry."
+            "default_hook() so the template stays architecture-oblivious",
+        )
+
+
+@register_rule
+class HookSetterRule(Rule):
+    """SKY003 — hooks are assigned only via the validated setter.
+
+    ``SkycubeTemplate.set_hook`` checks the hook's architecture (and,
+    when required, its parallelism) against the specialisation before
+    assigning.  A bare ``self.hook = ...`` in a template bypasses that
+    validation and can pair, say, a simulated-GPU cost model with CPU
+    control flow without any error.
+    """
+
+    code = "SKY003"
+    name = "hook-via-validated-setter"
+    summary = (
+        "templates must assign hook attributes through "
+        "SkycubeTemplate.set_hook()"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return (
+            module.startswith("repro.templates")
+            and module != TEMPLATE_BASE
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            targets: list = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if not isinstance(target, ast.Attribute):
+                    continue
+                if not isinstance(target.value, ast.Name):
+                    continue
+                if target.value.id != "self":
+                    continue
+                attr = target.attr
+                if attr != "hook" and not attr.endswith("_hook"):
+                    continue
+                if context.is_suppressed(node.lineno, self.code):
+                    continue
+                yield context.violation(
+                    node,
+                    self.code,
+                    f"direct assignment to self.{attr} bypasses hook "
+                    "validation; use self.set_hook(hook, attr="
+                    f"{attr!r}) so the architecture contract is checked",
+                )

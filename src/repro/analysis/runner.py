@@ -1,0 +1,133 @@
+"""File discovery, rule orchestration and reporting for skylint.
+
+:func:`analyse_paths` is the library entry point (the test suite and
+``python -m repro.analysis`` both use it): collect python files, parse
+each once, run every applicable rule, then partition the findings into
+reported / suppressed / allowlisted.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, TextIO
+
+from repro.analysis.base import (
+    Allowlist,
+    ModuleContext,
+    Rule,
+    Violation,
+    all_rules,
+    module_name,
+)
+
+__all__ = ["AnalysisReport", "analyse_paths", "iter_python_files"]
+
+#: Directories never descended into.
+SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".mypy_cache", ".ruff_cache", "build", "dist"}
+)
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    collected: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not SKIP_DIRS.intersection(candidate.parts):
+                    collected.append(candidate)
+        elif path.suffix == ".py":
+            collected.append(path)
+        else:
+            raise FileNotFoundError(f"not a python file or directory: {path}")
+    return collected
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run over a set of files."""
+
+    violations: List[Violation] = field(default_factory=list)
+    allowlisted: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[Violation] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.violations or self.parse_errors else 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "files_checked": self.files_checked,
+                "violations": [v.to_json() for v in self.violations],
+                "allowlisted": [v.to_json() for v in self.allowlisted],
+                "parse_errors": [v.to_json() for v in self.parse_errors],
+            },
+            indent=2,
+        )
+
+    def render(self, stream: Optional[TextIO] = None) -> None:
+        out = stream if stream is not None else sys.stdout
+        for violation in self.parse_errors + self.violations:
+            print(violation.format(), file=out)
+        summary = (
+            f"skylint: {len(self.violations)} violation(s) in "
+            f"{self.files_checked} file(s)"
+        )
+        if self.allowlisted:
+            summary += f", {len(self.allowlisted)} allowlisted"
+        if self.parse_errors:
+            summary += f", {len(self.parse_errors)} unparsable file(s)"
+        print(summary, file=out)
+
+
+def analyse_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    allowlist: Optional[Allowlist] = None,
+) -> AnalysisReport:
+    """Run the (filtered) rule set over every python file in ``paths``."""
+    active = list(rules) if rules is not None else all_rules()
+    if select is not None:
+        wanted = set(select)
+        active = [rule for rule in active if rule.code in wanted]
+    if ignore is not None:
+        unwanted = set(ignore)
+        active = [rule for rule in active if rule.code not in unwanted]
+
+    report = AnalysisReport()
+    for path in iter_python_files([Path(p) for p in paths]):
+        report.files_checked += 1
+        try:
+            context = ModuleContext.parse(path)
+        except (SyntaxError, UnicodeDecodeError) as error:
+            report.parse_errors.append(
+                Violation(
+                    path=str(path),
+                    line=getattr(error, "lineno", 1) or 1,
+                    col=1,
+                    code="SKY000",
+                    message=f"cannot parse file: {error}",
+                )
+            )
+            continue
+        module = module_name(path)
+        for rule in active:
+            if not rule.applies_to(module):
+                continue
+            for violation in rule.check(context):
+                if allowlist is not None and allowlist.allows(
+                    violation, module
+                ):
+                    report.allowlisted.append(violation)
+                else:
+                    report.violations.append(violation)
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    report.allowlisted.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return report

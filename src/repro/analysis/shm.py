@@ -1,0 +1,260 @@
+"""Shared-memory hygiene rules (SKY101–SKY103).
+
+The process backend (:mod:`repro.engine.parallel`) mirrors the paper's
+threads sharing one read-only point array with POSIX shared memory.
+That design has three failure modes no unit test reliably catches: a
+``SharedMemory`` segment that outlives the run (leaked ``/dev/shm``
+pages until reboot), a process pool left running on an error path, and
+a task callable that cannot be pickled (or silently drags the parent's
+state into every worker).  These rules make the safe idioms — context
+managers, ``finally`` blocks, module-level worker functions — the only
+ones that lint clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.base import ModuleContext, Rule, Violation, register_rule
+
+__all__ = [
+    "SharedMemoryUnlinkRule",
+    "PoolLifecycleRule",
+    "WorkerPicklabilityRule",
+]
+
+#: Pool constructors whose instances must be shut down on every path.
+POOL_CONSTRUCTORS = frozenset(
+    {"ProcessPoolExecutor", "ThreadPoolExecutor", "Pool"}
+)
+
+#: Methods that ship a callable to workers (first argument).
+DISPATCH_METHODS = frozenset(
+    {"submit", "run", "map", "imap", "imap_unordered", "apply",
+     "apply_async", "map_async", "starmap", "starmap_async"}
+)
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    """Rightmost name of the called expression, if any."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _attribute_calls(node: ast.AST) -> Set[str]:
+    """Attribute names of every method call under ``node``."""
+    calls: Set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call) and isinstance(
+            child.func, ast.Attribute
+        ):
+            calls.add(child.func.attr)
+    return calls
+
+
+def _finally_calls(scope: ast.AST) -> Set[str]:
+    """Method names called inside any ``finally`` block of ``scope``."""
+    calls: Set[str] = set()
+    for child in ast.walk(scope):
+        if isinstance(child, ast.Try):
+            for statement in child.finalbody:
+                calls |= _attribute_calls(statement)
+    return calls
+
+
+def _method(node: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for statement in node.body:
+        if (
+            isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and statement.name == name
+        ):
+            return statement  # type: ignore[return-value]
+    return None
+
+
+@register_rule
+class SharedMemoryUnlinkRule(Rule):
+    """SKY101 — every created segment is unlinked on all paths.
+
+    ``SharedMemory(create=True)`` allocates kernel-persistent pages; an
+    exception between creation and ``unlink()`` leaks them for the
+    machine's uptime.  Creation is therefore only allowed (a) as a
+    ``with`` context expression, (b) inside a class that guarantees
+    cleanup (a ``close``/``__exit__`` pair whose ``close`` unlinks), or
+    (c) in a function whose ``finally`` block unlinks.
+    """
+
+    code = "SKY101"
+    name = "shared-memory-unlink-guaranteed"
+    summary = (
+        "SharedMemory(create=True) needs a with-block, an owning class "
+        "with close()+__exit__, or a finally that unlinks"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node) != "SharedMemory":
+                continue
+            creates = any(
+                keyword.arg == "create"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+                for keyword in node.keywords
+            )
+            if not creates:
+                continue
+            if self._guaranteed(context, node):
+                continue
+            if context.is_suppressed(node.lineno, self.code):
+                continue
+            yield context.violation(
+                node,
+                self.code,
+                "SharedMemory(create=True) without a guaranteed unlink: "
+                "wrap it in a context manager, own it from a class with "
+                "close() calling unlink() plus __exit__, or unlink in a "
+                "finally block — otherwise an error path leaks the "
+                "segment until reboot",
+            )
+
+    def _guaranteed(self, context: ModuleContext, node: ast.Call) -> bool:
+        if context.is_with_context(node):
+            return True
+        owner = context.enclosing_class(node)
+        if owner is not None:
+            close = _method(owner, "close")
+            exits = _method(owner, "__exit__")
+            if (
+                close is not None
+                and exits is not None
+                and "unlink" in _attribute_calls(close)
+            ):
+                return True
+        function = context.enclosing_function(node)
+        if function is not None and "unlink" in _finally_calls(function):
+            return True
+        return False
+
+
+@register_rule
+class PoolLifecycleRule(Rule):
+    """SKY102 — every pool is shut down on every path.
+
+    A ``ProcessPoolExecutor``/``Pool`` abandoned on an exception path
+    keeps worker processes (and their copy-on-write memory) alive until
+    interpreter exit.  Construction is allowed as a ``with`` context or
+    in a function whose ``finally`` block calls ``shutdown``/
+    ``terminate`` (or the ``close``+``join`` pair).
+    """
+
+    code = "SKY102"
+    name = "pool-shutdown-guaranteed"
+    summary = (
+        "process/thread pools need a with-block or a finally that "
+        "shuts them down"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node) not in POOL_CONSTRUCTORS:
+                continue
+            if context.is_with_context(node):
+                continue
+            function = context.enclosing_function(node)
+            if function is not None:
+                cleanup = _finally_calls(function)
+                if "shutdown" in cleanup or "terminate" in cleanup:
+                    continue
+                if "close" in cleanup and "join" in cleanup:
+                    continue
+            if context.is_suppressed(node.lineno, self.code):
+                continue
+            yield context.violation(
+                node,
+                self.code,
+                "pool created without guaranteed shutdown: use a with-"
+                "block, or call shutdown()/terminate() (or close()+"
+                "join()) in a finally block so error paths cannot "
+                "strand worker processes",
+            )
+
+
+@register_rule
+class WorkerPicklabilityRule(Rule):
+    """SKY103 — work shipped to pools is picklable by reference.
+
+    A lambda or nested function handed to ``submit``/``map``/
+    ``ParallelExecutor.run`` either fails to pickle outright (spawn) or
+    silently closes over the parent's state (fork) — the exact
+    divergence between "works on my laptop" and a corrupted parallel
+    run.  Task callables must be module-level functions.
+    """
+
+    code = "SKY103"
+    name = "worker-callable-module-level"
+    summary = (
+        "callables passed to pool dispatch methods must be "
+        "module-level functions, not lambdas or nested defs"
+    )
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr not in DISPATCH_METHODS:
+                continue
+            if not node.args:
+                continue
+            candidate = node.args[0]
+            problem = self._problem(context, node, candidate)
+            if problem is None:
+                continue
+            if context.is_suppressed(node.lineno, self.code):
+                continue
+            yield context.violation(
+                node,
+                self.code,
+                f"{problem} passed to .{func.attr}(); workers need a "
+                "module-level function (picklable by reference, no "
+                "closure over parent state)",
+            )
+
+    def _problem(
+        self, context: ModuleContext, call: ast.Call, candidate: ast.expr
+    ) -> Optional[str]:
+        if isinstance(candidate, ast.Lambda):
+            return "lambda"
+        if isinstance(candidate, ast.Name):
+            function = context.enclosing_function(call)
+            if function is not None and candidate.id in _nested_defs(
+                function
+            ):
+                return f"nested function {candidate.id!r}"
+        return None
+
+
+def _nested_defs(function: ast.AST) -> Set[str]:
+    """Names of functions defined *inside* ``function``."""
+    names: Set[str] = set()
+    stack: List[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(node.name)
+            continue  # a def inside a def is enough; no need to recurse
+        if isinstance(node, ast.Lambda):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return names

@@ -26,7 +26,7 @@ __all__ = ["ClosedSkycube"]
 class ClosedSkycube:
     """Equivalence-class compressed skycube (query-compatible)."""
 
-    def __init__(self, d: int):
+    def __init__(self, d: int) -> None:
         self.d = d
         #: subspace -> class index.
         self._class_of: Dict[int, int] = {}

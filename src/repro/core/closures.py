@@ -32,7 +32,7 @@ __all__ = ["SubspaceClosures"]
 class SubspaceClosures:
     """Memoised down-closure bitsets for the d-dimensional lattice."""
 
-    def __init__(self, d: int, counters: Optional[Counters] = None):
+    def __init__(self, d: int, counters: Optional[Counters] = None) -> None:
         if not 1 <= d <= 24:
             raise ValueError(f"d must be in [1, 24] for closure bitsets, got {d}")
         self.d = d

@@ -29,6 +29,7 @@ __all__ = [
     "dominates",
     "strictly_dominates",
     "dominance_masks_vs_all",
+    "dominated_mask",
     "mask_test",
     "DominanceTester",
 ]
@@ -104,6 +105,26 @@ def dominance_masks_vs_all(
     return lt + eq, lt, eq
 
 
+def dominated_mask(
+    block: np.ndarray, window: np.ndarray, strict: bool = False
+) -> np.ndarray:
+    """Which rows of ``block`` are dominated by some row of ``window``.
+
+    The vectorized block-vs-window form of Definition 1 that the
+    uninstrumented kernels build on: entry ``i`` is True iff any row of
+    ``window`` dominates ``block[i]`` (strictly, when ``strict`` — the
+    extended-skyline relation drops only strictly dominated points).
+    Both inputs are already projected onto the queried subspace; peak
+    memory is ``len(block) × len(window)`` booleans.
+    """
+    if strict:
+        lt = np.all(window[None, :, :] < block[:, None, :], axis=2)
+        return lt.any(axis=1)
+    le = np.all(window[None, :, :] <= block[:, None, :], axis=2)
+    eq = np.all(window[None, :, :] == block[:, None, :], axis=2)
+    return (le & ~eq).any(axis=1)
+
+
 def mask_test(pivot_le_p: int, pivot_le_q: int, delta: int) -> bool:
     """Equation 1 (Appendix B.2): can ``p`` possibly dominate ``q`` in δ?
 
@@ -130,7 +151,7 @@ class DominanceTester:
         data: np.ndarray,
         delta: Optional[int] = None,
         counters: Optional[Counters] = None,
-    ):
+    ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
         self.d = self.data.shape[1]
         self.delta = (1 << self.d) - 1 if delta is None else delta

@@ -25,7 +25,8 @@ compression exactly where the numeric order cannot.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Tuple
+from operator import index as _as_int
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.core.bitmask import full_space, popcount
 from repro.core.lattice import Lattice
@@ -44,7 +45,7 @@ class HashCube:
         d: int,
         word_width: int = DEFAULT_WORD_WIDTH,
         bit_order: str = "numeric",
-    ):
+    ) -> None:
         if d < 1:
             raise ValueError(f"dimensionality must be positive, got {d}")
         if word_width < 1:
@@ -62,18 +63,21 @@ class HashCube:
         self._tables: List[Dict[int, List[int]]] = [
             {} for _ in range(self.num_words)
         ]
+        #: Ids inserted so far (ids are append-only; maintenance always
+        #: rebuilds a fresh cube), so batch merges can reject
+        #: duplicates in O(1) instead of silently double-storing.
+        self._inserted_ids: Set[int] = set()
         self._word_mask = (1 << word_width) - 1
+        #: subspace δ -> bit position, and its inverse (level order only).
+        self._bit_of: Optional[Dict[int, int]] = None
+        self._delta_at: Optional[List[int]] = None
         if bit_order == "level":
             ordered = sorted(
                 range(1, self.num_subspaces + 1),
                 key=lambda delta: (popcount(delta), delta),
             )
-            #: subspace δ -> bit position, and its inverse.
             self._bit_of = {delta: i for i, delta in enumerate(ordered)}
             self._delta_at = ordered
-        else:
-            self._bit_of = None
-            self._delta_at = None
 
     def _position(self, delta: int) -> int:
         """Bit position of subspace δ under the configured order."""
@@ -127,45 +131,83 @@ class HashCube:
                 f"mask {not_in_skyline_mask:#x} out of range for d={self.d}"
             )
         stored_mask = self._permute(not_in_skyline_mask)
+        self._inserted_ids.add(point_id)
         for word_index in range(self.num_words):
             word = (stored_mask >> (word_index * self.word_width)) & self._word_mask
             if word == self._valid_bits(word_index):
                 continue  # dominated in every subspace of this word: omit
             self._tables[word_index].setdefault(word, []).append(point_id)
 
+    def _split_words(self, mask: int) -> List[Tuple[int, int]]:
+        """Stored ``(word_index, word)`` pairs of a validated mask."""
+        stored_mask = self._permute(mask)
+        words = []
+        for word_index in range(self.num_words):
+            word = (
+                stored_mask >> (word_index * self.word_width)
+            ) & self._word_mask
+            if word == self._valid_bits(word_index):
+                continue  # omission rule, as in insert()
+            words.append((word_index, word))
+        return words
+
     def insert_batch(self, items: Iterable[Tuple[int, int]]) -> int:
         """Batch-merge ``(point_id, mask)`` pairs; returns the count.
 
         The parent-side merge of MDMC's process backend: workers ship
         raw ``B_{p∉S}`` masks and the owning process folds them in
-        here.  Distinct masks are decomposed into stored words once
-        (there are typically far fewer distinct masks than points), so
-        a batch costs one dict probe plus the appends per point instead
-        of a full permute-and-split.
+        here.  Because a worker result crosses a process boundary, the
+        whole batch is validated *before* anything is merged — a
+        malformed item (mask wider than ``2**d - 1`` bits, a negative
+        or non-integral id, an id repeated within the batch or already
+        stored) raises :class:`ValueError` and leaves the cube
+        untouched, rather than half-merging a corrupt result.
+
+        Distinct masks are decomposed into stored words once (there are
+        typically far fewer distinct masks than points), so a batch
+        costs one dict probe plus the appends per point instead of a
+        full permute-and-split.
         """
         word_cache: Dict[int, List[Tuple[int, int]]] = {}
-        count = 0
+        checked: List[Tuple[int, List[Tuple[int, int]]]] = []
+        batch_ids: Set[int] = set()
+        mask_bound = 1 << self.num_subspaces
         for point_id, mask in items:
+            try:
+                point_id = _as_int(point_id)
+            except TypeError:
+                raise ValueError(
+                    f"point id {point_id!r} is not an integer"
+                ) from None
+            if point_id < 0:
+                raise ValueError(f"point id {point_id} is negative")
+            if point_id in batch_ids:
+                raise ValueError(
+                    f"duplicate point id {point_id} in batch; every "
+                    "S+ point contributes exactly one B_{p∉S} mask"
+                )
+            if point_id in self._inserted_ids:
+                raise ValueError(
+                    f"point id {point_id} is already stored in this "
+                    "HashCube; merging it again would double-count it"
+                )
+            batch_ids.add(point_id)
             words = word_cache.get(mask)
             if words is None:
-                if not 0 <= mask < (1 << self.num_subspaces):
+                if not 0 <= mask < mask_bound:
                     raise ValueError(
-                        f"mask {mask:#x} out of range for d={self.d}"
+                        f"mask {mask:#x} of point {point_id} out of "
+                        f"range for d={self.d} (expected "
+                        f"{self.num_subspaces} mask bits)"
                     )
-                stored_mask = self._permute(mask)
-                words = []
-                for word_index in range(self.num_words):
-                    word = (
-                        stored_mask >> (word_index * self.word_width)
-                    ) & self._word_mask
-                    if word == self._valid_bits(word_index):
-                        continue  # omission rule, as in insert()
-                    words.append((word_index, word))
+                words = self._split_words(mask)
                 word_cache[mask] = words
+            checked.append((point_id, words))
+        for point_id, words in checked:
+            self._inserted_ids.add(point_id)
             for word_index, word in words:
                 self._tables[word_index].setdefault(word, []).append(point_id)
-            count += 1
-        return count
+        return len(checked)
 
     # -- queries ------------------------------------------------------
 

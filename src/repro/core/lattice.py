@@ -27,7 +27,7 @@ __all__ = ["Lattice"]
 class Lattice:
     """Materialised skycube as a per-subspace map of sorted id tuples."""
 
-    def __init__(self, d: int):
+    def __init__(self, d: int) -> None:
         if d < 1:
             raise ValueError(f"dimensionality must be positive, got {d}")
         self.d = d

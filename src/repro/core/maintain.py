@@ -39,7 +39,7 @@ class SkycubeMaintainer:
         data: Optional[np.ndarray] = None,
         d: Optional[int] = None,
         counters: Optional[Counters] = None,
-    ):
+    ) -> None:
         if data is None and d is None:
             raise ValueError("provide initial data or a dimensionality")
         if data is not None:

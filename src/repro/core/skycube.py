@@ -27,7 +27,7 @@ class Skycube:
         store: Union[Lattice, HashCube],
         data: Optional[np.ndarray] = None,
         max_level: Optional[int] = None,
-    ):
+    ) -> None:
         if not isinstance(store, (Lattice, HashCube)):
             raise TypeError(f"unsupported store type {type(store).__name__}")
         self._store = store

@@ -27,7 +27,7 @@ __all__ = ["SkylistCube"]
 class SkylistCube:
     """Parent-delta skycube storage over a DFS spanning tree."""
 
-    def __init__(self, d: int):
+    def __init__(self, d: int) -> None:
         self.d = d
         #: δ -> parent subspace on the spanning tree (root maps to None).
         self._parent: Dict[int, Optional[int]] = {}

@@ -11,12 +11,13 @@ results are bit-identical to the reference implementations.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.bitmask import dims_of, full_space
 from repro.core.closures import SubspaceClosures
+from repro.core.dominance import dominance_masks_vs_all, dominated_mask
 from repro.core.hashcube import HashCube
 from repro.core.skycube import Skycube
 
@@ -27,7 +28,9 @@ __all__ = ["fast_skyline", "fast_extended_skyline", "fast_skycube"]
 BLOCK = 512
 
 
-def _validated(data: np.ndarray, delta: Optional[int]):
+def _validated(
+    data: np.ndarray, delta: Optional[int]
+) -> Tuple[np.ndarray, int]:
     data = np.asarray(data, dtype=np.float64)
     if data.ndim != 2 or data.shape[0] == 0:
         raise ValueError(f"expected a non-empty 2-D dataset, got shape {data.shape}")
@@ -53,27 +56,16 @@ def _sorted_filter(rows: np.ndarray, strict: bool) -> np.ndarray:
         block = rows[start:end]
         alive = np.ones(end - start, dtype=bool)
         if kept_count:
-            window = kept_rows[:kept_count]
             # window[j] eliminates block[i] if it dominates it.
-            le = np.all(window[None, :, :] <= block[:, None, :], axis=2)
-            if strict:
-                lt = np.all(window[None, :, :] < block[:, None, :], axis=2)
-                alive = ~lt.any(axis=1)
-            else:
-                eq = np.all(window[None, :, :] == block[:, None, :], axis=2)
-                alive = ~(le & ~eq).any(axis=1)
+            alive = ~dominated_mask(block, kept_rows[:kept_count], strict)
         # Within-block elimination must respect sorted order: compare
         # each survivor only against earlier survivors of the block.
         for i in np.flatnonzero(alive):
             earlier = np.flatnonzero(alive[:i])
             if earlier.size:
-                rows_e = block[earlier]
-                if strict:
-                    hit = np.all(rows_e < block[i], axis=1).any()
-                else:
-                    le = np.all(rows_e <= block[i], axis=1)
-                    eq = np.all(rows_e == block[i], axis=1)
-                    hit = bool((le & ~eq).any())
+                hit = bool(
+                    dominated_mask(block[i : i + 1], block[earlier], strict)[0]
+                )
                 if hit:
                     alive[i] = False
         keep[start:end] = alive
@@ -128,7 +120,6 @@ def fast_skycube(
     splus = fast_extended_skyline(data)
     rows = data[splus]
     closures = SubspaceClosures(d)
-    weights = (1 << np.arange(d, dtype=np.int64))
     all_bits = (1 << full_space(d)) - 1
 
     relevant = all_bits
@@ -143,9 +134,7 @@ def fast_skycube(
     # points: there are at most 3**d distinct pairs in total.
     pair_bits: Dict[tuple, int] = {}
     for j, pid in enumerate(splus):
-        lt = (rows < rows[j]) @ weights
-        eq = (rows == rows[j]) @ weights
-        le = lt + eq
+        le, _, eq = dominance_masks_vs_all(rows, rows[j])
         not_in_s = 0
         for pair in set(zip(le.tolist(), eq.tolist())):
             if pair[0] == 0:

@@ -38,11 +38,27 @@ import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, as_completed
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from multiprocessing import shared_memory
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from types import TracebackType
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Type,
+)
 
 import numpy as np
 
 from repro.hardware.schedule import lpt_assign
+
+if TYPE_CHECKING:
+    from repro.core.lattice import Lattice
+    from repro.skycube.base import PhaseTrace
 
 __all__ = [
     "SharedDataset",
@@ -89,7 +105,7 @@ class SharedDataset:
     orchestration raises; double ``close`` is safe.
     """
 
-    def __init__(self, data: np.ndarray):
+    def __init__(self, data: np.ndarray) -> None:
         data = np.ascontiguousarray(data)
         if data.nbytes == 0:
             raise ValueError("cannot share an empty array")
@@ -102,7 +118,7 @@ class SharedDataset:
         view = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
         view[...] = data
         view.flags.writeable = False
-        self.array = view
+        self.array: Optional[np.ndarray] = view
         # Let the serial fallback resolve our own descriptor in-process.
         _ATTACHED[self.name] = (None, view)
 
@@ -149,10 +165,15 @@ class SharedDataset:
     def __enter__(self) -> "SharedDataset":
         return self
 
-    def __exit__(self, exc_type, exc_value, traceback) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> None:
         self.close()
 
-    def __del__(self):  # last-resort cleanup; close() is idempotent
+    def __del__(self) -> None:  # last-resort cleanup; close() idempotent
         try:
             self.close()
         except Exception:
@@ -189,7 +210,7 @@ class ParallelExecutor:
         task_timeout: Optional[float] = None,
         max_retries: int = 1,
         start_method: Optional[str] = None,
-    ):
+    ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
         if task_timeout is not None and task_timeout <= 0:
@@ -236,7 +257,14 @@ class ParallelExecutor:
 
     # -- internals ----------------------------------------------------
 
-    def _dispatch(self, fn, tasks, costs, pending, results) -> bool:
+    def _dispatch(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: List[Any],
+        costs: Optional[Sequence[float]],
+        pending: Set[int],
+        results: List[Any],
+    ) -> bool:
         """One pool round over ``pending``; False if no pool started.
 
         Successful bins are harvested even when other bins fail; failed
@@ -340,6 +368,7 @@ def point_block_task(task: Tuple) -> List[int]:
     merges the returned masks into the HashCube.
     """
     from repro.core.closures import SubspaceClosures
+    from repro.core.dominance import dominance_masks_vs_all
 
     descriptor, start, end = task
     rows = SharedDataset.attach(descriptor)
@@ -349,12 +378,9 @@ def point_block_task(task: Tuple) -> List[int]:
         state = (SubspaceClosures(d), {})
         _POINT_STATE[d] = state
     closures, pair_bits = state
-    weights = 1 << np.arange(d, dtype=np.int64)
     masks: List[int] = []
     for j in range(start, end):
-        lt = (rows < rows[j]) @ weights
-        eq = (rows == rows[j]) @ weights
-        le = lt + eq
+        le, _, eq = dominance_masks_vs_all(rows, rows[j])
         not_in_s = 0
         for pair in set(zip(le.tolist(), eq.tolist())):
             if pair[0] == 0:
@@ -377,7 +403,7 @@ def parallel_lattice(
     max_level: Optional[int] = None,
     parent_rule: str = "smallest",
     free_finished_levels: bool = True,
-):
+) -> Tuple["Lattice", List["PhaseTrace"]]:
     """Top-down lattice traversal with cuboids dispatched to workers.
 
     The control flow is :func:`repro.skycube.topdown.top_down_lattice`

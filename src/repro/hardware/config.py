@@ -10,7 +10,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List
 
-__all__ = ["CPUConfig", "GPUConfig", "PlatformConfig", "paper_platform"]
+__all__ = [
+    "CPUConfig",
+    "GPUConfig",
+    "PlatformConfig",
+    "paper_platform",
+    "WARP_SIZE",
+]
+
+#: Threads per warp on every CUDA generation the paper uses; warp
+#: granularity drives the simulated GPU algorithms and MDMC's GPU
+#: point engine alike.
+WARP_SIZE = 32
 
 
 @dataclass(frozen=True)

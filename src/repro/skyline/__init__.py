@@ -8,6 +8,7 @@ from repro.skyline.gpu_baselines import GGS, GNL
 from repro.skyline.hybrid import Hybrid
 from repro.skyline.osp import OSP
 from repro.skyline.pskyline import PSkyline
+from repro.skyline.registry import DEFAULT_HOOKS, default_hook
 from repro.skyline.scalagon import Scalagon
 from repro.skyline.sfs import SortFilterSkyline
 from repro.skyline.skyalign import SkyAlign
@@ -29,6 +30,8 @@ __all__ = [
     "GNL",
     "GGS",
     "ALGORITHMS",
+    "DEFAULT_HOOKS",
+    "default_hook",
 ]
 
 #: Registry of all skyline algorithm classes by name.

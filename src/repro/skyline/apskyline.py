@@ -36,6 +36,7 @@ class APSkyline(SkylineAlgorithm):
 
     name = "apskyline"
     parallel = True
+    architecture = "cpu"
 
     def __init__(self, partitions: int = 8):
         if partitions < 1:

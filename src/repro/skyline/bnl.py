@@ -30,6 +30,7 @@ class BlockNestedLoops(SkylineAlgorithm):
 
     name = "bnl"
     parallel = False
+    architecture = "cpu"
 
     def _compute(
         self,

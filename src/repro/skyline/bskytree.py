@@ -27,6 +27,7 @@ class BSkyTree(SkylineAlgorithm):
 
     name = "bskytree"
     parallel = False
+    architecture = "cpu"
 
     def __init__(self, leaf_threshold: int = 8):
         self.leaf_threshold = leaf_threshold

@@ -32,6 +32,7 @@ class Hybrid(SkylineAlgorithm):
 
     name = "hybrid"
     parallel = True
+    architecture = "cpu"
 
     #: Adaptive tiling keeps roughly this many tiles available so the
     #: thread pool is never starved, while capping tiles at the paper's

@@ -29,6 +29,7 @@ class OSP(SkylineAlgorithm):
 
     name = "osp"
     parallel = False
+    architecture = "cpu"
 
     def __init__(self, seed: int = 0, leaf_threshold: int = 8):
         self.seed = seed

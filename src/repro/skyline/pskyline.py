@@ -31,6 +31,7 @@ class PSkyline(SkylineAlgorithm):
 
     name = "pskyline"
     parallel = True
+    architecture = "cpu"
 
     def __init__(self, blocks: int = 8):
         if blocks < 1:

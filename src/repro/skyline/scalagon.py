@@ -42,6 +42,7 @@ class Scalagon(SkylineAlgorithm):
 
     name = "scalagon"
     parallel = False
+    architecture = "cpu"
 
     def __init__(self, max_cells: int = MAX_CELLS):
         if max_cells < 4:

@@ -26,6 +26,7 @@ class SortFilterSkyline(SkylineAlgorithm):
 
     name = "sfs"
     parallel = False
+    architecture = "cpu"
 
     def _compute(
         self,

@@ -20,15 +20,13 @@ from typing import List
 
 import numpy as np
 
+from repro.hardware.config import WARP_SIZE
 from repro.instrument.counters import Counters
 from repro.instrument.profile import MemoryProfile
 from repro.partitioning.static_tree import StaticTree
 from repro.skyline.base import SkylineAlgorithm, SkylineResult
 
 __all__ = ["SkyAlign", "WARP_SIZE"]
-
-#: Threads per warp on every CUDA generation the paper uses.
-WARP_SIZE = 32
 
 
 class SkyAlign(SkylineAlgorithm):

@@ -40,6 +40,7 @@ class VMPSP(SkylineAlgorithm):
 
     name = "vmpsp"
     parallel = False
+    architecture = "cpu"
 
     def __init__(self, leaf_threshold: int = LEAF_THRESHOLD):
         self.leaf_threshold = leaf_threshold

@@ -13,9 +13,17 @@ calls this out as a limitation of that template.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.skycube.base import SkycubeAlgorithm
+
+if TYPE_CHECKING:
+    import numpy as np
+
+    from repro.engine.parallel import ParallelExecutor
+    from repro.instrument.counters import Counters
+    from repro.skycube.base import SkycubeRun
+    from repro.skyline.base import SkylineAlgorithm
 
 __all__ = ["SkycubeTemplate", "TemplateSpecialisationError", "ARCHITECTURES"]
 
@@ -47,7 +55,7 @@ class SkycubeTemplate(SkycubeAlgorithm):
         specialisation: str = "cpu",
         executor: str = "serial",
         workers: Optional[int] = None,
-    ):
+    ) -> None:
         from repro.engine.parallel import EXECUTORS
 
         specialisation = specialisation.lower()
@@ -71,7 +79,7 @@ class SkycubeTemplate(SkycubeAlgorithm):
         self.executor = executor
         self.workers = workers
 
-    def _validate_hook(self, hook) -> None:
+    def _validate_hook(self, hook: "SkylineAlgorithm") -> None:
         """Reject hook/architecture mismatches at construction time.
 
         A specialisation is only meaningful when its hook actually runs
@@ -89,13 +97,41 @@ class SkycubeTemplate(SkycubeAlgorithm):
                 f"architecture matches the specialisation"
             )
 
-    def _make_executor(self):
+    def set_hook(
+        self,
+        hook: "SkylineAlgorithm",
+        attr: str = "hook",
+        require_parallel: bool = False,
+    ) -> "SkylineAlgorithm":
+        """Validate and install a hook — the one sanctioned assignment.
+
+        Every hook attribute of a template goes through here (skylint's
+        SKY003 rejects bare ``self.hook = ...`` in specialisations), so
+        no constructed template can pair a hook with an architecture it
+        does not run on.  ``require_parallel`` additionally demands a
+        device-parallel algorithm (SDSC's whole-device cuboid hook).
+        """
+        if require_parallel and not hook.parallel:
+            raise TemplateSpecialisationError(
+                f"{type(self).__name__} needs a parallel skyline "
+                f"algorithm as hook; {hook.name!r} is single-threaded"
+            )
+        self._validate_hook(hook)
+        setattr(self, attr, hook)
+        return hook
+
+    def _make_executor(self) -> "ParallelExecutor":
         """The :class:`~repro.engine.parallel.ParallelExecutor` to use."""
         from repro.engine.parallel import ParallelExecutor
 
         return ParallelExecutor(workers=self.workers)
 
-    def _materialise_process(self, data, max_level, counters):
+    def _materialise_process(
+        self,
+        data: "np.ndarray",
+        max_level: Optional[int],
+        counters: "Counters",
+    ) -> "SkycubeRun":
         """Shared process-backend body of the lattice templates.
 
         STSC and SDSC differ only in *what runs inside a cuboid task*

@@ -41,26 +41,19 @@ import numpy as np
 
 from repro.core.bitmask import full_space, popcount
 from repro.core.closures import SubspaceClosures
+from repro.core.dominance import dominance_masks_vs_all
 from repro.core.hashcube import HashCube
 from repro.core.skycube import Skycube
+from repro.hardware.config import WARP_SIZE
 from repro.instrument.counters import Counters
 from repro.instrument.profile import MemoryProfile
 from repro.partitioning.static_tree import StaticTree
 from repro.skycube.base import PhaseTrace, SkycubeRun, TaskTrace
-from repro.skyline.hybrid import Hybrid
-from repro.skyline.skyalign import SkyAlign, WARP_SIZE
+from repro.skyline.base import SkylineAlgorithm
+from repro.skyline.registry import default_hook
 from repro.templates.base import SkycubeTemplate
 
 __all__ = ["MDMC", "CPUPointEngine", "GPUPointEngine"]
-
-
-def _masks_vs_point(rows: np.ndarray, point: np.ndarray) -> tuple:
-    """Vectorized (le, lt, eq) comparison masks of every row vs point."""
-    k = rows.shape[1]
-    weights = (1 << np.arange(k, dtype=np.int64))
-    lt = (rows < point) @ weights
-    eq = (rows == point) @ weights
-    return lt + eq, lt, eq
 
 
 class CPUPointEngine:
@@ -115,7 +108,7 @@ class CPUPointEngine:
 
         # -- refine: exact DTs per surviving node (Lines 8-12) --------
         point = tree.rows[pos]
-        le_all, lt_all, eq_all = _masks_vs_point(tree.rows, point)
+        le_all, lt_all, eq_all = dominance_masks_vs_all(tree.rows, point)
         prune = tree.node_prune_masks(pos)
         counters.mask_tests += len(tree.nodes)
         seen = set()
@@ -195,7 +188,7 @@ class GPUPointEngine:
 
         # -- refine: second strided scan with warp-vote DTs -----------
         point = tree.rows[pos]
-        le_all, lt_all, eq_all = _masks_vs_point(tree.rows, point)
+        le_all, lt_all, eq_all = dominance_masks_vs_all(tree.rows, point)
         prune = tree.leaf_prune_masks(pos)
         full_local = (1 << k) - 1
         counters.mask_tests += n
@@ -248,6 +241,10 @@ class MDMC(SkycubeTemplate):
     name = "mdmc"
     supported_architectures = ("cpu", "gpu")
 
+    #: The device-parallel algorithm computing ``S+(P)`` in the setup
+    #: phase (Line 2), installed through the validated setter.
+    _extended_hook: SkylineAlgorithm
+
     def __init__(
         self,
         specialisation: str = "cpu",
@@ -255,18 +252,20 @@ class MDMC(SkycubeTemplate):
         bit_order: str = "numeric",
         executor: str = "serial",
         workers: Optional[int] = None,
-    ):
+    ) -> None:
         super().__init__(specialisation, executor, workers)
         self.word_width = word_width
         #: "level" activates the Appendix A.2 future-work layout, which
         #: compresses partial skycubes harder (see core.hashcube).
         self.bit_order = bit_order
         if self.specialisation == "cpu":
-            self.engine = CPUPointEngine()
-            self._extended_hook = Hybrid()
+            self.engine: "CPUPointEngine | GPUPointEngine" = CPUPointEngine()
         else:
             self.engine = GPUPointEngine()
-            self._extended_hook = SkyAlign()
+        self.set_hook(
+            default_hook(self.specialisation, parallel=True),
+            attr="_extended_hook",
+        )
 
     def _materialise(
         self,

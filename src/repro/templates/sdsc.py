@@ -26,9 +26,8 @@ from repro.instrument.counters import Counters
 from repro.skycube.base import SkycubeRun
 from repro.skycube.topdown import top_down_lattice
 from repro.skyline.base import SkylineAlgorithm
-from repro.skyline.hybrid import Hybrid
-from repro.skyline.skyalign import SkyAlign
-from repro.templates.base import SkycubeTemplate, TemplateSpecialisationError
+from repro.skyline.registry import default_hook
+from repro.templates.base import SkycubeTemplate
 
 __all__ = ["SDSC"]
 
@@ -39,24 +38,21 @@ class SDSC(SkycubeTemplate):
     name = "sdsc"
     supported_architectures = ("cpu", "gpu")
 
+    #: The per-cuboid parallel skyline algorithm (the hook),
+    #: installed through the validated setter.
+    hook: SkylineAlgorithm
+
     def __init__(
         self,
         specialisation: str = "cpu",
         hook: Optional[SkylineAlgorithm] = None,
         executor: str = "serial",
         workers: Optional[int] = None,
-    ):
+    ) -> None:
         super().__init__(specialisation, executor, workers)
         if hook is None:
-            hook = Hybrid() if self.specialisation == "cpu" else SkyAlign()
-        if not hook.parallel:
-            raise TemplateSpecialisationError(
-                f"SDSC needs a parallel skyline algorithm as hook; "
-                f"{hook.name!r} is single-threaded"
-            )
-        self._validate_hook(hook)
-        #: The per-cuboid parallel skyline algorithm (the hook).
-        self.hook = hook
+            hook = default_hook(self.specialisation, parallel=True)
+        self.set_hook(hook, require_parallel=True)
 
     def _materialise(
         self,

@@ -26,7 +26,7 @@ from repro.instrument.counters import Counters
 from repro.skycube.base import SkycubeRun
 from repro.skycube.topdown import top_down_lattice
 from repro.skyline.base import SkylineAlgorithm
-from repro.skyline.hybrid import Hybrid
+from repro.skyline.registry import default_hook
 from repro.templates.base import SkycubeTemplate
 
 __all__ = ["STSC"]
@@ -38,17 +38,21 @@ class STSC(SkycubeTemplate):
     name = "stsc"
     supported_architectures = ("cpu",)
 
+    #: The per-cuboid sequential skyline algorithm (the hook),
+    #: installed through the validated setter.
+    hook: SkylineAlgorithm
+
     def __init__(
         self,
         specialisation: str = "cpu",
         hook: Optional[SkylineAlgorithm] = None,
         executor: str = "serial",
         workers: Optional[int] = None,
-    ):
+    ) -> None:
         super().__init__(specialisation, executor, workers)
-        #: The per-cuboid sequential skyline algorithm (the hook).
-        self.hook = hook if hook is not None else Hybrid()
-        self._validate_hook(self.hook)
+        self.set_hook(
+            hook if hook is not None else default_hook(self.specialisation)
+        )
 
     def _materialise(
         self,

@@ -1,0 +1,19 @@
+"""SKY201 fixture: unseeded randomness outside repro.data."""
+
+import random
+import numpy as np
+from random import shuffle  # line 5: SKY201
+
+
+def noisy(n):
+    data = np.random.rand(n, 4)  # line 9: SKY201
+    rng = np.random.default_rng()  # line 10: SKY201 (unseeded)
+    jitter = random.random()  # line 11: SKY201
+    machine = random.Random()  # line 12: SKY201 (unseeded)
+    return data, rng, jitter, machine
+
+
+def quiet(n, seed):
+    rng = np.random.default_rng(seed)  # clean: seeded
+    machine = random.Random(seed)  # clean: seeded
+    return rng.random((n, 4)), machine

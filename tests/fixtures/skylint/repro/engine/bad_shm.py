@@ -1,0 +1,38 @@
+"""SKY101/SKY102/SKY103 fixture: shared-memory hazards."""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing.shared_memory import SharedMemory
+
+
+def leaky_segment(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)  # line 8: SKY101
+    return shm.name
+
+
+def safe_segment(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)  # clean: finally unlinks
+    try:
+        return shm.name
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def stranded_pool(tasks):
+    pool = ProcessPoolExecutor(max_workers=2)  # line 22: SKY102
+    return [pool.submit(len, task) for task in tasks]
+
+
+def closed_pool(tasks):
+    with ProcessPoolExecutor(max_workers=2) as pool:  # clean: with-block
+        return list(pool.map(len, tasks))
+
+
+def unpicklable_work(pool, rows):
+    futures = [pool.submit(lambda row: row.sum(), row) for row in rows]  # SKY103
+
+    def local_task(row):
+        return row.sum()
+
+    results = pool.map(local_task, rows)  # line 37: SKY103 (nested def)
+    return futures, list(results)

@@ -1,0 +1,13 @@
+"""Suppression fixture: every violation silenced inline."""
+
+from multiprocessing.shared_memory import SharedMemory
+from concurrent.futures import ProcessPoolExecutor
+import numpy as np
+
+
+def silenced(nbytes, rows):
+    shm = SharedMemory(create=True, size=nbytes)  # skylint: disable=SKY101
+    pool = ProcessPoolExecutor()  # skylint: disable=SKY102
+    sample = np.random.rand(3)  # skylint: disable=SKY201
+    masks = (rows < sample) @ rows  # skylint: disable
+    return shm, pool, masks

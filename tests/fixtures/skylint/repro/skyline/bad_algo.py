@@ -1,0 +1,25 @@
+"""SKY001 fixture: algorithm classes missing `architecture`."""
+
+from repro.skyline.base import SkylineAlgorithm
+
+
+class NoArchitecture(SkylineAlgorithm):  # line 7: SKY001
+    name = "no-arch"
+    parallel = False
+
+
+class AlsoNoArchitecture(SkylineAlgorithm):  # line 12: SKY001
+    name = "also-no-arch"
+
+
+class DeclaresArchitecture(SkylineAlgorithm):  # clean
+    name = "declares-arch"
+    architecture = "cpu"
+
+
+class NotAnAlgorithm:  # clean: no base class
+    name = "helper"
+
+
+class NoRegistryName(SkylineAlgorithm):  # clean: helper without `name`
+    parallel = True

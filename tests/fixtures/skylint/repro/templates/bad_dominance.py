@@ -1,0 +1,11 @@
+"""SKY301 fixture: ad-hoc dominance comparison chains."""
+
+import numpy as np
+
+
+def hand_rolled(block, window, p, weights):
+    dominated = (window <= block).all()  # line 7: SKY301
+    anywhere = np.all(window < block)  # line 8: SKY301
+    masks = (block < p) @ weights  # line 9: SKY301
+    shapes = (block.shape == window.shape)  # clean: no reduction
+    return dominated, anywhere, masks, shapes

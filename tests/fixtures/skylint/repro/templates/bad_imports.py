@@ -1,0 +1,17 @@
+"""SKY002/SKY003 fixture: a template hard-wiring GPU hooks."""
+
+from repro.skyline.skyalign import SkyAlign  # line 3: SKY002
+from repro.skyline import GGS, Hybrid  # line 4: SKY002 (GGS only)
+import repro.skyline.skyalign  # line 5: SKY002
+
+from repro.templates.base import SkycubeTemplate
+
+
+class BadTemplate(SkycubeTemplate):
+    name = "bad-template"
+
+    def __init__(self):
+        super().__init__()
+        self.hook = SkyAlign()  # line 15: SKY003
+        self._extended_hook = GGS()  # line 16: SKY003
+        self.notahook = Hybrid()  # clean: not a hook attribute

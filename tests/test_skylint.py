@@ -1,0 +1,217 @@
+"""Tests for the skylint static-analysis pass (repro.analysis).
+
+The fixtures under ``tests/fixtures/skylint/repro/`` are deliberately
+broken modules, one per rule family; the ``repro/`` directory makes the
+module-name inference scope them like package modules.  The suite also
+runs the real tree through the CLI — the repo must lint clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Allowlist,
+    all_rules,
+    analyse_paths,
+    module_name,
+)
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "skylint"
+REPRO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def codes_in(path, **kwargs):
+    report = analyse_paths([path], **kwargs)
+    assert not report.parse_errors, report.parse_errors
+    return [v.code for v in report.violations]
+
+
+def fixture(name):
+    path = FIXTURES / "repro" / name
+    assert path.is_file(), path
+    return path
+
+
+# -- rule-by-rule on fixtures -----------------------------------------
+
+
+def test_sky001_architecture_declared():
+    codes = codes_in(fixture("skyline/bad_algo.py"))
+    assert codes == ["SKY001", "SKY001"]
+
+
+def test_sky002_sky003_hook_imports_and_setter():
+    codes = codes_in(fixture("templates/bad_imports.py"))
+    assert codes.count("SKY002") == 3
+    assert codes.count("SKY003") == 2
+    assert set(codes) == {"SKY002", "SKY003"}
+
+
+def test_sky10x_shared_memory_hygiene():
+    codes = codes_in(fixture("engine/bad_shm.py"))
+    assert codes.count("SKY101") == 1  # safe_segment's finally is clean
+    assert codes.count("SKY102") == 1  # with-block pool is clean
+    assert codes.count("SKY103") == 2  # lambda + nested def
+    assert set(codes) == {"SKY101", "SKY102", "SKY103"}
+
+
+def test_sky201_determinism():
+    codes = codes_in(fixture("engine/bad_rng.py"))
+    assert codes == ["SKY201"] * 5  # seeded calls in quiet() are clean
+
+
+def test_sky301_dominance_semantics():
+    codes = codes_in(fixture("templates/bad_dominance.py"))
+    assert codes == ["SKY301"] * 3
+
+
+def test_violation_locations_and_format():
+    report = analyse_paths([fixture("skyline/bad_algo.py")])
+    first = report.violations[0]
+    assert first.line == 6  # class NoArchitecture
+    assert first.code in first.format()
+    assert str(first.path) in first.format()
+    payload = first.to_json()
+    assert payload["code"] == "SKY001"
+    assert payload["severity"] == "error"
+
+
+# -- suppression and allowlist ----------------------------------------
+
+
+def test_inline_suppression_silences_rules():
+    assert codes_in(fixture("engine/suppressed.py")) == []
+
+
+def test_allowlist_moves_violations_aside():
+    allowlist = Allowlist.load(FIXTURES / "allow.txt")
+    report = analyse_paths(
+        [fixture("engine/bad_rng.py"), fixture("templates/bad_dominance.py")],
+        allowlist=allowlist,
+    )
+    assert report.violations == []
+    assert len(report.allowlisted) == 8  # 5×SKY201 + 3×SKY301
+    assert report.exit_code == 0
+
+
+def test_allowlist_only_matches_named_code():
+    allowlist = Allowlist.load(FIXTURES / "allow.txt")
+    report = analyse_paths(
+        [fixture("templates/bad_imports.py")], allowlist=allowlist
+    )
+    assert report.violations  # SKY002/SKY003 are not grandfathered
+
+
+def test_malformed_allowlist_rejected(tmp_path):
+    bad = tmp_path / "allow.txt"
+    bad.write_text("no-colon-here\n")
+    with pytest.raises(ValueError, match="malformed allowlist"):
+        Allowlist.load(bad)
+
+
+# -- module scoping ----------------------------------------------------
+
+
+def test_module_name_anchors_at_repro():
+    assert (
+        module_name(Path("tests/fixtures/skylint/repro/engine/bad_rng.py"))
+        == "repro.engine.bad_rng"
+    )
+    assert module_name(Path("src/repro/core/__init__.py")) == "repro.core"
+    assert module_name(Path("scratch/tool.py")) == "tool"
+
+
+def test_scoped_rules_skip_foreign_modules(tmp_path):
+    # The same bad template code outside repro.templates is not flagged
+    # by the hook rules (but generic hygiene rules still apply).
+    copy = tmp_path / "elsewhere.py"
+    copy.write_text(fixture("templates/bad_imports.py").read_text())
+    codes = codes_in(copy)
+    assert "SKY002" not in codes
+    assert "SKY003" not in codes
+
+
+# -- selection filters -------------------------------------------------
+
+
+def test_select_and_ignore_filters():
+    path = fixture("engine/bad_shm.py")
+    assert set(codes_in(path, select=["SKY103"])) == {"SKY103"}
+    assert "SKY103" not in codes_in(path, ignore=["SKY103"])
+
+
+def test_rule_registry_complete_and_unique():
+    rules = all_rules()
+    codes = [rule.code for rule in rules]
+    assert codes == sorted(codes)
+    assert len(codes) == len(set(codes))
+    assert {
+        "SKY001", "SKY002", "SKY003",
+        "SKY101", "SKY102", "SKY103",
+        "SKY201", "SKY301",
+    } <= set(codes)
+
+
+# -- CLI ---------------------------------------------------------------
+
+
+def test_cli_nonzero_on_fixtures(capsys):
+    exit_code = main([str(FIXTURES / "repro"), "--no-allowlist"])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "SKY001" in out
+    assert "violation(s)" in out
+
+
+def test_cli_json_output(capsys):
+    exit_code = main(
+        [str(fixture("engine/bad_rng.py")), "--no-allowlist", "--json"]
+    )
+    assert exit_code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["files_checked"] == 1
+    assert {v["code"] for v in payload["violations"]} == {"SKY201"}
+
+
+def test_cli_allowlist_flag(capsys):
+    exit_code = main(
+        [
+            str(fixture("engine/bad_rng.py")),
+            "--allowlist",
+            str(FIXTURES / "allow.txt"),
+        ]
+    )
+    assert exit_code == 0
+    assert "allowlisted" in capsys.readouterr().out
+
+
+def test_cli_parse_error_is_reported(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def unclosed(:\n")
+    exit_code = main([str(broken), "--no-allowlist"])
+    assert exit_code == 1
+    assert "SKY000" in capsys.readouterr().out
+
+
+def test_cli_missing_path_exits_2(tmp_path, capsys):
+    exit_code = main([str(tmp_path / "nope.txt"), "--no-allowlist"])
+    assert exit_code == 2
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "SKY101" in out and "SKY301" in out
+
+
+# -- the real tree must lint clean ------------------------------------
+
+
+def test_repo_lints_clean_without_allowlist(capsys):
+    exit_code = main([str(REPRO_SRC), "--no-allowlist"])
+    out = capsys.readouterr().out
+    assert exit_code == 0, out
+    assert "0 violation(s)" in out
