@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint skylint typecheck test bench-smoke
+.PHONY: lint skylint typecheck test bench-smoke serve-smoke
 
 # Single entry point: ruff (when installed) + the repo-native skylint
 # pass.  Mirrors the CI lint gates.
@@ -25,3 +25,8 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_headline.py \
 		benchmarks/bench_parallel_scaling.py \
 		-q --quick --executor process --benchmark-disable
+
+# End-to-end serving smoke: real server process, real TCP, 500 mixed
+# queries, live updates, clean SIGTERM drain (see benchmarks/serve_smoke.py).
+serve-smoke:
+	$(PYTHON) benchmarks/serve_smoke.py

@@ -1,0 +1,164 @@
+"""Serving throughput: micro-batching vs one-request-at-a-time.
+
+The serve layer's pitch is that concurrent queries coalesce: within a
+batching window every distinct ``(op, arguments)`` is computed once
+against one snapshot capture and fanned back out.  This bench drives
+256 concurrent mixed queries (skyline probes over a small pool of hot
+subspaces, O(1) membership probes, ad-hoc top-k passes) through an
+in-process :class:`~repro.serve.service.SkycubeService` at windows of
+0, 2 and 8 ms and compares against the true serial baseline — the same
+requests awaited one at a time with batching disabled.
+
+Asserted shape: the 2 ms window sustains at least 3x the serial
+baseline's request rate at full size (relaxed under ``--quick``), and a
+deliberately overloaded service sheds with typed ``Overloaded``
+responses while its queue never exceeds the configured bound.
+"""
+
+import asyncio
+import time
+
+from repro.data.generator import generate
+from repro.experiments.report import Table
+from repro.serve import Request, ServingSnapshot, SkycubeService, SnapshotHolder
+
+CONCURRENCY = 256
+WINDOWS_MS = (0.0, 2.0, 8.0)
+HOT_SUBSPACES = 8
+HOT_QUERIES = 4
+
+
+def build_workload(data, d):
+    """256 mixed requests: hot skylines, memberships, hot top-ks."""
+    full = (1 << d) - 1
+    deltas = [(full >> shift) or 1 for shift in range(HOT_SUBSPACES)]
+    queries = [tuple(float(v) for v in data[i]) for i in range(HOT_QUERIES)]
+    requests = []
+    for i in range(CONCURRENCY):
+        kind = i % 4
+        if kind in (0, 1):  # half the load: hot subspace skylines
+            requests.append(Request(op="skyline", delta=deltas[i % HOT_SUBSPACES]))
+        elif kind == 2:  # distinct ids: no dedup win, O(1) probes
+            requests.append(
+                Request(op="membership", point_id=i % len(data),
+                        delta=deltas[i % HOT_SUBSPACES])
+            )
+        else:  # hot ad-hoc top-k passes: the big dedup win
+            requests.append(
+                Request(op="topk_dynamic", q=queries[i % HOT_QUERIES], k=8)
+            )
+    return requests
+
+
+async def run_serial(holder, requests):
+    """The unbatched baseline: await each request before the next."""
+    service = SkycubeService(holder, window=0.0, max_batch=1)
+    await service.start()
+    latencies = []
+    start = time.perf_counter()
+    for request in requests:
+        before = time.perf_counter()
+        response = await service.submit(request)
+        assert response.ok, response
+        latencies.append(time.perf_counter() - before)
+    elapsed = time.perf_counter() - start
+    await service.stop()
+    return elapsed, latencies, service.metrics
+
+
+async def run_concurrent(holder, requests, window):
+    """All 256 in flight at once through one batching service."""
+    service = SkycubeService(
+        holder, window=window, max_batch=64, max_pending=2 * CONCURRENCY
+    )
+    await service.start()
+    latencies = []
+
+    async def timed(request):
+        before = time.perf_counter()
+        response = await service.submit(request)
+        assert response.ok, response
+        latencies.append(time.perf_counter() - before)
+
+    start = time.perf_counter()
+    await asyncio.gather(*(timed(request) for request in requests))
+    elapsed = time.perf_counter() - start
+    await service.stop()
+    return elapsed, latencies, service.metrics
+
+
+async def run_overload(holder, requests):
+    """Tiny admission bound + huge window: sheds must be typed+bounded."""
+    service = SkycubeService(holder, window=0.25, max_batch=512, max_pending=16)
+    await service.start()
+    responses = await asyncio.gather(
+        *(service.submit(request) for request in requests)
+    )
+    await service.stop()
+    return responses, service.metrics
+
+
+def p99_ms(latencies):
+    ordered = sorted(latencies)
+    return 1000.0 * ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def test_serve_throughput(benchmark, quick):
+    n = 2_000 if quick else 20_000
+    d = 8
+    data = generate("anticorrelated", n, d, seed=0)
+    holder = SnapshotHolder(ServingSnapshot.build(data))
+    requests = build_workload(data, d)
+
+    def measure():
+        results = {}
+        elapsed, latencies, _ = asyncio.run(run_serial(holder, requests))
+        results["serial"] = (elapsed, latencies)
+        for window_ms in WINDOWS_MS:
+            elapsed, latencies, metrics = asyncio.run(
+                run_concurrent(holder, requests, window_ms / 1000.0)
+            )
+            results[window_ms] = (elapsed, latencies, metrics)
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = Table(
+        f"Serving throughput: {CONCURRENCY} concurrent mixed queries, "
+        f"anticorrelated n={n} d={d}",
+        ["configuration", "req/s", "p99 ms", "mean batch", "speedup"],
+        notes=[
+            "serial = one request awaited at a time, batching disabled; "
+            "windows coalesce identical queries into one computation",
+        ],
+    )
+    serial_elapsed, serial_latencies = results["serial"]
+    serial_rate = CONCURRENCY / serial_elapsed
+    table.add_row(
+        "serial baseline", serial_rate, p99_ms(serial_latencies), 1.0, 1.0
+    )
+    for window_ms in WINDOWS_MS:
+        elapsed, latencies, metrics = results[window_ms]
+        table.add_row(
+            f"window {window_ms:g} ms",
+            CONCURRENCY / elapsed,
+            p99_ms(latencies),
+            metrics.mean_batch_size,
+            serial_elapsed / elapsed,
+        )
+    table.save("serve_throughput.txt")
+
+    # Acceptance floor: the 2 ms window beats one-at-a-time 3x at full
+    # size.  Under --quick the per-query work shrinks toward scheduler
+    # overhead, so only the direction is guarded.
+    speedup = serial_elapsed / results[2.0][0]
+    threshold = 1.5 if quick else 3.0
+    assert speedup > threshold, table.format()
+
+    # Overload: typed sheds, queue bound respected.
+    responses, metrics = asyncio.run(run_overload(holder, requests))
+    shed = [r for r in responses if not r.ok]
+    assert shed, "overload run shed nothing"
+    assert all(r.error == "Overloaded" for r in shed)
+    assert metrics.shed == len(shed)
+    assert metrics.peak_queue_depth <= 16

@@ -1,0 +1,130 @@
+"""End-to-end smoke test for ``python -m repro serve``.
+
+Not a pytest module: this is the CI ``serve-smoke`` job's driver (and
+``make serve-smoke`` locally).  It exercises the real deployment path —
+a separate server *process*, a real TCP socket, a real SIGTERM:
+
+1. generate a dataset and start ``python -m repro serve --live`` on an
+   ephemeral port, parsing the readiness line for the bound port;
+2. drive 500 mixed queries (skyline / membership / top-k / metrics,
+   plus a few live inserts and deletes) through the blocking client,
+   requiring zero untyped failures;
+3. check the metrics endpoint reports the traffic and that batching
+   actually coalesced something;
+4. send SIGTERM and require a clean drain: exit code 0 and the
+   "drained, bye" farewell on stdout.
+
+Exit status 0 means the whole path works; any assertion kills the job.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+)
+
+from repro.serve import ServeClient, ServeError  # noqa: E402
+
+QUERIES = 500
+READY_PATTERN = re.compile(r"listening on [\d.]+:(\d+)")
+
+
+def start_server(dataset):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", dataset,
+         "--port", "0", "--window-ms", "2", "--live"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise AssertionError(
+                f"server exited early: {process.poll()}"
+            )
+        sys.stdout.write(f"[server] {line}")
+        match = READY_PATTERN.search(line)
+        if match:
+            return process, int(match.group(1))
+    raise AssertionError("server never announced readiness")
+
+
+def drive_queries(port):
+    errors = []
+    inserted = []
+    with ServeClient("127.0.0.1", port, timeout=30.0) as client:
+        info = client.ping()
+        d = info["d"]
+        full = (1 << d) - 1
+        for i in range(QUERIES):
+            kind = i % 10
+            try:
+                if kind < 4:
+                    client.skyline((full >> (i % d)) or 1)
+                elif kind < 7:
+                    client.membership(i % info["n"], full)
+                elif kind < 9:
+                    client.topk_dynamic([0.5] * d, k=5)
+                elif inserted and kind == 9 and i % 20 == 19:
+                    client.delete(inserted.pop())
+                else:
+                    inserted.append(client.insert([0.5] * d))
+            except ServeError as error:
+                # Typed errors other than NotFound (a racing delete)
+                # count as failures; untyped ones always do.
+                if error.error_type != "NotFound":
+                    errors.append((i, str(error)))
+        metrics = client.metrics()
+    return errors, metrics
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        dataset = os.path.join(tmp, "smoke.npy")
+        subprocess.run(
+            [sys.executable, "-m", "repro", "generate", "independent",
+             "2000", "6", "--seed", "7", "--out", dataset],
+            check=True,
+            env={**os.environ, "PYTHONPATH": "src"},
+        )
+        process, port = start_server(dataset)
+        try:
+            errors, metrics = drive_queries(port)
+            assert not errors, f"{len(errors)} failed queries: {errors[:5]}"
+            total = sum(metrics["requests"].values())
+            assert total >= QUERIES, metrics["requests"]
+            assert metrics["batches"] >= 1, metrics
+            assert metrics["latency"], "no latency histograms recorded"
+            assert metrics["snapshot_publishes"] >= 1, metrics
+            print(
+                f"serve-smoke: {total} requests, "
+                f"mean batch {metrics['mean_batch_size']:.2f}, "
+                f"{metrics['shed']} shed, "
+                f"snapshot v{metrics['snapshot_version']}"
+            )
+        finally:
+            process.send_signal(signal.SIGTERM)
+            try:
+                remainder, _ = process.communicate(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                raise AssertionError("server did not drain within 30s")
+        sys.stdout.write("".join(f"[server] {l}\n" for l in remainder.splitlines()))
+        assert process.returncode == 0, (
+            f"server exited {process.returncode}"
+        )
+        assert "drained, bye" in remainder, remainder
+        print("serve-smoke: clean SIGTERM drain, exit 0")
+
+
+if __name__ == "__main__":
+    main()

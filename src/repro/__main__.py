@@ -13,6 +13,10 @@ Examples::
 
     # dataset statistics (Table-2 style)
     python -m repro stats data.npy
+
+    # serve a skycube over TCP, then query it
+    python -m repro serve data.npy --port 7171 --window-ms 2
+    python -m repro query skyline --subspace 0b011 --port 7171
 """
 
 from __future__ import annotations
@@ -25,21 +29,13 @@ import numpy as np
 
 
 def _parse_subspace(text: str, d: int) -> int:
-    """Accept '0b101', '5', or comma-separated dims '0,2'."""
-    try:
-        if text.startswith(("0b", "0B")):
-            delta = int(text, 2)
-        elif "," in text:
-            from repro.core.bitmask import mask_from_dims
+    """CLI wrapper over :func:`repro.core.bitmask.parse_subspace`."""
+    from repro.core.bitmask import parse_subspace
 
-            delta = mask_from_dims([int(part) for part in text.split(",")])
-        else:
-            delta = int(text)
-    except ValueError:
-        raise SystemExit(f"cannot parse subspace {text!r}")
-    if not 0 < delta < (1 << d):
-        raise SystemExit(f"subspace {text} out of range for d={d}")
-    return delta
+    try:
+        return parse_subspace(text, d)
+    except ValueError as error:
+        raise SystemExit(str(error))
 
 
 def _load(path: str) -> np.ndarray:
@@ -130,6 +126,111 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import (
+        LiveUpdater,
+        ServeMetrics,
+        ServingSnapshot,
+        SkycubeService,
+        SnapshotHolder,
+        run_server,
+    )
+
+    if args.snapshot:
+        from repro.core.serialize import load_skycube
+
+        try:
+            skycube = load_skycube(args.snapshot)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"cannot load snapshot {args.snapshot}: {error}")
+        data = _load(args.dataset)
+        if data.shape[1] != skycube.d:
+            raise SystemExit(
+                f"snapshot is {skycube.d}-dimensional but dataset has "
+                f"{data.shape[1]} columns"
+            )
+        holder = SnapshotHolder(
+            ServingSnapshot(
+                skycube.as_hashcube(), data, max_level=skycube.max_level
+            )
+        )
+        updater = None
+        if args.live:
+            raise SystemExit(
+                "--live rebuilds from the dataset; drop --snapshot"
+            )
+    else:
+        data = _load(args.dataset)
+        if args.live:
+            updater, holder = LiveUpdater.bootstrap(data)
+        else:
+            updater = None
+            holder = SnapshotHolder(
+                ServingSnapshot.build(data, max_level=args.max_level)
+            )
+    service = SkycubeService(
+        holder,
+        window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        metrics=ServeMetrics(),
+        updater=updater,
+    )
+    print(
+        f"serving n={len(holder.current)} d={holder.current.d} "
+        f"(window={args.window_ms}ms, max_batch={args.max_batch}, "
+        f"max_pending={args.max_pending}, "
+        f"live={'on' if updater else 'off'})"
+    )
+    asyncio.run(run_server(service, host=args.host, port=args.port))
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    try:
+        client = ServeClient(args.host, args.port, timeout=args.timeout)
+    except OSError as error:
+        raise SystemExit(f"cannot connect to {args.host}:{args.port}: {error}")
+    with client:
+        try:
+            if args.what == "skyline":
+                if not args.subspace:
+                    raise SystemExit("skyline needs --subspace")
+                ids = client.skyline(args.subspace)
+                print(f"S_{args.subspace}: {len(ids)} points")
+                print(" ".join(str(i) for i in ids))
+            elif args.what == "membership":
+                if args.point_id is None or not args.subspace:
+                    raise SystemExit("membership needs --point-id and --subspace")
+                member = client.membership(args.point_id, args.subspace)
+                print(
+                    f"point {args.point_id} "
+                    f"{'in' if member else 'not in'} S_{args.subspace}"
+                )
+            elif args.what == "topk":
+                if not args.q:
+                    raise SystemExit("topk needs --q")
+                q = [float(part) for part in args.q.split(",")]
+                ids = client.topk_dynamic(q, k=args.k, delta=args.subspace)
+                print(f"top-{args.k} dynamic: " + " ".join(str(i) for i in ids))
+            elif args.what == "metrics":
+                import json as _json
+
+                print(_json.dumps(client.metrics(), indent=2))
+            else:  # ping
+                info = client.ping()
+                print(f"ok: n={info['n']} d={info['d']}")
+        except ServeError as error:
+            raise SystemExit(f"server error — {error}")
+        except (ConnectionError, OSError) as error:
+            raise SystemExit(f"connection lost: {error}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -170,6 +271,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     stats = commands.add_parser("stats", help="dataset statistics")
     stats.add_argument("dataset")
     stats.set_defaults(handler=cmd_stats)
+
+    serve = commands.add_parser(
+        "serve", help="serve skycube queries over TCP (NDJSON protocol)"
+    )
+    serve.add_argument("dataset")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7171,
+                       help="0 picks an ephemeral port")
+    serve.add_argument("--window-ms", type=float, default=2.0,
+                       help="micro-batching window (0 disables coalescing)")
+    serve.add_argument("--max-batch", type=int, default=64)
+    serve.add_argument("--max-pending", type=int, default=1024,
+                       help="admission bound; beyond it requests are shed")
+    serve.add_argument("--max-level", type=int, default=None,
+                       help="materialise a partial cube; higher levels "
+                            "fall back to ad-hoc kernels")
+    serve.add_argument("--live", action="store_true",
+                       help="enable insert/delete ops via a background "
+                            "SkycubeMaintainer (O(n) per update)")
+    serve.add_argument("--snapshot", default=None,
+                       help="serve a pre-materialised .npz skycube "
+                            "(save_skycube) instead of building one")
+    serve.set_defaults(handler=cmd_serve)
+
+    query = commands.add_parser(
+        "query", help="query a running serve instance"
+    )
+    query.add_argument("what",
+                       choices=["skyline", "membership", "topk",
+                                "metrics", "ping"])
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7171)
+    query.add_argument("--timeout", type=float, default=10.0)
+    query.add_argument("--subspace", help="e.g. 0b101, 5, or dims '0,2'")
+    query.add_argument("--point-id", type=int, default=None)
+    query.add_argument("--q", help="comma-separated query point coordinates")
+    query.add_argument("--k", type=int, default=10)
+    query.set_defaults(handler=cmd_query)
 
     args = parser.parse_args(argv)
     return args.handler(args)

@@ -11,7 +11,7 @@ statically; ``python -m repro.analysis`` is the CLI and
 Importing the rule modules here is what populates the registry.
 """
 
-from repro.analysis import determinism, dominance, hooks, shm  # noqa: F401
+from repro.analysis import blocking, determinism, dominance, hooks, shm  # noqa: F401
 from repro.analysis.base import (
     Allowlist,
     ModuleContext,

@@ -1,0 +1,213 @@
+"""Event-loop hygiene rule (SKY401) for the serving layer.
+
+The serve subsystem's latency guarantees (micro-batch windows of a few
+milliseconds, p99 gates) hold only while the event loop keeps turning:
+one synchronous ``time.sleep``, file read, socket call or — worst —
+a :class:`~repro.engine.parallel.ParallelExecutor` submission inside a
+coroutine stalls *every* connection at once.  The rule flags the
+blocking primitives we actually have tripped over inside ``async def``
+bodies under ``repro.serve``; the fix is always the same — use the
+asyncio counterpart (``asyncio.sleep``) or push the work off the loop
+(``asyncio.to_thread``, ``loop.run_in_executor``).
+
+Functions *referenced* but not called (e.g. ``asyncio.to_thread(
+time.sleep, ...)``) are fine; nested synchronous ``def``/``lambda``
+bodies inside a coroutine are fine too (they run wherever they are
+called, typically a worker thread).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from repro.analysis.base import ModuleContext, Rule, Violation, register_rule
+
+__all__ = ["BlockingCallRule"]
+
+#: ``module.function`` call chains that block the loop outright.
+BLOCKING_CHAINS: Dict[str, str] = {
+    "time.sleep": "use 'await asyncio.sleep(...)' instead",
+    "socket.socket": "use asyncio streams/transports instead",
+    "socket.create_connection": "use 'await asyncio.open_connection(...)'",
+    "subprocess.run": "use 'await asyncio.create_subprocess_exec(...)'",
+    "subprocess.check_output": "use 'await asyncio.create_subprocess_exec(...)'",
+    "subprocess.check_call": "use 'await asyncio.create_subprocess_exec(...)'",
+}
+
+#: Bare names whose call is synchronous I/O.
+BLOCKING_NAMES: Dict[str, str] = {
+    "open": "wrap file I/O in 'await asyncio.to_thread(...)'",
+    "input": "a server coroutine cannot block on stdin",
+}
+
+#: Method names that mark synchronous file/socket objects.
+BLOCKING_METHODS: Dict[str, str] = {
+    "recv": "synchronous socket receive",
+    "recv_into": "synchronous socket receive",
+    "sendall": "synchronous socket send",
+    "accept": "synchronous socket accept",
+    "makefile": "synchronous socket file wrapper",
+    "read_text": "synchronous file read",
+    "write_text": "synchronous file write",
+    "read_bytes": "synchronous file read",
+    "write_bytes": "synchronous file write",
+}
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _chain(node: ast.expr) -> List[str]:
+    """``time.sleep`` → ``["time", "sleep"]`` (empty if not a name chain)."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return parts[::-1]
+    return []
+
+
+@register_rule
+class BlockingCallRule(Rule):
+    """SKY401 — no blocking calls inside ``async def`` under repro.serve.
+
+    Flags, inside coroutine bodies (nested synchronous functions are
+    exempt): ``time.sleep``, builtin ``open``/``input``, synchronous
+    socket/subprocess module calls, blocking file/socket method calls,
+    and any construction or ``.run(...)`` submission of a
+    :class:`ParallelExecutor` (a process pool joined from a coroutine
+    freezes the loop for the whole pool makespan).
+    """
+
+    code = "SKY401"
+    name = "no-blocking-in-async"
+    summary = (
+        "async def bodies in repro.serve must not call blocking "
+        "primitives (time.sleep, sync file/socket I/O, ParallelExecutor "
+        "submission); use asyncio.sleep / asyncio.to_thread"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module == "repro.serve" or module.startswith("repro.serve.")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        executor_names = self._executor_bindings(context.tree)
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                for call in self._calls_in_coroutine(node):
+                    violation = self._check_call(
+                        context, call, executor_names
+                    )
+                    if violation is not None:
+                        yield violation
+
+    # -- helpers -------------------------------------------------------
+
+    @staticmethod
+    def _executor_bindings(tree: ast.Module) -> Set[str]:
+        """Names bound (anywhere in the module) to ParallelExecutor(...).
+
+        Coarse but effective: assignments like ``pool =
+        ParallelExecutor(...)`` or ``self._pool = ...`` register
+        ``pool`` / ``_pool`` so later ``pool.run(...)`` submissions
+        inside coroutines are caught.
+        """
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            chain = _chain(value.func)
+            if not chain or chain[-1] != "ParallelExecutor":
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    names.add(target.attr)
+        return names
+
+    def _calls_in_coroutine(
+        self, function: ast.AsyncFunctionDef
+    ) -> Iterator[ast.Call]:
+        """Calls lexically in the coroutine, skipping nested sync defs."""
+
+        def visit(node: ast.AST) -> Iterator[ast.Call]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.Lambda)):
+                    continue  # runs elsewhere (often a worker thread)
+                if isinstance(child, ast.AsyncFunctionDef):
+                    continue  # visited as its own coroutine
+                if isinstance(child, ast.Call):
+                    yield child
+                yield from visit(child)
+
+        yield from visit(function)
+
+    def _check_call(
+        self,
+        context: ModuleContext,
+        call: ast.Call,
+        executor_names: Set[str],
+    ) -> Optional[Violation]:
+        chain = _chain(call.func)
+        message: Optional[str] = None
+        if chain:
+            dotted = ".".join(chain)
+            if dotted in BLOCKING_CHAINS:
+                message = (
+                    f"blocking call {dotted}(...) in a coroutine; "
+                    f"{BLOCKING_CHAINS[dotted]}"
+                )
+            elif len(chain) == 1 and chain[0] in BLOCKING_NAMES:
+                message = (
+                    f"blocking call {chain[0]}(...) in a coroutine; "
+                    f"{BLOCKING_NAMES[chain[0]]}"
+                )
+            elif chain[-1] == "ParallelExecutor":
+                message = (
+                    "ParallelExecutor constructed in a coroutine; build "
+                    "and submit pools off the event loop "
+                    "(asyncio.to_thread / run_in_executor)"
+                )
+            elif (
+                len(chain) >= 2
+                and chain[-1] == "run"
+                and chain[-2] in executor_names
+            ):
+                message = (
+                    f"ParallelExecutor submission {dotted}(...) blocks "
+                    "the event loop for the whole pool makespan; "
+                    "dispatch it via asyncio.to_thread"
+                )
+        if message is None and isinstance(call.func, ast.Attribute):
+            method = call.func.attr
+            if method in BLOCKING_METHODS and not chain:
+                # Attribute call on a non-name expression, e.g.
+                # ``sock.makefile()`` is covered by chain above; this
+                # branch covers ``Path(x).read_text()`` style.
+                message = (
+                    f".{method}(...) in a coroutine is "
+                    f"{BLOCKING_METHODS[method]}; use asyncio.to_thread"
+                )
+            elif method in BLOCKING_METHODS and chain and len(chain) == 2:
+                root = chain[0]
+                if root not in ("self",):
+                    message = (
+                        f"{'.'.join(chain)}(...) in a coroutine is "
+                        f"{BLOCKING_METHODS[method]}; use asyncio.to_thread"
+                    )
+        if message is None:
+            return None
+        if context.is_suppressed(call.lineno, self.code):
+            return None
+        return context.violation(call, self.code, message)

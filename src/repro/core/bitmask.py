@@ -20,6 +20,7 @@ from typing import Iterator, List, Sequence, Tuple
 __all__ = [
     "popcount",
     "full_space",
+    "parse_subspace",
     "is_valid_subspace",
     "is_subspace_of",
     "is_strict_subspace_of",
@@ -47,6 +48,44 @@ def full_space(d: int) -> int:
     if d < 1:
         raise ValueError(f"dimensionality must be positive, got {d}")
     return (1 << d) - 1
+
+
+def parse_subspace(text: str, d: int) -> int:
+    """Parse a user-supplied subspace into a validated bitmask.
+
+    Three spellings are accepted — the same ones everywhere a subspace
+    crosses a text boundary (CLI arguments, serve requests):
+
+    * binary literals: ``"0b101"`` (dimensions {0, 2});
+    * plain integers: ``"5"`` (the mask value itself);
+    * comma-separated dimension indices: ``"0,2"``.
+
+    Raises :exc:`ValueError` for unparsable text, dimension indices
+    outside ``[0, d)``, and masks outside ``(0, 2**d)`` — callers that
+    exit (the CLI) or respond with a typed error (the serve router)
+    wrap this one place instead of re-implementing the grammar.
+    """
+    text = text.strip()
+    try:
+        if text.startswith(("0b", "0B")):
+            delta = int(text, 2)
+        elif "," in text:
+            dims = [int(part) for part in text.split(",")]
+            for dim in dims:
+                if not 0 <= dim < d:
+                    raise ValueError(
+                        f"dimension {dim} out of range for d={d}"
+                    )
+            delta = mask_from_dims(dims)
+        else:
+            delta = int(text)
+    except ValueError as error:
+        if "out of range" in str(error):
+            raise
+        raise ValueError(f"cannot parse subspace {text!r}") from None
+    if not 0 < delta <= full_space(d):
+        raise ValueError(f"subspace {text!r} out of range for d={d}")
+    return delta
 
 
 def is_valid_subspace(delta: int, d: int) -> bool:

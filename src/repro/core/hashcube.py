@@ -67,6 +67,13 @@ class HashCube:
         #: rebuilds a fresh cube), so batch merges can reject
         #: duplicates in O(1) instead of silently double-storing.
         self._inserted_ids: Set[int] = set()
+        #: Point index: id -> stored (permuted) ``B_{p∉S}`` mask.  This
+        #: is the serving-path accelerator behind :meth:`contains` — a
+        #: membership probe is one dict lookup plus one word extraction
+        #: instead of a scan over every table's keys.  It is *not* part
+        #: of the paper's representation, so :meth:`memory_bytes` (the
+        #: Figure-1 size comparison) deliberately excludes it.
+        self._stored_masks: Dict[int, int] = {}
         self._word_mask = (1 << word_width) - 1
         #: subspace δ -> bit position, and its inverse (level order only).
         self._bit_of: Optional[Dict[int, int]] = None
@@ -132,14 +139,15 @@ class HashCube:
             )
         stored_mask = self._permute(not_in_skyline_mask)
         self._inserted_ids.add(point_id)
+        self._stored_masks[point_id] = stored_mask
         for word_index in range(self.num_words):
             word = (stored_mask >> (word_index * self.word_width)) & self._word_mask
             if word == self._valid_bits(word_index):
                 continue  # dominated in every subspace of this word: omit
             self._tables[word_index].setdefault(word, []).append(point_id)
 
-    def _split_words(self, mask: int) -> List[Tuple[int, int]]:
-        """Stored ``(word_index, word)`` pairs of a validated mask."""
+    def _split_words(self, mask: int) -> Tuple[int, List[Tuple[int, int]]]:
+        """Stored mask plus ``(word_index, word)`` pairs of a valid mask."""
         stored_mask = self._permute(mask)
         words = []
         for word_index in range(self.num_words):
@@ -149,7 +157,7 @@ class HashCube:
             if word == self._valid_bits(word_index):
                 continue  # omission rule, as in insert()
             words.append((word_index, word))
-        return words
+        return stored_mask, words
 
     def insert_batch(self, items: Iterable[Tuple[int, int]]) -> int:
         """Batch-merge ``(point_id, mask)`` pairs; returns the count.
@@ -168,8 +176,8 @@ class HashCube:
         costs one dict probe plus the appends per point instead of a
         full permute-and-split.
         """
-        word_cache: Dict[int, List[Tuple[int, int]]] = {}
-        checked: List[Tuple[int, List[Tuple[int, int]]]] = []
+        word_cache: Dict[int, Tuple[int, List[Tuple[int, int]]]] = {}
+        checked: List[Tuple[int, int, List[Tuple[int, int]]]] = []
         batch_ids: Set[int] = set()
         mask_bound = 1 << self.num_subspaces
         for point_id, mask in items:
@@ -192,19 +200,20 @@ class HashCube:
                     "HashCube; merging it again would double-count it"
                 )
             batch_ids.add(point_id)
-            words = word_cache.get(mask)
-            if words is None:
+            cached = word_cache.get(mask)
+            if cached is None:
                 if not 0 <= mask < mask_bound:
                     raise ValueError(
                         f"mask {mask:#x} of point {point_id} out of "
                         f"range for d={self.d} (expected "
                         f"{self.num_subspaces} mask bits)"
                     )
-                words = self._split_words(mask)
-                word_cache[mask] = words
-            checked.append((point_id, words))
-        for point_id, words in checked:
+                cached = self._split_words(mask)
+                word_cache[mask] = cached
+            checked.append((point_id, cached[0], cached[1]))
+        for point_id, stored_mask, words in checked:
             self._inserted_ids.add(point_id)
+            self._stored_masks[point_id] = stored_mask
             for word_index, word in words:
                 self._tables[word_index].setdefault(word, []).append(point_id)
         return len(checked)
@@ -223,22 +232,36 @@ class HashCube:
                 ids.extend(members)
         return tuple(sorted(ids))
 
+    def contains(self, point_id: int, delta: int) -> bool:
+        """``p ∈ S_δ``: an O(1) single-word membership probe.
+
+        The serving hot path: one point-index lookup, one word
+        extraction, one bit test — no table-key scan, no full
+        ``membership_mask`` reconstruction.  Ids this cube has never
+        stored are in no skyline (by the omission rule a fully
+        dominated point reads the same way), so they probe ``False``;
+        an invalid subspace raises :exc:`KeyError` like :meth:`skyline`.
+        """
+        if not 0 < delta <= self.num_subspaces:
+            raise KeyError(f"invalid subspace {delta} for d={self.d}")
+        stored = self._stored_masks.get(point_id)
+        if stored is None:
+            return False
+        word_index, bit = divmod(self._position(delta), self.word_width)
+        word = (stored >> (word_index * self.word_width)) & self._word_mask
+        return not word & (1 << bit)
+
     def membership_mask(self, point_id: int) -> int:
         """Reconstruct ``B_{p∉S}`` for a stored point.
 
-        Words in which the point does not appear are, by the omission
-        rule, fully set.  Mostly a debugging/verification aid.
+        Delegates to the same stored-word index as :meth:`contains`:
+        ids never inserted read as dominated everywhere (all valid bits
+        set), exactly what the omission rule implies for them.
         """
-        mask = 0
-        for word_index in range(self.num_words):
-            found = None
-            for word, members in self._tables[word_index].items():
-                if point_id in members:
-                    found = word
-                    break
-            word = self._valid_bits(word_index) if found is None else found
-            mask |= word << (word_index * self.word_width)
-        return self._unpermute(mask)
+        stored = self._stored_masks.get(point_id)
+        if stored is None:
+            stored = (1 << self.num_subspaces) - 1
+        return self._unpermute(stored)
 
     def point_ids(self) -> Tuple[int, ...]:
         """All distinct point ids appearing in any table."""

@@ -18,7 +18,7 @@ as a HashCube-backed :class:`~repro.core.skycube.Skycube`.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -59,9 +59,36 @@ class SkycubeMaintainer:
         self._ids: List[int] = []
         self._masks: Dict[int, int] = {}
         self._next_id = 0
-        if data is not None:
-            for row in data:
-                self.insert(row)
+        if data is not None and len(data):
+            self._bulk_load(data)
+
+    def _bulk_load(self, data: np.ndarray) -> None:
+        """Seed the maintainer from a full dataset in one pass.
+
+        Inserting row by row is O(n^2) array re-stacking — tens of
+        seconds at serving sizes.  Instead: points outside the extended
+        skyline ``S+`` are strictly dominated on every dimension by
+        some point, hence in no subspace skyline — their mask is fully
+        set.  Exact masks are computed only for the (typically small)
+        ``S+``, and comparing within ``S+`` suffices because every
+        dominator is itself dominated by an ``S+`` point.
+        """
+        # Local import: repro.engine builds on repro.core, so the
+        # kernels cannot be imported at module load without a cycle.
+        from repro.core.dominance import dominance_masks_vs_all
+        from repro.engine.kernels import fast_extended_skyline
+
+        self._rows = [np.array(row) for row in data]
+        self._ids = list(range(len(data)))
+        self._next_id = len(data)
+        full_mask = (1 << full_space(self.d)) - 1
+        self._masks = {pid: full_mask for pid in self._ids}
+        splus = fast_extended_skyline(data)
+        rows = data[splus]
+        for j, pid in enumerate(splus.tolist()):
+            le, _, eq = dominance_masks_vs_all(rows, rows[j])
+            self.counters.dominance_tests += len(rows)
+            self._masks[pid] = self._fold_pairs(le, eq)
 
     # -- updates --------------------------------------------------------
 
@@ -80,14 +107,8 @@ class SkycubeMaintainer:
             # Existing points as potential dominators of the new one...
             lt = (existing < point) @ self._weights
             eq = (existing == point) @ self._weights
-            le = lt + eq
             self.counters.dominance_tests += len(existing)
-            mask = 0
-            for pair in set(zip(le.tolist(), eq.tolist())):
-                if pair[0]:
-                    mask |= self._closures.dominated_update(*pair)
-                    self.counters.bitmask_ops += 1
-            self._masks[point_id] = mask
+            self._masks[point_id] = self._fold_pairs(lt + eq, eq)
             # ...and the new point as a dominator of existing ones.
             gt = (existing > point) @ self._weights
             ge = gt + eq
@@ -108,7 +129,15 @@ class SkycubeMaintainer:
         return point_id
 
     def delete(self, point_id: int) -> None:
-        """Remove a point; recomputes the masks it may have shaped."""
+        """Remove a point; recomputes the masks it may have shaped.
+
+        A random point strictly beats most others somewhere, so the
+        affected set is usually ~n and a naive per-point recompute
+        (re-stacking the row list each time) is O(n^2) array copies —
+        seconds at n=5000, which stalls live serving.  Instead the row
+        matrix is built once and affected points are recomputed in
+        broadcast chunks.
+        """
         try:
             index = self._ids.index(point_id)
         except ValueError:
@@ -122,10 +151,17 @@ class SkycubeMaintainer:
         # The removed point contributed dominated-bits to any point it
         # strictly beat on at least one dimension; recompute exactly
         # those masks from scratch.
-        touched = (existing > removed).any(axis=1)
-        affected = [self._ids[i] for i in np.flatnonzero(touched)]
-        for pid in affected:
-            self._masks[pid] = self._recompute_mask(pid)
+        positions = np.flatnonzero((existing > removed).any(axis=1))
+        chunk = max(1, (1 << 21) // (len(existing) * self.d))
+        for start in range(0, len(positions), chunk):
+            block = positions[start:start + chunk]
+            points = existing[block]  # rows under recompute, chunk x d
+            lt = (existing[None, :, :] < points[:, None, :]) @ self._weights
+            eq = (existing[None, :, :] == points[:, None, :]) @ self._weights
+            le = lt + eq
+            self.counters.dominance_tests += le.size
+            for row, le_row, eq_row in zip(block.tolist(), le, eq):
+                self._masks[self._ids[row]] = self._fold_pairs(le_row, eq_row)
 
     def _recompute_mask(self, point_id: int) -> int:
         index = self._ids.index(point_id)
@@ -133,12 +169,28 @@ class SkycubeMaintainer:
         existing = np.asarray(self._rows)
         lt = (existing < point) @ self._weights
         eq = (existing == point) @ self._weights
-        le = lt + eq
         self.counters.dominance_tests += len(existing)
+        return self._fold_pairs(lt + eq, eq)
+
+    def _fold_pairs(self, le: np.ndarray, eq: np.ndarray) -> int:
+        """OR the closure contributions of the distinct (le, eq) pairs.
+
+        Encoding the pair into one integer lets ``np.unique`` do the
+        dedup in C; the closure cache then sees each pair once.
+        """
+        pairs: Iterable[Tuple[int, int]]
+        if 2 * self.d < 63:
+            pair_mask = (1 << self.d) - 1
+            pairs = (
+                (combined >> self.d, combined & pair_mask)
+                for combined in np.unique((le << self.d) | eq).tolist()
+            )
+        else:  # packing would overflow int64; dedup in python instead
+            pairs = set(zip(le.tolist(), eq.tolist()))
         mask = 0
-        for pair in set(zip(le.tolist(), eq.tolist())):
-            if pair[0]:
-                mask |= self._closures.dominated_update(*pair)
+        for le_mask, eq_mask in pairs:
+            if le_mask:
+                mask |= self._closures.dominated_update(le_mask, eq_mask)
                 self.counters.bitmask_ops += 1
         return mask
 

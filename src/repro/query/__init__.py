@@ -3,6 +3,7 @@
 from repro.query.dynamic import (
     dynamic_skycube,
     dynamic_skyline,
+    dynamic_topk,
     dynamic_transform,
 )
 from repro.query.subsky import SubskyIndex
@@ -11,5 +12,6 @@ __all__ = [
     "SubskyIndex",
     "dynamic_skycube",
     "dynamic_skyline",
+    "dynamic_topk",
     "dynamic_transform",
 ]

@@ -16,16 +16,32 @@ dynamic *skycube* materialised with a pluggable skycube algorithm
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.bitmask import parse_subspace
 from repro.core.skycube import Skycube
 from repro.engine import fast_skyline
 from repro.skycube.base import SkycubeAlgorithm
 from repro.templates.stsc import STSC
 
-__all__ = ["dynamic_transform", "dynamic_skyline", "dynamic_skycube"]
+__all__ = [
+    "dynamic_transform",
+    "dynamic_skyline",
+    "dynamic_skycube",
+    "dynamic_topk",
+]
+
+#: A subspace given either as a mask or in any textual form that
+#: :func:`repro.core.bitmask.parse_subspace` accepts ("0b101", "5", "0,2").
+SubspaceLike = Union[int, str]
+
+
+def _as_delta(delta: Optional[SubspaceLike], d: int) -> Optional[int]:
+    if isinstance(delta, str):
+        return parse_subspace(delta, d)
+    return delta
 
 
 def dynamic_transform(data: np.ndarray, query: Sequence[float]) -> np.ndarray:
@@ -46,10 +62,44 @@ def dynamic_transform(data: np.ndarray, query: Sequence[float]) -> np.ndarray:
 def dynamic_skyline(
     data: np.ndarray,
     query: Sequence[float],
-    delta: Optional[int] = None,
+    delta: Optional[SubspaceLike] = None,
 ) -> List[int]:
     """Ids of the dynamic skyline of ``data`` relative to ``query``."""
-    return [int(i) for i in fast_skyline(dynamic_transform(data, query), delta)]
+    transformed = dynamic_transform(data, query)
+    return [
+        int(i)
+        for i in fast_skyline(
+            transformed, _as_delta(delta, transformed.shape[1])
+        )
+    ]
+
+
+def dynamic_topk(
+    data: np.ndarray,
+    query: Sequence[float],
+    k: int = 10,
+    delta: Optional[SubspaceLike] = None,
+) -> List[int]:
+    """The ``k`` dynamic-skyline points closest to ``query``.
+
+    The serving layer's ``topk-dynamic`` endpoint: the dynamic skyline
+    relative to ``query`` in subspace ``delta``, ranked by L1 distance
+    over the active dimensions (ties by id).  Pareto-optimality picks
+    the candidates; the distance rank orders them for presentation.
+    """
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    transformed = dynamic_transform(data, query)
+    mask = _as_delta(delta, transformed.shape[1])
+    ids = fast_skyline(transformed, mask)
+    if mask is None:
+        active = transformed[ids]
+    else:
+        dims = [i for i in range(transformed.shape[1]) if mask & (1 << i)]
+        active = transformed[np.ix_(ids, dims)]
+    distance = active.sum(axis=1)
+    ranked = sorted(zip(distance.tolist(), (int(i) for i in ids)))
+    return [pid for _, pid in ranked[:k]]
 
 
 def dynamic_skycube(

@@ -1,0 +1,45 @@
+"""repro.serve — the asyncio skycube query service.
+
+The online layer the ROADMAP's north star needs: materialise once
+(the paper's HashCube trade-off), then amortise the build over many
+queries arriving over the wire.  Pieces, each its own module:
+
+* :mod:`repro.serve.snapshot` — immutable :class:`ServingSnapshot` +
+  atomic swap (:class:`SnapshotHolder`) + live updates
+  (:class:`LiveUpdater` over a :class:`~repro.core.maintain.SkycubeMaintainer`);
+* :mod:`repro.serve.batcher` — micro-batching (:class:`MicroBatcher`);
+* :mod:`repro.serve.service` — routing, admission control, deadlines,
+  load shedding (:class:`SkycubeService`);
+* :mod:`repro.serve.server` — the NDJSON TCP front-end
+  (:class:`SkycubeServer`, :func:`run_server`);
+* :mod:`repro.serve.metrics` — per-endpoint counters and latency
+  histograms (:class:`ServeMetrics`);
+* :mod:`repro.serve.client` — a small blocking client
+  (:class:`ServeClient`).
+
+``python -m repro serve`` starts a server; ``docs/SERVING.md`` has the
+protocol and the consistency/overload semantics.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.metrics import LatencyHistogram, ServeMetrics
+from repro.serve.server import SkycubeServer, run_server
+from repro.serve.service import Request, Response, SkycubeService
+from repro.serve.snapshot import LiveUpdater, ServingSnapshot, SnapshotHolder
+
+__all__ = [
+    "LatencyHistogram",
+    "LiveUpdater",
+    "MicroBatcher",
+    "Request",
+    "Response",
+    "ServeClient",
+    "ServeError",
+    "ServeMetrics",
+    "ServingSnapshot",
+    "SkycubeServer",
+    "SkycubeService",
+    "SnapshotHolder",
+    "run_server",
+]

@@ -1,0 +1,128 @@
+"""A small blocking NDJSON client for the serve front-end.
+
+Used by the CLI (``python -m repro query``), the test suite and the
+smoke/throughput harnesses.  Deliberately synchronous and stdlib-only:
+one socket, one request outstanding at a time, typed errors surfaced
+as :class:`ServeError` — the simplest thing a consumer can embed.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """A typed error response (``Overloaded``, ``BadRequest``, ...)."""
+
+    def __init__(self, error_type: str, message: str) -> None:
+        super().__init__(f"{error_type}: {message}")
+        self.error_type = error_type
+        self.message = message
+
+
+class ServeClient:
+    """Blocking client; usable as a context manager."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 7171, timeout: float = 10.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def request_raw(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one request, return the raw response dict (any outcome)."""
+        self._next_id += 1
+        request_id = self._next_id
+        payload = {"id": request_id, "op": op}
+        payload.update(
+            {key: value for key, value in params.items() if value is not None}
+        )
+        self._file.write((json.dumps(payload) + "\n").encode("utf-8"))
+        self._file.flush()
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            response = json.loads(line.decode("utf-8"))
+            if response.get("id") == request_id:
+                return response
+            # A response to a request this client never sent: with one
+            # request outstanding at a time this cannot happen, but a
+            # defensive skip beats deadlocking on a protocol hiccup.
+
+    def request(self, op: str, **params: Any) -> Dict[str, Any]:
+        """Send one request; raise :class:`ServeError` on typed failure."""
+        response = self.request_raw(op, **params)
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                error.get("type", "Internal"), error.get("message", "")
+            )
+        return response
+
+    # -- typed endpoints -----------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request("ping")["result"]
+
+    def skyline(
+        self, delta: Any, timeout_ms: Optional[float] = None
+    ) -> List[int]:
+        response = self.request("skyline", delta=delta, timeout_ms=timeout_ms)
+        return list(response["result"])
+
+    def membership(
+        self, point_id: int, delta: Any, timeout_ms: Optional[float] = None
+    ) -> bool:
+        response = self.request(
+            "membership", point_id=point_id, delta=delta,
+            timeout_ms=timeout_ms,
+        )
+        return bool(response["result"])
+
+    def topk_dynamic(
+        self,
+        q: Sequence[float],
+        k: int = 10,
+        delta: Any = None,
+        timeout_ms: Optional[float] = None,
+    ) -> List[int]:
+        response = self.request(
+            "topk_dynamic", q=list(q), k=k, delta=delta,
+            timeout_ms=timeout_ms,
+        )
+        return list(response["result"])
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("metrics")["result"]
+
+    def insert(self, point: Sequence[float]) -> int:
+        response = self.request("insert", point=list(point))
+        return int(response["result"]["point_id"])
+
+    def delete(self, point_id: int) -> None:
+        self.request("delete", point_id=point_id)
+
+    def snapshot_version(self) -> int:
+        return int(self.request("ping").get("snapshot_version", 0))

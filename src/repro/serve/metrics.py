@@ -1,0 +1,178 @@
+"""Serving metrics: per-endpoint counters and latency histograms.
+
+The serving layer needs observability that the offline library never
+did: how many requests of each kind arrived, how many were shed, how
+well the micro-batcher coalesces, and what the tail latency looks
+like.  Everything here is plain integers and fixed bucket arrays —
+recording an event is a few dict operations, cheap enough to stay
+always-on (the same philosophy as :mod:`repro.instrument.counters`).
+
+Integration with the library's instrumentation backbone: a
+:class:`ServeMetrics` owns a :class:`~repro.instrument.counters.Counters`
+and mirrors every serving event into its ``extra`` map under
+``serve.*`` keys, so any tooling that consumes ``Counters.as_dict()``
+(reports, the hardware layer's cost summaries) sees serving activity
+without knowing this module exists.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.instrument.counters import Counters
+
+__all__ = ["LatencyHistogram", "ServeMetrics"]
+
+
+def _geometric_bounds(
+    lowest: float = 0.0001, highest: float = 30.0, factor: float = 2.0
+) -> Tuple[float, ...]:
+    bounds: List[float] = [lowest]
+    while bounds[-1] < highest:
+        bounds.append(bounds[-1] * factor)
+    return tuple(bounds)
+
+
+class LatencyHistogram:
+    """Fixed log-spaced latency buckets with percentile estimates.
+
+    Buckets double from 0.1 ms to ~30 s; a percentile is reported as
+    the upper bound of the bucket in which the cumulative count crosses
+    it — coarse, but allocation-free and monotone, which is all a p99
+    gate needs.
+    """
+
+    BOUNDS: Tuple[float, ...] = _geometric_bounds()
+
+    def __init__(self) -> None:
+        self.counts: List[int] = [0] * (len(self.BOUNDS) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def record(self, seconds: float) -> None:
+        index = 0
+        for index, bound in enumerate(self.BOUNDS):
+            if seconds <= bound:
+                break
+        else:
+            index = len(self.BOUNDS)
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += seconds
+
+    def percentile(self, fraction: float) -> float:
+        """Upper bucket bound at the given fraction (0 < fraction <= 1)."""
+        if not 0 < fraction <= 1:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        if self.total == 0:
+            return 0.0
+        needed = fraction * self.total
+        cumulative = 0
+        for index, count in enumerate(self.counts):
+            cumulative += count
+            if cumulative >= needed:
+                if index < len(self.BOUNDS):
+                    return self.BOUNDS[index]
+                return self.BOUNDS[-1] * 2
+        return self.BOUNDS[-1] * 2
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.total),
+            "mean_ms": 1000.0 * self.mean,
+            "p50_ms": 1000.0 * self.percentile(0.50),
+            "p99_ms": 1000.0 * self.percentile(0.99),
+        }
+
+
+class ServeMetrics:
+    """All serving-side telemetry, exposed on the ``metrics`` endpoint."""
+
+    def __init__(self, counters: Optional[Counters] = None) -> None:
+        self.counters = counters if counters is not None else Counters()
+        self.started_at = time.time()
+        self.requests: Dict[str, int] = {}
+        self.errors: Dict[str, int] = {}
+        self.shed = 0
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+        self.queue_depth = 0
+        self.peak_queue_depth = 0
+        self.snapshot_version = 0
+        self.snapshot_publishes = 0
+        self.latency: Dict[str, LatencyHistogram] = {}
+
+    # -- event recording ----------------------------------------------
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        self.counters.extra[key] = self.counters.extra.get(key, 0) + amount
+
+    def record_request(self, op: str) -> None:
+        self.requests[op] = self.requests.get(op, 0) + 1
+        self._bump("serve.requests")
+        self._bump(f"serve.requests.{op}")
+
+    def record_error(self, op: str, error_type: str) -> None:
+        key = f"{op}:{error_type}"
+        self.errors[key] = self.errors.get(key, 0) + 1
+        self._bump("serve.errors")
+
+    def record_shed(self) -> None:
+        self.shed += 1
+        self._bump("serve.shed")
+
+    def record_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        if size > self.max_batch_size:
+            self.max_batch_size = size
+        self._bump("serve.batches")
+
+    def record_latency(self, op: str, seconds: float) -> None:
+        histogram = self.latency.get(op)
+        if histogram is None:
+            histogram = self.latency[op] = LatencyHistogram()
+        histogram.record(seconds)
+
+    def observe_queue_depth(self, depth: int) -> None:
+        self.queue_depth = depth
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
+
+    def observe_snapshot(self, version: int) -> None:
+        self.snapshot_version = version
+        self.snapshot_publishes += 1
+        self._bump("serve.snapshot_publishes")
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.batched_requests / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """The ``metrics`` endpoint payload (JSON-serialisable)."""
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "requests": dict(self.requests),
+            "errors": dict(self.errors),
+            "shed": self.shed,
+            "batches": self.batches,
+            "batched_requests": self.batched_requests,
+            "mean_batch_size": self.mean_batch_size,
+            "max_batch_size": self.max_batch_size,
+            "queue_depth": self.queue_depth,
+            "peak_queue_depth": self.peak_queue_depth,
+            "snapshot_version": self.snapshot_version,
+            "snapshot_publishes": self.snapshot_publishes,
+            "latency": {
+                op: histogram.as_dict()
+                for op, histogram in sorted(self.latency.items())
+            },
+        }

@@ -1,0 +1,376 @@
+"""The skycube query service: routing, admission control, batch execution.
+
+One :class:`SkycubeService` fronts one :class:`SnapshotHolder`.  A
+request travels: admission check (bounded in-flight queue — beyond
+``max_pending`` the request is *shed* with a typed ``Overloaded``
+response instead of queueing unboundedly) → micro-batcher → batch
+execution against a single snapshot capture → typed response.
+
+Batch execution is where the coalescing pays: requests are grouped by
+``(op, arguments)`` and each distinct group is computed once — the
+HashCube probe, membership word test, or ad-hoc kernel pass — then
+fanned back out to every waiter.  Because the whole batch reads one
+snapshot, every response is tagged with that snapshot's version and is
+never a torn mix of pre- and post-update state.
+
+Deadlines propagate: a request carries an absolute event-loop deadline
+(set from the client's ``timeout_ms``), and a batch that gets to it too
+late answers ``DeadlineExceeded`` rather than burning compute on an
+answer nobody is waiting for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.bitmask import parse_subspace
+from repro.serve.batcher import MicroBatcher
+from repro.serve.metrics import ServeMetrics
+from repro.serve.snapshot import LiveUpdater, ServingSnapshot, SnapshotHolder
+
+__all__ = [
+    "Request",
+    "Response",
+    "SkycubeService",
+    "QUERY_OPS",
+    "request_from_json",
+]
+
+#: Ops that go through the micro-batcher.
+QUERY_OPS = ("skyline", "membership", "topk_dynamic")
+#: Ops handled directly by the service.
+CONTROL_OPS = ("metrics", "ping", "insert", "delete")
+
+#: Typed error names on the wire.
+OVERLOADED = "Overloaded"
+BAD_REQUEST = "BadRequest"
+NOT_FOUND = "NotFound"
+DEADLINE_EXCEEDED = "DeadlineExceeded"
+INTERNAL = "Internal"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request (already validated where statically possible)."""
+
+    op: str
+    delta: Optional[int] = None
+    point_id: Optional[int] = None
+    q: Optional[Tuple[float, ...]] = None
+    k: int = 10
+    point: Optional[Tuple[float, ...]] = None
+    #: Absolute event-loop deadline (``loop.time()`` scale), or None.
+    deadline: Optional[float] = None
+
+    def key(self) -> Tuple[Any, ...]:
+        """Coalescing key: requests with equal keys share one answer."""
+        return (self.op, self.delta, self.point_id, self.q, self.k)
+
+
+@dataclass(frozen=True)
+class Response:
+    """One typed response; ``error`` is None on success."""
+
+    op: str
+    ok: bool
+    result: Any = None
+    error: Optional[str] = None
+    message: str = ""
+    snapshot_version: Optional[int] = None
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"ok": self.ok, "op": self.op}
+        if self.ok:
+            payload["result"] = self.result
+            if self.snapshot_version is not None:
+                payload["snapshot_version"] = self.snapshot_version
+        else:
+            payload["error"] = {"type": self.error, "message": self.message}
+        return payload
+
+
+def _error(op: str, error: str, message: str) -> Response:
+    return Response(op=op, ok=False, error=error, message=message)
+
+
+def request_from_json(
+    obj: Dict[str, Any], d: int, now: float
+) -> Request:
+    """Decode one wire-format request dict; raises ValueError when bad."""
+    if not isinstance(obj, dict):
+        raise ValueError("request must be a JSON object")
+    op = obj.get("op")
+    if isinstance(op, str):
+        op = op.replace("-", "_")  # accept "topk-dynamic" for topk_dynamic
+    if op not in QUERY_OPS and op not in CONTROL_OPS:
+        raise ValueError(f"unknown op {op!r}")
+    delta: Optional[int] = None
+    if "delta" in obj and obj["delta"] is not None:
+        raw = obj["delta"]
+        if isinstance(raw, bool):
+            raise ValueError("delta must be an integer or string")
+        if isinstance(raw, int):
+            delta = parse_subspace(str(raw), d)
+        elif isinstance(raw, str):
+            delta = parse_subspace(raw, d)
+        else:
+            raise ValueError("delta must be an integer or string")
+    point_id: Optional[int] = None
+    if "point_id" in obj and obj["point_id"] is not None:
+        if not isinstance(obj["point_id"], int) or isinstance(
+            obj["point_id"], bool
+        ):
+            raise ValueError("point_id must be an integer")
+        point_id = obj["point_id"]
+    q: Optional[Tuple[float, ...]] = None
+    if "q" in obj and obj["q"] is not None:
+        try:
+            q = tuple(float(value) for value in obj["q"])
+        except (TypeError, ValueError):
+            raise ValueError("q must be a list of numbers") from None
+        if len(q) != d:
+            raise ValueError(f"q must have {d} coordinates, got {len(q)}")
+    point: Optional[Tuple[float, ...]] = None
+    if "point" in obj and obj["point"] is not None:
+        try:
+            point = tuple(float(value) for value in obj["point"])
+        except (TypeError, ValueError):
+            raise ValueError("point must be a list of numbers") from None
+        if len(point) != d:
+            raise ValueError(
+                f"point must have {d} coordinates, got {len(point)}"
+            )
+    k = 10
+    if "k" in obj and obj["k"] is not None:
+        if not isinstance(obj["k"], int) or isinstance(obj["k"], bool):
+            raise ValueError("k must be an integer")
+        if obj["k"] < 1:
+            raise ValueError(f"k must be positive, got {obj['k']}")
+        k = obj["k"]
+    deadline: Optional[float] = None
+    if "timeout_ms" in obj and obj["timeout_ms"] is not None:
+        timeout_ms = obj["timeout_ms"]
+        if not isinstance(timeout_ms, (int, float)) or isinstance(
+            timeout_ms, bool
+        ) or timeout_ms <= 0:
+            raise ValueError("timeout_ms must be a positive number")
+        deadline = now + timeout_ms / 1000.0
+    # Per-op required arguments.
+    if op == "skyline" and delta is None:
+        raise ValueError("skyline requires 'delta'")
+    if op == "membership" and (delta is None or point_id is None):
+        raise ValueError("membership requires 'point_id' and 'delta'")
+    if op == "topk_dynamic" and q is None:
+        raise ValueError("topk_dynamic requires 'q'")
+    if op == "insert" and point is None:
+        raise ValueError("insert requires 'point'")
+    if op == "delete" and point_id is None:
+        raise ValueError("delete requires 'point_id'")
+    return Request(
+        op=op, delta=delta, point_id=point_id, q=q, k=k, point=point,
+        deadline=deadline,
+    )
+
+
+class SkycubeService:
+    """Routes requests to the batcher, the updater, or metrics."""
+
+    def __init__(
+        self,
+        holder: SnapshotHolder,
+        window: float = 0.002,
+        max_batch: int = 64,
+        max_pending: int = 1024,
+        metrics: Optional[ServeMetrics] = None,
+        updater: Optional[LiveUpdater] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.holder = holder
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.updater = updater
+        self.max_pending = max_pending
+        self._pending = 0
+        self._batcher: MicroBatcher[Request, Response] = MicroBatcher(
+            self._execute_batch, window=window, max_batch=max_batch
+        )
+        self._update_gate = asyncio.Lock()
+        self.metrics.observe_snapshot(holder.version)
+        holder.subscribe(
+            lambda snapshot: self.metrics.observe_snapshot(snapshot.version)
+        )
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        return self.holder.current.d
+
+    @property
+    def pending(self) -> int:
+        """In-flight batched requests (the bounded queue's occupancy)."""
+        return self._pending
+
+    async def start(self) -> None:
+        await self._batcher.start()
+
+    async def stop(self) -> None:
+        """Drain: flush queued requests, then stop accepting."""
+        await self._batcher.stop()
+
+    # -- submission ----------------------------------------------------
+
+    async def submit(self, request: Request) -> Response:
+        """Admission control + dispatch; always returns a Response."""
+        op = request.op
+        self.metrics.record_request(op)
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            if op in QUERY_OPS:
+                response = await self._submit_query(request)
+            elif op == "metrics":
+                response = Response(
+                    op=op, ok=True, result=self.metrics.as_dict(),
+                    snapshot_version=self.holder.version,
+                )
+            elif op == "ping":
+                response = Response(
+                    op=op, ok=True,
+                    result={"d": self.d, "n": len(self.holder.current)},
+                    snapshot_version=self.holder.version,
+                )
+            elif op == "insert":
+                response = await self._submit_insert(request)
+            elif op == "delete":
+                response = await self._submit_delete(request)
+            else:
+                response = _error(op, BAD_REQUEST, f"unknown op {op!r}")
+        except Exception as error:  # never leak a raw traceback
+            response = _error(op, INTERNAL, f"{type(error).__name__}: {error}")
+        if not response.ok and response.error is not None:
+            self.metrics.record_error(op, response.error)
+        self.metrics.record_latency(op, loop.time() - started)
+        return response
+
+    async def _submit_query(self, request: Request) -> Response:
+        if self._pending >= self.max_pending:
+            # Load shedding: reject *now*, with a typed response the
+            # client can back off on, instead of queueing unboundedly.
+            self.metrics.record_shed()
+            return _error(
+                request.op, OVERLOADED,
+                f"queue full ({self.max_pending} pending)",
+            )
+        self._pending += 1
+        self.metrics.observe_queue_depth(self._pending)
+        try:
+            return await self._batcher.submit(request)
+        finally:
+            self._pending -= 1
+            self.metrics.observe_queue_depth(self._pending)
+
+    async def _submit_insert(self, request: Request) -> Response:
+        if self.updater is None:
+            return _error(
+                request.op, BAD_REQUEST,
+                "live updates are disabled on this server",
+            )
+        async with self._update_gate:
+            point_id = await asyncio.to_thread(
+                self.updater.insert, request.point
+            )
+        return Response(
+            op=request.op, ok=True, result={"point_id": point_id},
+            snapshot_version=self.holder.version,
+        )
+
+    async def _submit_delete(self, request: Request) -> Response:
+        if self.updater is None:
+            return _error(
+                request.op, BAD_REQUEST,
+                "live updates are disabled on this server",
+            )
+        try:
+            async with self._update_gate:
+                version = await asyncio.to_thread(
+                    self.updater.delete, request.point_id
+                )
+        except KeyError:
+            return _error(
+                request.op, NOT_FOUND,
+                f"unknown point id {request.point_id}",
+            )
+        return Response(
+            op=request.op, ok=True, result={"deleted": request.point_id},
+            snapshot_version=version,
+        )
+
+    # -- batch execution ----------------------------------------------
+
+    def _execute_batch(self, requests: List[Request]) -> List[Response]:
+        """Answer a whole batch from one snapshot capture.
+
+        Grouping by :meth:`Request.key` means each distinct question is
+        computed once per batch regardless of how many clients asked it
+        — the vectorised pass (ad-hoc subspaces) and the cube probes
+        are both shared.
+        """
+        snapshot = self.holder.current
+        now = asyncio.get_running_loop().time()
+        cache: Dict[Tuple[Any, ...], Response] = {}
+        responses: List[Response] = []
+        for request in requests:
+            if request.deadline is not None and now > request.deadline:
+                responses.append(
+                    _error(
+                        request.op, DEADLINE_EXCEEDED,
+                        "deadline expired before execution",
+                    )
+                )
+                continue
+            key = request.key()
+            response = cache.get(key)
+            if response is None:
+                response = self._answer(snapshot, request)
+                cache[key] = response
+            responses.append(response)
+        self.metrics.record_batch(len(requests))
+        return responses
+
+    def _answer(
+        self, snapshot: ServingSnapshot, request: Request
+    ) -> Response:
+        try:
+            if request.op == "skyline":
+                assert request.delta is not None
+                result: Any = list(snapshot.skyline(request.delta))
+            elif request.op == "membership":
+                assert request.point_id is not None
+                assert request.delta is not None
+                if not snapshot.knows(request.point_id):
+                    return _error(
+                        request.op, NOT_FOUND,
+                        f"unknown point id {request.point_id}",
+                    )
+                result = snapshot.membership(request.point_id, request.delta)
+            elif request.op == "topk_dynamic":
+                assert request.q is not None
+                result = snapshot.topk_dynamic(
+                    request.q, k=request.k, delta=request.delta
+                )
+            else:
+                return _error(
+                    request.op, BAD_REQUEST,
+                    f"op {request.op!r} is not a batched query",
+                )
+        except KeyError as error:
+            return _error(request.op, BAD_REQUEST, str(error))
+        except ValueError as error:
+            return _error(request.op, BAD_REQUEST, str(error))
+        return Response(
+            op=request.op, ok=True, result=result,
+            snapshot_version=snapshot.version,
+        )

@@ -1,0 +1,265 @@
+"""Immutable serving snapshots and the atomic snapshot swap.
+
+The serving layer's consistency story is *snapshot isolation by
+replacement*: a :class:`ServingSnapshot` bundles a built
+:class:`~repro.core.hashcube.HashCube` with the dataset it was built
+from and is never mutated after construction.  Readers grab
+``holder.current`` once per batch and answer every request in the
+batch from that one object; a background writer (wrapping a
+:class:`~repro.core.maintain.SkycubeMaintainer`) applies inserts and
+deletes off the event loop, builds a *new* snapshot, and publishes it
+with a single reference assignment — atomic under the GIL, so readers
+never observe a half-updated cube, only the version before or the
+version after.
+
+This is the materialise-once side of the paper's HashCube-vs-ad-hoc
+trade-off (Section 3): the cube answers materialised subspaces in one
+probe, and the snapshot falls back to the vectorised
+:mod:`repro.engine` kernels for subspaces a *partial* cube never
+stored.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bitmask import full_space, popcount
+from repro.core.hashcube import HashCube
+from repro.core.maintain import SkycubeMaintainer
+from repro.engine import fast_skycube, fast_skyline
+from repro.query.dynamic import dynamic_topk
+
+__all__ = ["ServingSnapshot", "SnapshotHolder", "LiveUpdater"]
+
+
+class ServingSnapshot:
+    """One immutable, consistent view of the served skycube.
+
+    ``ids[row]`` maps dataset rows to stable point ids (after deletes
+    the id space need not be dense).  ``max_level`` marks a partially
+    materialised cube; queries above it take the ad-hoc kernel path.
+    """
+
+    __slots__ = ("version", "cube", "data", "ids", "max_level", "_known_ids")
+
+    def __init__(
+        self,
+        cube: HashCube,
+        data: np.ndarray,
+        ids: Optional[Sequence[int]] = None,
+        version: int = 0,
+        max_level: Optional[int] = None,
+    ) -> None:
+        data = np.array(data, dtype=np.float64)  # private copy
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        if data.shape[1] != cube.d:
+            raise ValueError(
+                f"cube is {cube.d}-dimensional but data has "
+                f"{data.shape[1]} columns"
+            )
+        data.setflags(write=False)
+        if ids is None:
+            id_array = np.arange(len(data), dtype=np.int64)
+        else:
+            id_array = np.array(ids, dtype=np.int64)
+            if id_array.shape != (len(data),):
+                raise ValueError(
+                    f"expected {len(data)} ids, got shape {id_array.shape}"
+                )
+        id_array.setflags(write=False)
+        self.version = version
+        self.cube = cube
+        self.data = data
+        self.ids = id_array
+        self.max_level = max_level
+        self._known_ids = frozenset(int(i) for i in id_array)
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        version: int = 0,
+        max_level: Optional[int] = None,
+        word_width: int = HashCube.DEFAULT_WORD_WIDTH,
+    ) -> "ServingSnapshot":
+        """Materialise ``data`` with the vectorised engine and wrap it."""
+        skycube = fast_skycube(data, max_level=max_level, word_width=word_width)
+        cube = skycube.store
+        assert isinstance(cube, HashCube)
+        return cls(cube, data, version=version, max_level=max_level)
+
+    @classmethod
+    def from_maintainer(
+        cls,
+        maintainer: SkycubeMaintainer,
+        version: int,
+        word_width: int = HashCube.DEFAULT_WORD_WIDTH,
+    ) -> "ServingSnapshot":
+        """Freeze a maintainer's exact current state into a snapshot."""
+        points = maintainer.points()
+        ids = sorted(points)
+        cube = HashCube(maintainer.d, word_width)
+        for pid in ids:
+            cube.insert(pid, maintainer.membership_mask(pid))
+        if ids:
+            data = np.stack([points[pid] for pid in ids])
+        else:
+            data = np.empty((0, maintainer.d), dtype=np.float64)
+        return cls(cube, data, ids=ids, version=version)
+
+    # -- queries -------------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        return self.cube.d
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def materialised(self, delta: int) -> bool:
+        """Whether the cube stores subspace ``delta`` (partial cubes)."""
+        return self.max_level is None or popcount(delta) <= self.max_level
+
+    def _check_delta(self, delta: int) -> None:
+        if not 0 < delta <= full_space(self.d):
+            raise KeyError(f"invalid subspace {delta} for d={self.d}")
+
+    def knows(self, point_id: int) -> bool:
+        """Whether this snapshot's dataset contains the point id."""
+        return point_id in self._known_ids
+
+    def skyline(self, delta: int) -> Tuple[int, ...]:
+        """``S_δ`` ids: one cube probe, or the ad-hoc kernel fallback."""
+        self._check_delta(delta)
+        if self.materialised(delta):
+            return self.cube.skyline(delta)
+        if len(self.data) == 0:
+            return ()
+        rows = fast_skyline(self.data, delta)
+        return tuple(int(i) for i in self.ids[rows])
+
+    def membership(self, point_id: int, delta: int) -> bool:
+        """``p ∈ S_δ`` via the O(1) single-word HashCube probe.
+
+        Raises :exc:`KeyError` for ids the snapshot has never seen —
+        the service maps that to a typed ``NotFound`` response, which
+        is distinct from "known point, not in this skyline".
+        """
+        self._check_delta(delta)
+        if not self.knows(point_id):
+            raise KeyError(f"unknown point id {point_id}")
+        if self.materialised(delta):
+            return self.cube.contains(point_id, delta)
+        return point_id in self.skyline(delta)
+
+    def topk_dynamic(
+        self, query: Sequence[float], k: int = 10, delta: Optional[int] = None
+    ) -> List[int]:
+        """Top-k dynamic skyline relative to ``query`` (always ad-hoc)."""
+        if delta is not None:
+            self._check_delta(delta)
+        if len(self.data) == 0:
+            return []
+        rows = dynamic_topk(self.data, query, k=k, delta=delta)
+        return [int(self.ids[row]) for row in rows]
+
+
+class SnapshotHolder:
+    """The single mutable cell of the serving layer.
+
+    ``current`` is read without any locking — publishing is one
+    attribute assignment, so a reader sees either the old or the new
+    snapshot object, both internally consistent.  ``on_publish``
+    callbacks let the server push the new version into metrics and let
+    tests retain every published snapshot for consistency checks.
+    """
+
+    def __init__(self, initial: ServingSnapshot) -> None:
+        self._snapshot = initial
+        self._publish_lock = threading.Lock()
+        self._subscribers: List[Callable[[ServingSnapshot], None]] = []
+
+    @property
+    def current(self) -> ServingSnapshot:
+        return self._snapshot
+
+    @property
+    def version(self) -> int:
+        return self._snapshot.version
+
+    def subscribe(self, callback: Callable[[ServingSnapshot], None]) -> None:
+        self._subscribers.append(callback)
+
+    def publish(self, snapshot: ServingSnapshot) -> None:
+        """Swap in a newer snapshot; versions must strictly increase."""
+        with self._publish_lock:
+            if snapshot.version <= self._snapshot.version:
+                raise ValueError(
+                    f"stale snapshot version {snapshot.version} "
+                    f"(current is {self._snapshot.version})"
+                )
+            self._snapshot = snapshot
+        for callback in list(self._subscribers):
+            callback(snapshot)
+
+
+class LiveUpdater:
+    """Applies live inserts/deletes and publishes fresh snapshots.
+
+    Owns the :class:`SkycubeMaintainer`; every mutation runs under one
+    lock (updates are serialised — the maintainer is not thread-safe)
+    and ends by publishing a new :class:`ServingSnapshot`, so queries
+    racing an update see exactly the before- or after-state.  The
+    service calls :meth:`insert`/:meth:`delete` from a worker thread
+    (``asyncio.to_thread``) to keep the event loop free.
+    """
+
+    def __init__(
+        self,
+        maintainer: SkycubeMaintainer,
+        holder: SnapshotHolder,
+        word_width: int = HashCube.DEFAULT_WORD_WIDTH,
+    ) -> None:
+        self.maintainer = maintainer
+        self.holder = holder
+        self.word_width = word_width
+        self._lock = threading.Lock()
+
+    @classmethod
+    def bootstrap(
+        cls,
+        data: np.ndarray,
+        word_width: int = HashCube.DEFAULT_WORD_WIDTH,
+    ) -> Tuple["LiveUpdater", SnapshotHolder]:
+        """Build the maintainer + initial snapshot + holder in one go."""
+        maintainer = SkycubeMaintainer(data)
+        holder = SnapshotHolder(
+            ServingSnapshot.from_maintainer(maintainer, 0, word_width)
+        )
+        return cls(maintainer, holder, word_width), holder
+
+    def _publish(self) -> ServingSnapshot:
+        snapshot = ServingSnapshot.from_maintainer(
+            self.maintainer, self.holder.version + 1, self.word_width
+        )
+        self.holder.publish(snapshot)
+        return snapshot
+
+    def insert(self, point: Sequence[float]) -> int:
+        """Insert a point and publish; returns the assigned id."""
+        with self._lock:
+            point_id = self.maintainer.insert(point)
+            self._publish()
+            return point_id
+
+    def delete(self, point_id: int) -> int:
+        """Delete a point and publish; returns the new version."""
+        with self._lock:
+            self.maintainer.delete(point_id)
+            return self._publish().version

@@ -1,0 +1,48 @@
+"""Deliberately broken serving module: blocking calls in coroutines.
+
+Every construct here must trip SKY401 (no-blocking-in-async); the
+clean counterparts at the bottom must not.
+"""
+
+import socket
+import time
+
+from repro.engine.parallel import ParallelExecutor
+
+pool = ParallelExecutor(workers=4)
+
+
+async def bad_sleep_and_io(path):
+    time.sleep(0.5)  # SKY401: blocking sleep
+    handle = open(path)  # SKY401: sync file I/O
+    return handle
+
+
+async def bad_sockets(sock):
+    conn = socket.create_connection(("localhost", 1234))  # SKY401
+    data = sock.recv(4096)  # SKY401: sync socket receive
+    return conn, data
+
+
+async def bad_executor_use(tasks):
+    local = ParallelExecutor(workers=2)  # SKY401: pool built on the loop
+    results = pool.run(len, tasks)  # SKY401: submission blocks the loop
+    return local, results
+
+
+async def good_counterparts(tasks):
+    import asyncio
+
+    await asyncio.sleep(0.5)  # fine: yields the loop
+    text = await asyncio.to_thread(_read_file, "x")  # fine: off the loop
+
+    def helper():  # nested sync def runs in a worker thread
+        time.sleep(0.1)
+        return open("y")
+
+    return text, helper
+
+
+def _read_file(path):
+    with open(path) as handle:  # fine: not a coroutine
+        return handle.read()

@@ -141,6 +141,46 @@ class TestNeighbours:
             assert bm.popcount(parent) == bm.popcount(delta) + 1
 
 
+class TestParseSubspace:
+    def test_binary_literal(self):
+        assert bm.parse_subspace("0b101", 3) == 0b101
+        assert bm.parse_subspace("0B11", 4) == 0b11
+
+    def test_plain_integer(self):
+        assert bm.parse_subspace("5", 3) == 5
+        assert bm.parse_subspace(" 7 ", 3) == 7  # whitespace tolerated
+
+    def test_dimension_list(self):
+        assert bm.parse_subspace("0,2", 3) == 0b101
+        assert bm.parse_subspace("1", 3) == 1  # single int, not a dim list
+        assert bm.parse_subspace("2,0,2", 3) == 0b101  # duplicates fold
+
+    def test_dimension_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            bm.parse_subspace("0,3", 3)
+        with pytest.raises(ValueError, match="out of range"):
+            bm.parse_subspace("-1,0", 3)
+
+    def test_mask_out_of_range(self):
+        for bad in ("0", "0b0", "8", "0b1000", "-2"):
+            with pytest.raises(ValueError, match="out of range"):
+                bm.parse_subspace(bad, 3)
+
+    def test_unparsable(self):
+        for bad in ("", "banana", "0x5", "1;2", "0b102"):
+            with pytest.raises(ValueError, match="cannot parse"):
+                bm.parse_subspace(bad, 3)
+
+    @given(st.integers(1, 255))
+    def test_roundtrip_all_spellings(self, delta):
+        d = 8
+        assert bm.parse_subspace(bin(delta), d) == delta
+        assert bm.parse_subspace(str(delta), d) == delta
+        if bm.popcount(delta) > 1:  # one dim has no comma: reads as a mask
+            dims = ",".join(str(i) for i in bm.dims_of(delta))
+            assert bm.parse_subspace(dims, d) == delta
+
+
 class TestMisc:
     def test_format_mask(self):
         assert bm.format_mask(0b101, 5) == "00101"

@@ -53,6 +53,42 @@ class TestReproCLI:
         out = capsys.readouterr().out
         assert "n=200 d=4" in out and "|S+|" in out
 
+    def test_serve_snapshot_live_conflict(self, dataset_file, tmp_path):
+        from repro.core.serialize import save_skycube
+        from repro.data.generator import generate
+        from repro.engine import fast_skycube
+
+        snapshot_path = str(tmp_path / "cube.npz")
+        save_skycube(fast_skycube(generate("independent", 20, 3, seed=1)),
+                     snapshot_path)
+        with pytest.raises(SystemExit, match="drop --snapshot"):
+            repro_main(["serve", dataset_file,
+                        "--snapshot", snapshot_path, "--live"])
+
+    def test_serve_snapshot_dimension_mismatch(self, dataset_file, tmp_path):
+        from repro.core.serialize import save_skycube
+        from repro.data.generator import generate
+        from repro.engine import fast_skycube
+
+        snapshot_path = str(tmp_path / "cube4.npz")
+        save_skycube(fast_skycube(generate("independent", 20, 4, seed=1)),
+                     snapshot_path)
+        with pytest.raises(SystemExit, match="4-dimensional"):
+            repro_main(["serve", dataset_file, "--snapshot", snapshot_path])
+
+    def test_query_connection_refused(self):
+        # An ephemeral port nothing listens on: typed SystemExit, no
+        # traceback leaking out of the CLI.
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(SystemExit, match="cannot connect"):
+            repro_main(["query", "ping", "--port", str(port),
+                        "--timeout", "0.5"])
+
     def test_bad_inputs(self, dataset_file, tmp_path):
         with pytest.raises(SystemExit):
             repro_main(["skyline", dataset_file, "--subspace", "0b1000"])

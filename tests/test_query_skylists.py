@@ -10,6 +10,7 @@ from repro.data.generator import generate
 from repro.query.dynamic import (
     dynamic_skycube,
     dynamic_skyline,
+    dynamic_topk,
     dynamic_transform,
 )
 from repro.templates import MDMC
@@ -68,6 +69,50 @@ class TestDynamicSkyline:
             dynamic_transform(data, [0.1, 0.2])
         with pytest.raises(ValueError):
             dynamic_transform(data, [0.1, np.nan, 0.2])
+
+    def test_string_subspace_accepted(self):
+        data = generate("independent", 60, 3, seed=6)
+        for spelling in ("0b101", "5", "0,2"):
+            assert dynamic_skyline(data, np.full(3, 0.5), delta=spelling) \
+                == dynamic_skyline(data, np.full(3, 0.5), delta=0b101)
+        with pytest.raises(ValueError):
+            dynamic_skyline(data, np.full(3, 0.5), delta="banana")
+
+
+class TestDynamicTopk:
+    def test_subset_of_dynamic_skyline_ranked_by_distance(self):
+        data = generate("anticorrelated", 120, 3, seed=9)
+        query = np.full(3, 0.5)
+        members = dynamic_skyline(data, query)
+        top = dynamic_topk(data, query, k=5)
+        assert len(top) == 5
+        assert set(top) <= set(members)
+        distances = [float(np.abs(data[i] - query).sum()) for i in top]
+        assert distances == sorted(distances)
+
+    def test_exact_match_ranks_first(self):
+        data = generate("independent", 50, 3, seed=10)
+        assert dynamic_topk(data, data[17], k=1) == [17]
+
+    def test_k_truncates_and_caps(self):
+        data = generate("independent", 50, 3, seed=11)
+        query = np.full(3, 0.5)
+        members = dynamic_skyline(data, query)
+        everything = dynamic_topk(data, query, k=10_000)
+        assert sorted(everything) == members
+        assert dynamic_topk(data, query, k=2) == everything[:2]
+
+    def test_subspace_restriction(self):
+        data = generate("independent", 80, 3, seed=12)
+        query = np.full(3, 0.5)
+        top = dynamic_topk(data, query, k=4, delta="0b011")
+        members = dynamic_skyline(data, query, delta=0b011)
+        assert set(top) <= set(members)
+        # Distance is over active dimensions only.
+        distances = [
+            float(np.abs(data[i, :2] - query[:2]).sum()) for i in top
+        ]
+        assert distances == sorted(distances)
 
 
 class TestSkylistCube:

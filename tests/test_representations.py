@@ -126,6 +126,42 @@ class TestHashCube:
         with pytest.raises(ValueError):
             cube.insert(0, 1 << 3)
 
+    def test_contains_matches_skyline(self):
+        lattice = figure1_lattice()
+        cube = HashCube.from_lattice(lattice, word_width=4)
+        for delta in all_subspaces(3):
+            members = set(cube.skyline(delta))
+            for pid in range(6):
+                assert cube.contains(pid, delta) == (pid in members)
+
+    def test_contains_unknown_and_dominated_ids(self):
+        cube = HashCube(2, word_width=4)
+        cube.insert(7, 0b111)  # dominated everywhere: omitted words
+        assert not cube.contains(7, 1)
+        assert not cube.contains(7, 3)
+        assert not cube.contains(99, 1)  # never inserted
+
+    def test_contains_invalid_subspace(self):
+        cube = HashCube(2)
+        cube.insert(0, 0)
+        with pytest.raises(KeyError):
+            cube.contains(0, 0)
+        with pytest.raises(KeyError):
+            cube.contains(0, 1 << 2)
+
+    @given(
+        st.lists(st.integers(0, 2**7 - 1), min_size=1, max_size=12),
+        st.sampled_from([1, 3, 4, 7, 8, 32]),
+    )
+    def test_contains_agrees_with_membership_mask(self, masks, width):
+        cube = HashCube(3, word_width=width)
+        for pid, mask in enumerate(masks):
+            cube.insert(pid, mask)
+        for pid, mask in enumerate(masks):
+            for delta in all_subspaces(3):
+                expected = not mask & (1 << (delta - 1))
+                assert cube.contains(pid, delta) == expected
+
     def test_rejects_incomplete_lattice(self):
         lattice = Lattice(2)
         lattice.set_cuboid(0b11, [0])

@@ -68,6 +68,28 @@ def test_sky301_dominance_semantics():
     assert codes == ["SKY301"] * 3
 
 
+def test_sky401_blocking_in_async():
+    codes = codes_in(fixture("serve/bad_async.py"))
+    assert codes == ["SKY401"] * 6
+
+
+def test_sky401_flags_exact_lines():
+    report = analyse_paths([fixture("serve/bad_async.py")])
+    # sleep, open, create_connection, recv, pool construction, pool.run —
+    # and nothing from good_counterparts or the sync helper.
+    assert [v.line for v in report.violations] == [16, 17, 22, 23, 28, 29]
+
+
+def test_sky401_scoped_to_serve_only():
+    from repro.analysis.blocking import BlockingCallRule
+
+    rule = BlockingCallRule()
+    assert rule.applies_to("repro.serve")
+    assert rule.applies_to("repro.serve.server")
+    assert not rule.applies_to("repro.engine.parallel")
+    assert not rule.applies_to("repro.served")  # prefix, not substring
+
+
 def test_violation_locations_and_format():
     report = analyse_paths([fixture("skyline/bad_algo.py")])
     first = report.violations[0]
