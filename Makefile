@@ -24,6 +24,7 @@ test:
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_headline.py \
 		benchmarks/bench_parallel_scaling.py \
+		benchmarks/bench_kernels_packed.py \
 		-q --quick --executor process --benchmark-disable
 
 # End-to-end serving smoke: real server process, real TCP, 500 mixed

@@ -28,6 +28,8 @@ from __future__ import annotations
 from operator import index as _as_int
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.core.bitmask import full_space, popcount
 from repro.core.lattice import Lattice
 
@@ -217,6 +219,92 @@ class HashCube:
             for word_index, word in words:
                 self._tables[word_index].setdefault(word, []).append(point_id)
         return len(checked)
+
+    @classmethod
+    def from_masks(
+        cls,
+        d: int,
+        point_ids: "np.ndarray | Iterable[int]",
+        mask_rows: "np.ndarray",
+        word_width: int = DEFAULT_WORD_WIDTH,
+        bit_order: str = "numeric",
+    ) -> "HashCube":
+        """Bulk constructor over packed uint64 ``B_{p∉S}`` rows.
+
+        The word-splitting analogue of :meth:`insert_batch` for the
+        packed engine: ``mask_rows`` is an ``(n, ceil((2**d - 1)/64))``
+        ``np.uint64`` array in *numeric* bit order (bit ``δ - 1`` of row
+        ``i`` at word ``(δ-1) // 64``, bit ``(δ-1) % 64``); permutation
+        into ``bit_order="level"`` storage happens here.  Distinct rows
+        are deduplicated with one ``np.unique`` and widened/split
+        exactly once, then ids are appended group-wise — the per-point
+        cost is a couple of list appends, never a big-int rebuild.
+
+        Everything is validated before the cube is touched: a wrong row
+        width or dtype, bits set beyond the ``2**d - 1`` valid
+        subspaces, a non-integral or negative id, or a duplicated id
+        raise :class:`ValueError` against a still-empty cube.
+        """
+        cube = cls(d, word_width, bit_order)
+        rows = np.asarray(mask_rows)
+        expected_words = -(-cube.num_subspaces // 64)
+        if rows.dtype != np.uint64:
+            raise ValueError(
+                f"mask rows must be np.uint64, got {rows.dtype}"
+            )
+        if rows.ndim != 2 or rows.shape[1] != expected_words:
+            raise ValueError(
+                f"expected mask rows of shape (n, {expected_words}) for "
+                f"d={d}, got {rows.shape}"
+            )
+        ids = np.asarray(point_ids)
+        if ids.ndim != 1 or len(ids) != len(rows):
+            raise ValueError(
+                f"got {ids.shape} point ids for {len(rows)} mask rows"
+            )
+        if len(ids) == 0:
+            return cube
+        if not np.issubdtype(ids.dtype, np.integer):
+            raise ValueError(f"point ids must be integers, got {ids.dtype}")
+        if int(ids.min()) < 0:
+            raise ValueError(f"point id {int(ids.min())} is negative")
+        if len(np.unique(ids)) != len(ids):
+            raise ValueError(
+                "duplicate point ids in batch; every S+ point contributes "
+                "exactly one B_{p∉S} mask"
+            )
+        top_bits = cube.num_subspaces - 64 * (expected_words - 1)
+        top_valid = np.uint64((1 << top_bits) - 1) if top_bits < 64 else (
+            np.uint64(0xFFFFFFFFFFFFFFFF)
+        )
+        if bool(np.any(rows[:, -1] & ~top_valid)):
+            raise ValueError(
+                f"mask rows set bits beyond the {cube.num_subspaces} valid "
+                f"subspaces for d={d}"
+            )
+        unique_rows, inverse = np.unique(rows, axis=0, return_inverse=True)
+        inverse = np.asarray(inverse).ravel()
+        split = [
+            cube._split_words(
+                int.from_bytes(
+                    np.ascontiguousarray(row, dtype="<u8").tobytes(), "little"
+                )
+            )
+            for row in unique_rows
+        ]
+        order = np.argsort(inverse, kind="stable")
+        grouped = inverse[order]
+        starts = np.flatnonzero(np.r_[True, grouped[1:] != grouped[:-1]])
+        bounds = np.r_[starts, len(order)]
+        for g in range(len(starts)):
+            stored_mask, words = split[int(grouped[bounds[g]])]
+            members = [int(i) for i in ids[order[bounds[g]:bounds[g + 1]]]]
+            for point_id in members:
+                cube._inserted_ids.add(point_id)
+                cube._stored_masks[point_id] = stored_mask
+            for word_index, word in words:
+                cube._tables[word_index].setdefault(word, []).extend(members)
+        return cube
 
     # -- queries ------------------------------------------------------
 

@@ -7,25 +7,77 @@ module is the opposite trade-off: pure-numpy kernels (the Python
 analogue of the paper's AVX2 lanes) with no instrumentation, usable at
 tens of thousands of points.  Examples and property tests lean on it;
 results are bit-identical to the reference implementations.
+
+Two skycube engines share the MDMC structure (restrict to ``S+``,
+fold each point's distinct comparison-mask pairs over the lattice):
+
+* ``engine="packed"`` (default) — the array-at-a-time sweep of
+  :mod:`repro.engine.packed`: uint64 closure-table rows, blocked pair
+  dedup, grouped OR folds; no per-point Python loop, no big ints.
+* ``engine="loop"`` — the original per-point sweep over big-int
+  closures; slower, but unbounded by the packed table's ``d`` cap.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.bitmask import dims_of, full_space
 from repro.core.closures import SubspaceClosures
-from repro.core.dominance import dominance_masks_vs_all, dominated_mask
+from repro.core.dominance import (
+    dominance_masks_vs_all,
+    dominance_matrix,
+    dominated_mask,
+    rank_columns,
+)
 from repro.core.hashcube import HashCube
 from repro.core.skycube import Skycube
+from repro.engine import packed
 
-__all__ = ["fast_skyline", "fast_extended_skyline", "fast_skycube"]
+__all__ = [
+    "fast_skyline",
+    "fast_extended_skyline",
+    "fast_skycube",
+    "SKYCUBE_ENGINES",
+]
 
-#: Rows compared per vectorized block (bounds peak memory to
-#: ``block × |candidates|`` booleans).
+#: Default rows compared per vectorized block (bounds peak memory to
+#: ``block × |candidates|`` booleans).  Overridable per call via the
+#: ``block`` keyword or globally via ``REPRO_KERNEL_BLOCK`` for bench
+#: tuning.
 BLOCK = 512
+
+#: Environment override consulted when no ``block`` keyword is given.
+BLOCK_ENV = "REPRO_KERNEL_BLOCK"
+
+#: The point-bitmask engines :func:`fast_skycube` accepts.
+SKYCUBE_ENGINES = ("packed", "loop")
+
+
+def _block_size(block: Optional[int], default: int = BLOCK) -> int:
+    """Resolve a block size: keyword > environment > ``default``.
+
+    The packed sweep's default
+    (:data:`repro.engine.packed.DEFAULT_BLOCK`) differs from the
+    filter's :data:`BLOCK`; both honour the same keyword/env override.
+    """
+    if block is None:
+        env = os.environ.get(BLOCK_ENV, "").strip()
+        if env:
+            try:
+                block = int(env)
+            except ValueError:
+                raise ValueError(
+                    f"{BLOCK_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            return default
+    if block < 1:
+        raise ValueError(f"block size must be positive, got {block}")
+    return block
 
 
 def _validated(
@@ -41,35 +93,39 @@ def _validated(
     return data, delta
 
 
-def _sorted_filter(rows: np.ndarray, strict: bool) -> np.ndarray:
+def _sorted_filter(
+    rows: np.ndarray, strict: bool, block: Optional[int] = None
+) -> np.ndarray:
     """SFS-style kept mask over monotone-sorted rows.
 
     ``strict`` selects extended-skyline semantics (drop only strictly
     dominated points).  Returns a boolean keep-mask in *sorted* order.
+
+    Within a block, a row survives iff no *earlier* row of the sorted
+    order dominates it.  That is the same set the sequential
+    survivor-only sweep keeps: dominance is transitive and strictly
+    decreases the monotone sort key, so any eliminated dominator is
+    itself dominated by an earlier survivor.  One pairwise dominance
+    matrix masked to the strict lower triangle therefore replaces the
+    old O(block²) per-row Python loop.
     """
     n = len(rows)
+    block = _block_size(block)
     keep = np.ones(n, dtype=bool)
     kept_rows = np.empty_like(rows)
     kept_count = 0
-    for start in range(0, n, BLOCK):
-        end = min(n, start + BLOCK)
-        block = rows[start:end]
+    for start in range(0, n, block):
+        end = min(n, start + block)
+        chunk = rows[start:end]
         alive = np.ones(end - start, dtype=bool)
         if kept_count:
-            # window[j] eliminates block[i] if it dominates it.
-            alive = ~dominated_mask(block, kept_rows[:kept_count], strict)
-        # Within-block elimination must respect sorted order: compare
-        # each survivor only against earlier survivors of the block.
-        for i in np.flatnonzero(alive):
-            earlier = np.flatnonzero(alive[:i])
-            if earlier.size:
-                hit = bool(
-                    dominated_mask(block[i : i + 1], block[earlier], strict)[0]
-                )
-                if hit:
-                    alive[i] = False
+            # window[j] eliminates chunk[i] if it dominates it.
+            alive = ~dominated_mask(chunk, kept_rows[:kept_count], strict)
+        within = dominance_matrix(chunk, chunk, strict)
+        within &= np.tri(len(chunk), k=-1, dtype=bool)
+        alive &= ~within.any(axis=1)
         keep[start:end] = alive
-        newly = block[alive]
+        newly = chunk[alive]
         kept_rows[kept_count:kept_count + len(newly)] = newly
         kept_count += len(newly)
     return keep
@@ -79,57 +135,59 @@ def _monotone_order(rows: np.ndarray) -> np.ndarray:
     return np.argsort(rows.sum(axis=1), kind="stable")
 
 
-def fast_skyline(data: np.ndarray, delta: Optional[int] = None) -> np.ndarray:
+def _filtered_ids(
+    data: np.ndarray, delta: int, strict: bool, block: Optional[int]
+) -> np.ndarray:
+    """Shared skyline/extended-skyline pipeline: project, rank, filter.
+
+    Rank-encoding (:func:`repro.core.dominance.rank_columns`) preserves
+    every per-column comparison while the filter streams 2-byte lanes;
+    rank sums are as valid a monotone sort key as value sums (dominance
+    still strictly decreases it).
+    """
+    dims = dims_of(delta)
+    ranks = rank_columns(data[:, dims])
+    order = _monotone_order(ranks)
+    keep_sorted = _sorted_filter(ranks[order], strict=strict, block=block)
+    return np.sort(order[keep_sorted])
+
+
+def fast_skyline(
+    data: np.ndarray,
+    delta: Optional[int] = None,
+    block: Optional[int] = None,
+) -> np.ndarray:
     """Sorted ids of ``S_δ(data)``; vectorized, uninstrumented."""
     data, delta = _validated(data, delta)
-    dims = dims_of(delta)
-    rows = data[:, dims]
-    order = _monotone_order(rows)
-    keep_sorted = _sorted_filter(rows[order], strict=False)
-    return np.sort(order[keep_sorted])
+    return _filtered_ids(data, delta, strict=False, block=block)
 
 
 def fast_extended_skyline(
-    data: np.ndarray, delta: Optional[int] = None
+    data: np.ndarray,
+    delta: Optional[int] = None,
+    block: Optional[int] = None,
 ) -> np.ndarray:
     """Sorted ids of ``S+_δ(data)``; vectorized, uninstrumented."""
     data, delta = _validated(data, delta)
-    dims = dims_of(delta)
-    rows = data[:, dims]
-    order = _monotone_order(rows)
-    keep_sorted = _sorted_filter(rows[order], strict=True)
-    return np.sort(order[keep_sorted])
+    return _filtered_ids(data, delta, strict=True, block=block)
 
 
-def fast_skycube(
-    data: np.ndarray,
-    max_level: Optional[int] = None,
-    word_width: int = HashCube.DEFAULT_WORD_WIDTH,
-) -> Skycube:
-    """The exact skycube via the point-bitmask paradigm, vectorized.
-
-    Follows MDMC's structure — restrict to ``S+(P)``, compute each
-    point's ``B_{p∉S}`` from its distinct comparison-mask pairs, expand
-    over the subspace lattice with memoised closures — but with the
-    per-point comparisons fully vectorized and no filtering tree.
-    """
-    data, _ = _validated(data, None)
-    d = data.shape[1]
-    if max_level is not None and not 1 <= max_level <= d:
-        raise ValueError(f"max_level must be in [1, {d}], got {max_level}")
-    splus = fast_extended_skyline(data)
-    rows = data[splus]
+def _loop_cube(
+    rows: np.ndarray,
+    splus: np.ndarray,
+    d: int,
+    max_level: Optional[int],
+    word_width: int,
+    bit_order: str,
+) -> HashCube:
+    """The original per-point big-int sweep (``engine="loop"``)."""
     closures = SubspaceClosures(d)
-    all_bits = (1 << full_space(d)) - 1
-
-    relevant = all_bits
+    unmaterialised = 0
     if max_level is not None and max_level < d:
-        relevant = 0
-        for delta in range(1, full_space(d) + 1):
-            if bin(delta).count("1") <= max_level:
-                relevant |= 1 << (delta - 1)
-
-    cube = HashCube(d, word_width)
+        unmaterialised = packed.row_to_int(
+            packed.unmaterialised_row(d, max_level)
+        )
+    cube = HashCube(d, word_width, bit_order)
     # Cache of (le, eq) -> dominated-subspace bitset, shared across
     # points: there are at most 3**d distinct pairs in total.
     pair_bits: Dict[tuple, int] = {}
@@ -144,7 +202,56 @@ def fast_skycube(
                 bits = closures.dominated_update(pair[0], pair[1])
                 pair_bits[pair] = bits
             not_in_s |= bits
-        if max_level is not None:
-            not_in_s |= all_bits & ~relevant
-        cube.insert(int(pid), not_in_s)
+        cube.insert(int(pid), not_in_s | unmaterialised)
+    return cube
+
+
+def fast_skycube(
+    data: np.ndarray,
+    max_level: Optional[int] = None,
+    word_width: int = HashCube.DEFAULT_WORD_WIDTH,
+    bit_order: str = "numeric",
+    engine: str = "packed",
+    block: Optional[int] = None,
+) -> Skycube:
+    """The exact skycube via the point-bitmask paradigm, vectorized.
+
+    Follows MDMC's structure — restrict to ``S+(P)``, compute each
+    point's ``B_{p∉S}`` from its distinct comparison-mask pairs, expand
+    over the subspace lattice with memoised closures — but with the
+    per-point comparisons fully vectorized and no filtering tree.
+
+    ``engine`` picks the sweep: ``"packed"`` (default) runs the
+    :mod:`repro.engine.packed` uint64 path and bulk-loads the HashCube
+    through :meth:`~repro.core.hashcube.HashCube.from_masks`;
+    ``"loop"`` keeps the per-point big-int sweep (required beyond
+    ``d = 14``, where no packed closure table is materialised).  Both
+    engines produce bit-identical cubes for either ``bit_order``.
+    """
+    data, _ = _validated(data, None)
+    d = data.shape[1]
+    if max_level is not None and not 1 <= max_level <= d:
+        raise ValueError(f"max_level must be in [1, {d}], got {max_level}")
+    if engine not in SKYCUBE_ENGINES:
+        raise ValueError(
+            f"engine must be one of {SKYCUBE_ENGINES}, got {engine!r}"
+        )
+    if engine == "packed" and d > packed.PACKED_MAX_D:
+        raise ValueError(
+            f"engine='packed' supports d <= {packed.PACKED_MAX_D}, got "
+            f"d={d}; use engine='loop'"
+        )
+    splus = fast_extended_skyline(data, block=block)
+    rows = np.ascontiguousarray(data[splus])
+    if engine == "packed":
+        mask_rows = packed.packed_point_masks(
+            rows, block=_block_size(block, packed.DEFAULT_BLOCK)
+        )
+        if max_level is not None and max_level < d:
+            mask_rows |= packed.unmaterialised_row(d, max_level)
+        cube = HashCube.from_masks(
+            d, splus, mask_rows, word_width=word_width, bit_order=bit_order
+        )
+    else:
+        cube = _loop_cube(rows, splus, d, max_level, word_width, bit_order)
     return Skycube(cube, data=data, max_level=max_level)

@@ -66,8 +66,10 @@ __all__ = [
     "EXECUTORS",
     "cuboid_task",
     "point_block_task",
+    "packed_point_block_task",
     "parallel_lattice",
     "parallel_point_masks",
+    "parallel_packed_masks",
 ]
 
 #: The executor backends a template constructor accepts.
@@ -394,6 +396,38 @@ def point_block_task(task: Tuple) -> List[int]:
     return masks
 
 
+#: Per-worker packed sweep over the current shared S+ segment.  Keyed
+#: by segment name and kept to the most recent entry: a sweep holds the
+#: rank/closure structures (derived copies, not views of the segment),
+#: so bounding the cache avoids pinning stale state if a kernel-
+#: recycled segment name ever reappears with different rows.
+_PACKED_SWEEPS: Dict[str, Any] = {}
+
+
+def packed_point_block_task(task: Tuple) -> np.ndarray:
+    """Packed MDMC work item: uint64 mask rows for one block of S+.
+
+    ``task = (descriptor, start, end)`` over a shared array holding the
+    extended-skyline rows.  The worker builds (once per process per
+    segment) a :class:`repro.engine.packed.PackedSweep` — rank-encoded
+    comparisons plus the cached closure table — and returns the packed
+    ``(end - start, words)`` ``B_{p∉S}`` rows, which the parent merges
+    into the HashCube with a single
+    :meth:`repro.core.hashcube.HashCube.from_masks` call.
+    """
+    from repro.engine.packed import PackedSweep
+
+    descriptor, start, end = task
+    name = descriptor[0]
+    sweep = _PACKED_SWEEPS.get(name)
+    if sweep is None:
+        rows = SharedDataset.attach(descriptor)
+        sweep = PackedSweep(rows)
+        _PACKED_SWEEPS.clear()
+        _PACKED_SWEEPS[name] = sweep
+    return sweep.range_masks(start, end)
+
+
 # -- template orchestration (parent side) ------------------------------
 
 
@@ -513,3 +547,40 @@ def parallel_point_masks(
         costs = [float(end - start) for _, start, end in tasks]
         outputs = executor.run(point_block_task, tasks, costs)
     return [mask for block_masks in outputs for mask in block_masks]
+
+
+def parallel_packed_masks(
+    rows: np.ndarray,
+    executor: ParallelExecutor,
+    block: Optional[int] = None,
+) -> np.ndarray:
+    """Packed ``B_{p∉S}`` rows of ``rows`` (the S+ subset), in order.
+
+    The packed-engine counterpart of :func:`parallel_point_masks`:
+    contiguous blocks become :func:`packed_point_block_task` items and
+    the uint64 mask blocks concatenate into one ``(n, words)`` array —
+    workers return numpy words instead of per-point big ints, so the
+    parent merges once and never widens masks in Python.  Block
+    boundaries affect only the parallel grain, never the masks.
+    """
+    rows = np.ascontiguousarray(rows)
+    n = len(rows)
+    if n == 0:
+        from repro.engine.packed import words_for
+
+        return np.empty((0, words_for(max(1, rows.shape[1]))), dtype=np.uint64)
+    if block is None:
+        per_worker = -(-n // max(1, executor.workers * BLOCKS_PER_WORKER))
+        block = max(MIN_BLOCK, min(MAX_BLOCK, per_worker))
+    elif block < 1:
+        raise ValueError(f"block must be positive, got {block}")
+    with SharedDataset(rows) as shared:
+        descriptor = shared.descriptor
+        tasks = [
+            (descriptor, start, min(n, start + block))
+            for start in range(0, n, block)
+        ]
+        costs = [float(end - start) for _, start, end in tasks]
+        outputs = executor.run(packed_point_block_task, tasks, costs)
+    _PACKED_SWEEPS.clear()  # parent-side fallback state dies with the segment
+    return np.concatenate(outputs, axis=0)

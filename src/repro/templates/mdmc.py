@@ -352,25 +352,44 @@ class MDMC(SkycubeTemplate):
         HashCube — the only write ever performed on shared state, so
         workers stay fully independent, exactly as the paper requires.
         """
+        from repro.engine import packed
         from repro.engine.kernels import fast_extended_skyline
-        from repro.engine.parallel import parallel_point_masks
+        from repro.engine.parallel import (
+            parallel_packed_masks,
+            parallel_point_masks,
+        )
 
         d = data.shape[1]
         splus_ids = fast_extended_skyline(data)
         rows = np.ascontiguousarray(data[splus_ids])
 
         executor = self._make_executor()
-        masks = parallel_point_masks(rows, executor)
         counters.sync_points += 1
-
-        relevant = self._relevant_bits(d, max_level)
-        all_bits = (1 << full_space(d)) - 1
-        unmaterialised = all_bits & ~relevant
-        hashcube = HashCube(d, self.word_width, self.bit_order)
-        inserted = hashcube.insert_batch(
-            (int(pid), mask | unmaterialised)
-            for pid, mask in zip(splus_ids, masks)
-        )
+        if d <= packed.PACKED_MAX_D:
+            # Packed composition: workers return uint64 mask blocks,
+            # the parent ORs in the level filter and merges exactly
+            # once through the bulk word-splitting constructor.
+            mask_rows = parallel_packed_masks(rows, executor)
+            if max_level is not None and max_level < d:
+                mask_rows = mask_rows | packed.unmaterialised_row(d, max_level)
+            hashcube = HashCube.from_masks(
+                d,
+                splus_ids,
+                mask_rows,
+                word_width=self.word_width,
+                bit_order=self.bit_order,
+            )
+            inserted = len(splus_ids)
+        else:
+            masks = parallel_point_masks(rows, executor)
+            relevant = self._relevant_bits(d, max_level)
+            all_bits = (1 << full_space(d)) - 1
+            unmaterialised = all_bits & ~relevant
+            hashcube = HashCube(d, self.word_width, self.bit_order)
+            inserted = hashcube.insert_batch(
+                (int(pid), mask | unmaterialised)
+                for pid, mask in zip(splus_ids, masks)
+            )
         counters.tasks += inserted
         counters.points_processed += inserted
 

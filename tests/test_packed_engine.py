@@ -1,0 +1,308 @@
+"""Packed-bitset engine: bit-identity with the reference MDMC paradigm.
+
+Covers the :mod:`repro.engine.packed` word layout and closure table,
+the :class:`repro.core.dominance.PairCoder` comparison codes, the
+``engine="packed"`` fast path of ``fast_skycube`` (against the loop
+engine and the brute-force oracle), ``HashCube.from_masks`` validation,
+and the packed composition with the process executor.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.closures import SubspaceClosures
+from repro.core.dominance import PairCoder, dominance_pair_codes, rank_columns
+from repro.core.hashcube import HashCube
+from repro.core.verify import brute_force_skycube
+from repro.data.generator import generate
+from repro.engine import packed
+from repro.engine.kernels import (
+    SKYCUBE_ENGINES,
+    fast_extended_skyline,
+    fast_skycube,
+)
+from repro.engine.parallel import ParallelExecutor, parallel_packed_masks
+
+
+def seeded_workloads():
+    """Seeded A/I/C datasets, d in {2..8}, with duplicate and tied rows."""
+    cases = []
+    for dist in ("anticorrelated", "independent", "correlated"):
+        for d in (2, 3, 5, 8):
+            data = generate(dist, 120, d, seed=11 + d)
+            data = np.vstack([data, data[:15]])  # exact duplicates
+            data[40, 0] = data[41, 0]  # per-dimension tie
+            cases.append((f"{dist[:1]}-d{d}", data))
+    cases.append(
+        ("dup-d4", generate("independent", 90, 4, seed=5, distinct_values=3))
+    )
+    return cases
+
+
+@pytest.fixture(params=seeded_workloads(), ids=lambda case: case[0])
+def packed_workload(request):
+    return request.param[1]
+
+
+# -- word layout and closure table -------------------------------------
+
+
+def test_words_for_matches_subspace_count():
+    assert packed.words_for(1) == 1
+    assert packed.words_for(6) == 1  # 63 bits
+    assert packed.words_for(7) == 2  # 127 bits
+    assert packed.words_for(8) == 4
+    with pytest.raises(ValueError):
+        packed.words_for(0)
+
+
+@pytest.mark.parametrize("d", [1, 2, 3, 5, 8, 10])
+def test_closure_table_equals_subspace_closures(d):
+    table = packed.closure_table(d)
+    closures = SubspaceClosures(d)
+    assert table.shape == (1 << d, packed.words_for(d))
+    for mask in range(1 << d):
+        assert packed.row_to_int(table[mask]) == closures.closure(mask), mask
+
+
+def test_closure_table_cached_and_readonly():
+    table = packed.closure_table(5)
+    assert packed.closure_table(5) is table
+    assert not table.flags.writeable
+    with pytest.raises(ValueError):
+        packed.closure_table(packed.PACKED_MAX_D + 1)
+
+
+@pytest.mark.parametrize("d", [3, 6, 8])
+def test_row_int_round_trip(d):
+    rng = np.random.default_rng(d)
+    mask = int(rng.integers(0, 1 << min(60, (1 << d) - 1)))
+    row = packed.row_from_int(mask, d)
+    assert packed.row_to_int(row) == mask
+    assert packed.rows_to_ints(row[None, :]) == [mask]
+    with pytest.raises(ValueError):
+        packed.row_from_int(1 << ((1 << d) - 1), d)
+
+
+@pytest.mark.parametrize("d", [2, 4, 8])
+def test_relevant_row_matches_popcount_filter(d):
+    from repro.core.bitmask import popcount
+
+    for max_level in (None, 1, d - 1, d):
+        row = packed.relevant_row(d, max_level)
+        expected = 0
+        for delta in range(1, 1 << d):
+            if max_level is None or popcount(delta) <= max_level:
+                expected |= 1 << (delta - 1)
+        assert packed.row_to_int(row) == expected, max_level
+        unmat = packed.row_to_int(packed.unmaterialised_row(d, max_level))
+        assert unmat == ((1 << ((1 << d) - 1)) - 1) & ~expected
+
+
+# -- comparison codes ---------------------------------------------------
+
+
+def test_rank_columns_preserves_column_order(packed_workload):
+    data = packed_workload
+    ranks = rank_columns(data)
+    assert ranks.dtype == np.uint16
+    for k in range(data.shape[1]):
+        order = np.argsort(data[:, k], kind="stable")
+        col, rank = data[order, k], ranks[order, k]
+        assert np.all(np.diff(rank) >= 0)
+        assert np.array_equal(np.diff(col) > 0, np.diff(rank) > 0)
+
+
+def test_pair_coder_matches_reference_codes(packed_workload):
+    data = packed_workload
+    coder = PairCoder(data)
+    reference = dominance_pair_codes(data, data[10:40])
+    assert np.array_equal(coder.codes(10, 40).astype(np.int64), reference)
+
+
+def test_pair_coder_validation():
+    with pytest.raises(ValueError):
+        PairCoder(np.empty((0, 3)))
+    with pytest.raises(ValueError):
+        PairCoder(np.zeros((4, 17)))
+    coder = PairCoder(np.zeros((4, 2)))
+    with pytest.raises(ValueError):
+        coder.codes(2, 2)
+    with pytest.raises(ValueError):
+        coder.codes(0, 5)
+
+
+def test_pair_coder_dense_eq_fallback():
+    # One ultra-duplicated column forces the dense == sweep for it.
+    rng = np.random.default_rng(0)
+    data = np.column_stack(
+        [rng.integers(0, 2, 200).astype(float), rng.random(200)]
+    )
+    coder = PairCoder(data)
+    assert not coder._sparse_eq[0] and coder._sparse_eq[1]
+    reference = dominance_pair_codes(data, data[:50])
+    assert np.array_equal(coder.codes(0, 50).astype(np.int64), reference)
+
+
+# -- packed point masks -------------------------------------------------
+
+
+def test_packed_masks_match_loop_pairs(packed_workload):
+    data = packed_workload
+    splus = fast_extended_skyline(data)
+    rows = np.ascontiguousarray(data[splus])
+    d = data.shape[1]
+    closures = SubspaceClosures(d)
+    masks = packed.packed_point_masks(rows)
+    from repro.core.dominance import dominance_masks_vs_all
+
+    for j in range(len(rows)):
+        le, _, eq = dominance_masks_vs_all(rows, rows[j])
+        expected = 0
+        for pair in set(zip(le.tolist(), eq.tolist())):
+            if pair[0]:
+                expected |= closures.dominated_update(pair[0], pair[1])
+        assert packed.row_to_int(masks[j]) == expected, j
+
+
+def test_block_masks_one_shot_matches_sweep():
+    data = generate("independent", 50, 3, seed=2)
+    splus = fast_extended_skyline(data)
+    rows = np.ascontiguousarray(data[splus])
+    whole = packed.packed_point_masks(rows)
+    assert np.array_equal(packed.block_masks(rows, 3, 11), whole[3:11])
+    with pytest.raises(ValueError):
+        packed.block_masks(rows, 5, 5)
+
+
+def test_packed_sweep_range_equals_whole():
+    data = generate("anticorrelated", 140, 4, seed=9)
+    splus = fast_extended_skyline(data)
+    rows = np.ascontiguousarray(data[splus])
+    whole = packed.packed_point_masks(rows, block=32)
+    sweep = packed.PackedSweep(rows, block=16)
+    stitched = np.vstack(
+        [sweep.range_masks(0, 7), sweep.range_masks(7, len(rows))]
+    )
+    assert np.array_equal(whole, stitched)
+
+
+# -- fast_skycube engines ----------------------------------------------
+
+
+def test_engines_and_oracle_agree(packed_workload):
+    data = packed_workload
+    cube_packed = fast_skycube(data, engine="packed")
+    cube_loop = fast_skycube(data, engine="loop")
+    assert cube_packed.store == cube_loop.store
+    assert cube_packed == brute_force_skycube(data)
+
+
+@pytest.mark.parametrize("bit_order", ["numeric", "level"])
+def test_engines_agree_across_bit_orders(bit_order):
+    data = generate("anticorrelated", 130, 5, seed=21)
+    data = np.vstack([data, data[:10]])
+    a = fast_skycube(data, engine="packed", bit_order=bit_order)
+    b = fast_skycube(data, engine="loop", bit_order=bit_order)
+    assert a.store == b.store
+
+
+@pytest.mark.parametrize("max_level", [1, 2, 3])
+def test_engines_agree_on_partial_cubes(max_level):
+    data = generate("independent", 110, 4, seed=31)
+    a = fast_skycube(data, max_level=max_level, engine="packed")
+    b = fast_skycube(data, max_level=max_level, engine="loop")
+    assert a.store == b.store
+    full = fast_skycube(data, engine="packed")
+    for delta in range(1, 1 << 4):
+        if bin(delta).count("1") <= max_level:
+            assert list(a.skyline(delta)) == list(full.skyline(delta))
+
+
+def test_engine_knob_validation():
+    data = generate("independent", 30, 3, seed=1)
+    assert SKYCUBE_ENGINES == ("packed", "loop")
+    with pytest.raises(ValueError):
+        fast_skycube(data, engine="simd")
+    wide = generate("independent", 20, packed.PACKED_MAX_D + 1, seed=1)
+    with pytest.raises(ValueError):
+        fast_skycube(wide, engine="packed")
+
+
+def test_block_keyword_and_env_override(monkeypatch):
+    from repro.engine import kernels
+
+    data = generate("anticorrelated", 90, 3, seed=4)
+    base = fast_skycube(data)
+    assert fast_skycube(data, block=7).store == base.store
+    monkeypatch.setenv(kernels.BLOCK_ENV, "13")
+    assert fast_skycube(data).store == base.store
+    monkeypatch.setenv(kernels.BLOCK_ENV, "not-a-number")
+    with pytest.raises(ValueError):
+        fast_skycube(data)
+    monkeypatch.setenv(kernels.BLOCK_ENV, "0")
+    with pytest.raises(ValueError):
+        fast_skycube(data)
+
+
+# -- HashCube.from_masks ------------------------------------------------
+
+
+def test_from_masks_equals_insert_loop(packed_workload):
+    data = packed_workload
+    d = data.shape[1]
+    splus = fast_extended_skyline(data)
+    rows = np.ascontiguousarray(data[splus])
+    mask_rows = packed.packed_point_masks(rows)
+    bulk = HashCube.from_masks(d, splus, mask_rows)
+    loop = HashCube(d)
+    for pid, row in zip(splus, mask_rows):
+        loop.insert(int(pid), packed.row_to_int(row))
+    assert bulk == loop
+
+
+def test_from_masks_validation_errors():
+    d = 3
+    words = packed.words_for(d)
+    ids = np.arange(4, dtype=np.int64)
+    rows = np.zeros((4, words), dtype=np.uint64)
+    with pytest.raises(ValueError):
+        HashCube.from_masks(d, ids, rows.astype(np.int64))  # wrong dtype
+    with pytest.raises(ValueError):
+        HashCube.from_masks(d, ids, np.zeros((4, words + 1), np.uint64))
+    with pytest.raises(ValueError):
+        HashCube.from_masks(d, ids[:3], rows)  # id/row count mismatch
+    with pytest.raises(ValueError):
+        HashCube.from_masks(d, np.array([0, 1, 2, -1]), rows)
+    with pytest.raises(ValueError):
+        HashCube.from_masks(d, np.array([0, 1, 2, 2]), rows)  # duplicate id
+    junk = rows.copy()
+    junk[0, 0] = np.uint64(1) << np.uint64((1 << d) - 1)  # beyond 2^d - 1
+    with pytest.raises(ValueError):
+        HashCube.from_masks(d, ids, junk)
+
+
+# -- executor composition ----------------------------------------------
+
+
+def test_parallel_packed_masks_match_serial(packed_workload):
+    data = packed_workload
+    splus = fast_extended_skyline(data)
+    rows = np.ascontiguousarray(data[splus])
+    serial = packed.packed_point_masks(rows)
+    executor = ParallelExecutor(workers=1)  # deterministic serial fallback
+    parallel = parallel_packed_masks(rows, executor, block=17)
+    assert np.array_equal(serial, parallel)
+
+
+def test_mdmc_process_backend_uses_packed_path():
+    from repro.templates import MDMC
+
+    data = generate("anticorrelated", 150, 4, seed=13)
+    data = np.vstack([data, data[:12]])
+    reference = MDMC().materialise(data).skycube
+    processed = MDMC(executor="process").materialise(data).skycube
+    assert processed == reference
+    partial_ref = MDMC().materialise(data, max_level=2).skycube
+    partial = MDMC(executor="process").materialise(data, max_level=2).skycube
+    assert partial.store == partial_ref.store
