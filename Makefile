@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint skylint typecheck test bench-smoke serve-smoke
+.PHONY: lint skylint typecheck test bench-smoke bench-filtered serve-smoke
 
 # Single entry point: ruff (when installed) + the repo-native skylint
 # pass.  Mirrors the CI lint gates.
@@ -25,7 +25,14 @@ bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_headline.py \
 		benchmarks/bench_parallel_scaling.py \
 		benchmarks/bench_kernels_packed.py \
+		benchmarks/bench_filtered_packed.py \
 		-q --quick --executor process --benchmark-disable
+
+# Full-size filtered-vs-packed acceptance run (writes
+# results/filtered_packed.txt; several minutes).
+bench-filtered:
+	$(PYTHON) -m pytest benchmarks/bench_filtered_packed.py \
+		-q --benchmark-disable
 
 # End-to-end serving smoke: real server process, real TCP, 500 mixed
 # queries, live updates, clean SIGTERM drain (see benchmarks/serve_smoke.py).

@@ -78,13 +78,17 @@ def cmd_skycube(args) -> int:
             f"{', '.join(ALGORITHM_KEYS)}"
         )
     try:
-        builder = _builder(args.algorithm, args.executor, args.workers)
+        builder = _builder(
+            args.algorithm, args.executor, args.workers, args.engine
+        )
     except ValueError as error:
         raise SystemExit(str(error))
     run = builder.materialise(data, max_level=args.max_level)
     cube = run.skycube
     subspaces = list(cube.subspaces())
     backend = "" if args.executor == "serial" else f", executor={args.executor}"
+    if args.engine is not None:
+        backend += f", engine={args.engine}"
     print(
         f"materialised {len(subspaces)} subspace skylines with "
         f"{args.algorithm} ({run.counters.dominance_tests} dominance tests"
@@ -234,6 +238,8 @@ def cmd_query(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.engine.kernels import ENGINE_HELP, SKYCUBE_ENGINES
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Skyline and skycube computation (SIGMOD'17 reproduction).",
@@ -255,6 +261,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                          help="serial reference or real multicore pool")
     skycube.add_argument("--workers", type=int, default=None,
                          help="process-pool size (default: all cores)")
+    skycube.add_argument("--engine", choices=SKYCUBE_ENGINES, default=None,
+                         help="mdmc only — " + ENGINE_HELP
+                              + " (default: instrumented per-point sweep)")
     skycube.add_argument("--show", nargs="*", default=[],
                          help="subspaces to print")
     skycube.set_defaults(handler=cmd_skycube)
@@ -286,11 +295,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--max-batch", type=int, default=64)
     serve.add_argument("--max-pending", type=int, default=1024,
                        help="admission bound; beyond it requests are shed")
-    serve.add_argument("--engine", choices=("packed", "loop"),
+    serve.add_argument("--engine", choices=SKYCUBE_ENGINES,
                        default="packed",
-                       help="fast_skycube sweep used to bootstrap the "
-                            "snapshot (bit-identical results; packed is "
-                            "several times faster)")
+                       help="snapshot bootstrap — " + ENGINE_HELP)
     serve.add_argument("--max-level", type=int, default=None,
                        help="materialise a partial cube; higher levels "
                             "fall back to ad-hoc kernels")

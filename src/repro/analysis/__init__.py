@@ -11,7 +11,14 @@ statically; ``python -m repro.analysis`` is the CLI and
 Importing the rule modules here is what populates the registry.
 """
 
-from repro.analysis import blocking, determinism, dominance, hooks, shm  # noqa: F401
+from repro.analysis import (  # noqa: F401
+    blocking,
+    determinism,
+    dominance,
+    hooks,
+    loops,
+    shm,
+)
 from repro.analysis.base import (
     Allowlist,
     ModuleContext,

@@ -1,0 +1,76 @@
+"""Performance-loop rule (SKY501).
+
+The engine package exists to be the array-at-a-time fast path: its
+modules replace the instrumented per-point Python loops with whole-array
+numpy expressions (the Python analogue of the paper's AVX2 lanes).  An
+index loop of the shape ``for i in range(len(xs)): ... xs[i] ...`` is
+the tell-tale of per-element work creeping back in — the exact pattern
+the packed sweep, the leaf-label batch methods and the blocked pair
+coder were built to eliminate.  Blocked iteration
+(``range(0, n, block)``) is the intended idiom and stays legal: the
+rule fires only on ``range(len(...))`` / ``range(N)``-over-elements
+loops, i.e. ``range`` with a single argument that is a ``len(...)``
+call.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext, Rule, Violation, register_rule
+
+__all__ = ["IndexLoopRule"]
+
+
+def _is_len_range(node: ast.expr) -> bool:
+    """True for ``range(len(<anything>))`` — and only that shape."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+        and len(node.args) == 1
+        and not node.keywords
+        and isinstance(node.args[0], ast.Call)
+        and isinstance(node.args[0].func, ast.Name)
+        and node.args[0].func.id == "len"
+    )
+
+
+@register_rule
+class IndexLoopRule(Rule):
+    """SKY501 — no per-element index loops in the engine fast path.
+
+    Flags ``for i in range(len(xs))`` inside ``repro.engine`` modules.
+    Blocked loops (``range(start, n, block)``) pass: they iterate
+    *blocks*, each of which does whole-array work.  If a per-element
+    loop is genuinely unavoidable, vectorise the body or move it out of
+    the engine package; as a last resort suppress with
+    ``# skylint: disable=SKY501`` and say why.
+    """
+
+    code = "SKY501"
+    name = "no-index-loops-in-engine"
+    summary = (
+        "engine modules must iterate arrays whole or in blocks, not "
+        "per element via range(len(...))"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return module == "repro.engine" or module.startswith("repro.engine.")
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, (ast.For, ast.AsyncFor)):
+                continue
+            if not _is_len_range(node.iter):
+                continue
+            if context.is_suppressed(node.lineno, self.code):
+                continue
+            yield context.violation(
+                node,
+                self.code,
+                "per-element index loop in the engine fast path; "
+                "vectorise the body (whole-array numpy ops) or iterate "
+                "in blocks like range(0, n, block)",
+            )

@@ -306,6 +306,50 @@ class PairCoder:
         np.bitwise_or(codes, le, out=codes)
         return codes
 
+    def codes_at(self, start: int, end: int, cols: np.ndarray) -> np.ndarray:
+        """Codes of block ``[start, end)`` versus ``rows[cols]`` only.
+
+        The column-subset form of :meth:`codes` for callers that have
+        already pruned the candidate set (the packed engine's label
+        filter): entry ``[i, j]`` relates ``rows[cols[j]]`` to
+        ``rows[start + i]``.  Sweeps are dense over the gathered rank
+        columns — with the candidate set already small, the sparse
+        equal-rank path would cost more than it saves.  Returns a
+        reused internal buffer view, like :meth:`codes`.
+        """
+        if not 0 <= start < end <= self.n:
+            raise ValueError(
+                f"invalid block [{start}, {end}) over {self.n} rows"
+            )
+        cols = np.asarray(cols, dtype=np.intp)
+        m = len(cols)
+        if m == 0:
+            return np.empty((end - start, 0), dtype=self.code_dtype)
+        b = end - start
+        d = self.d
+        self._buffers(b)
+        acc = self._acc_dtype
+        le = self._le[:b, :m]
+        eq = self._eq[:b, :m]
+        compared = self._cmp[:b, :m]
+        scratch = self._scratch[:b, :m]
+        codes = self._codes[:b, :m]
+        le.fill(0)
+        eq.fill(0)
+        gathered = self.ranks[cols]
+        for k in range(d):
+            column = gathered[:, k][None, :]
+            reference = self.ranks[start:end, k][:, None]
+            np.less_equal(column, reference, out=compared)
+            np.multiply(compared, acc(1 << k), out=scratch)
+            np.bitwise_or(le, scratch, out=le)
+            np.equal(column, reference, out=compared)
+            np.multiply(compared, acc(1 << k), out=scratch)
+            np.bitwise_or(eq, scratch, out=eq)
+        np.multiply(eq, self.code_dtype(1 << d), out=codes)
+        np.bitwise_or(codes, le, out=codes)
+        return codes
+
 
 def dominance_matrix(
     block: np.ndarray, window: np.ndarray, strict: bool = False

@@ -8,12 +8,17 @@ analogue of the paper's AVX2 lanes) with no instrumentation, usable at
 tens of thousands of points.  Examples and property tests lean on it;
 results are bit-identical to the reference implementations.
 
-Two skycube engines share the MDMC structure (restrict to ``S+``,
+Three skycube engines share the MDMC structure (restrict to ``S+``,
 fold each point's distinct comparison-mask pairs over the lattice):
 
 * ``engine="packed"`` (default) — the array-at-a-time sweep of
   :mod:`repro.engine.packed`: uint64 closure-table rows, blocked pair
   dedup, grouped OR folds; no per-point Python loop, no big ints.
+* ``engine="packed-filtered"`` — the packed sweep with the paper's
+  static-tree filter phase fused in (Sections 4.3/5.2): an octant-path
+  label prefilter shrinks the exact ``S+`` computation, and the sweep
+  itself skips leaves / sets subspace bits from leaf-ordered label
+  arrays before touching coordinates.  Bit-identical to ``"packed"``.
 * ``engine="loop"`` — the original per-point sweep over big-int
   closures; slower, but unbounded by the packed table's ``d`` cap.
 """
@@ -36,12 +41,17 @@ from repro.core.dominance import (
 from repro.core.hashcube import HashCube
 from repro.core.skycube import Skycube
 from repro.engine import packed
+from repro.instrument.counters import Counters
+from repro.partitioning.static_tree import octant_matrix
 
 __all__ = [
     "fast_skyline",
     "fast_extended_skyline",
     "fast_skycube",
+    "label_prefilter",
+    "splus_ids_for_engine",
     "SKYCUBE_ENGINES",
+    "ENGINE_HELP",
 ]
 
 #: Default rows compared per vectorized block (bounds peak memory to
@@ -53,8 +63,26 @@ BLOCK = 512
 #: Environment override consulted when no ``block`` keyword is given.
 BLOCK_ENV = "REPRO_KERNEL_BLOCK"
 
-#: The point-bitmask engines :func:`fast_skycube` accepts.
-SKYCUBE_ENGINES = ("packed", "loop")
+#: The point-bitmask engines :func:`fast_skycube` accepts.  This tuple
+#: is the single source of truth for every ``--engine`` CLI knob.
+SKYCUBE_ENGINES = ("packed", "packed-filtered", "loop")
+
+#: Shared ``--engine`` help text for the CLI entry points.
+ENGINE_HELP = (
+    "point-bitmask sweep: 'packed' (uint64 array-at-a-time, default), "
+    "'packed-filtered' (packed plus the static-tree label filter; "
+    "bit-identical, fastest on clustered/correlated data), or 'loop' "
+    "(per-point big-int reference, required beyond d = 14)"
+)
+
+#: The octant-path prefilter only runs when paths collapse: above this
+#: fraction of distinct paths per point the path-level SFS approaches
+#: the full point-level filter and would cost more than it saves.
+PREFILTER_MAX_PATHS = 0.25
+
+#: Below this many rows the prefilter's quantile scan is not worth the
+#: setup; the plain ``S+`` filter is already sub-millisecond.
+PREFILTER_MIN_ROWS = 512
 
 
 def _block_size(block: Optional[int], default: int = BLOCK) -> int:
@@ -172,6 +200,77 @@ def fast_extended_skyline(
     return _filtered_ids(data, delta, strict=True, block=block)
 
 
+def label_prefilter(
+    data: np.ndarray,
+    block: Optional[int] = None,
+    counters: Optional[Counters] = None,
+) -> Optional[np.ndarray]:
+    """Boolean candidate mask covering ``S+(data)``, or ``None`` if gated.
+
+    Octant-path dominance: each point's per-dimension octant index
+    (:func:`repro.partitioning.static_tree.octant_matrix`) packs into a
+    single int64 path key, 3 bits per dimension.  If an occupied path is
+    strictly below another occupied path on *every* dimension, each of
+    its points strictly dominates each point on the other path — octant
+    index ``o(v)`` counts pivots ``<= v``, so ``o(u) < o(v)`` on a
+    dimension forces ``u < v`` there.  Running the extended-skyline
+    filter over *paths* therefore yields an exact superset of ``S+``
+    while comparing at most ``#paths`` rows instead of ``n``.
+
+    The pass is profitable only when paths collapse (clustered,
+    correlated, or duplicate-heavy data); with near-distinct paths it
+    degenerates into a second full filter.  Returns ``None`` without
+    filtering when ``n`` is small, the 3-bit packing would overflow the
+    key, or distinct paths exceed :data:`PREFILTER_MAX_PATHS` of ``n``.
+    """
+    n, d = data.shape
+    if n < PREFILTER_MIN_ROWS or 3 * d > 62:
+        return None
+    index = octant_matrix(data)
+    weights = np.int64(1) << (3 * np.arange(d, dtype=np.int64))
+    keys = index.astype(np.int64) @ weights
+    paths, inverse = np.unique(keys, return_inverse=True)
+    if counters is not None:
+        counters.label_bytes += index.nbytes + keys.nbytes
+    if len(paths) > PREFILTER_MAX_PATHS * n:
+        return None
+    decoded = (paths[:, None] >> (3 * np.arange(d, dtype=np.int64))) & 7
+    order = _monotone_order(decoded)
+    keep_sorted = _sorted_filter(decoded[order], strict=True, block=block)
+    alive = np.empty(len(paths), dtype=bool)
+    alive[order] = keep_sorted
+    mask = alive[inverse.reshape(-1)]
+    if counters is not None:
+        dropped = int(n - np.count_nonzero(mask))
+        counters.extra["prefilter_dropped"] = (
+            counters.extra.get("prefilter_dropped", 0) + dropped
+        )
+    return mask
+
+
+def splus_ids_for_engine(
+    data: np.ndarray,
+    engine: str,
+    block: Optional[int] = None,
+    counters: Optional[Counters] = None,
+) -> np.ndarray:
+    """Sorted ``S+(data)`` ids, prefiltered for the filtered engine.
+
+    ``engine="packed-filtered"`` first runs :func:`label_prefilter` and
+    computes the exact extended skyline over the surviving candidates
+    only; every other engine (and a gated-off prefilter) falls back to
+    the plain :func:`fast_extended_skyline`.  The result is identical
+    either way — the prefilter drops only strictly dominated points.
+    """
+    if engine == "packed-filtered":
+        candidates = label_prefilter(data, block=block, counters=counters)
+        if candidates is not None:
+            ids = np.flatnonzero(candidates)
+            keep = fast_extended_skyline(data[ids], block=block)
+            return ids[keep]
+    return fast_extended_skyline(data, block=block)
+
+
 def _loop_cube(
     rows: np.ndarray,
     splus: np.ndarray,
@@ -213,6 +312,7 @@ def fast_skycube(
     bit_order: str = "numeric",
     engine: str = "packed",
     block: Optional[int] = None,
+    counters: Optional[Counters] = None,
 ) -> Skycube:
     """The exact skycube via the point-bitmask paradigm, vectorized.
 
@@ -224,9 +324,17 @@ def fast_skycube(
     ``engine`` picks the sweep: ``"packed"`` (default) runs the
     :mod:`repro.engine.packed` uint64 path and bulk-loads the HashCube
     through :meth:`~repro.core.hashcube.HashCube.from_masks`;
-    ``"loop"`` keeps the per-point big-int sweep (required beyond
-    ``d = 14``, where no packed closure table is materialised).  Both
-    engines produce bit-identical cubes for either ``bit_order``.
+    ``"packed-filtered"`` adds the static-tree label filter in front of
+    both phases (see :func:`label_prefilter` and
+    :class:`repro.engine.packed.FilteredPackedSweep`); ``"loop"`` keeps
+    the per-point big-int sweep (required beyond ``d = 14``, where no
+    packed closure table is materialised).  All engines produce
+    bit-identical cubes for either ``bit_order``.
+
+    ``counters``, when given, accumulates the filter-effectiveness
+    tallies (``pairs_pruned`` / ``leaves_skipped`` / ``label_bytes`` and
+    the ``prefilter_dropped`` extra); the vectorized kernels record no
+    per-operation counts.
     """
     data, _ = _validated(data, None)
     d = data.shape[1]
@@ -236,22 +344,26 @@ def fast_skycube(
         raise ValueError(
             f"engine must be one of {SKYCUBE_ENGINES}, got {engine!r}"
         )
-    if engine == "packed" and d > packed.PACKED_MAX_D:
+    if engine != "loop" and d > packed.PACKED_MAX_D:
         raise ValueError(
-            f"engine='packed' supports d <= {packed.PACKED_MAX_D}, got "
+            f"engine={engine!r} supports d <= {packed.PACKED_MAX_D}, got "
             f"d={d}; use engine='loop'"
         )
-    splus = fast_extended_skyline(data, block=block)
+    splus = splus_ids_for_engine(data, engine, block=block, counters=counters)
     rows = np.ascontiguousarray(data[splus])
-    if engine == "packed":
-        mask_rows = packed.packed_point_masks(
-            rows, block=_block_size(block, packed.DEFAULT_BLOCK)
-        )
+    if engine == "loop":
+        cube = _loop_cube(rows, splus, d, max_level, word_width, bit_order)
+    else:
+        sweep_block = _block_size(block, packed.DEFAULT_BLOCK)
+        if engine == "packed-filtered":
+            mask_rows = packed.filtered_point_masks(
+                rows, block=sweep_block, counters=counters
+            )
+        else:
+            mask_rows = packed.packed_point_masks(rows, block=sweep_block)
         if max_level is not None and max_level < d:
             mask_rows |= packed.unmaterialised_row(d, max_level)
         cube = HashCube.from_masks(
             d, splus, mask_rows, word_width=word_width, bit_order=bit_order
         )
-    else:
-        cube = _loop_cube(rows, splus, d, max_level, word_width, bit_order)
     return Skycube(cube, data=data, max_level=max_level)

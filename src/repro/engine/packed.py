@@ -42,11 +42,15 @@ point.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from repro.core.dominance import PairCoder
+from repro.instrument.counters import Counters
+
+if TYPE_CHECKING:
+    from repro.partitioning.static_tree import LeafLabels
 
 __all__ = [
     "PACKED_MAX_D",
@@ -59,8 +63,10 @@ __all__ = [
     "rows_to_ints",
     "row_from_int",
     "PackedSweep",
+    "FilteredPackedSweep",
     "block_masks",
     "packed_point_masks",
+    "filtered_point_masks",
 ]
 
 #: Bits per packed word.
@@ -276,15 +282,9 @@ class PackedSweep:
         keys = (np.arange(b, dtype=np.int64)[:, None] << shift) | codes
         return np.unique(keys)
 
-    def masks(self, start: int, end: int) -> np.ndarray:
-        """Packed ``B_{p∉S}`` rows of ``rows[start:end]`` vs all rows."""
+    def _fold(self, codes: np.ndarray, b: int) -> np.ndarray:
+        """Dedup + closure-gather + grouped OR of one block's codes."""
         d = self.d
-        if not 0 <= start < end <= self.n:
-            raise ValueError(
-                f"invalid block [{start}, {end}) over {self.n} rows"
-            )
-        b = end - start
-        codes = self.coder.codes(start, end)
         unique = self._distinct(codes, b)
         shift = 2 * d
         row_of = unique >> shift
@@ -298,6 +298,16 @@ class PackedSweep:
             )
         return np.bitwise_or.reduceat(contributions, group_starts, axis=0)
 
+    def masks(self, start: int, end: int) -> np.ndarray:
+        """Packed ``B_{p∉S}`` rows of ``rows[start:end]`` vs all rows."""
+        if not 0 <= start < end <= self.n:
+            raise ValueError(
+                f"invalid block [{start}, {end}) over {self.n} rows"
+            )
+        b = end - start
+        codes = self.coder.codes(start, end)
+        return self._fold(codes, b)
+
     def range_masks(self, start: int, end: int) -> np.ndarray:
         """Block-by-block :meth:`masks` over ``[start, end)``."""
         if not 0 <= start < end <= self.n:
@@ -309,6 +319,223 @@ class PackedSweep:
             hi = min(end, lo + self.block)
             out[lo - start : hi - start] = self.masks(lo, hi)
         return out
+
+
+class FilteredPackedSweep(PackedSweep):
+    """The packed pair sweep with the static-tree filter phase fused in.
+
+    The MDMC filter/refine split (Sections 4.3 and 5.2) applied to the
+    array-at-a-time sweep.  ``rows`` must be the extended skyline in
+    *leaf order* and ``labels`` the matching
+    :class:`repro.partitioning.static_tree.LeafLabels`; per block the
+    sweep then runs three phases, all of them whole-array ops:
+
+    1. **filter** — batch node strict masks
+       (:meth:`~repro.partitioning.static_tree.LeafLabels.block_node_strict`)
+       dedup through a presence table and fold into packed rows ``F``:
+       bit ``δ - 1`` of ``F[i]`` is set when the labels *alone* prove
+       the block point dominated in ``δ`` (the paper's
+       filter-sets-bits-without-touching-coordinates property — these
+       bits never see a coordinate, only ``closure(t)`` gathers);
+    2. **skip** — a node whose batch prune mask says it cannot beat a
+       point anywhere outside ``closure(potential) ⊆ F`` is skipped.
+       ``F`` is down-closed (a union of down-closures), so the
+       containment test is one gathered word and one bit probe per
+       ``(point, node)`` pair — O(1), no subspace enumeration.  Nodes
+       skippable for *every* block point drop out of the candidate
+       set, shrinking the pair work handed to the coder
+       (:meth:`~repro.core.dominance.PairCoder.codes_at`);
+    3. **refine** — the ordinary dedup + closure fold over the
+       surviving candidate columns, ORed with ``F``.
+
+    Every filter bit is provably a subset of the exact pair
+    contribution it stands in for (a node strict mask ``t`` means some
+    ``q`` has ``lt ⊇ t`` and ``eq ∩ t = ∅``), and every skipped node's
+    contribution is contained in ``closure(potential) ⊆ F`` — so the
+    result is bit-identical to :class:`PackedSweep` by construction,
+    not by luck.  Filtering self-disables where it cannot pay: when the
+    node directory is nearly one-node-per-point (anticorrelated data),
+    and dynamically when the observed prune rate stays negligible.
+
+    ``counters`` (optional) accumulates the pruning-effectiveness trio
+    ``pairs_pruned`` / ``leaves_skipped`` / ``label_bytes``.
+    """
+
+    #: Node filtering only runs while ``nodes <= n * MAX_NODE_FRACTION``
+    #: — beyond that the directory carries almost no aggregate evidence
+    #: and the (block × nodes) label pass would outweigh its pruning.
+    MAX_NODE_FRACTION = 0.25
+
+    #: Dynamic shut-off: after ``8 × block`` points, stop filtering if
+    #: fewer than this fraction of pair comparisons has been pruned.
+    MIN_PRUNE_RATE = 0.05
+
+    #: Column-subset coding only pays while the surviving candidate set
+    #: is meaningfully smaller than all rows: the subset coder sweeps
+    #: ``==`` densely (it cannot reuse the CSR equal-run index), which
+    #: roughly doubles the per-column cost of the plain ``le``-only
+    #: dense sweep — break-even at half the rows.
+    MAX_SUBSET_FRACTION = 0.5
+
+    def __init__(
+        self,
+        rows: np.ndarray,
+        labels: "LeafLabels",
+        block: Optional[int] = None,
+        table: Optional[np.ndarray] = None,
+        counters: Optional[Counters] = None,
+    ) -> None:
+        super().__init__(rows, block=block, table=table)
+        if len(labels) != self.n:
+            raise ValueError(
+                f"labels cover {len(labels)} points but rows have {self.n}"
+            )
+        if labels.k != self.d:
+            raise ValueError(
+                f"labels are {labels.k}-dimensional but rows have d={self.d}"
+            )
+        self.labels = labels
+        self.counters = counters if counters is not None else Counters()
+        self.filter_active = (
+            labels.node_count <= max(1.0, self.MAX_NODE_FRACTION * self.n)
+        )
+        self._swept = 0
+        self._pairs_seen = 0
+        self._pairs_pruned = 0
+        self._label_present: Optional[np.ndarray] = None
+
+    def filter_rows(self, start: int, end: int) -> np.ndarray:
+        """Packed filter-phase rows ``F`` of block ``[start, end)``.
+
+        Label evidence only: bit ``δ - 1`` of row ``i`` is set iff some
+        node's aggregate strict mask ``t`` has ``δ ⊆ t``.  Always a
+        subset of the final :meth:`masks` bits (the property the test
+        suite asserts), independent of :attr:`filter_active`.
+        """
+        if not 0 <= start < end <= self.n:
+            raise ValueError(
+                f"invalid block [{start}, {end}) over {self.n} rows"
+            )
+        b = end - start
+        d = self.d
+        strict = self.labels.block_node_strict(start, end)
+        self.counters.label_bytes += strict.nbytes
+        if (b << d) <= _PRESENCE_LIMIT:
+            if self._label_present is None or len(self._label_present) < b:
+                self._label_present = np.zeros((b, 1 << d), dtype=bool)
+            present = self._label_present[:b]
+            present[np.arange(b)[:, None], strict] = True
+            unique = np.flatnonzero(present)
+            present.reshape(-1)[unique] = False
+        else:
+            keys = (np.arange(b, dtype=np.int64)[:, None] << d) | strict
+            unique = np.unique(keys)
+        row_of = unique >> d
+        contributions = self.table[unique & ((1 << d) - 1)]
+        group_starts = np.flatnonzero(np.r_[True, row_of[1:] != row_of[:-1]])
+        # Every row owns at least one key (t = 0 folds the all-zero
+        # closure row), so the groups always cover the block.
+        return np.bitwise_or.reduceat(contributions, group_starts, axis=0)
+
+    def masks(self, start: int, end: int) -> np.ndarray:
+        """Filtered packed ``B_{p∉S}`` rows — bit-identical to the base."""
+        if not self.filter_active:
+            return super().masks(start, end)
+        if not 0 <= start < end <= self.n:
+            raise ValueError(
+                f"invalid block [{start}, {end}) over {self.n} rows"
+            )
+        b = end - start
+        d = self.d
+        labels = self.labels
+        full_local = (1 << d) - 1
+
+        filtered = self.filter_rows(start, end)
+        prune = labels.block_node_prune(start, end)
+        self.counters.label_bytes += prune.nbytes
+
+        # A node can only contribute bits inside closure(potential)
+        # (its prune dims can never appear in a dominating subspace).
+        # F is down-closed, so closure(potential) ⊆ F reduces to one
+        # bit probe at position potential - 1 — O(1) per (point, node).
+        potential = prune ^ full_local
+        index = np.maximum(potential, 1) - 1
+        word = (index >> 6).astype(np.intp)
+        gathered = np.take_along_axis(filtered, word, axis=1)
+        covered = (gathered >> (index & 63).astype(np.uint64)) & np.uint64(1)
+        skippable = covered.astype(bool)
+        skippable |= potential == 0
+        node_skip = skippable.all(axis=0)
+
+        sizes = labels.node_end - labels.node_start
+        leaves_skipped = int(sizes[node_skip].sum())
+        self._pairs_seen += b * self.n
+
+        if self.n - leaves_skipped > self.MAX_SUBSET_FRACTION * self.n:
+            # Too few leaves skipped to beat the plain coder's sparse
+            # paths: fall back, and credit *nothing* to the pruning
+            # tallies — the skip analysis avoided no work this block,
+            # and under-crediting is what lets the dynamic gate turn a
+            # filter off when it keeps analysing without ever paying.
+            codes = self.coder.codes(start, end)
+        else:
+            surviving = np.flatnonzero(~node_skip)
+            starts = labels.node_start[surviving]
+            lengths = sizes[surviving]
+            total = int(lengths.sum())
+            stops = np.cumsum(lengths)
+            cols = (
+                np.arange(total)
+                - np.repeat(stops - lengths, lengths)
+                + np.repeat(starts, lengths)
+            )
+            codes = self.coder.codes_at(start, end, cols)
+            self.counters.leaves_skipped += leaves_skipped
+            self.counters.pairs_pruned += b * leaves_skipped
+            self._pairs_pruned += b * leaves_skipped
+        out = self._fold(codes, b)
+        out |= filtered
+
+        self._swept += b
+        if (
+            self._swept >= 8 * self.block
+            and self._pairs_pruned < self.MIN_PRUNE_RATE * self._pairs_seen
+        ):
+            self.filter_active = False
+        return out
+
+
+def filtered_point_masks(
+    rows: np.ndarray,
+    block: Optional[int] = None,
+    table: Optional[np.ndarray] = None,
+    counters: Optional[Counters] = None,
+) -> np.ndarray:
+    """Packed ``B_{p∉S}`` of every row of ``rows`` via the label filter.
+
+    The filtered counterpart of :func:`packed_point_masks`: builds the
+    leaf-ordered label arrays, sweeps in leaf order (sequential label
+    traffic, exactly the Section 4.3 layout) and scatters the mask rows
+    back into the input row order.  Bit-identical to
+    :func:`packed_point_masks`; ``counters`` receives the pruning-
+    effectiveness tallies.
+    """
+    from repro.partitioning.static_tree import LeafLabels
+
+    rows = np.asarray(rows)
+    if rows.ndim != 2 or rows.shape[0] == 0:
+        raise ValueError(
+            f"expected a non-empty 2-D S+ array, got shape {rows.shape}"
+        )
+    labels = LeafLabels.build(rows)
+    ordered = np.ascontiguousarray(rows[labels.order])
+    sweep = FilteredPackedSweep(
+        ordered, labels, block=block, table=table, counters=counters
+    )
+    leaf_masks = sweep.range_masks(0, sweep.n)
+    out = np.empty_like(leaf_masks)
+    out[labels.order] = leaf_masks
+    return out
 
 
 def block_masks(

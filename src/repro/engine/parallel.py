@@ -58,6 +58,7 @@ from repro.hardware.schedule import lpt_assign
 
 if TYPE_CHECKING:
     from repro.core.lattice import Lattice
+    from repro.instrument.counters import Counters
     from repro.skycube.base import PhaseTrace
 
 __all__ = [
@@ -67,9 +68,11 @@ __all__ = [
     "cuboid_task",
     "point_block_task",
     "packed_point_block_task",
+    "filtered_point_block_task",
     "parallel_lattice",
     "parallel_point_masks",
     "parallel_packed_masks",
+    "parallel_filtered_packed_masks",
 ]
 
 #: The executor backends a template constructor accepts.
@@ -428,6 +431,54 @@ def packed_point_block_task(task: Tuple) -> np.ndarray:
     return sweep.range_masks(start, end)
 
 
+#: Per-worker filtered sweep over the current shared S+ segment, keyed
+#: by the *rows* segment name with the same single-entry policy as
+#: :data:`_PACKED_SWEEPS`.  The labels segment rides along in the task
+#: and is rehydrated once, when the sweep is built.
+_FILTERED_SWEEPS: Dict[str, Any] = {}
+
+
+def filtered_point_block_task(
+    task: Tuple,
+) -> Tuple[np.ndarray, Tuple[int, int, int]]:
+    """Filtered packed MDMC work item: mask rows plus pruning tallies.
+
+    ``task = (rows_descriptor, labels_descriptor, start, end)``.  The
+    rows segment holds the extended skyline in *leaf order*; the labels
+    segment holds the matching ``(n, 3)`` int64 ``med/quart/octl``
+    columns, from which
+    :meth:`repro.partitioning.static_tree.LeafLabels.from_arrays`
+    rebuilds the node directory without touching coordinates.  Returns
+    ``(mask_block, (pairs_pruned, leaves_skipped, label_bytes))`` — the
+    counter deltas this block contributed, which the parent sums into
+    its own :class:`~repro.instrument.counters.Counters`.
+    """
+    from repro.engine.packed import FilteredPackedSweep
+    from repro.partitioning.static_tree import LeafLabels
+
+    rows_descriptor, labels_descriptor, start, end = task
+    name = rows_descriptor[0]
+    sweep = _FILTERED_SWEEPS.get(name)
+    if sweep is None:
+        rows = SharedDataset.attach(rows_descriptor)
+        cols = SharedDataset.attach(labels_descriptor)
+        labels = LeafLabels.from_arrays(
+            cols[:, 0], cols[:, 1], cols[:, 2], k=rows.shape[1]
+        )
+        sweep = FilteredPackedSweep(rows, labels)
+        _FILTERED_SWEEPS.clear()
+        _FILTERED_SWEEPS[name] = sweep
+    tallies = sweep.counters
+    before = (tallies.pairs_pruned, tallies.leaves_skipped, tallies.label_bytes)
+    masks = sweep.range_masks(start, end)
+    deltas = (
+        tallies.pairs_pruned - before[0],
+        tallies.leaves_skipped - before[1],
+        tallies.label_bytes - before[2],
+    )
+    return masks, deltas
+
+
 # -- template orchestration (parent side) ------------------------------
 
 
@@ -584,3 +635,57 @@ def parallel_packed_masks(
         outputs = executor.run(packed_point_block_task, tasks, costs)
     _PACKED_SWEEPS.clear()  # parent-side fallback state dies with the segment
     return np.concatenate(outputs, axis=0)
+
+
+def parallel_filtered_packed_masks(
+    rows: np.ndarray,
+    executor: ParallelExecutor,
+    block: Optional[int] = None,
+    counters: Optional["Counters"] = None,
+) -> np.ndarray:
+    """Filtered packed ``B_{p∉S}`` rows of ``rows`` (S+), in row order.
+
+    The multicore counterpart of
+    :func:`repro.engine.packed.filtered_point_masks`: the parent builds
+    the leaf labels once, ships the leaf-ordered rows *and* the label
+    columns as two shared segments, and workers run
+    :class:`~repro.engine.packed.FilteredPackedSweep` blocks through
+    :func:`filtered_point_block_task`.  Masks come back in leaf order
+    and are scattered to the original row order, so the result is
+    bit-identical to the serial sweep and to ``parallel_packed_masks``.
+    ``counters`` receives the summed pruning tallies from every worker.
+    """
+    from repro.engine.packed import words_for
+    from repro.partitioning.static_tree import LeafLabels
+
+    rows = np.ascontiguousarray(rows)
+    n = len(rows)
+    if n == 0:
+        return np.empty((0, words_for(max(1, rows.shape[1]))), dtype=np.uint64)
+    labels = LeafLabels.build(rows)
+    ordered = np.ascontiguousarray(rows[labels.order])
+    columns = np.ascontiguousarray(
+        np.column_stack([labels.med, labels.quart, labels.octl])
+    )
+    if block is None:
+        per_worker = -(-n // max(1, executor.workers * BLOCKS_PER_WORKER))
+        block = max(MIN_BLOCK, min(MAX_BLOCK, per_worker))
+    elif block < 1:
+        raise ValueError(f"block must be positive, got {block}")
+    with SharedDataset(ordered) as shared, SharedDataset(columns) as shared_labels:
+        tasks = [
+            (shared.descriptor, shared_labels.descriptor, start, min(n, start + block))
+            for start in range(0, n, block)
+        ]
+        costs = [float(end - start) for _, _, start, end in tasks]
+        outputs = executor.run(filtered_point_block_task, tasks, costs)
+    _FILTERED_SWEEPS.clear()  # parent-side fallback state dies with the segment
+    leaf_masks = np.concatenate([masks for masks, _ in outputs], axis=0)
+    if counters is not None:
+        for _, (pruned, skipped, label_bytes) in outputs:
+            counters.pairs_pruned += pruned
+            counters.leaves_skipped += skipped
+            counters.label_bytes += label_bytes
+    out = np.empty_like(leaf_masks)
+    out[labels.order] = leaf_masks
+    return out

@@ -42,13 +42,28 @@ ALGORITHM_KEYS = (
 )
 
 
-def _builder(key: str, executor: str = "serial", workers: Optional[int] = None):
+def _builder(
+    key: str,
+    executor: str = "serial",
+    workers: Optional[int] = None,
+    engine: Optional[str] = None,
+):
+    if engine is not None and not key.startswith("mdmc"):
+        raise ValueError(
+            f"engine={engine!r} only applies to the point-bitmask "
+            f"template (mdmc), not {key!r}"
+        )
     if key == "stsc":
         return STSC(executor=executor, workers=workers)
     if key.startswith("sdsc"):
         return SDSC(key.split("-", 1)[1], executor=executor, workers=workers)
     if key.startswith("mdmc"):
-        return MDMC(key.split("-", 1)[1], executor=executor, workers=workers)
+        return MDMC(
+            key.split("-", 1)[1],
+            executor=executor,
+            workers=workers,
+            engine=engine,
+        )
     if executor != "serial":
         raise ValueError(
             f"executor={executor!r} only applies to the template "
@@ -75,10 +90,11 @@ def build_run(
     max_level: Optional[int] = None,
     executor: str = "serial",
     workers: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> SkycubeRun:
     """Materialise (once) the named algorithm on a synthetic workload."""
     data = generate(distribution, n, d, seed=seed)
-    return _builder(algorithm, executor, workers).materialise(
+    return _builder(algorithm, executor, workers, engine).materialise(
         data, max_level=max_level
     )
 

@@ -39,6 +39,13 @@ class Counters:
     * ``bitmask_ops`` — submask enumeration and membership-mask updates.
     * ``branch_divergences`` — data-dependent branches inside otherwise
       uniform loops (serialisation cost on the simulated GPU).
+
+    The ``pairs_pruned`` / ``leaves_skipped`` / ``label_bytes`` trio
+    records the *effectiveness* of the packed engine's label filter
+    (Section 4.3): pair comparisons never coded, whole leaves skipped
+    before refinement, and bytes of path-label arrays scanned to decide
+    both.  They measure work avoided rather than work done, so they do
+    not contribute to :attr:`instructions`.
     """
 
     dominance_tests: int = 0
@@ -53,6 +60,9 @@ class Counters:
     bitmask_ops: int = 0
     branch_divergences: int = 0
     points_processed: int = 0
+    pairs_pruned: int = 0
+    leaves_skipped: int = 0
+    label_bytes: int = 0
     extra: Dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "Counters") -> "Counters":

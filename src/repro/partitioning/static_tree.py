@@ -31,14 +31,261 @@ so a leaf-order scan is fully sequential.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro.core.bitmask import dims_of, full_space
 from repro.instrument.counters import Counters
 
-__all__ = ["StaticTree"]
+__all__ = ["StaticTree", "LeafLabels", "octant_matrix"]
+
+#: The seven per-dimension octile fractions, in order.  A value's octant
+#: index (0..7) is simply how many of these quantiles it is >= — which
+#: equals the nested median/quartile/octile bisection index, so octant
+#: order is consistent with the med/quart/oct path labels.
+_OCTILE_FRACTIONS = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875)
+
+
+class _PathLabels(NamedTuple):
+    """Raw per-point path labels plus the pivots that produced them."""
+
+    med: np.ndarray
+    quart: np.ndarray
+    octl: np.ndarray
+    medians: np.ndarray
+    q1: np.ndarray
+    q3: np.ndarray
+    octiles: np.ndarray
+
+
+def _path_labels(rows: np.ndarray) -> _PathLabels:
+    """Vectorised med/quart/oct masks of every row (input order).
+
+    The single definition of the three-level path labels, shared by
+    :class:`StaticTree` and :meth:`LeafLabels.build` so the per-point
+    engines and the packed filter agree bit-for-bit on what a label
+    means.  Whole-array ops only — never a per-point Python loop.
+    """
+    n, k = rows.shape
+    medians = np.quantile(rows, 0.5, axis=0)
+    q1 = np.quantile(rows, 0.25, axis=0)
+    q3 = np.quantile(rows, 0.75, axis=0)
+    octiles = np.quantile(rows, [0.125, 0.375, 0.625, 0.875], axis=0)
+
+    weights = 1 << np.arange(k, dtype=np.int64)
+    below_med = rows < medians
+    med = below_med @ weights
+
+    # Reference quartile per point and dim: Q1 in the better half.
+    quart_ref = np.where(below_med, q1, q3)
+    below_quart = rows < quart_ref
+    quart = below_quart @ weights
+
+    # Octile of the point's quarter.  Quarter order within a dim:
+    # (<med, <q1)=0, (<med, >=q1)=1, (>=med, <q3)=2, (>=med, >=q3)=3.
+    quarter_index = (~below_med).astype(np.int64) * 2 + (
+        ~below_quart
+    ).astype(np.int64)
+    oct_ref = octiles[quarter_index, np.arange(k)]
+    below_oct = rows < oct_ref
+    octl = below_oct @ weights
+    return _PathLabels(med, quart, octl, medians, q1, q3, octiles)
+
+
+def octant_matrix(rows: np.ndarray) -> np.ndarray:
+    """Per-dimension octant index (0..7) of every row, as ``(n, k)`` uint8.
+
+    Entry ``[p, i]`` counts how many of the seven octile pivots of
+    dimension ``i`` are ``<= rows[p, i]`` — equal to the nested
+    median/quartile/octile bisection index, so a strictly smaller octant
+    index implies a strictly smaller coordinate (sound under ties and
+    duplicated pivot values: equal values always share an octant).
+    The flat-label form the packed engine's ``S+`` prefilter scans.
+    """
+    rows = np.asarray(rows, dtype=np.float64)
+    if rows.ndim != 2 or rows.shape[0] == 0:
+        raise ValueError(
+            f"expected a non-empty 2-D dataset, got shape {rows.shape}"
+        )
+    pivots = np.quantile(rows, _OCTILE_FRACTIONS, axis=0)  # (7, k)
+    index = np.zeros(rows.shape, dtype=np.uint8)
+    for level in range(len(_OCTILE_FRACTIONS)):
+        index += rows >= pivots[level]
+    return index
+
+
+class LeafLabels:
+    """Flat, leaf-ordered path-label arrays for batch filtering.
+
+    The array-of-columns counterpart of :class:`StaticTree`'s per-point
+    lookups: ``med``/``quart``/``octl`` are ``(n,)`` int64 mask columns
+    sorted into leaf (path-major) order, ``order`` maps leaf position →
+    input row, and the top-two-level node directory is recovered from
+    the sorted labels by one boundary scan.  Everything a filter phase
+    touches is here — no coordinates, no tree object, no dicts — so the
+    whole structure ships to pool workers as one ``(n, 3)`` int64
+    segment (:func:`repro.engine.parallel.parallel_filtered_packed_masks`).
+    """
+
+    __slots__ = (
+        "k",
+        "n",
+        "med",
+        "quart",
+        "octl",
+        "order",
+        "node_med",
+        "node_quart",
+        "node_start",
+        "node_end",
+    )
+
+    def __init__(
+        self,
+        med: np.ndarray,
+        quart: np.ndarray,
+        octl: np.ndarray,
+        order: np.ndarray,
+        k: int,
+    ) -> None:
+        self.k = int(k)
+        self.n = len(med)
+        if not (len(quart) == len(octl) == len(order) == self.n):
+            raise ValueError("label columns must share one length")
+        self.med = med
+        self.quart = quart
+        self.octl = octl
+        self.order = order
+        # Node directory: one row per maximal (med, quart) run of the
+        # leaf order — the L2-resident top two levels of Section 5.2.
+        change = np.empty(self.n, dtype=bool)
+        change[0] = True
+        np.logical_or(
+            self.med[1:] != self.med[:-1],
+            self.quart[1:] != self.quart[:-1],
+            out=change[1:],
+        )
+        starts = np.flatnonzero(change)
+        self.node_start = starts
+        self.node_end = np.append(starts[1:], self.n)
+        self.node_med = self.med[starts]
+        self.node_quart = self.quart[starts]
+
+    @classmethod
+    def build(cls, rows: np.ndarray) -> "LeafLabels":
+        """Labels of ``rows`` (input order), sorted into leaf order."""
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[0] == 0:
+            raise ValueError(
+                f"expected a non-empty 2-D dataset, got shape {rows.shape}"
+            )
+        labels = _path_labels(rows)
+        order = np.lexsort((labels.octl, labels.quart, labels.med))
+        return cls(
+            labels.med[order],
+            labels.quart[order],
+            labels.octl[order],
+            order,
+            rows.shape[1],
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        med: np.ndarray,
+        quart: np.ndarray,
+        octl: np.ndarray,
+        k: int,
+    ) -> "LeafLabels":
+        """Rehydrate from *already leaf-ordered* label columns.
+
+        The worker-side constructor: the parent ships the sorted
+        columns through shared memory and the O(n) directory scan in
+        ``__init__`` rebuilds the node structure — no quantiles, no
+        re-sort, no coordinate access.
+        """
+        med = np.ascontiguousarray(med, dtype=np.int64)
+        quart = np.ascontiguousarray(quart, dtype=np.int64)
+        octl = np.ascontiguousarray(octl, dtype=np.int64)
+        return cls(med, quart, octl, np.arange(len(med), dtype=np.intp), k)
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def node_count(self) -> int:
+        return len(self.node_start)
+
+    # -- batch transitive strict-dominance inference -------------------
+
+    def block_node_strict(self, start: int, end: int) -> np.ndarray:
+        """``(end - start, nodes)`` strict masks — batch ``node_strict_masks``.
+
+        Entry ``[i, j]`` has bit ``b`` set iff every point of node ``j``
+        is provably strictly better than leaf ``start + i`` on local dim
+        ``b`` (median/quartile transitivity).  One broadcast over the
+        label columns replaces ``end - start`` per-point calls.
+        """
+        pm = self.med[start:end, None]
+        pq = self.quart[start:end, None]
+        t1 = self.node_med[None, :] & ~pm
+        same_half = ~(self.node_med[None, :] ^ pm)
+        t2 = (self.node_quart[None, :] & ~pq) & same_half
+        return t1 | t2
+
+    def block_node_prune(self, start: int, end: int) -> np.ndarray:
+        """``(end - start, nodes)`` prune masks — batch ``node_prune_masks``.
+
+        Entry ``[i, j]`` has bit ``b`` set iff every point of node ``j``
+        is provably *worse* than leaf ``start + i`` on local dim ``b``,
+        so node ``j`` cannot dominate that leaf in any subspace
+        containing ``b`` (Hybrid's partition pruning, batched).
+        """
+        pm = self.med[start:end, None]
+        pq = self.quart[start:end, None]
+        t1 = pm & ~self.node_med[None, :]
+        same_half = ~(self.node_med[None, :] ^ pm)
+        t2 = (pq & ~self.node_quart[None, :]) & same_half
+        return t1 | t2
+
+    def block_leaf_strict(self, start: int, end: int) -> np.ndarray:
+        """``(end - start, n)`` strict masks — batch ``leaf_strict_masks``.
+
+        Full three-level (median/quartile/octile) composite evidence
+        per leaf, the GPU filter's coalesced scan (Section 6.2).
+        """
+        pm = self.med[start:end, None]
+        pq = self.quart[start:end, None]
+        po = self.octl[start:end, None]
+        t1 = self.med[None, :] & ~pm
+        same_half = ~(self.med[None, :] ^ pm)
+        t2 = (self.quart[None, :] & ~pq) & same_half
+        same_quarter = same_half & ~(self.quart[None, :] ^ pq)
+        t3 = (self.octl[None, :] & ~po) & same_quarter
+        return t1 | t2 | t3
+
+    def block_leaf_prune(self, start: int, end: int) -> np.ndarray:
+        """``(end - start, n)`` prune masks — batch ``leaf_prune_masks``."""
+        pm = self.med[start:end, None]
+        pq = self.quart[start:end, None]
+        po = self.octl[start:end, None]
+        t1 = pm & ~self.med[None, :]
+        same_half = ~(self.med[None, :] ^ pm)
+        t2 = (pq & ~self.quart[None, :]) & same_half
+        same_quarter = same_half & ~(self.quart[None, :] ^ pq)
+        t3 = (po & ~self.octl[None, :]) & same_quarter
+        return t1 | t2 | t3
+
+    def label_bytes(self) -> int:
+        """Bytes of the flat label columns (the filter's working set)."""
+        return self.med.nbytes + self.quart.nbytes + self.octl.nbytes
+
+    def __repr__(self) -> str:
+        return (
+            f"LeafLabels(points={self.n}, dims={self.k}, "
+            f"nodes={self.node_count})"
+        )
 
 
 class StaticTree:
@@ -69,31 +316,13 @@ class StaticTree:
         counters.values_loaded += rows.size
         counters.sequential_bytes += 8 * rows.size
 
-        # Virtual pivots: global per-dimension quantiles of the input.
-        self.medians = np.quantile(rows, 0.5, axis=0)
-        self.q1 = np.quantile(rows, 0.25, axis=0)
-        self.q3 = np.quantile(rows, 0.75, axis=0)
-        self.octiles = np.quantile(
-            rows, [0.125, 0.375, 0.625, 0.875], axis=0
-        )  # (4, k)
-
-        weights = (1 << np.arange(self.k, dtype=np.int64))
-        below_med = rows < self.medians
-        med = below_med @ weights
-
-        # Reference quartile per point and dim: Q1 in the better half.
-        quart_ref = np.where(below_med, self.q1, self.q3)
-        below_quart = rows < quart_ref
-        quart = below_quart @ weights
-
-        # Octile of the point's quarter.  Quarter order within a dim:
-        # (<med, <q1)=0, (<med, >=q1)=1, (>=med, <q3)=2, (>=med, >=q3)=3.
-        quarter_index = (~below_med).astype(np.int64) * 2 + (
-            ~below_quart
-        ).astype(np.int64)
-        oct_ref = self.octiles[quarter_index, np.arange(self.k)]
-        below_oct = rows < oct_ref
-        octl = below_oct @ weights
+        # Virtual pivots + batch labels: one shared vectorised pass.
+        labels = _path_labels(rows)
+        self.medians = labels.medians
+        self.q1 = labels.q1
+        self.q3 = labels.q3
+        self.octiles = labels.octiles  # (4, k): octiles 1/8, 3/8, 5/8, 7/8
+        med, quart, octl = labels.med, labels.quart, labels.octl
         counters.bitmask_ops += 3 * len(ids)
 
         if levels < 3:
@@ -103,6 +332,7 @@ class StaticTree:
 
         # Sort into leaf order (path-major) and keep flat label arrays.
         order = np.lexsort((octl, quart, med))
+        self.order = order
         self.ids = np.asarray(ids)[order]
         self.med = med[order]
         self.quart = quart[order]
@@ -111,6 +341,7 @@ class StaticTree:
         self._position: Dict[int, int] = {
             int(pid): idx for idx, pid in enumerate(self.ids)
         }
+        self._labels: Optional[LeafLabels] = None
 
         # Top-two-level node directory: (med, quart) -> [start, end).
         self.nodes: List[Tuple[int, int, int, int]] = []
@@ -133,12 +364,46 @@ class StaticTree:
     def __len__(self) -> int:
         return len(self.ids)
 
+    def labels(self) -> LeafLabels:
+        """Batch :class:`LeafLabels` view of the tree's flat label arrays.
+
+        The arrays are shared, not copied; ``labels().order`` is the
+        input-order → leaf-order permutation applied at construction.
+        Hot paths should fetch this once per task and index arrays
+        instead of calling :meth:`masks_of` / :meth:`position_of` per
+        probe.  Memoised: the node-directory boundary scan runs once
+        per tree, and every per-point inference method below delegates
+        to the batch code, so there is exactly one definition of the
+        transitive label arithmetic.
+        """
+        if self._labels is None:
+            self._labels = LeafLabels(
+                self.med, self.quart, self.octl, self.order, self.k
+            )
+        return self._labels
+
+    def positions_of(self, point_ids: np.ndarray) -> np.ndarray:
+        """Leaf-order indices of many point ids at once (one dict pass)."""
+        return np.asarray(
+            [self._position[int(pid)] for pid in point_ids], dtype=np.intp
+        )
+
     def position_of(self, point_id: int) -> int:
-        """Leaf-order index of a point id."""
+        """Leaf-order index of a point id.
+
+        .. deprecated:: per-point dict lookups do not belong on hot
+           paths — use :meth:`labels` (or :meth:`positions_of` for id
+           batches) and index the flat arrays instead.
+        """
         return self._position[point_id]
 
     def masks_of(self, point_id: int) -> Tuple[int, int, int]:
-        """``(med, quart, oct)`` path labels of a point."""
+        """``(med, quart, oct)`` path labels of a point.
+
+        .. deprecated:: per-point dict lookups do not belong on hot
+           paths — fetch :meth:`labels` once per task and read the
+           ``med``/``quart``/``octl`` columns directly.
+        """
         pos = self._position[point_id]
         return int(self.med[pos]), int(self.quart[pos]), int(self.octl[pos])
 
@@ -152,12 +417,7 @@ class StaticTree:
         the target point on local dim ``i``, by median- or quartile-level
         transitivity.  This is the CPU filter's evidence (Section 5.2).
         """
-        pm = int(self.med[pos])
-        pq = int(self.quart[pos])
-        t1 = self.node_med & ~pm
-        same_half = ~(self.node_med ^ pm)
-        t2 = (self.node_quart & ~pq) & same_half
-        return t1 | t2
+        return self.labels().block_node_strict(pos, pos + 1)[0]
 
     def leaf_strict_masks(self, pos: int) -> np.ndarray:
         """Per-leaf strict-dominance masks using the full 3-level path.
@@ -165,15 +425,7 @@ class StaticTree:
         The GPU filter's evidence (Section 6.2): one composite mask per
         leaf, read with coalesced sequential loads.
         """
-        pm = int(self.med[pos])
-        pq = int(self.quart[pos])
-        po = int(self.octl[pos])
-        t1 = self.med & ~pm
-        same_half = ~(self.med ^ pm)
-        t2 = (self.quart & ~pq) & same_half
-        same_quarter = same_half & ~(self.quart ^ pq)
-        t3 = (self.octl & ~po) & same_quarter
-        return t1 | t2 | t3
+        return self.labels().block_leaf_strict(pos, pos + 1)[0]
 
     def node_prune_masks(self, pos: int) -> np.ndarray:
         """Per-node masks of dims where the target provably beats the node.
@@ -184,12 +436,7 @@ class StaticTree:
         dominator for any subspace containing dim ``i`` — Hybrid's
         partition pruning.
         """
-        pm = int(self.med[pos])
-        pq = int(self.quart[pos])
-        t1 = pm & ~self.node_med
-        same_half = ~(self.node_med ^ pm)
-        t2 = (pq & ~self.node_quart) & same_half
-        return t1 | t2
+        return self.labels().block_node_prune(pos, pos + 1)[0]
 
     def leaf_prune_masks(self, pos: int) -> np.ndarray:
         """Per-leaf masks of dims where the *target* provably beats the leaf.
@@ -198,15 +445,7 @@ class StaticTree:
         ``i``; any subspace containing such a dim can prune the leaf as a
         candidate dominator (the refine phase's Equation-1 analogue).
         """
-        pm = int(self.med[pos])
-        pq = int(self.quart[pos])
-        po = int(self.octl[pos])
-        t1 = pm & ~self.med
-        same_half = ~(self.med ^ pm)
-        t2 = (pq & ~self.quart) & same_half
-        same_quarter = same_half & ~(self.quart ^ pq)
-        t3 = (po & ~self.octl) & same_quarter
-        return t1 | t2 | t3
+        return self.labels().block_leaf_prune(pos, pos + 1)[0]
 
     # -- memory profile --------------------------------------------------
 

@@ -92,9 +92,11 @@ class ServingSnapshot:
         """Materialise ``data`` with the vectorised engine and wrap it.
 
         ``engine`` selects the :func:`repro.engine.fast_skycube` sweep
-        (``"packed"``, the default, or ``"loop"``); both produce
-        bit-identical snapshots, the packed one bootstraps serving
-        several times faster.
+        — any of :data:`repro.engine.SKYCUBE_ENGINES` (``"packed"``,
+        the default; ``"packed-filtered"``, fastest on clustered or
+        correlated data; ``"loop"``).  All produce bit-identical
+        snapshots; the packed sweeps bootstrap serving several times
+        faster than the loop.
         """
         skycube = fast_skycube(
             data, max_level=max_level, word_width=word_width, engine=engine

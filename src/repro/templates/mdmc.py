@@ -252,12 +252,25 @@ class MDMC(SkycubeTemplate):
         bit_order: str = "numeric",
         executor: str = "serial",
         workers: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         super().__init__(specialisation, executor, workers)
         self.word_width = word_width
         #: "level" activates the Appendix A.2 future-work layout, which
         #: compresses partial skycubes harder (see core.hashcube).
         self.bit_order = bit_order
+        #: Explicit sweep-engine override (one of
+        #: :data:`repro.engine.kernels.SKYCUBE_ENGINES`).  ``None``
+        #: keeps the default behaviour: the instrumented per-point
+        #: engines when serial, packed-when-possible when ``process``.
+        if engine is not None:
+            from repro.engine.kernels import SKYCUBE_ENGINES
+
+            if engine not in SKYCUBE_ENGINES:
+                raise ValueError(
+                    f"engine must be one of {SKYCUBE_ENGINES}, got {engine!r}"
+                )
+        self.sweep_engine = engine
         if self.specialisation == "cpu":
             self.engine: "CPUPointEngine | GPUPointEngine" = CPUPointEngine()
         else:
@@ -275,6 +288,8 @@ class MDMC(SkycubeTemplate):
     ) -> SkycubeRun:
         if self.executor == "process":
             return self._materialise_process(data, max_level, counters)
+        if self.sweep_engine is not None:
+            return self._materialise_engine(data, max_level, counters)
         d = data.shape[1]
         full = full_space(d)
 
@@ -338,6 +353,45 @@ class MDMC(SkycubeTemplate):
         skycube = Skycube(hashcube, data=data, max_level=max_level)
         return SkycubeRun(skycube, counters, [setup_phase, point_phase])
 
+    def _materialise_engine(
+        self,
+        data: np.ndarray,
+        max_level: Optional[int],
+        counters: Counters,
+    ) -> SkycubeRun:
+        """Serial fast path for an explicit ``engine=`` override.
+
+        Delegates to :func:`repro.engine.kernels.fast_skycube` — the
+        uninstrumented vectorized kernels — so only the task counts and
+        the filter-effectiveness tallies land in ``counters``; there are
+        no per-operation counts to drive the hardware simulation.  The
+        resulting cube is bit-identical to the instrumented sweep.
+        """
+        from repro.engine.kernels import fast_skycube
+
+        counters.sync_points += 1
+        skycube = fast_skycube(
+            data,
+            max_level=max_level,
+            word_width=self.word_width,
+            bit_order=self.bit_order,
+            engine=self.sweep_engine or "packed",
+            counters=counters,
+        )
+        point_ids = skycube.store.point_ids()
+        counters.tasks += len(point_ids)
+        counters.points_processed += len(point_ids)
+        setup_phase = PhaseTrace("extended+labels")
+        setup_phase.tasks.append(
+            TaskTrace(label="S+(P) + path labels", counters=Counters())
+        )
+        point_phase = PhaseTrace("points")
+        for pid in point_ids:
+            point_phase.tasks.append(
+                TaskTrace(label=f"p={int(pid)}", counters=Counters())
+            )
+        return SkycubeRun(skycube, counters, [setup_phase, point_phase])
+
     def _materialise_process(
         self,
         data: np.ndarray,
@@ -351,25 +405,43 @@ class MDMC(SkycubeTemplate):
         come back to the parent, which batch-merges them into the
         HashCube — the only write ever performed on shared state, so
         workers stay fully independent, exactly as the paper requires.
+        An explicit ``engine=`` override picks the in-worker sweep;
+        ``"packed-filtered"`` additionally runs the octant-path label
+        prefilter before the exact ``S+`` computation and ships the
+        leaf-ordered label columns to the workers.
         """
         from repro.engine import packed
-        from repro.engine.kernels import fast_extended_skyline
+        from repro.engine.kernels import splus_ids_for_engine
         from repro.engine.parallel import (
+            parallel_filtered_packed_masks,
             parallel_packed_masks,
             parallel_point_masks,
         )
 
         d = data.shape[1]
-        splus_ids = fast_extended_skyline(data)
+        engine = self.sweep_engine
+        if engine is None:
+            engine = "packed" if d <= packed.PACKED_MAX_D else "loop"
+        elif engine != "loop" and d > packed.PACKED_MAX_D:
+            raise ValueError(
+                f"engine={engine!r} supports d <= {packed.PACKED_MAX_D}, "
+                f"got d={d}; use engine='loop'"
+            )
+        splus_ids = splus_ids_for_engine(data, engine, counters=counters)
         rows = np.ascontiguousarray(data[splus_ids])
 
         executor = self._make_executor()
         counters.sync_points += 1
-        if d <= packed.PACKED_MAX_D:
+        if engine != "loop":
             # Packed composition: workers return uint64 mask blocks,
             # the parent ORs in the level filter and merges exactly
             # once through the bulk word-splitting constructor.
-            mask_rows = parallel_packed_masks(rows, executor)
+            if engine == "packed-filtered":
+                mask_rows = parallel_filtered_packed_masks(
+                    rows, executor, counters=counters
+                )
+            else:
+                mask_rows = parallel_packed_masks(rows, executor)
             if max_level is not None and max_level < d:
                 mask_rows = mask_rows | packed.unmaterialised_row(d, max_level)
             hashcube = HashCube.from_masks(

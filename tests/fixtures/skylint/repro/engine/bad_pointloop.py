@@ -1,0 +1,21 @@
+"""SKY501 fixture: per-element index loops in an engine module."""
+
+import numpy as np
+
+
+def per_point_masks(rows, masks):
+    out = []
+    for i in range(len(rows)):  # SKY501: per-element index loop
+        out.append(int(masks[i]))
+    for j in range(len(out)):  # SKY501: even just to read
+        out[j] |= 1
+    return out
+
+
+def blocked_masks(rows, block):
+    total = np.zeros(rows.shape[1])
+    for start in range(0, len(rows), block):  # clean: blocked iteration
+        total += rows[start:start + block].sum(axis=0)
+    for row in rows[: min(4, len(rows))]:  # clean: direct iteration
+        total += row
+    return total

@@ -44,6 +44,36 @@ class TestReproCLI:
                     "--show", "0b001"])
         assert "materialised 3 subspace skylines" in capsys.readouterr().out
 
+    def test_skycube_engine_knob(self, dataset_file, capsys):
+        baseline = repro_main(
+            ["skycube", dataset_file, "--show", "0b011"]
+        )
+        assert baseline == 0
+        base_out = capsys.readouterr().out
+        for engine in ("packed", "packed-filtered", "loop"):
+            code = repro_main(
+                ["skycube", dataset_file, "--engine", engine,
+                 "--show", "0b011"]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert f"engine={engine}" in out
+            # Same skylines whichever sweep computed them.
+            assert out.splitlines()[-1] == base_out.splitlines()[-1]
+
+    def test_skycube_engine_rejects_non_mdmc(self, dataset_file):
+        with pytest.raises(SystemExit, match="only applies"):
+            repro_main(["skycube", dataset_file, "--algorithm", "stsc",
+                        "--engine", "packed"])
+
+    def test_skycube_engine_choices_are_shared(self, dataset_file):
+        from repro.engine import SKYCUBE_ENGINES
+
+        # argparse rejects anything outside the single source of truth
+        with pytest.raises(SystemExit):
+            repro_main(["skycube", dataset_file, "--engine", "simd"])
+        assert SKYCUBE_ENGINES == ("packed", "packed-filtered", "loop")
+
     def test_generate_and_stats(self, tmp_path, capsys):
         out_path = str(tmp_path / "gen.npy")
         repro_main(["generate", "correlated", "200", "4",

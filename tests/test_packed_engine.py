@@ -21,7 +21,13 @@ from repro.engine.kernels import (
     fast_extended_skyline,
     fast_skycube,
 )
-from repro.engine.parallel import ParallelExecutor, parallel_packed_masks
+from repro.engine.parallel import (
+    ParallelExecutor,
+    parallel_filtered_packed_masks,
+    parallel_packed_masks,
+)
+from repro.instrument.counters import Counters
+from repro.partitioning.static_tree import LeafLabels
 
 
 def seeded_workloads():
@@ -221,12 +227,14 @@ def test_engines_agree_on_partial_cubes(max_level):
 
 def test_engine_knob_validation():
     data = generate("independent", 30, 3, seed=1)
-    assert SKYCUBE_ENGINES == ("packed", "loop")
+    assert SKYCUBE_ENGINES == ("packed", "packed-filtered", "loop")
     with pytest.raises(ValueError):
         fast_skycube(data, engine="simd")
     wide = generate("independent", 20, packed.PACKED_MAX_D + 1, seed=1)
     with pytest.raises(ValueError):
         fast_skycube(wide, engine="packed")
+    with pytest.raises(ValueError):
+        fast_skycube(wide, engine="packed-filtered")
 
 
 def test_block_keyword_and_env_override(monkeypatch):
@@ -243,6 +251,111 @@ def test_block_keyword_and_env_override(monkeypatch):
     monkeypatch.setenv(kernels.BLOCK_ENV, "0")
     with pytest.raises(ValueError):
         fast_skycube(data)
+
+
+# -- filtered packed engine --------------------------------------------
+
+
+def test_filtered_engine_matches_packed(packed_workload):
+    data = packed_workload
+    reference = fast_skycube(data, engine="packed")
+    counters = Counters()
+    filtered = fast_skycube(data, engine="packed-filtered", counters=counters)
+    assert filtered.store == reference.store
+    assert counters.pairs_pruned >= 0 and counters.label_bytes >= 0
+
+
+@pytest.mark.parametrize("bit_order", ["numeric", "level"])
+@pytest.mark.parametrize("max_level", [None, 1, 3])
+def test_filtered_engine_bit_orders_and_partial_cubes(bit_order, max_level):
+    data = generate("anticorrelated", 130, 5, seed=21)
+    data = np.vstack([data, data[:10]])
+    a = fast_skycube(
+        data, engine="packed", bit_order=bit_order, max_level=max_level
+    )
+    b = fast_skycube(
+        data,
+        engine="packed-filtered",
+        bit_order=bit_order,
+        max_level=max_level,
+    )
+    assert a.store == b.store
+
+
+def test_filtered_point_masks_match_packed(packed_workload):
+    data = packed_workload
+    splus = fast_extended_skyline(data)
+    rows = np.ascontiguousarray(data[splus])
+    expected = packed.packed_point_masks(rows)
+    got = packed.filtered_point_masks(rows, counters=Counters())
+    assert np.array_equal(expected, got)
+
+
+def test_forced_filter_stays_bit_identical(packed_workload):
+    # The adaptive gates usually disable the node filter on extended-
+    # skyline rows; force it on so the skip/subset-coding path itself
+    # is exercised on every workload shape.
+    data = packed_workload
+    splus = fast_extended_skyline(data)
+    rows = np.ascontiguousarray(data[splus])
+    labels = LeafLabels.build(rows)
+    ordered = np.ascontiguousarray(rows[labels.order])
+    expected = packed.packed_point_masks(ordered, block=32)
+    sweep = packed.FilteredPackedSweep(ordered, labels, block=32)
+    sweep.filter_active = True
+    sweep.MIN_PRUNE_RATE = -1.0  # never self-disable
+    assert np.array_equal(sweep.range_masks(0, sweep.n), expected)
+
+
+def test_filter_bits_are_subset_of_final_masks(packed_workload):
+    # Property: every bit the label filter sets must appear in the
+    # exact result — filtering is evidence, never guesswork.
+    data = packed_workload
+    splus = fast_extended_skyline(data)
+    rows = np.ascontiguousarray(data[splus])
+    labels = LeafLabels.build(rows)
+    ordered = np.ascontiguousarray(rows[labels.order])
+    final = packed.packed_point_masks(ordered)
+    sweep = packed.FilteredPackedSweep(ordered, labels, block=16)
+    for start in range(0, sweep.n, 16):
+        end = min(sweep.n, start + 16)
+        filtered = sweep.filter_rows(start, end)
+        assert not np.any(filtered & ~final[start:end])
+
+
+def test_filtered_sweep_validates_labels():
+    data = generate("independent", 60, 3, seed=8)
+    rows = np.ascontiguousarray(data[fast_extended_skyline(data)])
+    labels = LeafLabels.build(rows)
+    with pytest.raises(ValueError):
+        packed.FilteredPackedSweep(rows[:-1], labels)
+    wrong_k = generate("independent", len(rows), 4, seed=8)
+    with pytest.raises(ValueError):
+        packed.FilteredPackedSweep(wrong_k, labels)
+
+
+def test_label_prefilter_covers_splus(monkeypatch):
+    from repro.engine import kernels
+
+    monkeypatch.setattr(kernels, "PREFILTER_MIN_ROWS", 0)
+    for dist in ("correlated", "independent"):
+        data = generate(dist, 400, 4, seed=3, distinct_values=4)
+        mask = kernels.label_prefilter(data)
+        splus = fast_extended_skyline(data)
+        if mask is not None:
+            assert mask[splus].all()  # never drops an S+ point
+        assert np.array_equal(
+            kernels.splus_ids_for_engine(data, "packed-filtered"), splus
+        )
+
+
+def test_label_prefilter_gates():
+    from repro.engine import kernels
+
+    small = generate("correlated", 64, 3, seed=1)
+    assert kernels.label_prefilter(small) is None  # below MIN_ROWS
+    wide = generate("correlated", 600, 21, seed=1)
+    assert kernels.label_prefilter(wide) is None  # 3*d > 62 bits
 
 
 # -- HashCube.from_masks ------------------------------------------------
@@ -306,3 +419,55 @@ def test_mdmc_process_backend_uses_packed_path():
     partial_ref = MDMC().materialise(data, max_level=2).skycube
     partial = MDMC(executor="process").materialise(data, max_level=2).skycube
     assert partial.store == partial_ref.store
+
+
+def test_parallel_filtered_masks_match_serial(packed_workload):
+    data = packed_workload
+    splus = fast_extended_skyline(data)
+    rows = np.ascontiguousarray(data[splus])
+    serial = packed.packed_point_masks(rows)
+    executor = ParallelExecutor(workers=1)  # deterministic serial fallback
+    counters = Counters()
+    parallel = parallel_filtered_packed_masks(
+        rows, executor, block=17, counters=counters
+    )
+    assert np.array_equal(serial, parallel)
+
+
+def test_parallel_filtered_masks_on_real_pool():
+    data = generate("independent", 300, 4, seed=5, distinct_values=3)
+    splus = fast_extended_skyline(data)
+    rows = np.ascontiguousarray(data[splus])
+    serial = packed.packed_point_masks(rows)
+    counters = Counters()
+    parallel = parallel_filtered_packed_masks(
+        rows, ParallelExecutor(workers=2), block=64, counters=counters
+    )
+    assert np.array_equal(serial, parallel)
+    assert counters.label_bytes > 0  # coarse directory: filter active
+
+
+@pytest.mark.parametrize("engine", SKYCUBE_ENGINES)
+def test_mdmc_engine_override_serial_and_process(engine):
+    from repro.templates import MDMC
+
+    data = generate("correlated", 140, 4, seed=17)
+    data = np.vstack([data, data[:10]])
+    reference = MDMC().materialise(data).skycube
+    serial = MDMC(engine=engine).materialise(data).skycube
+    assert serial.store == reference.store
+    processed = MDMC(executor="process", engine=engine).materialise(data)
+    assert processed.skycube.store == reference.store
+    partial_ref = MDMC().materialise(data, max_level=2).skycube
+    partial = MDMC(engine=engine).materialise(data, max_level=2).skycube
+    assert partial.store == partial_ref.store
+
+
+def test_mdmc_engine_validation():
+    from repro.templates import MDMC
+
+    with pytest.raises(ValueError):
+        MDMC(engine="simd")
+    wide = generate("independent", 25, packed.PACKED_MAX_D + 1, seed=2)
+    with pytest.raises(ValueError):
+        MDMC(executor="process", engine="packed-filtered").materialise(wide)

@@ -68,6 +68,21 @@ def test_sky301_dominance_semantics():
     assert codes == ["SKY301"] * 3
 
 
+def test_sky501_index_loops():
+    codes = codes_in(fixture("engine/bad_pointloop.py"))
+    assert codes == ["SKY501"] * 2
+
+
+def test_sky501_scoped_to_engine_only():
+    from repro.analysis.loops import IndexLoopRule
+
+    rule = IndexLoopRule()
+    assert rule.applies_to("repro.engine")
+    assert rule.applies_to("repro.engine.packed")
+    assert not rule.applies_to("repro.templates.mdmc")
+    assert not rule.applies_to("repro.engineering")  # prefix, not substring
+
+
 def test_sky401_blocking_in_async():
     codes = codes_in(fixture("serve/bad_async.py"))
     assert codes == ["SKY401"] * 6
