@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint skylint typecheck test bench-smoke bench-filtered serve-smoke
+.PHONY: lint skylint typecheck test coverage chaos bench-smoke \
+	bench-filtered serve-smoke trace-smoke
 
 # Single entry point: ruff (when installed) + the repo-native skylint
 # pass.  Mirrors the CI lint gates.
@@ -16,10 +17,24 @@ skylint:
 	$(PYTHON) -m repro.analysis src/repro
 
 typecheck:
-	$(PYTHON) -m mypy -p repro.core -p repro.templates -p repro.engine -p repro.analysis
+	$(PYTHON) -m mypy -p repro.core -p repro.templates -p repro.engine \
+		-p repro.analysis -p repro.serve -p repro.trace -p repro.config
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Coverage gate over the serving stack (mirrors the CI coverage job):
+# the serve/trace/config trio must stay >=85% line-covered by tests/.
+coverage:
+	$(PYTHON) -m pytest tests -q \
+		--cov=repro.serve --cov=repro.trace --cov=repro.config \
+		--cov-report=term-missing --cov-fail-under=85
+
+# Worker-kill chaos tests (skipped by plain `make test`): SIGKILL a
+# pool worker mid-batch, require retry/serial recovery, a WorkerDeath
+# trace event, and bit-identical results.
+chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py -q --executor process
 
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_headline.py \
@@ -38,3 +53,10 @@ bench-filtered:
 # queries, live updates, clean SIGTERM drain (see benchmarks/serve_smoke.py).
 serve-smoke:
 	$(PYTHON) benchmarks/serve_smoke.py
+
+# Same smoke with the jsonl tracer on, then gate the trace on the
+# failure taxonomy (mirrors the CI trace-smoke job).
+trace-smoke:
+	$(PYTHON) benchmarks/serve_smoke.py --trace trace-smoke.jsonl
+	$(PYTHON) -m repro trace analyze trace-smoke.jsonl \
+		--fail-on InternalError,unclassified

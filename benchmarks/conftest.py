@@ -35,12 +35,17 @@ def pytest_addoption(parser):
         default=False,
         help="tiny workloads + relaxed magnitude asserts (CI smoke)",
     )
-    parser.addoption(
-        "--executor",
-        choices=["serial", "process"],
-        default="serial",
-        help="execution backend exercised by the executor-aware benches",
-    )
+    # tests/conftest.py registers the same option for the chaos suite;
+    # tolerate the duplicate when both conftests load in one run.
+    try:
+        parser.addoption(
+            "--executor",
+            choices=["serial", "process"],
+            default="serial",
+            help="execution backend exercised by the executor-aware benches",
+        )
+    except ValueError:
+        pass
 
 
 @pytest.fixture

@@ -15,8 +15,15 @@ a separate server *process*, a real TCP socket, a real SIGTERM:
    "drained, bye" farewell on stdout.
 
 Exit status 0 means the whole path works; any assertion kills the job.
+
+``--trace PATH`` and ``--profile PATH`` are forwarded to the server
+verbatim, so the CI ``trace-smoke`` job can run the exact same traffic
+with the jsonl tracer on and feed the result to
+``python -m repro trace analyze``.  With ``--trace`` the driver also
+requires the trace file to be non-empty after the drain.
 """
 
+import argparse
 import os
 import re
 import signal
@@ -35,10 +42,10 @@ QUERIES = 500
 READY_PATTERN = re.compile(r"listening on [\d.]+:(\d+)")
 
 
-def start_server(dataset):
+def start_server(dataset, extra_args=()):
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", dataset,
-         "--port", "0", "--window-ms", "2", "--live"],
+         "--port", "0", "--window-ms", "2", "--live", *extra_args],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -88,6 +95,21 @@ def drive_queries(port):
 
 
 def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="forward --trace PATH to the server (jsonl execution trace)",
+    )
+    parser.add_argument(
+        "--profile", metavar="PATH", default=None,
+        help="forward --profile PATH to the server (deployment profile)",
+    )
+    args = parser.parse_args()
+    extra_args = []
+    if args.profile:
+        extra_args += ["--profile", args.profile]
+    if args.trace:
+        extra_args += ["--trace", args.trace]
     with tempfile.TemporaryDirectory() as tmp:
         dataset = os.path.join(tmp, "smoke.npy")
         subprocess.run(
@@ -96,7 +118,7 @@ def main():
             check=True,
             env={**os.environ, "PYTHONPATH": "src"},
         )
-        process, port = start_server(dataset)
+        process, port = start_server(dataset, extra_args)
         try:
             errors, metrics = drive_queries(port)
             assert not errors, f"{len(errors)} failed queries: {errors[:5]}"
@@ -124,6 +146,16 @@ def main():
         )
         assert "drained, bye" in remainder, remainder
         print("serve-smoke: clean SIGTERM drain, exit 0")
+        if args.trace:
+            assert os.path.exists(args.trace), (
+                f"--trace given but {args.trace} was never written"
+            )
+            with open(args.trace) as handle:
+                lines = sum(1 for _ in handle)
+            assert lines >= QUERIES, (
+                f"trace has {lines} events for {QUERIES} queries"
+            )
+            print(f"serve-smoke: {lines} trace events in {args.trace}")
 
 
 if __name__ == "__main__":

@@ -133,6 +133,12 @@ def cmd_stats(args) -> int:
 def cmd_serve(args) -> int:
     import asyncio
 
+    from repro.config import (
+        DEFAULT_PROFILE,
+        ProfileError,
+        apply_filter_gates,
+        load_profile,
+    )
     from repro.serve import (
         LiveUpdater,
         ServeMetrics,
@@ -141,6 +147,42 @@ def cmd_serve(args) -> int:
         SnapshotHolder,
         run_server,
     )
+    from repro.trace import (
+        NULL_TRACER,
+        JsonlTracer,
+        install_executor_sink,
+        uninstall_executor_sink,
+    )
+
+    if args.profile:
+        try:
+            profile = load_profile(args.profile)
+        except ProfileError as error:
+            raise SystemExit(str(error))
+    else:
+        profile = DEFAULT_PROFILE
+    apply_filter_gates(profile)
+
+    # Precedence: explicit CLI flag > profile > built-in default.  The
+    # argparse defaults are None sentinels so "flag was given" is
+    # detectable; the profile section defaults ARE the old CLI
+    # defaults, so no profile reproduces the old behaviour exactly.
+    def knob(flag, section_value):
+        return flag if flag is not None else section_value
+
+    host = knob(args.host, profile.serve.host)
+    port = knob(args.port, profile.serve.port)
+    window_ms = knob(args.window_ms, profile.serve.window_ms)
+    max_batch = knob(args.max_batch, profile.serve.max_batch)
+    max_pending = knob(args.max_pending, profile.serve.max_pending)
+    max_level = knob(args.max_level, profile.serve.max_level)
+    engine = knob(
+        args.engine,
+        profile.engine.engine if profile.engine.engine is not None
+        else "packed",
+    )
+    live = args.live or profile.serve.live
+    trace_path = knob(args.trace, profile.trace.path)
 
     if args.snapshot:
         from repro.core.serialize import load_skycube
@@ -161,36 +203,90 @@ def cmd_serve(args) -> int:
             )
         )
         updater = None
-        if args.live:
+        if live:
             raise SystemExit(
                 "--live rebuilds from the dataset; drop --snapshot"
             )
     else:
         data = _load(args.dataset)
-        if args.live:
+        if live:
             updater, holder = LiveUpdater.bootstrap(data)
         else:
             updater = None
             holder = SnapshotHolder(
                 ServingSnapshot.build(
-                    data, max_level=args.max_level, engine=args.engine
+                    data, max_level=max_level, engine=engine
                 )
             )
+    tracer = (
+        JsonlTracer(trace_path, flush_every=profile.trace.flush_every)
+        if trace_path
+        else NULL_TRACER
+    )
+    if tracer.enabled:
+        install_executor_sink(tracer.executor_sink())
     service = SkycubeService(
         holder,
-        window=args.window_ms / 1000.0,
-        max_batch=args.max_batch,
-        max_pending=args.max_pending,
+        window=window_ms / 1000.0,
+        max_batch=max_batch,
+        max_pending=max_pending,
         metrics=ServeMetrics(),
         updater=updater,
+        tracer=tracer,
     )
+    if args.profile:
+        print(profile.describe())
     print(
         f"serving n={len(holder.current)} d={holder.current.d} "
-        f"(window={args.window_ms}ms, max_batch={args.max_batch}, "
-        f"max_pending={args.max_pending}, "
-        f"live={'on' if updater else 'off'})"
+        f"(window={window_ms}ms, max_batch={max_batch}, "
+        f"max_pending={max_pending}, "
+        f"live={'on' if updater else 'off'}, "
+        f"trace={trace_path or 'off'})"
     )
-    asyncio.run(run_server(service, host=args.host, port=args.port))
+    try:
+        asyncio.run(run_server(service, host=host, port=port))
+    finally:
+        if tracer.enabled:
+            uninstall_executor_sink()
+            tracer.close()
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.trace import FAILURE_CLASSES
+    from repro.trace.analyze import analyze_file, format_report
+
+    try:
+        report = analyze_file(args.trace_file)
+    except OSError as error:
+        raise SystemExit(f"cannot read trace {args.trace_file}: {error}")
+    fail_on = []
+    if args.fail_on:
+        known = set(FAILURE_CLASSES) | {"unclassified"}
+        for name in args.fail_on.split(","):
+            name = name.strip()
+            if not name:
+                continue
+            if name not in known:
+                raise SystemExit(
+                    f"unknown failure class {name!r}; known: "
+                    + ", ".join(sorted(known))
+                )
+            fail_on.append(name)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report.as_dict(), indent=2))
+    else:
+        print(format_report(report, top=args.top))
+    offending = report.present_classes(fail_on)
+    if offending:
+        print(
+            "trace analyze: failing on "
+            + ", ".join(sorted(offending)),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -286,18 +382,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve = commands.add_parser(
         "serve", help="serve skycube queries over TCP (NDJSON protocol)"
     )
+    # Serve knob defaults are None sentinels: the real defaults live in
+    # repro.config's profile sections, so that an explicit flag beats
+    # the profile, which beats the shipped default.
     serve.add_argument("dataset")
-    serve.add_argument("--host", default="127.0.0.1")
-    serve.add_argument("--port", type=int, default=7171,
-                       help="0 picks an ephemeral port")
-    serve.add_argument("--window-ms", type=float, default=2.0,
-                       help="micro-batching window (0 disables coalescing)")
-    serve.add_argument("--max-batch", type=int, default=64)
-    serve.add_argument("--max-pending", type=int, default=1024,
-                       help="admission bound; beyond it requests are shed")
+    serve.add_argument("--profile", default=None,
+                       help="TOML/YAML deployment profile "
+                            "(see docs/OPERATIONS.md); explicit flags "
+                            "still win")
+    serve.add_argument("--host", default=None,
+                       help="default 127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="default 7171; 0 picks an ephemeral port")
+    serve.add_argument("--window-ms", type=float, default=None,
+                       help="micro-batching window, default 2.0 "
+                            "(0 disables coalescing)")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="default 64")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       help="admission bound, default 1024; beyond it "
+                            "requests are shed")
     serve.add_argument("--engine", choices=SKYCUBE_ENGINES,
-                       default="packed",
-                       help="snapshot bootstrap — " + ENGINE_HELP)
+                       default=None,
+                       help="snapshot bootstrap, default packed — "
+                            + ENGINE_HELP)
     serve.add_argument("--max-level", type=int, default=None,
                        help="materialise a partial cube; higher levels "
                             "fall back to ad-hoc kernels")
@@ -307,7 +415,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--snapshot", default=None,
                        help="serve a pre-materialised .npz skycube "
                             "(save_skycube) instead of building one")
+    serve.add_argument("--trace", default=None, metavar="PATH",
+                       help="append jsonl lifecycle trace events to "
+                            "PATH (see docs/OPERATIONS.md)")
     serve.set_defaults(handler=cmd_serve)
+
+    trace = commands.add_parser(
+        "trace", help="inspect jsonl execution traces"
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command", required=True)
+    analyze = trace_commands.add_parser(
+        "analyze", help="summarise a trace: taxonomy counts, stage "
+                        "latencies, top offenders"
+    )
+    analyze.add_argument("trace_file")
+    analyze.add_argument("--fail-on", default=None,
+                         help="comma-separated failure classes (or "
+                              "'unclassified') that flip the exit code "
+                              "to 1 when present")
+    analyze.add_argument("--top", type=int, default=5,
+                         help="how many offending subspaces to list")
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable report instead of text")
+    analyze.set_defaults(handler=cmd_trace)
 
     query = commands.add_parser(
         "query", help="query a running serve instance"

@@ -85,13 +85,22 @@ class BlockingCallRule(Rule):
     code = "SKY401"
     name = "no-blocking-in-async"
     summary = (
-        "async def bodies in repro.serve must not call blocking "
-        "primitives (time.sleep, sync file/socket I/O, ParallelExecutor "
-        "submission); use asyncio.sleep / asyncio.to_thread"
+        "async def bodies in repro.serve/trace/config must not call "
+        "blocking primitives (time.sleep, sync file/socket I/O, "
+        "ParallelExecutor submission); use asyncio.sleep / "
+        "asyncio.to_thread"
     )
 
+    #: Packages whose coroutines ride the serving event loop.  The
+    #: trace and config layers are called *from* serve coroutines, so
+    #: they get the same hygiene gate.
+    SCOPES = ("repro.serve", "repro.trace", "repro.config")
+
     def applies_to(self, module: str) -> bool:
-        return module == "repro.serve" or module.startswith("repro.serve.")
+        return any(
+            module == scope or module.startswith(scope + ".")
+            for scope in self.SCOPES
+        )
 
     def check(self, context: ModuleContext) -> Iterator[Violation]:
         executor_names = self._executor_bindings(context.tree)

@@ -1,0 +1,35 @@
+"""repro.config — validated deployment profiles for serve and engines.
+
+One small file (TOML, or YAML when PyYAML is present) declares the
+serve-tier and engine knobs of a deployment; :func:`load_profile`
+parses and strictly validates it into a frozen, hashable
+:class:`Profile`.  See :mod:`repro.config.profile` for the format and
+the two invariants (empty profile = shipped defaults bit-for-bit;
+invalid knobs fail naming the key).
+"""
+
+from repro.config.profile import (
+    DEFAULT_PROFILE,
+    EngineSection,
+    FilterSection,
+    Profile,
+    ProfileError,
+    ServeSection,
+    TraceSection,
+    apply_filter_gates,
+    load_profile,
+    profile_from_dict,
+)
+
+__all__ = [
+    "DEFAULT_PROFILE",
+    "EngineSection",
+    "FilterSection",
+    "Profile",
+    "ProfileError",
+    "ServeSection",
+    "TraceSection",
+    "apply_filter_gates",
+    "load_profile",
+    "profile_from_dict",
+]

@@ -1,0 +1,95 @@
+"""Minimal TOML-subset parser used when :mod:`tomllib` is absent.
+
+:mod:`tomllib` only ships with Python 3.11+; the CI matrix still runs
+3.10.  Profiles need a tiny slice of TOML — ``[section]`` headers and
+``key = scalar`` pairs — so rather than vendoring a full parser (or
+adding a dependency, which the build forbids) this module implements
+exactly that slice.  Anything fancier (arrays of tables, multi-line
+strings, dotted keys) raises a :class:`ValueError` naming the line, so
+a profile that needs real TOML fails loudly instead of being
+misread.  On 3.11+ the real :mod:`tomllib` is always used instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+__all__ = ["parse_toml_subset"]
+
+_BOOLEANS = {"true": True, "false": False}
+
+
+def _parse_scalar(text: str, lineno: int) -> Any:
+    """One TOML scalar: string, boolean, integer, or float."""
+    if len(text) >= 2 and text[0] in "\"'" and text[-1] == text[0]:
+        body = text[1:-1]
+        if text[0] in body:
+            raise ValueError(
+                f"line {lineno}: embedded quotes are not supported: {text!r}"
+            )
+        return body
+    if text in _BOOLEANS:
+        return _BOOLEANS[text]
+    try:
+        return int(text.replace("_", ""), 0)
+    except ValueError:
+        pass
+    try:
+        return float(text.replace("_", ""))
+    except ValueError:
+        raise ValueError(
+            f"line {lineno}: cannot parse value {text!r} (only strings, "
+            f"booleans, integers and floats are supported)"
+        ) from None
+
+
+def parse_toml_subset(text: str) -> Dict[str, Any]:
+    """Parse ``[section]`` / ``key = scalar`` TOML into nested dicts."""
+    root: Dict[str, Any] = {}
+    current = root
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("["):
+            if line.startswith("[[") or not line.endswith("]"):
+                raise ValueError(
+                    f"line {lineno}: unsupported table syntax: {line!r}"
+                )
+            name = line[1:-1].strip()
+            if not name or "." in name or '"' in name or "'" in name:
+                raise ValueError(
+                    f"line {lineno}: unsupported section name: {line!r}"
+                )
+            current = root.setdefault(name, {})
+            if not isinstance(current, dict):
+                raise ValueError(
+                    f"line {lineno}: section {name!r} clashes with a key"
+                )
+            continue
+        if "=" not in line:
+            raise ValueError(f"line {lineno}: expected 'key = value': {line!r}")
+        key, _, value = line.partition("=")
+        key = key.strip()
+        value = value.strip()
+        if not key or '"' in key or "'" in key:
+            raise ValueError(f"line {lineno}: unsupported key: {key!r}")
+        if value and value[0] in "\"'":
+            closing = value.find(value[0], 1)
+            if closing == -1:
+                raise ValueError(
+                    f"line {lineno}: unterminated string for {key!r}"
+                )
+            rest = value[closing + 1:].strip()
+            if rest and not rest.startswith("#"):
+                raise ValueError(
+                    f"line {lineno}: trailing content after string "
+                    f"for {key!r}: {rest!r}"
+                )
+            value = value[: closing + 1]
+        elif "#" in value:
+            value = value.partition("#")[0].strip()
+        if not value:
+            raise ValueError(f"line {lineno}: missing value for {key!r}")
+        current[key] = _parse_scalar(value, lineno)
+    return root

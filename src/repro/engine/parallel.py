@@ -215,6 +215,7 @@ class ParallelExecutor:
         task_timeout: Optional[float] = None,
         max_retries: int = 1,
         start_method: Optional[str] = None,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -226,6 +227,28 @@ class ParallelExecutor:
         self.task_timeout = task_timeout
         self.max_retries = max_retries
         self.start_method = start_method
+        #: Observer for executor failure/recovery events (plain dicts
+        #: with a ``kind`` key).  When None, events route to the
+        #: process-global sink a tracer may have installed via
+        #: :func:`repro.trace.install_executor_sink` — so worker deaths
+        #: are first-class trace events, never silent retries.
+        self.on_event = on_event
+
+    def _emit(self, kind: str, **fields: Any) -> None:
+        """Report one executor event; observers must never break runs."""
+        sink = self.on_event
+        if sink is None:
+            from repro.trace import get_executor_sink
+
+            sink = get_executor_sink()
+        if sink is None:
+            return
+        event: Dict[str, Any] = {"kind": kind}
+        event.update(fields)
+        try:
+            sink(event)
+        except Exception:
+            pass
 
     @property
     def is_serial(self) -> bool:
@@ -250,14 +273,27 @@ class ParallelExecutor:
             )
         results: List[Any] = [None] * len(tasks)
         pending = set(range(len(tasks)))
+        degraded = False
         if not self.is_serial and len(tasks) > 1:
-            for _attempt in range(self.max_retries + 1):
+            for attempt in range(self.max_retries + 1):
                 if not pending:
                     break
-                if not self._dispatch(fn, tasks, costs, pending, results):
+                if not self._dispatch(
+                    fn, tasks, costs, pending, results, attempt
+                ):
+                    degraded = True
                     break  # pool cannot start: serial fallback
+                if pending:
+                    degraded = True  # some bins failed; retry or go serial
+                elif degraded:
+                    self._emit(
+                        "retry_recovered", attempt=attempt, tasks=len(tasks)
+                    )
+        serial_leftover = len(pending) if degraded else 0
         for index in sorted(pending):
             results[index] = fn(tasks[index])
+        if serial_leftover:
+            self._emit("serial_recovered", tasks=serial_leftover)
         return results
 
     # -- internals ----------------------------------------------------
@@ -269,6 +305,7 @@ class ParallelExecutor:
         costs: Optional[Sequence[float]],
         pending: Set[int],
         results: List[Any],
+        attempt: int,
     ) -> bool:
         """One pool round over ``pending``; False if no pool started.
 
@@ -288,7 +325,13 @@ class ParallelExecutor:
             pool = ProcessPoolExecutor(
                 max_workers=len(bins), mp_context=context
             )
-        except (OSError, ValueError, PermissionError, RuntimeError):
+        except (OSError, ValueError, PermissionError, RuntimeError) as error:
+            self._emit(
+                "pool_unavailable",
+                attempt=attempt,
+                tasks=len(order),
+                error=type(error).__name__,
+            )
             return False
         healthy = True
         try:
@@ -307,16 +350,36 @@ class ParallelExecutor:
                     indices = futures[future]
                     try:
                         bin_results = future.result()
-                    except Exception:
+                    except BrokenExecutor:
                         healthy = False  # retried, then redone serially
+                        self._emit(
+                            "worker_death",
+                            attempt=attempt,
+                            tasks=len(indices),
+                        )
+                        continue
+                    except Exception as error:
+                        healthy = False
+                        self._emit(
+                            "task_error",
+                            attempt=attempt,
+                            tasks=len(indices),
+                            error=type(error).__name__,
+                        )
                         continue
                     for index, result in zip(indices, bin_results):
                         results[index] = result
                         pending.discard(index)
             except FutureTimeoutError:
                 healthy = False
+                self._emit(
+                    "bin_timeout", attempt=attempt, tasks=len(pending)
+                )
         except BrokenExecutor:
             healthy = False
+            self._emit(
+                "worker_death", attempt=attempt, tasks=len(pending)
+            )
         finally:
             if not healthy:
                 # A rogue or dead worker may still hold the pipe; kill

@@ -12,9 +12,12 @@ files.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.config import Profile
 
 from repro.data.generator import generate
 from repro.data.realistic import load_real
@@ -91,8 +94,27 @@ def build_run(
     executor: str = "serial",
     workers: Optional[int] = None,
     engine: Optional[str] = None,
+    profile: Optional["Profile"] = None,
 ) -> SkycubeRun:
-    """Materialise (once) the named algorithm on a synthetic workload."""
+    """Materialise (once) the named algorithm on a synthetic workload.
+
+    ``profile`` (a frozen :class:`repro.config.Profile`, so the memo
+    key stays hashable) supplies the ``[engine]`` backend knobs for
+    any of ``executor``/``workers``/``engine`` still at their
+    defaults — explicit arguments win, mirroring the serve CLI's
+    flag-beats-profile precedence.  Its ``[filter]`` gates are applied
+    before materialisation.
+    """
+    if profile is not None:
+        from repro.config import apply_filter_gates
+
+        apply_filter_gates(profile)
+        if executor == "serial":
+            executor = profile.engine.executor
+        if workers is None:
+            workers = profile.engine.workers
+        if engine is None:
+            engine = profile.engine.engine
     data = generate(distribution, n, d, seed=seed)
     return _builder(algorithm, executor, workers, engine).materialise(
         data, max_level=max_level

@@ -21,7 +21,16 @@ compares against.
 from __future__ import annotations
 
 import asyncio
-from typing import Awaitable, Callable, Generic, List, Optional, Tuple, TypeVar
+from typing import (
+    Awaitable,
+    Callable,
+    Generic,
+    List,
+    Optional,
+    Tuple,
+    TypeVar,
+    cast,
+)
 
 __all__ = ["MicroBatcher"]
 
@@ -43,12 +52,17 @@ class MicroBatcher(Generic[RequestT, ResponseT]):
         execute: BatchExecutor,
         window: float = 0.002,
         max_batch: int = 64,
+        on_executor_error: Optional[Callable[[int, Exception], None]] = None,
     ) -> None:
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self._execute = execute
+        #: Observer for a whole-flush executor failure ``(batch_size,
+        #: error)`` — the service maps it onto the ``InternalError``
+        #: taxonomy class; waiters still get the exception either way.
+        self.on_executor_error = on_executor_error
         self.window = window
         self.max_batch = max_batch
         self._queue: List[Tuple[RequestT, asyncio.Future]] = []
@@ -133,15 +147,22 @@ class MicroBatcher(Generic[RequestT, ResponseT]):
         requests = [request for request, _ in batch]
         self.flushed_sizes.append(len(requests))
         try:
-            responses = self._execute(requests)
-            if asyncio.iscoroutine(responses):
-                responses = await responses
+            outcome = self._execute(requests)
+            if asyncio.iscoroutine(outcome):
+                responses: List[ResponseT] = await outcome
+            else:
+                responses = cast("List[ResponseT]", outcome)
             if len(responses) != len(requests):
                 raise RuntimeError(
                     f"batch executor returned {len(responses)} responses "
                     f"for {len(requests)} requests"
                 )
         except Exception as error:  # resolve every waiter, never hang
+            if self.on_executor_error is not None:
+                try:
+                    self.on_executor_error(len(requests), error)
+                except Exception:
+                    pass  # an observer must never mask the real failure
             for _, future in batch:
                 if not future.done():
                     future.set_exception(error)

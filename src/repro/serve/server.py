@@ -25,6 +25,8 @@ import signal
 from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.serve.service import BAD_REQUEST, SkycubeService, request_from_json
+from repro.trace import BAD_REQUEST as TAXONOMY_BAD_REQUEST
+from repro.trace import TraceEvent
 
 __all__ = ["SkycubeServer", "run_server"]
 
@@ -155,6 +157,16 @@ class SkycubeServer:
                 obj, self.service.d, asyncio.get_running_loop().time()
             )
         except (ValueError, UnicodeDecodeError) as error:
+            # Rejected before it ever became a Request: trace it here,
+            # at the admit stage, or the failure would be invisible.
+            tracer = self.service.tracer
+            if tracer.enabled:
+                tracer.emit(TraceEvent(
+                    stage="admit", outcome="failure",
+                    failure=TAXONOMY_BAD_REQUEST,
+                    request_id=tracer.next_request_id(),
+                    detail=str(error),
+                ))
             payload: Dict[str, Any] = {
                 "id": request_id,
                 "ok": False,

@@ -17,18 +17,37 @@ Deadlines propagate: a request carries an absolute event-loop deadline
 (set from the client's ``timeout_ms``), and a batch that gets to it too
 late answers ``DeadlineExceeded`` rather than burning compute on an
 answer nobody is waiting for.
+
+When a :class:`~repro.trace.Tracer` is attached, every request leaves
+one event per lifecycle stage — ``admit`` (admission decision),
+``batch`` (queue wait + batch size), ``compute`` (snapshot version +
+execution time) and ``respond`` (final outcome) — and every failure
+carries exactly one class from the typed taxonomy
+(:data:`repro.trace.FAILURE_CLASSES`).  The default
+:data:`~repro.trace.NULL_TRACER` keeps the whole layer free.
 """
 
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.bitmask import parse_subspace
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import ServeMetrics
 from repro.serve.snapshot import LiveUpdater, ServingSnapshot, SnapshotHolder
+from repro.trace import (
+    BAD_REQUEST as TAXONOMY_BAD_REQUEST,
+    DEADLINE_EXCEEDED as TAXONOMY_DEADLINE,
+    INTERNAL_ERROR,
+    NULL_TRACER,
+    SHED,
+    SNAPSHOT_SWAP_RACE,
+    TraceEvent,
+    Tracer,
+    classify_wire_error,
+)
 
 __all__ = [
     "Request",
@@ -63,6 +82,11 @@ class Request:
     point: Optional[Tuple[float, ...]] = None
     #: Absolute event-loop deadline (``loop.time()`` scale), or None.
     deadline: Optional[float] = None
+    #: Trace context, stamped by the service at admission when tracing
+    #: is on; never part of the coalescing key or the wire format.
+    trace_id: Optional[int] = None
+    admit_version: Optional[int] = None
+    admitted_at: Optional[float] = None
 
     def key(self) -> Tuple[Any, ...]:
         """Coalescing key: requests with equal keys share one answer."""
@@ -79,6 +103,10 @@ class Response:
     error: Optional[str] = None
     message: str = ""
     snapshot_version: Optional[int] = None
+    #: Taxonomy class for the trace (never serialised on the wire).
+    #: Set where the failure is diagnosed — the one place with enough
+    #: context to, say, tell a snapshot-swap race from a bad request.
+    failure_class: Optional[str] = None
 
     def to_json(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"ok": self.ok, "op": self.op}
@@ -91,8 +119,16 @@ class Response:
         return payload
 
 
-def _error(op: str, error: str, message: str) -> Response:
-    return Response(op=op, ok=False, error=error, message=message)
+def _error(
+    op: str,
+    error: str,
+    message: str,
+    failure_class: Optional[str] = None,
+) -> Response:
+    return Response(
+        op=op, ok=False, error=error, message=message,
+        failure_class=failure_class,
+    )
 
 
 def request_from_json(
@@ -185,22 +221,34 @@ class SkycubeService:
         max_pending: int = 1024,
         metrics: Optional[ServeMetrics] = None,
         updater: Optional[LiveUpdater] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         self.holder = holder
         self.metrics = metrics if metrics is not None else ServeMetrics()
         self.updater = updater
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.max_pending = max_pending
         self._pending = 0
         self._batcher: MicroBatcher[Request, Response] = MicroBatcher(
-            self._execute_batch, window=window, max_batch=max_batch
+            self._execute_batch, window=window, max_batch=max_batch,
+            on_executor_error=self._on_batch_error,
         )
         self._update_gate = asyncio.Lock()
         self.metrics.observe_snapshot(holder.version)
         holder.subscribe(
             lambda snapshot: self.metrics.observe_snapshot(snapshot.version)
         )
+
+    def _on_batch_error(self, batch_size: int, error: Exception) -> None:
+        """A whole flush failed in the executor: an internal bug."""
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                stage="batch", outcome="failure", failure=INTERNAL_ERROR,
+                batch_size=batch_size,
+                detail=f"{type(error).__name__}: {error}",
+            ))
 
     # -- lifecycle -----------------------------------------------------
 
@@ -228,6 +276,18 @@ class SkycubeService:
         self.metrics.record_request(op)
         loop = asyncio.get_running_loop()
         started = loop.time()
+        tracer = self.tracer
+        if tracer.enabled:
+            # Stamp the trace context once: the request id ties the
+            # four lifecycle events together, and the admit-time
+            # snapshot version is what lets the compute stage tell a
+            # snapshot-swap race from a plain bad request.
+            request = replace(
+                request,
+                trace_id=tracer.next_request_id(),
+                admit_version=self.holder.version,
+                admitted_at=started,
+            )
         try:
             if op in QUERY_OPS:
                 response = await self._submit_query(request)
@@ -247,12 +307,35 @@ class SkycubeService:
             elif op == "delete":
                 response = await self._submit_delete(request)
             else:
-                response = _error(op, BAD_REQUEST, f"unknown op {op!r}")
+                response = _error(
+                    op, BAD_REQUEST, f"unknown op {op!r}",
+                    failure_class=TAXONOMY_BAD_REQUEST,
+                )
         except Exception as error:  # never leak a raw traceback
-            response = _error(op, INTERNAL, f"{type(error).__name__}: {error}")
+            response = _error(
+                op, INTERNAL, f"{type(error).__name__}: {error}",
+                failure_class=INTERNAL_ERROR,
+            )
         if not response.ok and response.error is not None:
             self.metrics.record_error(op, response.error)
         self.metrics.record_latency(op, loop.time() - started)
+        if tracer.enabled:
+            failure = response.failure_class
+            if failure is None and not response.ok:
+                failure = classify_wire_error(
+                    response.error, request.admit_version,
+                    response.snapshot_version,
+                )
+            tracer.emit(TraceEvent(
+                stage="respond",
+                outcome="ok" if response.ok else "failure",
+                failure=failure,
+                request_id=request.trace_id,
+                op=op,
+                delta=request.delta,
+                snapshot_version=response.snapshot_version,
+                duration_ms=1000.0 * (loop.time() - started),
+            ))
         return response
 
     async def _submit_query(self, request: Request) -> Response:
@@ -260,12 +343,26 @@ class SkycubeService:
             # Load shedding: reject *now*, with a typed response the
             # client can back off on, instead of queueing unboundedly.
             self.metrics.record_shed()
+            if self.tracer.enabled:
+                self.tracer.emit(TraceEvent(
+                    stage="admit", outcome="failure", failure=SHED,
+                    request_id=request.trace_id, op=request.op,
+                    delta=request.delta,
+                    extra={"queue_depth": self._pending},
+                ))
             return _error(
                 request.op, OVERLOADED,
                 f"queue full ({self.max_pending} pending)",
+                failure_class=SHED,
             )
         self._pending += 1
         self.metrics.observe_queue_depth(self._pending)
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                stage="admit", request_id=request.trace_id, op=request.op,
+                delta=request.delta,
+                extra={"queue_depth": self._pending},
+            ))
         try:
             return await self._batcher.submit(request)
         finally:
@@ -277,7 +374,9 @@ class SkycubeService:
             return _error(
                 request.op, BAD_REQUEST,
                 "live updates are disabled on this server",
+                failure_class=TAXONOMY_BAD_REQUEST,
             )
+        assert request.point is not None  # request_from_json enforces it
         async with self._update_gate:
             point_id = await asyncio.to_thread(
                 self.updater.insert, request.point
@@ -292,7 +391,9 @@ class SkycubeService:
             return _error(
                 request.op, BAD_REQUEST,
                 "live updates are disabled on this server",
+                failure_class=TAXONOMY_BAD_REQUEST,
             )
+        assert request.point_id is not None  # request_from_json enforces it
         try:
             async with self._update_gate:
                 version = await asyncio.to_thread(
@@ -302,6 +403,7 @@ class SkycubeService:
             return _error(
                 request.op, NOT_FOUND,
                 f"unknown point id {request.point_id}",
+                failure_class=TAXONOMY_BAD_REQUEST,
             )
         return Response(
             op=request.op, ok=True, result={"deleted": request.point_id},
@@ -319,23 +421,60 @@ class SkycubeService:
         are both shared.
         """
         snapshot = self.holder.current
-        now = asyncio.get_running_loop().time()
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        tracer = self.tracer
+        batch_size = len(requests)
         cache: Dict[Tuple[Any, ...], Response] = {}
         responses: List[Response] = []
         for request in requests:
-            if request.deadline is not None and now > request.deadline:
-                responses.append(
-                    _error(
-                        request.op, DEADLINE_EXCEEDED,
-                        "deadline expired before execution",
-                    )
+            if tracer.enabled:
+                waited = (
+                    None if request.admitted_at is None
+                    else 1000.0 * (now - request.admitted_at)
                 )
+                tracer.emit(TraceEvent(
+                    stage="batch", request_id=request.trace_id,
+                    op=request.op, delta=request.delta,
+                    batch_size=batch_size, duration_ms=waited,
+                ))
+            if request.deadline is not None and now > request.deadline:
+                response = _error(
+                    request.op, DEADLINE_EXCEEDED,
+                    "deadline expired before execution",
+                    failure_class=TAXONOMY_DEADLINE,
+                )
+                if tracer.enabled:
+                    tracer.emit(TraceEvent(
+                        stage="compute", outcome="failure",
+                        failure=TAXONOMY_DEADLINE,
+                        request_id=request.trace_id, op=request.op,
+                        delta=request.delta,
+                        snapshot_version=snapshot.version,
+                    ))
+                responses.append(response)
                 continue
             key = request.key()
             response = cache.get(key)
+            coalesced = response is not None
             if response is None:
+                before = loop.time()
                 response = self._answer(snapshot, request)
+                elapsed_ms = 1000.0 * (loop.time() - before)
                 cache[key] = response
+            else:
+                elapsed_ms = 0.0
+            if tracer.enabled:
+                tracer.emit(TraceEvent(
+                    stage="compute",
+                    outcome="ok" if response.ok else "failure",
+                    failure=response.failure_class,
+                    request_id=request.trace_id, op=request.op,
+                    delta=request.delta,
+                    snapshot_version=snapshot.version,
+                    duration_ms=elapsed_ms,
+                    detail="coalesced" if coalesced else None,
+                ))
             responses.append(response)
         self.metrics.record_batch(len(requests))
         return responses
@@ -351,9 +490,21 @@ class SkycubeService:
                 assert request.point_id is not None
                 assert request.delta is not None
                 if not snapshot.knows(request.point_id):
+                    # The one context-dependent classification: if the
+                    # snapshot moved between admission and this batch, a
+                    # racing delete may have removed the point — that is
+                    # the serving layer's race, not the client's mistake.
+                    raced = (
+                        request.admit_version is not None
+                        and snapshot.version != request.admit_version
+                    )
                     return _error(
                         request.op, NOT_FOUND,
                         f"unknown point id {request.point_id}",
+                        failure_class=(
+                            SNAPSHOT_SWAP_RACE if raced
+                            else TAXONOMY_BAD_REQUEST
+                        ),
                     )
                 result = snapshot.membership(request.point_id, request.delta)
             elif request.op == "topk_dynamic":
@@ -365,11 +516,18 @@ class SkycubeService:
                 return _error(
                     request.op, BAD_REQUEST,
                     f"op {request.op!r} is not a batched query",
+                    failure_class=TAXONOMY_BAD_REQUEST,
                 )
         except KeyError as error:
-            return _error(request.op, BAD_REQUEST, str(error))
+            return _error(
+                request.op, BAD_REQUEST, str(error),
+                failure_class=TAXONOMY_BAD_REQUEST,
+            )
         except ValueError as error:
-            return _error(request.op, BAD_REQUEST, str(error))
+            return _error(
+                request.op, BAD_REQUEST, str(error),
+                failure_class=TAXONOMY_BAD_REQUEST,
+            )
         return Response(
             op=request.op, ok=True, result=result,
             snapshot_version=snapshot.version,

@@ -1,0 +1,66 @@
+"""repro.trace — structured execution traces for the serving stack.
+
+The operational flight recorder ROADMAP item 5 asks for: every request
+through :mod:`repro.serve` leaves a jsonl record per lifecycle stage
+(admit → batch → compute → respond), every failure carries exactly one
+class from a small typed taxonomy, and worker deaths inside
+:mod:`repro.engine.parallel` surface as first-class events instead of
+silent retries.  ``python -m repro trace analyze`` turns a trace file
+into a failure summary (per-class counts, per-stage p50/p99, top
+offending subspaces and batch sizes); CI fails on any
+``InternalError`` or unclassified event.
+
+Pieces:
+
+* :mod:`repro.trace.events` — :class:`TraceEvent` and the taxonomy
+  (:data:`FAILURE_CLASSES`, :func:`classify_wire_error`);
+* :mod:`repro.trace.tracer` — :class:`NullTracer` (the free default)
+  and :class:`JsonlTracer` (buffered jsonl sink), plus the global
+  executor sink bridge;
+* :mod:`repro.trace.analyze` — the report reducer behind the CLI
+  (imported lazily: it depends on :mod:`repro.serve.metrics`).
+"""
+
+from repro.trace.events import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    FAILURE_CLASSES,
+    INTERNAL_ERROR,
+    SHED,
+    SNAPSHOT_SWAP_RACE,
+    STAGES,
+    WORKER_DEATH,
+    TraceEvent,
+    classify_wire_error,
+)
+from repro.trace.tracer import (
+    NULL_TRACER,
+    JsonlTracer,
+    NullTracer,
+    Tracer,
+    executor_event_to_trace,
+    get_executor_sink,
+    install_executor_sink,
+    uninstall_executor_sink,
+)
+
+__all__ = [
+    "BAD_REQUEST",
+    "DEADLINE_EXCEEDED",
+    "FAILURE_CLASSES",
+    "INTERNAL_ERROR",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "NullTracer",
+    "SHED",
+    "SNAPSHOT_SWAP_RACE",
+    "STAGES",
+    "TraceEvent",
+    "Tracer",
+    "WORKER_DEATH",
+    "classify_wire_error",
+    "executor_event_to_trace",
+    "get_executor_sink",
+    "install_executor_sink",
+    "uninstall_executor_sink",
+]

@@ -1,0 +1,242 @@
+"""``python -m repro trace analyze`` — failure summaries from a trace.
+
+Ingests a jsonl trace file (written by
+:class:`~repro.trace.tracer.JsonlTracer`) and reduces it to the
+questions an operator asks first:
+
+* how many requests failed, and with which taxonomy class?
+* are there *unclassified* failures (a failure event whose class is
+  missing or unknown — always a bug, and what CI gates on)?
+* what do p50/p99 look like per lifecycle stage (admit → batch →
+  compute → respond), from the same
+  :class:`~repro.serve.metrics.LatencyHistogram` machinery the live
+  ``metrics`` endpoint uses?
+* which subspaces and batch sizes are involved in the most failures?
+
+The module is read-only and stdlib+repro only; it never touches the
+serving process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.serve.metrics import LatencyHistogram
+from repro.trace.events import FAILURE_CLASSES, STAGES, TraceEvent
+
+__all__ = ["TraceReport", "analyze_events", "analyze_file", "format_report"]
+
+#: The pseudo-class ``--fail-on`` accepts besides the real taxonomy.
+UNCLASSIFIED = "unclassified"
+
+
+@dataclass
+class TraceReport:
+    """The reduced view of one trace file."""
+
+    events: int = 0
+    malformed_lines: int = 0
+    requests: int = 0
+    stage_counts: Dict[str, int] = field(default_factory=dict)
+    #: taxonomy class -> failure event count (only classes seen).
+    failures: Dict[str, int] = field(default_factory=dict)
+    #: failure events whose class is missing or not in the taxonomy.
+    unclassified: List[TraceEvent] = field(default_factory=list)
+    #: lifecycle stage -> duration histogram (stages with durations).
+    latency: Dict[str, LatencyHistogram] = field(default_factory=dict)
+    #: subspace delta -> (failure events, total events naming it).
+    subspaces: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: batch size -> occurrences (from ``batch`` stage events).
+    batch_sizes: Dict[int, int] = field(default_factory=dict)
+    #: executor ``kind`` -> count (worker_death, retry_recovered, ...).
+    executor_events: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failed(self) -> int:
+        return sum(self.failures.values()) + len(self.unclassified)
+
+    def present_classes(self, wanted: Sequence[str]) -> List[str]:
+        """Which of ``wanted`` (taxonomy classes or ``unclassified``)
+        actually occur in this trace — the ``--fail-on`` predicate."""
+        hits = []
+        for name in wanted:
+            if name == UNCLASSIFIED:
+                if self.unclassified:
+                    hits.append(name)
+            elif self.failures.get(name, 0) > 0:
+                hits.append(name)
+        return hits
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable view (``--json`` output)."""
+        return {
+            "events": self.events,
+            "malformed_lines": self.malformed_lines,
+            "requests": self.requests,
+            "stages": dict(sorted(self.stage_counts.items())),
+            "failures": dict(sorted(self.failures.items())),
+            "unclassified": len(self.unclassified),
+            "latency_ms": {
+                stage: histogram.as_dict()
+                for stage, histogram in sorted(self.latency.items())
+            },
+            "top_subspaces": [
+                {"delta": delta, "failures": bad, "events": total}
+                for delta, bad, total in top_subspaces(self)
+            ],
+            "batch_sizes": {
+                str(size): count
+                for size, count in sorted(self.batch_sizes.items())
+            },
+            "executor_events": dict(sorted(self.executor_events.items())),
+        }
+
+
+def top_subspaces(
+    report: TraceReport, limit: int = 10
+) -> List[Tuple[int, int, int]]:
+    """``(delta, failures, events)`` rows, worst offenders first."""
+    rows = [
+        (delta, bad, total)
+        for delta, (bad, total) in report.subspaces.items()
+    ]
+    rows.sort(key=lambda row: (-row[1], -row[2], row[0]))
+    return rows[:limit]
+
+
+def analyze_events(events: Iterable[TraceEvent]) -> TraceReport:
+    """Reduce an event stream to a :class:`TraceReport`."""
+    report = TraceReport()
+    request_ids = set()
+    for event in events:
+        report.events += 1
+        report.stage_counts[event.stage] = (
+            report.stage_counts.get(event.stage, 0) + 1
+        )
+        if event.request_id is not None:
+            request_ids.add(event.request_id)
+        if event.outcome == "failure":
+            if event.failure in FAILURE_CLASSES:
+                report.failures[event.failure] = (
+                    report.failures.get(event.failure, 0) + 1
+                )
+            else:
+                report.unclassified.append(event)
+        if event.duration_ms is not None:
+            histogram = report.latency.get(event.stage)
+            if histogram is None:
+                histogram = report.latency[event.stage] = LatencyHistogram()
+            histogram.record(event.duration_ms / 1000.0)
+        if event.delta is not None:
+            bad, total = report.subspaces.get(event.delta, (0, 0))
+            report.subspaces[event.delta] = (
+                bad + (1 if event.outcome == "failure" else 0),
+                total + 1,
+            )
+        if event.stage == "batch" and event.batch_size is not None:
+            report.batch_sizes[event.batch_size] = (
+                report.batch_sizes.get(event.batch_size, 0) + 1
+            )
+        kind = event.extra.get("kind")
+        if kind is not None:
+            report.executor_events[str(kind)] = (
+                report.executor_events.get(str(kind), 0) + 1
+            )
+    report.requests = len(request_ids)
+    return report
+
+
+def analyze_file(path: str) -> TraceReport:
+    """Parse a jsonl trace file; malformed lines are counted, not fatal."""
+    events: List[TraceEvent] = []
+    malformed = 0
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(TraceEvent.from_json(line))
+            except (ValueError, TypeError):
+                malformed += 1
+    report = analyze_events(events)
+    report.malformed_lines = malformed
+    return report
+
+
+def _format_count_table(rows: List[Tuple[str, str]], indent: str = "  ") -> str:
+    if not rows:
+        return f"{indent}(none)"
+    width = max(len(label) for label, _ in rows)
+    return "\n".join(
+        f"{indent}{label.ljust(width)}  {value}" for label, value in rows
+    )
+
+
+def format_report(
+    report: TraceReport, title: Optional[str] = None, top: int = 5
+) -> str:
+    """The human-readable ``trace analyze`` output."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        f"events: {report.events} ({report.requests} requests, "
+        f"{report.malformed_lines} malformed lines)"
+    )
+    lines.append("stages:")
+    lines.append(_format_count_table([
+        (stage, str(report.stage_counts.get(stage, 0)))
+        for stage in STAGES
+        if report.stage_counts.get(stage, 0)
+    ] + [
+        (stage, str(count))
+        for stage, count in sorted(report.stage_counts.items())
+        if stage not in STAGES
+    ]))
+    lines.append(f"failures: {report.failed}")
+    failure_rows = [
+        (name, str(report.failures[name]))
+        for name in FAILURE_CLASSES
+        if report.failures.get(name, 0)
+    ]
+    if report.unclassified:
+        failure_rows.append((UNCLASSIFIED, str(len(report.unclassified))))
+    lines.append(_format_count_table(failure_rows))
+    if report.latency:
+        lines.append("latency per stage (ms):")
+        for stage in STAGES:
+            histogram = report.latency.get(stage)
+            if histogram is None:
+                continue
+            stats = histogram.as_dict()
+            lines.append(
+                f"  {stage.ljust(8)}  p50={stats['p50_ms']:.3f}  "
+                f"p99={stats['p99_ms']:.3f}  mean={stats['mean_ms']:.3f}  "
+                f"n={int(stats['count'])}"
+            )
+    offenders = top_subspaces(report, limit=top)
+    if offenders:
+        lines.append("top subspaces (failures/events):")
+        lines.append(_format_count_table([
+            (f"delta={delta:#b}", f"{bad}/{total}")
+            for delta, bad, total in offenders
+        ]))
+    if report.batch_sizes:
+        batched = sum(report.batch_sizes.values())
+        weighted = sum(
+            size * count for size, count in report.batch_sizes.items()
+        )
+        biggest = max(report.batch_sizes)
+        lines.append(
+            f"batched requests: {batched}, request-weighted mean batch "
+            f"size {weighted / batched:.2f}, max {biggest}"
+        )
+    if report.executor_events:
+        lines.append("executor events:")
+        lines.append(_format_count_table([
+            (kind, str(count))
+            for kind, count in sorted(report.executor_events.items())
+        ]))
+    return "\n".join(lines)

@@ -1,0 +1,219 @@
+"""Trace events and the serving failure taxonomy.
+
+A trace is a flat stream of :class:`TraceEvent` records, one per
+lifecycle stage per request: ``admit`` (admission control decided),
+``batch`` (the micro-batcher flushed the request into a batch),
+``compute`` (the batch executor answered it against one snapshot) and
+``respond`` (the final response left the service).  Infrastructure
+events that are not tied to one request — a worker process dying
+mid-batch, the executor recovering via retry — use the same record
+shape with ``request_id=None``.
+
+Every failed event carries exactly one *taxonomy class* from
+:data:`FAILURE_CLASSES`.  The taxonomy is deliberately small and
+total: every way a request can fail in this serving stack maps to one
+class, so ``trace analyze`` can assert "no unclassified failures" and
+CI can gate on specific classes.
+
+========================  ============================================
+class                     meaning
+========================  ============================================
+``Shed``                  admission control rejected the request (the
+                          bounded queue was full; wire ``Overloaded``)
+``DeadlineExceeded``      the client's deadline expired before the
+                          batch executed
+``WorkerDeath``           a pool worker died mid-task (SIGKILL, OOM);
+                          the executor retried or fell back serially
+``SnapshotSwapRace``      the answer-time snapshot no longer contains
+                          a point that existed at admit time (a racing
+                          delete published a newer version in between)
+``BadRequest``            the client sent something invalid (unknown
+                          op, malformed JSON, unknown point id with no
+                          version race, bad subspace)
+``InternalError``         anything else — a bug; CI fails on any
+========================  ============================================
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "FAILURE_CLASSES",
+    "STAGES",
+    "SHED",
+    "DEADLINE_EXCEEDED",
+    "WORKER_DEATH",
+    "SNAPSHOT_SWAP_RACE",
+    "BAD_REQUEST",
+    "INTERNAL_ERROR",
+    "TraceEvent",
+    "classify_wire_error",
+]
+
+#: The six taxonomy classes.  ``trace analyze`` marks any other value
+#: (or a failure with no class at all) as *unclassified* — a CI error.
+SHED = "Shed"
+DEADLINE_EXCEEDED = "DeadlineExceeded"
+WORKER_DEATH = "WorkerDeath"
+SNAPSHOT_SWAP_RACE = "SnapshotSwapRace"
+BAD_REQUEST = "BadRequest"
+INTERNAL_ERROR = "InternalError"
+
+FAILURE_CLASSES = (
+    SHED,
+    DEADLINE_EXCEEDED,
+    WORKER_DEATH,
+    SNAPSHOT_SWAP_RACE,
+    BAD_REQUEST,
+    INTERNAL_ERROR,
+)
+
+#: Request lifecycle stages, in order.
+STAGES = ("admit", "batch", "compute", "respond")
+
+
+def _json_string(value: str) -> str:
+    """A JSON string literal, fast-pathing the overwhelmingly common
+    case (stage names, ops, taxonomy classes, short details) that needs
+    no escaping.  ``json.dumps`` costs ~5us per call even with the C
+    encoder — too much for four events per request — so it is reserved
+    for strings containing quotes, backslashes or control characters.
+    """
+    if '"' not in value and "\\" not in value and value.isprintable():
+        return f'"{value}"'
+    return json.dumps(value)
+
+
+def _json_scalar(value: Any) -> str:
+    """One JSON value for the open-ended ``extra`` fields."""
+    if type(value) is int:
+        return str(value)
+    if type(value) is str:
+        return _json_string(value)
+    return json.dumps(value)
+
+#: Wire error type (``Response.error``) -> taxonomy class.  ``NotFound``
+#: is context-dependent (see :func:`classify_wire_error`) and
+#: ``Internal`` is the catch-all bug bucket.
+_WIRE_TO_CLASS = {
+    "Overloaded": SHED,
+    "DeadlineExceeded": DEADLINE_EXCEEDED,
+    "BadRequest": BAD_REQUEST,
+    "NotFound": BAD_REQUEST,
+    "Internal": INTERNAL_ERROR,
+}
+
+
+def classify_wire_error(
+    error_type: Optional[str],
+    admit_version: Optional[int] = None,
+    answer_version: Optional[int] = None,
+) -> Optional[str]:
+    """Map a wire error type onto exactly one taxonomy class.
+
+    ``None`` (a successful response) maps to ``None``.  ``NotFound``
+    is the one context-dependent case: when the snapshot version moved
+    between admission and answering, the point may well have existed
+    when the client asked — that is a :data:`SNAPSHOT_SWAP_RACE`, not a
+    client mistake.  Same version on both sides means the client named
+    a point the server never knew: :data:`BAD_REQUEST`.
+    """
+    if error_type is None:
+        return None
+    if (
+        error_type == "NotFound"
+        and admit_version is not None
+        and answer_version is not None
+        and answer_version != admit_version
+    ):
+        return SNAPSHOT_SWAP_RACE
+    return _WIRE_TO_CLASS.get(error_type, INTERNAL_ERROR)
+
+
+@dataclass
+class TraceEvent:
+    """One jsonl trace record.
+
+    ``outcome`` is ``"ok"`` or ``"failure"``; a failure carries its
+    taxonomy class in ``failure``.  All other fields are optional
+    context: ``delta`` identifies the subspace a query touched (the
+    analyze report's "top offending subspaces"), ``batch_size`` the
+    flush this request rode in, ``duration_ms`` how long the stage
+    took, ``snapshot_version`` which snapshot answered.
+    """
+
+    stage: str
+    outcome: str = "ok"
+    failure: Optional[str] = None
+    request_id: Optional[int] = None
+    op: Optional[str] = None
+    delta: Optional[int] = None
+    snapshot_version: Optional[int] = None
+    batch_size: Optional[int] = None
+    duration_ms: Optional[float] = None
+    detail: Optional[str] = None
+    ts: float = field(default_factory=time.time)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """One compact jsonl line; ``None`` fields are omitted.
+
+        Assembled by hand (see :func:`_json_string`) because this runs
+        four times per traced request on the serving hot path; output
+        is byte-identical to ``json.dumps(payload, separators=...)``
+        for escape-free strings.
+        """
+        parts = [
+            f'"ts":{round(self.ts, 6)}',
+            f'"stage":{_json_string(self.stage)}',
+            f'"outcome":{_json_string(self.outcome)}',
+        ]
+        if self.failure is not None:
+            parts.append(f'"failure":{_json_string(self.failure)}')
+        if self.request_id is not None:
+            parts.append(f'"request_id":{self.request_id}')
+        if self.op is not None:
+            parts.append(f'"op":{_json_string(self.op)}')
+        if self.delta is not None:
+            parts.append(f'"delta":{self.delta}')
+        if self.snapshot_version is not None:
+            parts.append(f'"snapshot_version":{self.snapshot_version}')
+        if self.batch_size is not None:
+            parts.append(f'"batch_size":{self.batch_size}')
+        if self.duration_ms is not None:
+            parts.append(f'"duration_ms":{round(self.duration_ms, 4)}')
+        if self.detail is not None:
+            parts.append(f'"detail":{_json_string(self.detail)}')
+        for key, value in self.extra.items():
+            parts.append(f'{_json_string(key)}:{_json_scalar(value)}')
+        return "{" + ",".join(parts) + "}"
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        """Parse one jsonl line back into an event (analyze side)."""
+        obj = json.loads(line)
+        if not isinstance(obj, dict):
+            raise ValueError("trace line is not a JSON object")
+        known = {
+            "stage", "outcome", "failure", "request_id", "op", "delta",
+            "snapshot_version", "batch_size", "duration_ms", "detail", "ts",
+        }
+        extra = {key: value for key, value in obj.items() if key not in known}
+        return cls(
+            stage=str(obj.get("stage", "?")),
+            outcome=str(obj.get("outcome", "ok")),
+            failure=obj.get("failure"),
+            request_id=obj.get("request_id"),
+            op=obj.get("op"),
+            delta=obj.get("delta"),
+            snapshot_version=obj.get("snapshot_version"),
+            batch_size=obj.get("batch_size"),
+            duration_ms=obj.get("duration_ms"),
+            detail=obj.get("detail"),
+            ts=float(obj.get("ts", 0.0)),
+            extra=extra,
+        )

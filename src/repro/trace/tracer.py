@@ -1,0 +1,206 @@
+"""Trace sinks: the no-op default and the buffered jsonl writer.
+
+Tracing is opt-in and designed to cost nothing when off and very
+little when on.  :class:`NullTracer` (the default everywhere) has
+``enabled = False`` so hot paths can skip even *building* an event;
+:class:`JsonlTracer` appends one compact JSON line per event to a
+buffered text file, under a lock so the asyncio event loop, the
+updater's worker threads and the process-pool parent can all emit
+safely.
+
+The executor bridge: :mod:`repro.engine.parallel` knows nothing about
+serving, so it reports worker deaths as plain dicts to whatever sink
+is installed — either an explicit ``on_event`` callback or the
+process-global sink registered here with :func:`install_executor_sink`
+(used by ``python -m repro serve --trace`` so snapshot bootstrap
+failures land in the same trace file as request lifecycles).
+"""
+
+from __future__ import annotations
+
+import io
+import threading
+from types import TracebackType
+from typing import Any, Callable, Dict, Optional, Type
+
+from repro.trace.events import INTERNAL_ERROR, WORKER_DEATH, TraceEvent
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "JsonlTracer",
+    "NULL_TRACER",
+    "install_executor_sink",
+    "uninstall_executor_sink",
+    "get_executor_sink",
+    "executor_event_to_trace",
+]
+
+#: Executor event ``kind`` -> (outcome, taxonomy class or None).
+#: ``worker_death`` covers a killed worker *and* a bin timeout (a hung
+#: worker is indistinguishable from a dead one to the parent); a task
+#: function raising is a bug in the task, hence ``InternalError``.
+_EXECUTOR_KINDS: Dict[str, Optional[str]] = {
+    "worker_death": WORKER_DEATH,
+    "bin_timeout": WORKER_DEATH,
+    "task_error": INTERNAL_ERROR,
+    "pool_unavailable": None,
+    "retry_recovered": None,
+    "serial_recovered": None,
+}
+
+
+def executor_event_to_trace(event: Dict[str, Any]) -> TraceEvent:
+    """Convert a :class:`~repro.engine.parallel.ParallelExecutor` event
+    dict into a :class:`TraceEvent` (stage ``compute``, no request id).
+    """
+    kind = str(event.get("kind", "unknown"))
+    failure = _EXECUTOR_KINDS.get(kind, INTERNAL_ERROR)
+    extra = {"kind": kind}
+    for key in ("tasks", "attempt", "recovered_via"):
+        if key in event:
+            extra[key] = event[key]
+    return TraceEvent(
+        stage="compute",
+        outcome="ok" if failure is None else "failure",
+        failure=failure,
+        detail=event.get("error"),
+        extra=extra,
+    )
+
+
+class Tracer:
+    """Base sink; see :class:`NullTracer` and :class:`JsonlTracer`.
+
+    ``enabled`` is the cheap guard: callers with per-event construction
+    cost (building dicts, reading clocks) check it first.  ``emit``
+    must never raise into the serving path.
+    """
+
+    enabled: bool = False
+
+    def __init__(self) -> None:
+        self._id_lock = threading.Lock()
+        self._next_id = 0
+
+    def next_request_id(self) -> int:
+        """A process-unique, monotonically increasing request id."""
+        with self._id_lock:
+            self._next_id += 1
+            return self._next_id
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event (no-op in the base/null tracer)."""
+
+    def executor_sink(self) -> Callable[[Dict[str, Any]], None]:
+        """An ``on_event`` callback adapting executor dicts to events."""
+
+        def sink(event: Dict[str, Any]) -> None:
+            self.emit(executor_event_to_trace(event))
+
+        return sink
+
+    def flush(self) -> None:
+        """Push buffered events to the sink's backing store."""
+
+    def close(self) -> None:
+        """Flush and release the sink; further emits are dropped."""
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc_value: Optional[BaseException],
+        traceback: Optional[TracebackType],
+    ) -> None:
+        self.close()
+
+
+class NullTracer(Tracer):
+    """The default: tracing off, every call a no-op."""
+
+
+#: Shared no-op instance — safe because it holds no mutable trace state
+#: (request ids remain unique per process, which is all callers need).
+NULL_TRACER = NullTracer()
+
+
+class JsonlTracer(Tracer):
+    """Append-only jsonl sink with small-batch buffering.
+
+    ``flush_every`` bounds how many events can sit in the user-space
+    buffer (a crash loses at most that many lines); ``flush_every=1``
+    makes every event durable immediately at a syscall-per-event cost.
+    """
+
+    enabled = True
+
+    def __init__(self, path: str, flush_every: int = 64) -> None:
+        super().__init__()
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = str(path)
+        self.flush_every = flush_every
+        self._lock = threading.Lock()
+        self._file: Optional[io.TextIOWrapper] = open(
+            self.path, "a", encoding="utf-8"
+        )
+        self._since_flush = 0
+        self.emitted = 0
+
+    def emit(self, event: TraceEvent) -> None:
+        line = event.to_json()
+        with self._lock:
+            if self._file is None:
+                return
+            try:
+                self._file.write(line + "\n")
+                self._since_flush += 1
+                self.emitted += 1
+                if self._since_flush >= self.flush_every:
+                    self._file.flush()
+                    self._since_flush = 0
+            except (OSError, ValueError):
+                pass  # a full disk must not take the serving path down
+
+    def flush(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                try:
+                    self._file.flush()
+                except (OSError, ValueError):
+                    pass
+                self._since_flush = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is None:
+                return
+            file, self._file = self._file, None
+            try:
+                file.flush()
+                file.close()
+            except (OSError, ValueError):
+                pass
+
+
+#: The process-global executor sink (see module docstring).
+_EXECUTOR_SINK: Optional[Callable[[Dict[str, Any]], None]] = None
+
+
+def install_executor_sink(sink: Callable[[Dict[str, Any]], None]) -> None:
+    """Route executor events from *any* ParallelExecutor constructed
+    without an explicit ``on_event`` into ``sink``."""
+    global _EXECUTOR_SINK
+    _EXECUTOR_SINK = sink
+
+
+def uninstall_executor_sink() -> None:
+    global _EXECUTOR_SINK
+    _EXECUTOR_SINK = None
+
+
+def get_executor_sink() -> Optional[Callable[[Dict[str, Any]], None]]:
+    return _EXECUTOR_SINK

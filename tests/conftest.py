@@ -6,6 +6,22 @@ import pytest
 from repro.data.generator import generate
 
 
+def pytest_addoption(parser):
+    # benchmarks/conftest.py defines the same option for its suite; a
+    # combined `pytest tests benchmarks` run loads both conftests, so
+    # tolerate the duplicate registration.
+    try:
+        parser.addoption(
+            "--executor",
+            choices=["serial", "process"],
+            default="serial",
+            help="execution backend; the chaos suite only runs worker-"
+                 "kill tests under '--executor process'",
+        )
+    except ValueError:
+        pass
+
+
 @pytest.fixture
 def flights():
     """Table 1 of the paper: (price, duration, arrival) for f0..f4.

@@ -1,0 +1,176 @@
+"""Chaos tests: kill pool workers mid-batch, assert recovery + taxonomy.
+
+These run only under ``pytest --executor process`` (the CI chaos job);
+the default serial run skips them, since deliberately SIGKILLing
+workers is exactly what a constrained sandbox or a laptop test run
+does not want.  What they pin down, per ISSUE 6:
+
+(a) a run whose worker is SIGKILLed mid-batch still completes, via the
+    executor's retry rounds (or serial fallback),
+(b) the trace records the death as a first-class ``WorkerDeath``
+    event, together with the recovery outcome, and
+(c) the recovered results are bit-identical to the serial reference.
+"""
+
+import os
+import signal
+import sys
+
+import pytest
+
+from repro.engine.parallel import ParallelExecutor
+from repro.trace import (
+    INTERNAL_ERROR,
+    WORKER_DEATH,
+    JsonlTracer,
+    executor_event_to_trace,
+    install_executor_sink,
+    uninstall_executor_sink,
+)
+from repro.trace.analyze import analyze_file
+
+pytestmark = pytest.mark.skipif(
+    not sys.platform.startswith("linux"),
+    reason="SIGKILL worker chaos needs linux process semantics",
+)
+
+
+@pytest.fixture(autouse=True)
+def _only_with_process_executor(request):
+    if request.config.getoption("--executor", default="serial") != "process":
+        pytest.skip("chaos tests run under --executor process only")
+
+
+def _kill_once_task(task):
+    """Dies by SIGKILL the first time any worker runs it; the sentinel
+    file makes every later attempt (retry round, serial fallback)
+    compute normally."""
+    sentinel, value = task
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 3
+
+
+def _buggy_task(task):
+    raise ValueError("task bug")
+
+
+class TestWorkerDeath:
+    def test_sigkill_mid_batch_recovers_bit_identically(self, tmp_path):
+        events = []
+        executor = ParallelExecutor(
+            workers=2, max_retries=2, start_method="fork",
+            on_event=events.append,
+        )
+        sentinel = str(tmp_path / "killed")
+        tasks = [(sentinel, value) for value in range(8)]
+
+        results = executor.run(_kill_once_task, tasks)
+
+        # (a) + (c): completed, and equal to the serial reference.
+        assert results == [value * 3 for value in range(8)]
+        assert os.path.exists(sentinel)  # the kill really happened
+        # (b): the death and the recovery are first-class events.
+        kinds = [event["kind"] for event in events]
+        assert "worker_death" in kinds
+        assert kinds[-1] in ("retry_recovered", "serial_recovered")
+        assert "task_error" not in kinds
+        death = next(e for e in events if e["kind"] == "worker_death")
+        assert death["tasks"] >= 1
+        assert death["attempt"] == 0
+
+    def test_worker_death_lands_in_trace_file_classified(self, tmp_path):
+        path = str(tmp_path / "chaos.jsonl")
+        tracer = JsonlTracer(path, flush_every=1)
+        install_executor_sink(tracer.executor_sink())
+        try:
+            executor = ParallelExecutor(
+                workers=2, max_retries=1, start_method="fork"
+            )
+            sentinel = str(tmp_path / "killed")
+            results = executor.run(
+                _kill_once_task,
+                [(sentinel, value) for value in range(6)],
+            )
+        finally:
+            uninstall_executor_sink()
+            tracer.close()
+
+        assert results == [value * 3 for value in range(6)]
+        report = analyze_file(path)
+        assert report.failures.get(WORKER_DEATH, 0) >= 1
+        assert report.unclassified == []
+        assert report.executor_events.get("worker_death", 0) >= 1
+        recovery = set(report.executor_events) & {
+            "retry_recovered", "serial_recovered",
+        }
+        assert recovery  # the retry outcome is recorded, not silent
+
+    def test_exhausted_retries_fall_back_serially(self, tmp_path):
+        """max_retries=0: the single pool round dies, the serial
+        fallback completes the work, and the trace says so."""
+        events = []
+        executor = ParallelExecutor(
+            workers=2, max_retries=0, start_method="fork",
+            on_event=events.append,
+        )
+        sentinel = str(tmp_path / "killed")
+        results = executor.run(
+            _kill_once_task, [(sentinel, value) for value in range(4)]
+        )
+        assert results == [value * 3 for value in range(4)]
+        kinds = [event["kind"] for event in events]
+        assert "worker_death" in kinds
+        assert kinds[-1] == "serial_recovered"
+
+
+class TestTaskBugs:
+    def test_task_exception_is_internal_error_not_worker_death(self):
+        events = []
+        executor = ParallelExecutor(
+            workers=2, max_retries=0, start_method="fork",
+            on_event=events.append,
+        )
+        # The serial fallback re-raises the bug — correctness first.
+        with pytest.raises(ValueError, match="task bug"):
+            executor.run(_buggy_task, list(range(4)))
+        kinds = {event["kind"] for event in events}
+        assert "task_error" in kinds
+        assert "worker_death" not in kinds
+        task_error = next(
+            event for event in events if event["kind"] == "task_error"
+        )
+        assert task_error["error"] == "ValueError"
+        assert executor_event_to_trace(task_error).failure == INTERNAL_ERROR
+
+
+class TestEventPlumbing:
+    def test_clean_run_emits_no_events(self):
+        events = []
+        executor = ParallelExecutor(
+            workers=2, max_retries=1, start_method="fork",
+            on_event=events.append,
+        )
+        results = executor.run(_square, list(range(10)))
+        assert results == [value * value for value in range(10)]
+        assert events == []
+
+    def test_broken_sink_never_breaks_the_run(self, tmp_path):
+        def broken_sink(event):
+            raise RuntimeError("observer bug")
+
+        executor = ParallelExecutor(
+            workers=2, max_retries=1, start_method="fork",
+            on_event=broken_sink,
+        )
+        sentinel = str(tmp_path / "killed")
+        results = executor.run(
+            _kill_once_task, [(sentinel, value) for value in range(4)]
+        )
+        assert results == [value * 3 for value in range(4)]
+
+
+def _square(value):
+    return value * value

@@ -243,6 +243,8 @@ class TestService:
         shed = [r for r in responses if r.error == "Overloaded"]
         assert len(ok) + len(shed) == 64
         assert len(shed) >= 1
+        # Every shed response carries its taxonomy class for the trace.
+        assert all(r.failure_class == "Shed" for r in shed)
         assert metrics.shed == len(shed)
         # The bounded queue never exceeded its configured bound.
         assert metrics.peak_queue_depth <= 8
@@ -265,7 +267,9 @@ class TestService:
 
         expired, generous = run(scenario())
         assert expired.error == "DeadlineExceeded"
+        assert expired.failure_class == "DeadlineExceeded"
         assert generous.ok
+        assert generous.failure_class is None
 
     def test_metrics_and_ping_ops(self, holder):
         async def scenario():

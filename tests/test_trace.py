@@ -1,0 +1,520 @@
+"""Tests for repro.trace: events, taxonomy, sinks, and analyze.
+
+The load-bearing property (ISSUE 6): every shed/deadline/worker-death/
+bad-request/race/bug path through the serving stack maps to **exactly
+one** taxonomy class, and ``trace analyze`` finds no unclassified
+events on any of them.
+"""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.data.generator import generate
+from repro.serve import (
+    Request,
+    ServingSnapshot,
+    SkycubeServer,
+    SkycubeService,
+    SnapshotHolder,
+)
+from repro.trace import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    FAILURE_CLASSES,
+    INTERNAL_ERROR,
+    NULL_TRACER,
+    SHED,
+    SNAPSHOT_SWAP_RACE,
+    STAGES,
+    WORKER_DEATH,
+    JsonlTracer,
+    TraceEvent,
+    Tracer,
+    classify_wire_error,
+    executor_event_to_trace,
+    get_executor_sink,
+    install_executor_sink,
+    uninstall_executor_sink,
+)
+from repro.trace.analyze import analyze_events, analyze_file, format_report
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class ListTracer(Tracer):
+    """Test sink: keeps every event in order, in memory."""
+
+    enabled = True
+
+    def __init__(self):
+        super().__init__()
+        self.events = []
+
+    def emit(self, event):
+        self.events.append(event)
+
+    def by_stage(self, stage):
+        return [event for event in self.events if event.stage == stage]
+
+
+@pytest.fixture
+def data():
+    return generate("independent", 80, 4, seed=11)
+
+
+@pytest.fixture
+def holder(data):
+    return SnapshotHolder(ServingSnapshot.build(data))
+
+
+async def traced_service(holder, **kwargs):
+    tracer = ListTracer()
+    service = SkycubeService(holder, tracer=tracer, **kwargs)
+    await service.start()
+    return service, tracer
+
+
+# -- taxonomy ----------------------------------------------------------
+
+
+class TestTaxonomy:
+    def test_wire_errors_map_to_exactly_one_class(self):
+        for wire, expected in [
+            ("Overloaded", SHED),
+            ("DeadlineExceeded", DEADLINE_EXCEEDED),
+            ("BadRequest", BAD_REQUEST),
+            ("NotFound", BAD_REQUEST),
+            ("Internal", INTERNAL_ERROR),
+            ("SomethingNovel", INTERNAL_ERROR),  # catch-all: a bug
+        ]:
+            got = classify_wire_error(wire)
+            assert got == expected
+            assert got in FAILURE_CLASSES
+
+    def test_success_maps_to_none(self):
+        assert classify_wire_error(None) is None
+
+    def test_not_found_with_version_race_is_swap_race(self):
+        assert classify_wire_error("NotFound", 3, 4) == SNAPSHOT_SWAP_RACE
+        assert classify_wire_error("NotFound", 3, 3) == BAD_REQUEST
+        # Missing context degrades to the client-mistake reading.
+        assert classify_wire_error("NotFound", None, 4) == BAD_REQUEST
+
+
+# -- events ------------------------------------------------------------
+
+
+class TestTraceEvent:
+    def test_json_round_trip(self):
+        event = TraceEvent(
+            stage="compute", outcome="failure", failure=SHED,
+            request_id=7, op="skyline", delta=5, snapshot_version=2,
+            batch_size=16, duration_ms=1.25, detail="x",
+            ts=1234.5,  # to_json rounds ts; pin it so equality is exact
+            extra={"queue_depth": 9},
+        )
+        back = TraceEvent.from_json(event.to_json())
+        assert back == event
+
+    def test_none_fields_omitted_on_the_wire(self):
+        line = TraceEvent(stage="admit").to_json()
+        payload = json.loads(line)
+        assert set(payload) == {"ts", "stage", "outcome"}
+
+    def test_unknown_keys_land_in_extra(self):
+        back = TraceEvent.from_json(
+            '{"stage": "compute", "kind": "worker_death", "tasks": 3}'
+        )
+        assert back.extra == {"kind": "worker_death", "tasks": 3}
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            TraceEvent.from_json("[1, 2]")
+        with pytest.raises(ValueError):
+            TraceEvent.from_json("not json at all")
+
+
+# -- sinks -------------------------------------------------------------
+
+
+class TestJsonlTracer:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with JsonlTracer(str(path), flush_every=1) as tracer:
+            for index in range(5):
+                tracer.emit(TraceEvent(stage="admit", request_id=index))
+        lines = path.read_text().splitlines()
+        assert len(lines) == 5
+        assert [TraceEvent.from_json(line).request_id for line in lines] == [
+            0, 1, 2, 3, 4,
+        ]
+
+    def test_buffering_respects_flush_every(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(str(path), flush_every=100)
+        try:
+            tracer.emit(TraceEvent(stage="admit"))
+            assert path.read_text() == ""  # still buffered
+            tracer.flush()
+            assert len(path.read_text().splitlines()) == 1
+        finally:
+            tracer.close()
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = JsonlTracer(str(path), flush_every=1)
+        tracer.close()
+        tracer.emit(TraceEvent(stage="admit"))  # must not raise
+        assert tracer.emitted == 0
+
+    def test_request_ids_unique_across_threads(self, tmp_path):
+        tracer = JsonlTracer(str(tmp_path / "t.jsonl"))
+        seen = []
+
+        def grab():
+            seen.extend(tracer.next_request_id() for _ in range(200))
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        tracer.close()
+        assert len(set(seen)) == 800
+
+    def test_null_tracer_is_disabled(self):
+        assert NULL_TRACER.enabled is False
+        NULL_TRACER.emit(TraceEvent(stage="admit"))  # no-op, no error
+
+
+class TestExecutorBridge:
+    def test_kind_classification(self):
+        cases = {
+            "worker_death": (WORKER_DEATH, "failure"),
+            "bin_timeout": (WORKER_DEATH, "failure"),
+            "task_error": (INTERNAL_ERROR, "failure"),
+            "pool_unavailable": (None, "ok"),
+            "retry_recovered": (None, "ok"),
+            "serial_recovered": (None, "ok"),
+        }
+        for kind, (failure, outcome) in cases.items():
+            event = executor_event_to_trace(
+                {"kind": kind, "tasks": 2, "attempt": 0}
+            )
+            assert event.stage == "compute"
+            assert event.failure == failure
+            assert event.outcome == outcome
+            assert event.extra["kind"] == kind
+            assert event.extra["tasks"] == 2
+
+    def test_unknown_kind_is_internal_error(self):
+        assert executor_event_to_trace({"kind": "??"}).failure == (
+            INTERNAL_ERROR
+        )
+
+    def test_global_sink_install_uninstall(self):
+        tracer = ListTracer()
+        install_executor_sink(tracer.executor_sink())
+        try:
+            sink = get_executor_sink()
+            assert sink is not None
+            sink({"kind": "worker_death", "tasks": 1})
+            assert tracer.events[0].failure == WORKER_DEATH
+        finally:
+            uninstall_executor_sink()
+        assert get_executor_sink() is None
+
+
+# -- the service lifecycle, traced ------------------------------------
+
+
+class TestServiceTracing:
+    def test_success_leaves_all_four_stages(self, holder):
+        async def scenario():
+            service, tracer = await traced_service(holder, window=0.0)
+            response = await service.submit(Request(op="skyline", delta=3))
+            await service.stop()
+            return response, tracer
+
+        response, tracer = run(scenario())
+        assert response.ok
+        stages = [event.stage for event in tracer.events]
+        assert stages == list(STAGES)
+        ids = {event.request_id for event in tracer.events}
+        assert len(ids) == 1  # one trace id ties the lifecycle together
+        assert all(event.outcome == "ok" for event in tracer.events)
+        compute = tracer.by_stage("compute")[0]
+        assert compute.snapshot_version == holder.version
+        assert compute.duration_ms is not None
+
+    def test_shed_is_classified_shed(self, holder):
+        async def scenario():
+            service, tracer = await traced_service(
+                holder, window=0.2, max_batch=512, max_pending=4
+            )
+            responses = await asyncio.gather(
+                *(service.submit(Request(op="skyline", delta=1))
+                  for _ in range(32))
+            )
+            await service.stop()
+            return responses, tracer
+
+        responses, tracer = run(scenario())
+        shed = [r for r in responses if r.error == "Overloaded"]
+        assert shed and all(r.failure_class == SHED for r in shed)
+        shed_admits = [
+            event for event in tracer.by_stage("admit")
+            if event.outcome == "failure"
+        ]
+        assert len(shed_admits) == len(shed)
+        assert all(event.failure == SHED for event in shed_admits)
+        assert all(
+            "queue_depth" in event.extra for event in shed_admits
+        )
+        shed_responds = [
+            event for event in tracer.by_stage("respond")
+            if event.outcome == "failure"
+        ]
+        assert all(event.failure == SHED for event in shed_responds)
+
+    def test_deadline_is_classified_deadline(self, holder):
+        async def scenario():
+            service, tracer = await traced_service(holder, window=0.05)
+            loop = asyncio.get_running_loop()
+            response = await service.submit(
+                Request(op="skyline", delta=1, deadline=loop.time() + 1e-4)
+            )
+            await service.stop()
+            return response, tracer
+
+        response, tracer = run(scenario())
+        assert response.error == "DeadlineExceeded"
+        assert response.failure_class == DEADLINE_EXCEEDED
+        failures = [
+            event for event in tracer.events if event.outcome == "failure"
+        ]
+        assert failures
+        assert all(event.failure == DEADLINE_EXCEEDED for event in failures)
+
+    def test_unknown_point_without_race_is_bad_request(self, holder):
+        async def scenario():
+            service, tracer = await traced_service(holder, window=0.0)
+            response = await service.submit(
+                Request(op="membership", point_id=10_000, delta=1)
+            )
+            await service.stop()
+            return response, tracer
+
+        response, tracer = run(scenario())
+        assert response.error == "NotFound"
+        assert response.failure_class == BAD_REQUEST
+        respond = tracer.by_stage("respond")[0]
+        assert respond.failure == BAD_REQUEST
+
+    def test_snapshot_swap_race_is_classified_race(self, data, holder):
+        async def scenario():
+            service, tracer = await traced_service(
+                holder, window=0.05, max_batch=512
+            )
+            # Park a membership query for a point the *current* snapshot
+            # knows, then publish a smaller snapshot before the window
+            # closes: by answer time the point is gone.
+            waiter = asyncio.ensure_future(
+                service.submit(Request(op="membership", point_id=60, delta=1))
+            )
+            await asyncio.sleep(0.01)
+            holder.publish(
+                ServingSnapshot.build(
+                    data[:40], version=holder.version + 1
+                )
+            )
+            response = await waiter
+            await service.stop()
+            return response, tracer
+
+        response, tracer = run(scenario())
+        assert response.error == "NotFound"
+        assert response.failure_class == SNAPSHOT_SWAP_RACE
+        compute = [
+            event for event in tracer.by_stage("compute")
+            if event.outcome == "failure"
+        ]
+        assert compute and compute[0].failure == SNAPSHOT_SWAP_RACE
+        respond = tracer.by_stage("respond")[0]
+        assert respond.failure == SNAPSHOT_SWAP_RACE
+
+    def test_batch_executor_bug_is_internal_error(self, holder):
+        async def scenario():
+            service, tracer = await traced_service(holder, window=0.0)
+
+            def boom(requests):
+                raise RuntimeError("executor exploded")
+
+            service._batcher._execute = boom
+            response = await service.submit(Request(op="skyline", delta=1))
+            await service.stop()
+            return response, tracer
+
+        response, tracer = run(scenario())
+        assert response.error == "Internal"
+        assert response.failure_class == INTERNAL_ERROR
+        batch_failures = [
+            event for event in tracer.by_stage("batch")
+            if event.outcome == "failure"
+        ]
+        assert batch_failures
+        assert batch_failures[0].failure == INTERNAL_ERROR
+        assert "RuntimeError" in (batch_failures[0].detail or "")
+
+    def test_coalesced_requests_share_one_computation(self, holder):
+        async def scenario():
+            service, tracer = await traced_service(
+                holder, window=0.02, max_batch=256
+            )
+            await asyncio.gather(
+                *(service.submit(Request(op="skyline", delta=3))
+                  for _ in range(10))
+            )
+            await service.stop()
+            return tracer
+
+        tracer = run(scenario())
+        computes = tracer.by_stage("compute")
+        coalesced = [
+            event for event in computes if event.detail == "coalesced"
+        ]
+        assert len(computes) == 10
+        assert len(coalesced) >= 5  # dedup really happened
+
+    def test_dedup_key_ignores_trace_context(self):
+        a = Request(op="skyline", delta=3, trace_id=1, admit_version=0,
+                    admitted_at=1.0)
+        b = Request(op="skyline", delta=3, trace_id=2, admit_version=4,
+                    admitted_at=2.0)
+        assert a.key() == b.key()
+
+    def test_malformed_wire_line_traced_at_admit(self, holder):
+        async def scenario():
+            tracer = ListTracer()
+            service = SkycubeService(holder, window=0.0, tracer=tracer)
+            await service.start()
+            server = SkycubeServer(service, port=0)
+            await server.start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"not json\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            writer.close()
+            await writer.wait_closed()
+            server.request_shutdown()
+            await server.serve_until_shutdown()
+            return response, tracer
+
+        response, tracer = run(scenario())
+        assert response["error"]["type"] == "BadRequest"
+        admits = tracer.by_stage("admit")
+        assert admits and admits[0].failure == BAD_REQUEST
+
+    def test_every_failure_path_is_classified(self, holder):
+        """The ISSUE 6 acceptance line: shed, deadline and bad-request
+        paths all leave zero unclassified events for analyze."""
+
+        async def scenario():
+            service, tracer = await traced_service(
+                holder, window=0.05, max_batch=512, max_pending=4
+            )
+            loop = asyncio.get_running_loop()
+            jobs = [
+                service.submit(Request(op="skyline", delta=1))
+                for _ in range(16)
+            ]
+            jobs.append(service.submit(
+                Request(op="skyline", delta=1, deadline=loop.time() + 1e-4)
+            ))
+            jobs.append(service.submit(
+                Request(op="membership", point_id=9_999, delta=1)
+            ))
+            await asyncio.gather(*jobs)
+            await service.stop()
+            return tracer
+
+        tracer = run(scenario())
+        report = analyze_events(tracer.events)
+        assert report.unclassified == []
+        assert report.failed > 0
+
+
+# -- analyze -----------------------------------------------------------
+
+
+def _sample_events():
+    return [
+        TraceEvent(stage="admit", request_id=1, op="skyline", delta=5),
+        TraceEvent(stage="batch", request_id=1, op="skyline", delta=5,
+                   batch_size=4, duration_ms=2.0),
+        TraceEvent(stage="compute", request_id=1, op="skyline", delta=5,
+                   duration_ms=0.5, snapshot_version=0),
+        TraceEvent(stage="respond", request_id=1, op="skyline", delta=5,
+                   duration_ms=3.0),
+        TraceEvent(stage="admit", outcome="failure", failure=SHED,
+                   request_id=2, op="skyline", delta=5),
+        TraceEvent(stage="compute", outcome="failure",
+                   failure=WORKER_DEATH, extra={"kind": "worker_death"}),
+        TraceEvent(stage="respond", outcome="failure", failure="Mystery",
+                   request_id=3),
+    ]
+
+
+class TestAnalyze:
+    def test_counts_and_classes(self):
+        report = analyze_events(_sample_events())
+        assert report.events == 7
+        assert report.requests == 3
+        assert report.failures == {SHED: 1, WORKER_DEATH: 1}
+        assert len(report.unclassified) == 1
+        assert report.failed == 3
+        assert report.stage_counts["admit"] == 2
+        assert report.batch_sizes == {4: 1}
+        assert report.executor_events == {"worker_death": 1}
+        assert report.subspaces[5] == (1, 5)
+
+    def test_present_classes_drives_fail_on(self):
+        report = analyze_events(_sample_events())
+        assert report.present_classes([SHED]) == [SHED]
+        assert report.present_classes([DEADLINE_EXCEEDED]) == []
+        assert report.present_classes(["unclassified"]) == ["unclassified"]
+
+    def test_latency_percentiles_present(self):
+        report = analyze_events(_sample_events())
+        assert set(report.latency) == {"batch", "compute", "respond"}
+        stats = report.latency["batch"].as_dict()
+        assert stats["count"] == 1
+
+    def test_file_round_trip_counts_malformed(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        lines = [event.to_json() for event in _sample_events()]
+        lines.insert(2, "this line is garbage")
+        path.write_text("\n".join(lines) + "\n")
+        report = analyze_file(str(path))
+        assert report.events == 7
+        assert report.malformed_lines == 1
+
+    def test_format_report_mentions_the_essentials(self):
+        text = format_report(analyze_events(_sample_events()))
+        assert "failures: 3" in text
+        assert SHED in text
+        assert WORKER_DEATH in text
+        assert "unclassified" in text
+        assert "delta=0b101" in text
+
+    def test_as_dict_is_json_serialisable(self):
+        payload = analyze_events(_sample_events()).as_dict()
+        json.dumps(payload)  # must not raise
+        assert payload["failures"] == {SHED: 1, WORKER_DEATH: 1}
+        assert payload["unclassified"] == 1
