@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: lint skylint typecheck test coverage chaos bench-smoke \
+.PHONY: lint skylint skylint-baseline skylint-sarif skylint-timing \
+	typecheck test coverage chaos bench-smoke \
 	bench-filtered serve-smoke trace-smoke
 
 # Single entry point: ruff (when installed) + the repo-native skylint
@@ -13,8 +14,28 @@ lint: skylint
 		echo "ruff not installed; skipping (pip install -e .[lint])"; \
 	fi
 
+# Incremental by default: unchanged files (and unchanged dependency
+# closures, for the call-graph rules) replay cached findings.  Stale
+# allowlist entries fail the run so suppressions never fossilise.
 skylint:
-	$(PYTHON) -m repro.analysis src/repro
+	$(PYTHON) -m repro.analysis src/repro \
+		--cache-dir .skylint_cache --fail-on-stale-allowlist
+
+# Adopt-the-linter workflow: record today's findings, then gate only
+# on new ones (see docs/ANALYSIS.md, "Baselines").
+skylint-baseline:
+	$(PYTHON) -m repro.analysis src/repro \
+		--write-baseline skylint-baseline.json
+
+# SARIF 2.1.0 for GitHub code scanning (uploaded by the CI job).
+skylint-sarif:
+	$(PYTHON) -m repro.analysis src/repro \
+		--cache-dir .skylint_cache --format sarif > skylint.sarif
+
+# Cold-vs-warm timing gate; writes results/skylint_timing.txt and
+# requires the warm full run < 5 s and >= 5x faster than cold.
+skylint-timing:
+	$(PYTHON) benchmarks/bench_skylint_timing.py
 
 typecheck:
 	$(PYTHON) -m mypy -p repro.core -p repro.templates -p repro.engine \

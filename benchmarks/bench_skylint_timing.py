@@ -1,0 +1,89 @@
+"""skylint incremental-cache timing gate.
+
+Runs the full flow-aware pass (module rules + call-graph rules) over
+``src/repro`` twice against one cache directory: once cold (empty
+cache — every file parses, the project rules run) and once warm (no
+file changed — findings replay from the cache without parsing a
+single module).  Writes ``results/skylint_timing.txt`` and enforces
+the performance contract that makes the linter usable as a save-hook:
+
+* the warm full run finishes in under ``WARM_BUDGET_S`` seconds;
+* the warm run is at least ``MIN_SPEEDUP``x faster than the cold run;
+* both runs report identical findings (the cache never changes the
+  answer, only the cost).
+"""
+
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis import analyse_paths  # noqa: E402
+
+WARM_BUDGET_S = 5.0
+MIN_SPEEDUP = 5.0
+
+
+def main() -> int:
+    target = REPO / "src" / "repro"
+    with tempfile.TemporaryDirectory(prefix="skylint-cache-") as tmp:
+        cache_dir = Path(tmp)
+
+        start = time.perf_counter()
+        cold = analyse_paths([target], cache_dir=cache_dir)
+        cold_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = analyse_paths([target], cache_dir=cache_dir)
+        warm_s = time.perf_counter() - start
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    failures = []
+    if not warm.cache_stats or not warm.cache_stats.get("warm"):
+        failures.append(f"warm run was not fully cached: {warm.cache_stats}")
+    if [v.to_json() for v in warm.violations] != [
+        v.to_json() for v in cold.violations
+    ]:
+        failures.append("warm and cold runs disagree on findings")
+    if warm_s >= WARM_BUDGET_S:
+        failures.append(
+            f"warm full run took {warm_s:.2f}s (budget {WARM_BUDGET_S:.0f}s)"
+        )
+    if speedup < MIN_SPEEDUP:
+        failures.append(
+            f"warm speedup {speedup:.1f}x is below {MIN_SPEEDUP:.0f}x"
+        )
+
+    lines = [
+        "skylint incremental-cache timing (full src/repro run)",
+        f"files analysed:      {cold.files_checked}",
+        f"violations:          {len(cold.violations)}",
+        f"cold run:            {cold_s:.3f} s (empty cache)",
+        f"warm run:            {warm_s:.3f} s "
+        f"(cache stats: {warm.cache_stats})",
+        f"speedup:             {speedup:.1f}x "
+        f"(required >= {MIN_SPEEDUP:.0f}x)",
+        f"warm budget:         {warm_s:.3f} s < {WARM_BUDGET_S:.0f} s "
+        f"required: {'PASS' if warm_s < WARM_BUDGET_S else 'FAIL'}",
+    ]
+    if failures:
+        lines.append("FAILURES:")
+        lines.extend(f"  - {failure}" for failure in failures)
+    report = "\n".join(lines) + "\n"
+
+    out = REPO / "results" / "skylint_timing.txt"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(report)
+    print(report, end="")
+
+    if failures:
+        print("bench_skylint_timing: FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -31,11 +31,14 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
 __all__ = [
     "Violation",
     "Rule",
+    "ProjectRule",
     "ModuleContext",
     "Allowlist",
     "RULE_REGISTRY",
     "register_rule",
     "all_rules",
+    "known_codes",
+    "unknown_code_error",
 ]
 
 #: ``# skylint: disable`` or ``# skylint: disable=SKY001,SKY102``.
@@ -193,6 +196,10 @@ class Rule(ABC):
     name: str = ""
     #: One-line statement of the enforced contract.
     summary: str = ""
+    #: Whether the rule needs whole-program context (call graph).  The
+    #: runner invalidates cached findings of such rules when any
+    #: *dependency* of a file changes, not just the file itself.
+    requires_project: bool = False
 
     def applies_to(self, module: str) -> bool:
         """Whether this rule runs on the given dotted module name."""
@@ -201,6 +208,33 @@ class Rule(ABC):
     @abstractmethod
     def check(self, context: ModuleContext) -> Iterator[Violation]:
         """Yield every violation found in the module."""
+
+
+class ProjectRule(Rule):
+    """A rule that analyses the whole project at once.
+
+    Flow-aware rules (transitive blocking, shared-memory lifecycle
+    across helpers, snapshot immutability) cannot work one module at a
+    time: they need the package-wide call graph.  The runner builds one
+    :class:`~repro.analysis.callgraph.ProjectContext` per run and calls
+    :meth:`check_project` once; findings are still attributed to
+    individual files (and cached per file, keyed on the file's
+    dependency hash).
+    """
+
+    requires_project = True
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        """Project rules do not run per-module."""
+        return iter(())
+
+    @abstractmethod
+    def check_project(self, project: "object") -> Iterator[Violation]:
+        """Yield every violation found across the whole project.
+
+        ``project`` is a :class:`repro.analysis.callgraph.ProjectContext`
+        (typed loosely here to keep ``base`` free of circular imports).
+        """
 
 
 #: ``code -> rule class`` for every registered rule.
@@ -221,6 +255,27 @@ def register_rule(rule_class: Type[Rule]) -> Type[Rule]:
 def all_rules() -> List[Rule]:
     """Fresh instances of every registered rule, sorted by code."""
     return [RULE_REGISTRY[code]() for code in sorted(RULE_REGISTRY)]
+
+
+def known_codes() -> List[str]:
+    """Every registered rule code, sorted."""
+    return sorted(RULE_REGISTRY)
+
+
+def unknown_code_error(code: str, known: Sequence[str]) -> ValueError:
+    """A usage error naming the unknown rule code, with a suggestion.
+
+    Mirrors :mod:`repro.config`'s unknown-key handling: a typo'd
+    ``--select``/``--ignore`` must never silently no-op.
+    """
+    import difflib
+
+    matches = difflib.get_close_matches(code, list(known), n=1)
+    hint = f" (did you mean {matches[0]!r}?)" if matches else ""
+    return ValueError(
+        f"unknown rule code {code!r}{hint}; "
+        "see --list-rules for the catalogue"
+    )
 
 
 @dataclass
@@ -253,14 +308,24 @@ class Allowlist:
         return cls(entries=entries, path=path)
 
     def allows(self, violation: Violation, module: str) -> bool:
+        return self.match(violation, module) is not None
+
+    def match(self, violation: Violation, module: str) -> Optional[int]:
+        """Index of the first entry covering the violation, if any.
+
+        The index lets the runner track which entries ever matched —
+        an entry that suppresses nothing in a full run is *stale*
+        (the debt it grandfathers was paid) and is reported so the
+        allowlist shrinks instead of fossilising.
+        """
         posix = Path(violation.path).as_posix()
-        for pattern, code in self.entries:
+        for index, (pattern, code) in enumerate(self.entries):
             if code != violation.code and code != _ALL_CODES:
                 continue
             if fnmatch.fnmatch(module, pattern):
-                return True
+                return index
             if fnmatch.fnmatch(posix, pattern):
-                return True
+                return index
             if fnmatch.fnmatch(posix, f"*/{pattern}"):
-                return True
-        return False
+                return index
+        return None

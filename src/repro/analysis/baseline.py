@@ -1,0 +1,99 @@
+"""Baseline management: adopt skylint on a codebase with findings.
+
+A baseline is a JSON file of *fingerprint → count* entries.  A
+fingerprint is ``<posix path>:<code>:<message-digest>`` — line numbers
+are deliberately excluded so unrelated edits above a finding do not
+evict it from the baseline.  Counts make the baseline exact: if the
+baseline grants two ``SKY102`` findings in a file and a third appears,
+the third is reported.
+
+Workflow (``docs/ANALYSIS.md`` has the full story):
+
+* ``--write-baseline FILE`` records the current findings and exits 0,
+* ``--baseline FILE`` suppresses exactly those findings on later runs,
+* entries whose finding no longer exists are *stale* and reported as
+  warnings — the debt was paid, shrink the baseline (CI can enforce
+  that with ``--fail-on-stale-allowlist``, which covers both the
+  allowlist and the baseline).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.base import Violation
+
+__all__ = ["Baseline", "fingerprint"]
+
+_BASELINE_VERSION = 1
+
+
+def fingerprint(violation: Violation) -> str:
+    digest = hashlib.sha256(
+        violation.message.encode("utf-8")
+    ).hexdigest()[:12]
+    return f"{Path(violation.path).as_posix()}:{violation.code}:{digest}"
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings, keyed by fingerprint with counts."""
+
+    entries: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        raw = json.loads(path.read_text(encoding="utf-8"))
+        entries = raw.get("entries")
+        if not isinstance(entries, dict):
+            raise ValueError(f"{path}: malformed baseline (no entries map)")
+        return cls(
+            entries={str(k): int(v) for k, v in entries.items()}
+        )
+
+    @classmethod
+    def from_violations(
+        cls, violations: Sequence[Violation]
+    ) -> "Baseline":
+        entries: Dict[str, int] = {}
+        for violation in violations:
+            key = fingerprint(violation)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    def write(self, path: Path) -> None:
+        payload = {
+            "version": _BASELINE_VERSION,
+            "entries": dict(sorted(self.entries.items())),
+        }
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+
+    def partition(
+        self, violations: Sequence[Violation]
+    ) -> Tuple[List[Violation], List[Violation], List[str]]:
+        """``(reported, baselined, stale_fingerprints)``.
+
+        Within one fingerprint the baseline absorbs up to its recorded
+        count; the remainder is reported.  Entries matching nothing
+        are stale.
+        """
+        budget = dict(self.entries)
+        reported: List[Violation] = []
+        baselined: List[Violation] = []
+        seen: set = set()
+        for violation in violations:
+            key = fingerprint(violation)
+            seen.add(key)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                baselined.append(violation)
+            else:
+                reported.append(violation)
+        stale = sorted(key for key in self.entries if key not in seen)
+        return reported, baselined, stale

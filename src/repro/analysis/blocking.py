@@ -19,11 +19,17 @@ called, typically a worker thread).
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set, Union
+from typing import Dict, Iterator, List, Optional, Set, Tuple, Union
 
-from repro.analysis.base import ModuleContext, Rule, Violation, register_rule
+from repro.analysis.base import (
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    Violation,
+    register_rule,
+)
 
-__all__ = ["BlockingCallRule"]
+__all__ = ["BlockingCallRule", "TransitiveBlockingRule", "blocking_reason"]
 
 #: ``module.function`` call chains that block the loop outright.
 BLOCKING_CHAINS: Dict[str, str] = {
@@ -55,6 +61,39 @@ BLOCKING_METHODS: Dict[str, str] = {
 }
 
 FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def blocking_reason(
+    call: ast.Call, executor_names: Set[str]
+) -> Optional[str]:
+    """Short label when ``call`` is a loop-blocking primitive, else None.
+
+    The classification shared by SKY401 (direct, lexical) and SKY402
+    (transitive, through the call graph).
+    """
+    chain = _chain(call.func)
+    if chain:
+        dotted = ".".join(chain)
+        if dotted in BLOCKING_CHAINS:
+            return f"{dotted}(...)"
+        if len(chain) == 1 and chain[0] in BLOCKING_NAMES:
+            return f"{chain[0]}(...)"
+        if chain[-1] == "ParallelExecutor":
+            return "ParallelExecutor(...) construction"
+        if (
+            len(chain) >= 2
+            and chain[-1] == "run"
+            and chain[-2] in executor_names
+        ):
+            return f"{dotted}(...) pool submission"
+    if isinstance(call.func, ast.Attribute):
+        method = call.func.attr
+        if method in BLOCKING_METHODS:
+            if not chain:
+                return f".{method}(...)"
+            if len(chain) == 2 and chain[0] != "self":
+                return f"{'.'.join(chain)}(...)"
+    return None
 
 
 def _chain(node: ast.expr) -> List[str]:
@@ -220,3 +259,118 @@ class BlockingCallRule(Rule):
         if context.is_suppressed(call.lineno, self.code):
             return None
         return context.violation(call, self.code, message)
+
+
+@register_rule
+class TransitiveBlockingRule(ProjectRule):
+    """SKY402 — coroutines must not reach blocking calls through frames.
+
+    SKY401 sees a ``time.sleep`` written *inside* the coroutine; it is
+    blind to the same sleep two synchronous helpers away.  This rule
+    walks the project call graph from every coroutine in the serving
+    scopes: a call edge into a synchronous project function whose
+    transitive (sync-only) closure contains a blocking primitive stalls
+    the event loop exactly as surely as the direct call, so it is
+    flagged at the coroutine's call site with the offending frame
+    chain.  Awaited coroutine callees are not traversed — an ``await``
+    yields the loop, and the callee is analysed as its own entry point.
+    Callables dispatched through ``asyncio.to_thread`` or
+    ``run_in_executor`` are references, not calls, so they never form
+    an edge (the intended fix stays lint-clean).
+    """
+
+    code = "SKY402"
+    name = "no-transitive-blocking-in-async"
+    summary = (
+        "coroutines in repro.serve/trace/config must not reach blocking "
+        "primitives through any chain of synchronous project calls "
+        "(supersedes SKY401's direct-call check across frames)"
+    )
+
+    SCOPES = BlockingCallRule.SCOPES
+
+    def applies_to(self, module: str) -> bool:
+        return any(
+            module == scope or module.startswith(scope + ".")
+            for scope in self.SCOPES
+        )
+
+    def check_project(self, project: object) -> Iterator[Violation]:
+        from repro.analysis.callgraph import ProjectContext, _own_calls
+
+        assert isinstance(project, ProjectContext)
+        graph = project.callgraph
+
+        # Per-module ParallelExecutor bindings (for submission checks).
+        executor_names: Dict[str, Set[str]] = {}
+        for module, context in project.modules.items():
+            executor_names[module] = BlockingCallRule._executor_bindings(
+                context.tree
+            )
+
+        # Every synchronous project function whose own body contains a
+        # blocking primitive, with the primitive's label.
+        blocking: Dict[str, str] = {}
+        for fid, info in graph.functions.items():
+            if info.is_async:
+                continue
+            names = executor_names.get(info.module, set())
+            for call in _own_calls(info.node):
+                reason = blocking_reason(call, names)
+                if reason is not None:
+                    blocking[fid] = reason
+                    break
+        targets = set(blocking)
+        if not targets:
+            return
+
+        reported: Set[Tuple[str, int, int]] = set()
+        for fid, info in graph.functions.items():
+            if not info.is_async or not self.applies_to(info.module):
+                continue
+            context = project.modules.get(info.module)
+            if context is None:
+                continue
+            for site in graph.callees(fid):
+                callee = graph.functions.get(site.callee)
+                if callee is None or callee.is_async:
+                    continue
+                reach = {site.callee} | graph.reachable(
+                    site.callee, async_ok=False
+                )
+                if not reach & targets:
+                    continue
+                key = (info.path, site.line, site.col)
+                if key in reported:
+                    continue
+                reported.add(key)
+                if context.is_suppressed(site.line, self.code):
+                    continue
+                if site.callee in targets:
+                    terminal = site.callee
+                    hops = [site]
+                else:
+                    tail = graph.find_path(
+                        site.callee, targets, async_ok=False
+                    )
+                    if tail is None:
+                        continue  # reachable() raced resolution; skip
+                    terminal = tail[-1].callee
+                    hops = [site] + tail
+                chain = " -> ".join(
+                    [info.qualname]
+                    + [graph.functions[h.callee].qualname for h in hops]
+                )
+                yield Violation(
+                    path=info.path,
+                    line=site.line,
+                    col=site.col,
+                    code=self.code,
+                    message=(
+                        f"coroutine {info.qualname!r} blocks the event "
+                        f"loop transitively: {chain} reaches "
+                        f"{blocking[terminal]} "
+                        f"({len(hops)} frame(s) away); await the work or "
+                        "dispatch it via asyncio.to_thread"
+                    ),
+                )

@@ -1,0 +1,152 @@
+"""Content-hash incremental cache for skylint (mypy-style).
+
+One JSON file per cache directory maps every analysed file to:
+
+* ``hash`` — sha256 of the file's bytes,
+* ``imports`` — the *project* modules it imports directly (stored so
+  the warm path can compute dependency closures without parsing
+  anything),
+* ``module_violations`` — raw findings of the per-module rules,
+* ``project_violations`` — raw findings of the project (call-graph)
+  rules attributed to this file,
+* ``deps_hash`` — sha256 over the sorted ``(module, file-hash)`` pairs
+  of the file's transitive project imports.
+
+Findings are cached *raw* — before allowlist and baseline filtering —
+so editing the allowlist or baseline never invalidates the cache.
+A cache entry is valid for the per-module rules when the file hash and
+the rules signature match, and for the project rules when the
+dependency hash also matches: a change in any transitively-imported
+file re-runs the flow-aware rules, exactly like mypy's fine-grained
+dependency tracking (coarsened to file granularity).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.base import Violation
+
+__all__ = ["LintCache", "file_sha256", "rules_signature"]
+
+#: Bump when the entry layout or rule semantics change incompatibly.
+CACHE_SCHEMA = 1
+
+_CACHE_FILENAME = "skylint-cache.json"
+
+
+def file_sha256(path: Path) -> Optional[str]:
+    try:
+        return hashlib.sha256(path.read_bytes()).hexdigest()
+    except OSError:
+        return None
+
+
+def rules_signature(codes: Sequence[str]) -> str:
+    """One hash over the active rule set (plus the cache schema)."""
+    payload = f"schema={CACHE_SCHEMA};codes={','.join(sorted(codes))}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def deps_hash(dep_hashes: Dict[str, str]) -> str:
+    """Hash of the sorted ``module=filehash`` dependency lines."""
+    lines = sorted(f"{mod}={h}" for mod, h in dep_hashes.items())
+    return hashlib.sha256("\n".join(lines).encode("utf-8")).hexdigest()
+
+
+def _violation_from(record: Dict[str, object]) -> Violation:
+    return Violation(
+        path=str(record["path"]),
+        line=int(record["line"]),  # type: ignore[arg-type]
+        col=int(record["col"]),  # type: ignore[arg-type]
+        code=str(record["code"]),
+        message=str(record["message"]),
+        severity=str(record.get("severity", "error")),
+    )
+
+
+class LintCache:
+    """Load/store of one cache directory's ``skylint-cache.json``."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / _CACHE_FILENAME
+        self.signature: str = ""
+        self.entries: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.project_hits = 0
+        self.misses = 0
+
+    def load(self, signature: str) -> None:
+        """Read the cache; a signature mismatch empties it wholesale."""
+        self.signature = signature
+        try:
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            self.entries = {}
+            return
+        if raw.get("signature") != signature:
+            self.entries = {}
+            return
+        entries = raw.get("files")
+        self.entries = entries if isinstance(entries, dict) else {}
+
+    def save(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"signature": self.signature, "files": self.entries}
+        tmp = self.path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(self.path)
+
+    # -- queries -------------------------------------------------------
+
+    def entry(self, key: str) -> Optional[Dict[str, object]]:
+        return self.entries.get(key)
+
+    def module_hit(self, key: str, file_hash: Optional[str]) -> bool:
+        entry = self.entries.get(key)
+        return (
+            entry is not None
+            and file_hash is not None
+            and entry.get("hash") == file_hash
+        )
+
+    def cached_imports(self, key: str) -> Optional[List[str]]:
+        entry = self.entries.get(key)
+        if entry is None:
+            return None
+        imports = entry.get("imports")
+        if isinstance(imports, list):
+            return [str(i) for i in imports]
+        return None
+
+    def cached_violations(self, key: str, which: str) -> List[Violation]:
+        entry = self.entries.get(key)
+        if entry is None:
+            return []
+        records = entry.get(which)
+        if not isinstance(records, list):
+            return []
+        return [_violation_from(r) for r in records]
+
+    def store(
+        self,
+        key: str,
+        file_hash: str,
+        module: str,
+        imports: Sequence[str],
+        module_violations: Sequence[Violation],
+        project_violations: Sequence[Violation],
+        dependency_hash: str,
+    ) -> None:
+        self.entries[key] = {
+            "hash": file_hash,
+            "module": module,
+            "imports": sorted(imports),
+            "module_violations": [v.to_json() for v in module_violations],
+            "project_violations": [v.to_json() for v in project_violations],
+            "deps_hash": dependency_hash,
+        }

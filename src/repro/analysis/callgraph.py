@@ -1,0 +1,815 @@
+"""Package-wide call graph for the flow-aware skylint rules.
+
+The per-module rules (SKY001–SKY501) see one AST at a time; the
+contracts added for the sharded serving tier — a coroutine must not
+block *transitively*, a shared segment must be released even when the
+cleanup lives in a helper, a published snapshot must not be mutated two
+calls away — need to know who calls whom across the whole package.
+This module provides that:
+
+* :class:`ProjectContext` — every parsed module of one analysis run,
+  plus the project import graph (which also keys the incremental
+  cache's dependency hashes).
+* :class:`CallGraph` — function-level nodes (``module:qualname``),
+  edges resolved through import tables, local class instantiation and
+  a conservative method-dispatch approximation (``self.m()`` binds to
+  the enclosing class hierarchy *and* project subclass overrides;
+  ``obj.m()`` on an unknown receiver binds only when exactly one
+  project class defines ``m``), with a memoised transitive closure.
+* :class:`FunctionSummary` — per-function effect summaries (methods
+  invoked on each parameter, parameters mutated or escaped), closed
+  transitively so rules can ask "does ``helper(seg)`` release the
+  segment?" without re-walking helper bodies.
+
+Resolution is deliberately *under*-approximating for unknown
+receivers: a missing edge can hide a true positive, but a spurious
+edge manufactures false positives in every rule built on top — and a
+linter that cries wolf gets turned off.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.base import ModuleContext, module_name
+
+__all__ = [
+    "CallSite",
+    "FunctionInfo",
+    "ClassInfo",
+    "FunctionSummary",
+    "CallGraph",
+    "ProjectContext",
+]
+
+#: Methods whose argument does not acquire the receiver's identity —
+#: calls like ``x.copy()`` produce an independent object.
+_FRESH_METHODS = frozenset({"copy", "tolist", "astype", "item", "items"})
+
+
+def _dotted_chain(node: ast.expr) -> List[str]:
+    """``a.b.c`` → ``["a", "b", "c"]`` (empty for non-name chains)."""
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return parts[::-1]
+    return []
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge, with its source location."""
+
+    caller: str
+    callee: str
+    path: str
+    line: int
+    col: int
+    #: The call expression itself (excluded from equality/hash).
+    call: ast.Call = field(compare=False, repr=False, default=None)  # type: ignore[assignment]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the project."""
+
+    fid: str  # "module:qualname"
+    module: str
+    qualname: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    is_async: bool
+    class_name: Optional[str]
+    path: str
+    lineno: int
+    params: Tuple[str, ...]
+
+
+@dataclass
+class ClassInfo:
+    """One class: its methods and base-class names (unresolved)."""
+
+    name: str
+    module: str
+    methods: Dict[str, str] = field(default_factory=dict)  # name -> fid
+    bases: List[str] = field(default_factory=list)
+
+
+@dataclass
+class FunctionSummary:
+    """Transitive per-parameter effects of one function.
+
+    ``param_methods[i]`` holds every method name the function (or
+    anything it calls with that parameter) may invoke on argument
+    ``i``; ``mutated`` marks parameters written through (subscript
+    store, in-place op, mutating array method); ``escaped`` marks
+    parameters stored beyond the call (attribute/container/global
+    store, returned) so lifecycle rules stop tracking them.
+    """
+
+    param_methods: Dict[int, Set[str]] = field(default_factory=dict)
+    mutated: Set[int] = field(default_factory=set)
+    escaped: Set[int] = field(default_factory=set)
+
+
+#: Method names that mutate their receiver in place (numpy arrays and
+#: the containers the serving tier publishes).
+MUTATING_METHODS = frozenset(
+    {
+        "fill", "sort", "partition", "put", "itemset", "resize",
+        "byteswap", "setflags",
+        "append", "extend", "insert", "insert_batch", "update",
+        "setdefault", "pop", "popitem", "clear", "remove", "add",
+        "discard",
+    }
+)
+
+#: Method names far too generic for the unique-definition dispatch
+#: heuristic: a ``writer.write(...)`` on an asyncio StreamWriter must
+#: not bind to the one project class that happens to define ``write``.
+AMBIGUOUS_METHODS = frozenset(
+    {
+        "write", "read", "open", "close", "flush", "send", "recv",
+        "get", "set", "run", "start", "stop", "join", "wait",
+        "acquire", "release", "submit", "map", "shutdown", "format",
+        "render", "parse", "load", "save", "build", "check", "copy",
+        "drain", "connect", "accept", "items", "keys", "values",
+    }
+)
+
+
+class ProjectContext:
+    """Every module of one analysis run, parsed once and indexed."""
+
+    def __init__(self, contexts: Sequence[ModuleContext]) -> None:
+        self.contexts: List[ModuleContext] = list(contexts)
+        self.modules: Dict[str, ModuleContext] = {}
+        for context in self.contexts:
+            # First definition wins: fixtures may shadow module names.
+            self.modules.setdefault(context.module, context)
+        self._callgraph: Optional[CallGraph] = None
+        self._imports: Optional[Dict[str, Set[str]]] = None
+        self._closure: Dict[str, Set[str]] = {}
+
+    @classmethod
+    def from_paths(cls, paths: Iterable[Path]) -> "ProjectContext":
+        contexts = []
+        for path in paths:
+            try:
+                contexts.append(ModuleContext.parse(path))
+            except (SyntaxError, UnicodeDecodeError):
+                continue  # reported separately by the runner
+        return cls(contexts)
+
+    @property
+    def callgraph(self) -> "CallGraph":
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self)
+        return self._callgraph
+
+    # -- import graph (cache dependency keys) --------------------------
+
+    @property
+    def import_graph(self) -> Dict[str, Set[str]]:
+        """``module -> project modules it imports`` (direct only)."""
+        if self._imports is None:
+            graph: Dict[str, Set[str]] = {}
+            for context in self.contexts:
+                graph[context.module] = {
+                    dep
+                    for dep in module_imports(context.tree, context.module)
+                    if dep in self.modules and dep != context.module
+                }
+            self._imports = graph
+        return self._imports
+
+    def dependency_closure(self, module: str) -> Set[str]:
+        """Transitive project imports of ``module`` (excluding itself)."""
+        cached = self._closure.get(module)
+        if cached is not None:
+            return cached
+        graph = self.import_graph
+        seen: Set[str] = set()
+        stack = list(graph.get(module, ()))
+        while stack:
+            dep = stack.pop()
+            if dep in seen or dep == module:
+                continue
+            seen.add(dep)
+            stack.extend(graph.get(dep, ()))
+        self._closure[module] = seen
+        return seen
+
+
+def module_imports(tree: ast.Module, module: str) -> Set[str]:
+    """Dotted modules imported by ``tree`` (absolute, plus relative
+    imports resolved against ``module``'s package)."""
+    found: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                found.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base_parts = module.split(".")
+                # level 1 = current package, 2 = parent, ...
+                keep = len(base_parts) - node.level
+                base = ".".join(base_parts[:keep]) if keep > 0 else ""
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+            else:
+                base = node.module or ""
+            if base:
+                found.add(base)
+                # `from pkg import sub` may bind a submodule.
+                for alias in node.names:
+                    found.add(f"{base}.{alias.name}")
+    return found
+
+
+class _ModuleBindings:
+    """Name-resolution tables for one module: imports, defs, classes."""
+
+    def __init__(self, context: ModuleContext) -> None:
+        self.module = context.module
+        #: local alias -> dotted module path ("np" -> "numpy").
+        self.import_roots: Dict[str, str] = {}
+        #: local name -> (source module, original name).
+        self.from_imports: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.import_roots[alias.asname] = alias.name
+                    else:
+                        root = alias.name.split(".", 1)[0]
+                        self.import_roots[root] = root
+            elif isinstance(node, ast.ImportFrom) and not node.level:
+                if node.module is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = (node.module, alias.name)
+            elif isinstance(node, ast.ImportFrom) and node.level:
+                base_parts = self.module.split(".")
+                keep = len(base_parts) - node.level
+                base = ".".join(base_parts[:keep]) if keep > 0 else ""
+                if node.module:
+                    base = f"{base}.{node.module}" if base else node.module
+                if not base:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.from_imports[local] = (base, alias.name)
+
+
+class CallGraph:
+    """Function-level call graph over a :class:`ProjectContext`."""
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}  # "module:Class" -> info
+        self._class_by_name: Dict[str, List[str]] = {}  # bare -> keys
+        self._methods_by_name: Dict[str, List[str]] = {}  # name -> fids
+        self._bindings: Dict[str, _ModuleBindings] = {}
+        self.edges: Dict[str, List[CallSite]] = {}
+        self._reachable: Dict[str, Set[str]] = {}
+        self._summaries: Optional[Dict[str, FunctionSummary]] = None
+        self._index()
+        self._link()
+
+    # -- pass 1: index every function and class ------------------------
+
+    def _index(self) -> None:
+        for context in self.project.contexts:
+            if self.project.modules.get(context.module) is not context:
+                continue  # shadowed duplicate module name
+            self._bindings[context.module] = _ModuleBindings(context)
+            self._index_body(
+                context, context.tree.body, qualname="", class_name=None
+            )
+
+    def _index_body(
+        self,
+        context: ModuleContext,
+        body: Sequence[ast.stmt],
+        qualname: str,
+        class_name: Optional[str],
+    ) -> None:
+        for node in body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                inner = f"{qualname}.{node.name}" if qualname else node.name
+                fid = f"{context.module}:{inner}"
+                params = tuple(
+                    arg.arg
+                    for arg in (
+                        node.args.posonlyargs
+                        + node.args.args
+                        + node.args.kwonlyargs
+                    )
+                )
+                info = FunctionInfo(
+                    fid=fid,
+                    module=context.module,
+                    qualname=inner,
+                    name=node.name,
+                    node=node,
+                    is_async=isinstance(node, ast.AsyncFunctionDef),
+                    class_name=class_name,
+                    path=str(context.path),
+                    lineno=node.lineno,
+                    params=params,
+                )
+                self.functions[fid] = info
+                if class_name is not None and "." not in qualname:
+                    key = f"{context.module}:{class_name}"
+                    self.classes[key].methods[node.name] = fid
+                    self._methods_by_name.setdefault(node.name, []).append(
+                        fid
+                    )
+                # Nested defs keep the lexical chain but leave the
+                # class scope: `self` no longer binds the class.
+                self._index_body(context, node.body, inner, None)
+            elif isinstance(node, ast.ClassDef):
+                inner = f"{qualname}.{node.name}" if qualname else node.name
+                key = f"{context.module}:{node.name}"
+                self.classes[key] = ClassInfo(
+                    name=node.name,
+                    module=context.module,
+                    bases=[
+                        ".".join(_dotted_chain(base)) or ""
+                        for base in node.bases
+                    ],
+                )
+                self._class_by_name.setdefault(node.name, []).append(key)
+                self._index_body(
+                    context, node.body, inner, class_name=node.name
+                )
+
+    # -- pass 2: resolve call edges -------------------------------------
+
+    def _link(self) -> None:
+        for info in self.functions.values():
+            sites: List[CallSite] = []
+            local_types = self._local_types(info)
+            for call in _own_calls(info.node):
+                for callee in self._resolve(info, call, local_types):
+                    sites.append(
+                        CallSite(
+                            caller=info.fid,
+                            callee=callee,
+                            path=info.path,
+                            line=call.lineno,
+                            col=call.col_offset + 1,
+                            call=call,
+                        )
+                    )
+            self.edges[info.fid] = sites
+
+    def _local_types(self, info: FunctionInfo) -> Dict[str, str]:
+        """``var -> class key`` for ``var = ClassName(...)`` bindings."""
+        types: Dict[str, str] = {}
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            chain = _dotted_chain(value.func)
+            if not chain:
+                continue
+            key = self._resolve_class(info.module, chain)
+            if key is not None:
+                types[target.id] = key
+        return types
+
+    def _resolve_class(
+        self, module: str, chain: List[str]
+    ) -> Optional[str]:
+        """Resolve a dotted name chain to a project class key, if any."""
+        bindings = self._bindings.get(module)
+        if bindings is None:
+            return None
+        head = chain[0]
+        if len(chain) == 1:
+            key = f"{module}:{head}"
+            if key in self.classes:
+                return key
+            imported = bindings.from_imports.get(head)
+            if imported is not None:
+                src_module, original = imported
+                key = f"{src_module}:{original}"
+                if key in self.classes:
+                    return key
+                # `from pkg import Name` re-exported via __init__.
+                return self._reexported_class(src_module, original)
+        elif len(chain) >= 2:
+            target = self._resolve_module_prefix(module, chain)
+            if target is not None:
+                mod, rest = target
+                if len(rest) == 1:
+                    key = f"{mod}:{rest[0]}"
+                    if key in self.classes:
+                        return key
+                    return self._reexported_class(mod, rest[0])
+        return None
+
+    def _reexported_class(
+        self, module: str, name: str
+    ) -> Optional[str]:
+        """Follow one level of ``from x import Name`` re-export."""
+        bindings = self._bindings.get(module)
+        if bindings is None:
+            return None
+        imported = bindings.from_imports.get(name)
+        if imported is None:
+            return None
+        src_module, original = imported
+        key = f"{src_module}:{original}"
+        return key if key in self.classes else None
+
+    def _resolve_module_prefix(
+        self, module: str, chain: List[str]
+    ) -> Optional[Tuple[str, List[str]]]:
+        """Split ``chain`` into (project module, remainder) if possible."""
+        bindings = self._bindings.get(module)
+        if bindings is None:
+            return None
+        head = chain[0]
+        # `from repro.engine import parallel` binds a submodule name.
+        imported = bindings.from_imports.get(head)
+        if imported is not None:
+            src_module, original = imported
+            candidate = f"{src_module}.{original}"
+            if candidate in self.project.modules:
+                return candidate, chain[1:]
+        root = bindings.import_roots.get(head)
+        if root is not None:
+            # Longest dotted prefix that names a project module.
+            parts = [root] + chain[1:]
+            for cut in range(len(parts), 0, -1):
+                candidate = ".".join(parts[:cut])
+                if candidate in self.project.modules:
+                    return candidate, chain[cut:]
+        return None
+
+    def _resolve(
+        self,
+        info: FunctionInfo,
+        call: ast.Call,
+        local_types: Dict[str, str],
+    ) -> List[str]:
+        chain = _dotted_chain(call.func)
+        if not chain:
+            return []
+        module = info.module
+        bindings = self._bindings[module]
+        if len(chain) == 1:
+            name = chain[0]
+            # Nested function defined in this (or an enclosing) scope.
+            scope = info.qualname
+            while scope:
+                fid = f"{module}:{scope}.{name}"
+                if fid in self.functions:
+                    return [fid]
+                scope = scope.rsplit(".", 1)[0] if "." in scope else ""
+            fid = f"{module}:{name}"
+            if fid in self.functions:
+                return [fid]
+            class_key = self._resolve_class(module, chain)
+            if class_key is not None:
+                return self._constructor(class_key)
+            imported = bindings.from_imports.get(name)
+            if imported is not None:
+                src_module, original = imported
+                fid = f"{src_module}:{original}"
+                if fid in self.functions:
+                    return [fid]
+            return []
+        # Attribute chains.
+        head = chain[0]
+        method = chain[-1]
+        if head in ("self", "cls") and len(chain) == 2:
+            owner = info.class_name
+            if owner is not None:
+                return self._dispatch(module, owner, method)
+            return []
+        if head in local_types and len(chain) == 2:
+            key = local_types[head]
+            cls = self.classes[key]
+            return self._dispatch(cls.module, cls.name, method)
+        class_key = self._resolve_class(module, chain[:-1])
+        if class_key is not None:
+            # ClassName.method(...) or module.ClassName(...) paths.
+            cls = self.classes[class_key]
+            found = cls.methods.get(method)
+            if found is not None:
+                return [found]
+            return []
+        target = self._resolve_module_prefix(module, chain)
+        if target is not None:
+            mod, rest = target
+            if len(rest) == 1:
+                fid = f"{mod}:{rest[0]}"
+                if fid in self.functions:
+                    return [fid]
+                key = f"{mod}:{rest[0]}"
+                if key in self.classes:
+                    return self._constructor(key)
+            return []
+        # Unknown receiver: bind only when the method name is defined
+        # exactly once in the whole project (unambiguous dispatch) and
+        # is distinctive enough that a stdlib object could not plausibly
+        # answer it too.
+        candidates = self._methods_by_name.get(method, [])
+        if (
+            len(candidates) == 1
+            and method not in MUTATING_METHODS
+            and method not in AMBIGUOUS_METHODS
+        ):
+            return [candidates[0]]
+        return []
+
+    def _constructor(self, class_key: str) -> List[str]:
+        init = self.classes[class_key].methods.get("__init__")
+        return [init] if init is not None else []
+
+    def _dispatch(
+        self, module: str, class_name: str, method: str
+    ) -> List[str]:
+        """Conservative dispatch: the class, its project ancestors and
+        any project subclass override."""
+        results: List[str] = []
+        seen: Set[str] = set()
+        # Up the hierarchy: first definition found wins (MRO-ish).
+        stack = [f"{module}:{class_name}"]
+        while stack:
+            key = stack.pop()
+            if key in seen:
+                continue
+            seen.add(key)
+            cls = self.classes.get(key)
+            if cls is None:
+                continue
+            found = cls.methods.get(method)
+            if found is not None:
+                results.append(found)
+            else:
+                for base in cls.bases:
+                    base_key = self._resolve_class(
+                        cls.module, base.split(".")
+                    )
+                    if base_key is not None:
+                        stack.append(base_key)
+        # Down the hierarchy: subclass overrides may run instead.
+        for key, cls in self.classes.items():
+            if key in seen:
+                continue
+            if class_name in {base.split(".")[-1] for base in cls.bases}:
+                found = cls.methods.get(method)
+                if found is not None:
+                    results.append(found)
+        return results
+
+    # -- queries --------------------------------------------------------
+
+    def callees(self, fid: str) -> List[CallSite]:
+        return self.edges.get(fid, [])
+
+    def reachable(
+        self, fid: str, async_ok: bool = True
+    ) -> Set[str]:
+        """Every function transitively callable from ``fid`` (memoised).
+
+        ``async_ok=False`` stops traversal at coroutine callees: the
+        loop-blocking analysis follows only synchronous control flow
+        (an awaited coroutine yields the loop back; its own body is
+        analysed as its own entry point).
+        """
+        key = fid if async_ok else f"{fid}|sync"
+        cached = self._reachable.get(key)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        stack = [fid]
+        while stack:
+            current = stack.pop()
+            for site in self.edges.get(current, ()):  # resolved edges
+                callee = site.callee
+                if callee in seen:
+                    continue
+                info = self.functions.get(callee)
+                if info is None:
+                    continue
+                if not async_ok and info.is_async:
+                    continue
+                seen.add(callee)
+                stack.append(callee)
+        self._reachable[key] = seen
+        return seen
+
+    def find_path(
+        self, start: str, targets: Set[str], async_ok: bool = True
+    ) -> Optional[List[CallSite]]:
+        """Shortest call path from ``start`` into ``targets`` (BFS)."""
+        if not targets:
+            return None
+        parents: Dict[str, CallSite] = {}
+        queue: List[str] = [start]
+        seen = {start}
+        index = 0
+        while index < len(queue):
+            current = queue[index]
+            index += 1
+            for site in self.edges.get(current, ()):
+                callee = site.callee
+                if callee in seen:
+                    continue
+                info = self.functions.get(callee)
+                if info is None:
+                    continue
+                if not async_ok and info.is_async:
+                    continue
+                seen.add(callee)
+                parents[callee] = site
+                if callee in targets:
+                    path: List[CallSite] = []
+                    node = callee
+                    while node != start:
+                        site = parents[node]
+                        path.append(site)
+                        node = site.caller
+                    return path[::-1]
+                queue.append(callee)
+        return None
+
+    # -- per-parameter effect summaries ---------------------------------
+
+    @property
+    def summaries(self) -> Dict[str, FunctionSummary]:
+        """Transitive :class:`FunctionSummary` per function (fixpoint)."""
+        if self._summaries is None:
+            self._summaries = self._build_summaries()
+        return self._summaries
+
+    def _build_summaries(self) -> Dict[str, FunctionSummary]:
+        direct: Dict[str, FunctionSummary] = {
+            fid: _direct_summary(info) for fid, info in self.functions.items()
+        }
+        # Propagate through argument passing until stable.  Each pass
+        # folds callee effects onto caller parameters forwarded as
+        # positional arguments.
+        changed = True
+        rounds = 0
+        while changed and rounds < 20:
+            changed = False
+            rounds += 1
+            for fid, info in self.functions.items():
+                summary = direct[fid]
+                param_index = {name: i for i, name in enumerate(info.params)}
+                for site in self.edges.get(fid, ()):
+                    if site.call is None:
+                        continue
+                    callee_summary = direct.get(site.callee)
+                    callee_info = self.functions.get(site.callee)
+                    if callee_summary is None or callee_info is None:
+                        continue
+                    offset = 1 if callee_info.class_name else 0
+                    for arg_pos, arg in enumerate(site.call.args):
+                        if not isinstance(arg, ast.Name):
+                            continue
+                        here = param_index.get(arg.id)
+                        if here is None:
+                            continue
+                        there = arg_pos + offset
+                        methods = callee_summary.param_methods.get(
+                            there, set()
+                        )
+                        bucket = summary.param_methods.setdefault(
+                            here, set()
+                        )
+                        if not methods <= bucket:
+                            bucket |= methods
+                            changed = True
+                        if (
+                            there in callee_summary.mutated
+                            and here not in summary.mutated
+                        ):
+                            summary.mutated.add(here)
+                            changed = True
+                        if (
+                            there in callee_summary.escaped
+                            and here not in summary.escaped
+                        ):
+                            summary.escaped.add(here)
+                            changed = True
+        return direct
+
+
+def _own_calls(node: ast.AST) -> Iterator[ast.Call]:
+    """Call nodes lexically inside ``node``, excluding nested defs."""
+
+    def visit(current: ast.AST) -> Iterator[ast.Call]:
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                yield child
+            yield from visit(child)
+
+    yield from visit(node)
+
+
+def _direct_summary(info: FunctionInfo) -> FunctionSummary:
+    """Effects visible in the function body itself (no callees)."""
+    summary = FunctionSummary()
+    index = {name: i for i, name in enumerate(info.params)}
+
+    def param_of(expr: ast.expr) -> Optional[int]:
+        if isinstance(expr, ast.Name):
+            return index.get(expr.id)
+        return None
+
+    for node in _walk_own(info.node):
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            which = param_of(node.func.value)
+            if which is not None:
+                method = node.func.attr
+                summary.param_methods.setdefault(which, set()).add(method)
+                if method in MUTATING_METHODS and not (
+                    method == "setflags" and _sets_readonly(node)
+                ):
+                    summary.mutated.add(which)
+        elif isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    base = target.value
+                    while isinstance(base, (ast.Subscript, ast.Attribute)):
+                        base = base.value
+                    which = param_of(base)
+                    if which is not None:
+                        summary.mutated.add(which)
+                elif isinstance(target, ast.Attribute):
+                    root = target.value
+                    while isinstance(root, (ast.Subscript, ast.Attribute)):
+                        root = root.value
+                    which = param_of(root)
+                    if which is not None:
+                        # `param.x = ...` mutates; `self.x = param`
+                        # escapes (handled below via value side).
+                        summary.mutated.add(which)
+            value = node.value if isinstance(node, ast.Assign) else None
+            if value is not None:
+                for target in node.targets:  # type: ignore[union-attr]
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        which = param_of(value)
+                        if which is not None:
+                            summary.escaped.add(which)
+        elif isinstance(node, ast.Return) and node.value is not None:
+            which = param_of(node.value)
+            if which is not None:
+                summary.escaped.add(which)
+    return summary
+
+
+def _walk_own(node: ast.AST) -> Iterator[ast.AST]:
+    """ast.walk limited to the function's own body (no nested defs)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield current
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def _sets_readonly(call: ast.Call) -> bool:
+    """True for ``setflags(write=False)`` — the immutability idiom."""
+    for keyword in call.keywords:
+        if keyword.arg == "write" and isinstance(
+            keyword.value, ast.Constant
+        ):
+            return keyword.value.value is False
+    return False

@@ -1,21 +1,27 @@
 """The ``python -m repro.analysis`` command line.
 
-Human or ``--json`` output, ``--select``/``--ignore`` code filters, an
-``--allowlist`` file that grandfathers known violations, and ``--all``
-to chain the sibling gates (ruff, mypy) behind one entry point when
-they are installed.
+Text, ``--format json`` or ``--format sarif`` output; ``--select``/
+``--ignore`` code filters (unknown codes exit 2 with a suggestion);
+``--cache-dir`` for mypy-style incremental re-runs; ``--baseline``/
+``--write-baseline`` for adopting the linter on a codebase with
+findings; an ``--allowlist`` file that grandfathers known violations
+(stale entries warn, ``--fail-on-stale-allowlist`` gates them); and
+``--all`` to chain the sibling gates (ruff, mypy) behind one entry
+point when they are installed.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib.util
+import json
 import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.analysis.base import Allowlist, all_rules
+from repro.analysis.baseline import Baseline
 from repro.analysis.runner import analyse_paths
 
 __all__ = ["main", "build_parser", "DEFAULT_ALLOWLIST"]
@@ -29,8 +35,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis",
         description=(
             "skylint — repo-native static analysis for the skycube "
-            "templates: hook contracts, shared-memory hygiene, "
-            "determinism and dominance semantics (docs/ANALYSIS.md)"
+            "templates: hook contracts, shared-memory lifecycle, "
+            "transitive event-loop blocking, snapshot immutability and "
+            "bit-width bounds (docs/ANALYSIS.md)"
         ),
     )
     parser.add_argument(
@@ -40,7 +47,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to analyse (default: src/repro)",
     )
     parser.add_argument(
-        "--json", action="store_true", help="machine-readable output"
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format (sarif = SARIF 2.1.0 for code scanning)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="shorthand for --format json (kept for compatibility)",
     )
     parser.add_argument(
         "--select",
@@ -55,6 +70,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip these rule codes (repeatable, comma-separable)",
     )
     parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "incremental cache directory: unchanged files (and, for "
+            "the flow rules, unchanged dependency closures) replay "
+            "cached findings without re-parsing"
+        ),
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyse independent modules across N processes",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="suppress the findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="record current findings as the new baseline and exit 0",
+    )
+    parser.add_argument(
         "--allowlist",
         metavar="FILE",
         default=None,
@@ -67,6 +111,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-allowlist",
         action="store_true",
         help="ignore any allowlist, report everything",
+    )
+    parser.add_argument(
+        "--fail-on-stale-allowlist",
+        action="store_true",
+        help=(
+            "exit 1 when an allowlist or baseline entry suppresses "
+            "nothing (CI keeps the suppression files honest)"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -114,29 +166,62 @@ def _run_companion(module: str, argv: List[str]) -> Optional[int]:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    output_format = "json" if args.json else args.format
 
     if args.list_rules:
         for rule in all_rules():
-            print(f"{rule.code}  {rule.name}: {rule.summary}")
+            kind = "project" if rule.requires_project else "module"
+            print(f"{rule.code}  {rule.name} [{kind}]: {rule.summary}")
         return 0
 
     try:
         allowlist = _load_allowlist(args)
+        baseline = (
+            Baseline.load(Path(args.baseline))
+            if args.baseline is not None
+            else None
+        )
         report = analyse_paths(
             [Path(p) for p in args.paths],
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
             allowlist=allowlist,
+            baseline=baseline,
+            cache_dir=(
+                Path(args.cache_dir) if args.cache_dir is not None else None
+            ),
+            jobs=max(args.jobs, 1),
         )
     except (FileNotFoundError, ValueError) as error:
         print(f"skylint: {error}", file=sys.stderr)
         return 2
 
-    if args.json:
+    if args.write_baseline is not None:
+        recorded = Baseline.from_violations(report.violations)
+        recorded.write(Path(args.write_baseline))
+        print(
+            f"skylint: wrote baseline with {len(report.violations)} "
+            f"finding(s) to {args.write_baseline}"
+        )
+        return 0
+
+    if output_format == "json":
         print(report.to_json())
+    elif output_format == "sarif":
+        from repro.analysis.sarif import sarif_document
+
+        document = sarif_document(
+            report.parse_errors + report.violations,
+            all_rules(),
+            base_dir=Path.cwd(),
+        )
+        print(json.dumps(document, indent=2))
     else:
         report.render()
+
     exit_code = report.exit_code
+    if args.fail_on_stale_allowlist and report.stale_entries:
+        exit_code = exit_code or 1
 
     if args.run_all:
         ruff_code = _run_companion("ruff", ["check", "."])

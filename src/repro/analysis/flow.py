@@ -1,0 +1,566 @@
+"""Intraprocedural control-flow graph and resource dataflow walker.
+
+The syntactic rules (SKY101: "is there a ``finally`` that unlinks?")
+cannot see that one branch of an ``if`` returns before the cleanup, or
+that ``unlink`` runs twice when a loop re-enters the release path.
+This module provides the flow-aware machinery those checks need:
+
+* :class:`FlowGraph` — a per-function CFG over simple statements.
+  Branches, loops (with back edges), ``try``/``except``/``finally``
+  (finally bodies are *duplicated* per exit kind, the standard
+  AST-level encoding, so a ``return`` inside ``try`` still flows
+  through the cleanup), ``with`` blocks, ``break``/``continue`` and
+  ``raise``.  Every statement also carries a may-raise edge to the
+  innermost handler (or the RAISE exit), taken with the *pre*-state —
+  an allocation that fails never binds its target.
+
+* :class:`ResourceSpec` + :func:`track_resource` — a path-sensitive
+  reaching-state analysis for one resource variable: each CFG node
+  holds the *set* of lifecycle states (frozensets of flags like
+  ``closed``/``unlinked``) that some execution path can reach it with,
+  iterated to fixpoint.  The walker reports normal exits where a
+  required flag is missing (a leak path) and release calls that can
+  re-run on an already-released state (a double free), and *stops*
+  tracking when the resource escapes (returned, stored on ``self``,
+  appended to a container, or passed to an unknown function) — an
+  escaped resource is someone else's contract.
+
+Helper calls are resolved through the caller-supplied summary lookup
+(:class:`repro.analysis.callgraph.FunctionSummary`), so ``release(shm)``
+counts as ``shm.close(); shm.unlink()`` when the call graph proves it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+__all__ = [
+    "FlowGraph",
+    "FlowNode",
+    "ResourceSpec",
+    "ResourceFinding",
+    "track_resource",
+]
+
+State = FrozenSet[str]
+
+#: The state of a resource that has been created and nothing else.
+FRESH: State = frozenset()
+
+#: Sentinel flag: the resource left the function's hands.
+_ESCAPED = "__escaped__"
+
+
+@dataclass
+class FlowNode:
+    """One CFG node: a simple statement, or a synthetic marker."""
+
+    index: int
+    stmt: Optional[ast.stmt]
+    kind: str  # "stmt" | "entry" | "exit" | "raise" | "join"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = type(self.stmt).__name__ if self.stmt is not None else ""
+        return f"FlowNode({self.index}, {self.kind}{':' if label else ''}{label})"
+
+
+class FlowGraph:
+    """Control-flow graph of one function body.
+
+    ``succ[i]`` holds ``(target, kind)`` pairs where ``kind`` is
+    ``"normal"`` or ``"exception"``.  ``entry`` precedes the first
+    statement; ``exit`` collects every normal completion (including
+    returns); ``raise_exit`` collects exceptions that escape the
+    function.
+    """
+
+    def __init__(self) -> None:
+        self.nodes: List[FlowNode] = []
+        self.succ: Dict[int, Set[Tuple[int, str]]] = {}
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+        self.raise_exit = self._new(None, "raise")
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, function: ast.AST
+    ) -> "FlowGraph":
+        """CFG for a FunctionDef / AsyncFunctionDef body."""
+        graph = cls()
+        body = getattr(function, "body", [])
+        frontier = graph._sequence(
+            body,
+            {graph.entry},
+            _Env(
+                raise_to=graph.raise_exit,
+                return_to=graph.exit,
+                finally_stack=(),
+            ),
+        )
+        for node in frontier:
+            graph._edge(node, graph.exit, "normal")
+        return graph
+
+    def _new(self, stmt: Optional[ast.stmt], kind: str) -> int:
+        index = len(self.nodes)
+        self.nodes.append(FlowNode(index, stmt, kind))
+        self.succ[index] = set()
+        return index
+
+    def _edge(self, src: int, dst: int, kind: str) -> None:
+        self.succ[src].add((dst, kind))
+
+    def _sequence(
+        self, stmts: Sequence[ast.stmt], frontier: Set[int], env: "_Env"
+    ) -> Set[int]:
+        """Thread ``stmts`` after ``frontier``; return the new frontier.
+
+        An empty returned frontier means control never falls through
+        (every path returned, raised, broke or continued).
+        """
+        current = set(frontier)
+        for stmt in stmts:
+            if not current:
+                break  # unreachable tail
+            current = self._statement(stmt, current, env)
+        return current
+
+    def _statement(
+        self, stmt: ast.stmt, frontier: Set[int], env: "_Env"
+    ) -> Set[int]:
+        if isinstance(stmt, ast.If):
+            node = self._simple(stmt, frontier, env)
+            then = self._sequence(stmt.body, {node}, env)
+            other = self._sequence(stmt.orelse, {node}, env)
+            if not stmt.orelse:
+                other = {node}
+            return then | other
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self._simple(stmt, frontier, env)
+            breaks: Set[int] = set()
+            loop_env = env.with_loop(header, breaks)
+            body_out = self._sequence(stmt.body, {header}, loop_env)
+            for node in body_out:
+                self._edge(node, header, "normal")  # back edge
+            after = self._sequence(stmt.orelse, {header}, env)
+            if not stmt.orelse:
+                after = {header}
+            return after | breaks
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._simple(stmt, frontier, env)
+            # A with-block guarantees __exit__ on every path; for the
+            # resource analysis entering the block is the guarantee.
+            return self._sequence(stmt.body, {node}, env)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier, env)
+        if isinstance(stmt, ast.Return):
+            node = self._simple(stmt, frontier, env)
+            for last in self._unwind(node, env, env.finally_stack):
+                self._edge(last, env.return_to, "normal")
+            return set()
+        if isinstance(stmt, ast.Raise):
+            node = self._simple(stmt, frontier, env)
+            for last in self._unwind(node, env, env.finally_stack):
+                self._edge(last, env.raise_to, "normal")
+            return set()
+        if isinstance(stmt, ast.Break):
+            node = self._simple(stmt, frontier, env)
+            if env.break_collector is not None:
+                env.break_collector.update(
+                    self._unwind(node, env, env.loop_finallys())
+                )
+            return set()
+        if isinstance(stmt, ast.Continue):
+            node = self._simple(stmt, frontier, env)
+            if env.loop_header is not None:
+                for last in self._unwind(node, env, env.loop_finallys()):
+                    self._edge(last, env.loop_header, "normal")
+            return set()
+        # Plain statement (possibly with nested defs, which are opaque).
+        node = self._simple(stmt, frontier, env)
+        return {node}
+
+    def _simple(
+        self, stmt: ast.stmt, frontier: Set[int], env: "_Env"
+    ) -> int:
+        node = self._new(stmt, "stmt")
+        for source in frontier:
+            self._edge(source, node, "normal")
+        # Conservative may-raise edge, carrying the pre/post union.
+        self._edge(node, env.raise_to, "exception")
+        return node
+
+    def _try(
+        self, stmt: ast.Try, frontier: Set[int], env: "_Env"
+    ) -> Set[int]:
+        has_finally = bool(stmt.finalbody)
+        # Exceptional routes that leave this try (an unmatched body
+        # exception, or a handler body raising) must run the finally
+        # before propagating: model that once as a re-raise join.
+        if has_finally:
+            reraise = self._new(None, "join")
+            for last in self._sequence(stmt.finalbody, {reraise}, env):
+                self._edge(last, env.raise_to, "normal")
+            propagate_to = reraise
+        else:
+            propagate_to = env.raise_to
+
+        # Exceptions in the body fan into the handlers via this join.
+        catch = self._new(None, "join")
+        body_env = env.with_raise(catch)
+        if has_finally:
+            # An exception raised *inside* the finally body (while it
+            # runs for a return/break unwind) propagates outward — it
+            # must not re-enter this try's handlers or re-run the
+            # finally — so each pushed finally remembers the raise
+            # target that was current outside the try.
+            body_env = body_env.push_finally(stmt.finalbody, env.raise_to)
+        body_out = self._sequence(stmt.body, frontier, body_env)
+        else_out = self._sequence(stmt.orelse, body_out, body_env)
+
+        handler_exits: Set[int] = set()
+        for handler in stmt.handlers:
+            handler_env = env.with_raise(propagate_to)
+            if has_finally:
+                handler_env = handler_env.push_finally(
+                    stmt.finalbody, env.raise_to
+                )
+            handler_exits |= self._sequence(
+                handler.body, {catch}, handler_env
+            )
+        # An exception no handler matches propagates (through finally).
+        self._edge(catch, propagate_to, "normal")
+
+        normal_out = else_out | handler_exits
+        if has_finally and normal_out:
+            return self._sequence(stmt.finalbody, normal_out, env)
+        return normal_out
+
+    def _unwind(
+        self,
+        node: int,
+        env: "_Env",
+        finallys: Tuple[Tuple[Tuple[ast.stmt, ...], int], ...],
+    ) -> Set[int]:
+        """Thread an abrupt exit through the given finally bodies.
+
+        Returns the frontier after the last finally copy (empty when a
+        finally itself diverts control on every path).  Each finally
+        copy runs with the raise target recorded when it was pushed:
+        exceptions inside a cleanup body leave the try entirely.
+        """
+        frontier = {node}
+        outer = env.without_finallys()
+        for finalbody, raise_target in reversed(finallys):
+            if not frontier:
+                break
+            frontier = self._sequence(
+                finalbody, frontier, outer.with_raise(raise_target)
+            )
+        return frontier
+
+
+@dataclass(frozen=True)
+class _Env:
+    """Construction-time targets for abrupt control transfers."""
+
+    raise_to: int
+    return_to: int
+    #: ``(finalbody, outer_raise_target)`` per enclosing try-finally.
+    finally_stack: Tuple[Tuple[Tuple[ast.stmt, ...], int], ...]
+    loop_header: Optional[int] = None
+    break_collector: Optional[Set[int]] = None
+    #: How many entries of ``finally_stack`` were pushed inside the
+    #: innermost loop (break/continue unwind only those).
+    loop_finally_depth: int = 0
+
+    def with_raise(self, target: int) -> "_Env":
+        return _Env(
+            raise_to=target,
+            return_to=self.return_to,
+            finally_stack=self.finally_stack,
+            loop_header=self.loop_header,
+            break_collector=self.break_collector,
+            loop_finally_depth=self.loop_finally_depth,
+        )
+
+    def push_finally(
+        self, finalbody: Sequence[ast.stmt], raise_target: int
+    ) -> "_Env":
+        return _Env(
+            raise_to=self.raise_to,
+            return_to=self.return_to,
+            finally_stack=self.finally_stack
+            + ((tuple(finalbody), raise_target),),
+            loop_header=self.loop_header,
+            break_collector=self.break_collector,
+            loop_finally_depth=self.loop_finally_depth + 1
+            if self.loop_header is not None
+            else 0,
+        )
+
+    def with_loop(self, header: int, breaks: Set[int]) -> "_Env":
+        return _Env(
+            raise_to=self.raise_to,
+            return_to=self.return_to,
+            finally_stack=self.finally_stack,
+            loop_header=header,
+            break_collector=breaks,
+            loop_finally_depth=0,
+        )
+
+    def without_finallys(self) -> "_Env":
+        return _Env(
+            raise_to=self.raise_to,
+            return_to=self.return_to,
+            finally_stack=(),
+            loop_header=self.loop_header,
+            break_collector=self.break_collector,
+            loop_finally_depth=0,
+        )
+
+    def loop_finallys(self) -> Tuple[Tuple[ast.stmt, ...], ...]:
+        if self.loop_finally_depth == 0:
+            return ()
+        return self.finally_stack[-self.loop_finally_depth:]
+
+
+# -- resource lifecycle analysis ---------------------------------------
+
+
+@dataclass
+class ResourceSpec:
+    """The lifecycle contract of one resource kind.
+
+    ``finalizers`` maps a method name to the flag its call sets;
+    ``required`` lists the flags every normal exit must have;
+    ``once`` lists methods that must not run twice on one path.
+    """
+
+    kind: str
+    finalizers: Dict[str, str]
+    required: FrozenSet[str]
+    once: FrozenSet[str] = frozenset()
+
+
+@dataclass
+class ResourceFinding:
+    """One flow defect for a tracked resource."""
+
+    what: str  # "leak" | "double"
+    node: ast.AST  # where to report (exit statement or release call)
+    detail: str
+
+
+#: Summary lookup supplied by the caller: resolves a call expression to
+#: the set of method names it (transitively) applies to the given
+#: argument position, or None when the callee is unknown (escape).
+SummaryLookup = Callable[[ast.Call, int], Optional[Set[str]]]
+
+
+def track_resource(
+    function: ast.AST,
+    creation: ast.stmt,
+    var: str,
+    spec: ResourceSpec,
+    summarize: Optional[SummaryLookup] = None,
+) -> List[ResourceFinding]:
+    """Path-sensitively track one resource variable to every exit.
+
+    ``creation`` is the Assign statement binding ``var``; the analysis
+    starts tracking at its normal out-edge (a failed constructor never
+    binds).  Returns leak findings (a normal exit whose state misses a
+    required flag) and double-release findings (a ``once`` method
+    invoked in a state that already has its flag).
+    """
+    graph = FlowGraph.build(function)
+    creation_node = next(
+        (n.index for n in graph.nodes if n.stmt is creation), None
+    )
+    if creation_node is None:
+        return []
+
+    # states[i] = set of lifecycle states the resource may be in when
+    # control *reaches* node i (after creation on some path).
+    states: Dict[int, Set[State]] = {i: set() for i in range(len(graph.nodes))}
+    worklist: List[int] = []
+
+    def push(target: int, incoming: Iterable[State]) -> None:
+        bucket = states[target]
+        before = len(bucket)
+        bucket.update(incoming)
+        if len(bucket) != before and target not in worklist:
+            worklist.append(target)
+
+    # Seed: the creation statement's normal successors see FRESH.
+    for target, kind in graph.succ[creation_node]:
+        if kind == "normal":
+            push(target, {FRESH})
+
+    doubles: Dict[int, ast.AST] = {}
+    while worklist:
+        index = worklist.pop()
+        node = graph.nodes[index]
+        incoming = states[index]
+        if not incoming:
+            continue
+        outgoing: Set[State] = set()
+        for state in incoming:
+            if _ESCAPED in state:
+                continue
+            result, double_at = _transfer(node.stmt, var, state, spec, summarize)
+            if double_at is not None:
+                doubles[index] = double_at
+            outgoing.add(result)
+        for target, kind in graph.succ[index]:
+            if kind == "exception":
+                # The statement may fail before, during or after its
+                # effect: both pre- and post-states can escape.
+                push(target, set(incoming) | outgoing)
+            else:
+                push(target, outgoing)
+
+    findings: List[ResourceFinding] = []
+    for index, call in doubles.items():
+        findings.append(
+            ResourceFinding(
+                what="double",
+                node=call,
+                detail=f"{var}.{_once_name(spec)} can run twice on this path",
+            )
+        )
+    leaks = any(
+        _ESCAPED not in state and not spec.required <= state
+        for state in states[graph.exit]
+    )
+    if leaks:
+        needed = " and ".join(
+            sorted(
+                method
+                for method, flag in spec.finalizers.items()
+                if flag in spec.required
+            )
+        )
+        findings.append(
+            ResourceFinding(
+                what="leak",
+                node=creation,
+                detail=(
+                    "a normal execution path reaches the function exit "
+                    f"without calling {needed or 'the finalizer'} on "
+                    f"{var!r}"
+                ),
+            )
+        )
+    return findings
+
+
+def _once_name(spec: ResourceSpec) -> str:
+    for method, flag in spec.finalizers.items():
+        if method in spec.once:
+            return method
+    return next(iter(spec.once), "release")
+
+
+def _transfer(
+    stmt: Optional[ast.stmt],
+    var: str,
+    state: State,
+    spec: ResourceSpec,
+    summarize: Optional[SummaryLookup],
+) -> Tuple[State, Optional[ast.AST]]:
+    """Apply one statement to one state; report a double-release node."""
+    if stmt is None:
+        return state, None
+    double: Optional[ast.AST] = None
+    current = state
+    for node in ast.walk(stmt):
+        if isinstance(node, ast.Call):
+            # Direct method call on the resource: var.close().
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == var
+            ):
+                method = func.attr
+                flag = spec.finalizers.get(method)
+                if flag is not None:
+                    if method in spec.once and flag in current:
+                        double = node
+                    current = current | {flag}
+                continue
+            # Resource passed positionally to a helper.
+            for position, arg in enumerate(node.args):
+                if isinstance(arg, ast.Name) and arg.id == var:
+                    methods = (
+                        summarize(node, position)
+                        if summarize is not None
+                        else None
+                    )
+                    if methods is None:
+                        current = current | {_ESCAPED}
+                        continue
+                    for method in methods:
+                        flag = spec.finalizers.get(method)
+                        if flag is not None:
+                            if method in spec.once and flag in current:
+                                double = node
+                            current = current | {flag}
+        elif isinstance(node, ast.Return):
+            if (
+                node.value is not None
+                and _mentions(node.value, var)
+            ):
+                current = current | {_ESCAPED}
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            value = node.value
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == var:
+                    # Rebinding drops the tracked object (a fresh run
+                    # of the creation statement re-seeds FRESH).
+                    current = current | {_ESCAPED}
+                elif isinstance(
+                    target, (ast.Attribute, ast.Subscript)
+                ) and (
+                    value is not None and _mentions_name_only(value, var)
+                ):
+                    current = current | {_ESCAPED}
+    return current, double
+
+
+def _mentions(expr: ast.expr, var: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == var
+        for node in ast.walk(expr)
+    )
+
+
+def _mentions_name_only(expr: ast.expr, var: str) -> bool:
+    """True when ``expr`` passes the resource object itself onward
+    (bare name or a tuple containing it) — attribute reads like
+    ``shm.name`` do not transfer ownership."""
+    if isinstance(expr, ast.Name):
+        return expr.id == var
+    if isinstance(expr, ast.Tuple):
+        return any(_mentions_name_only(item, var) for item in expr.elts)
+    return False

@@ -1,0 +1,289 @@
+"""Snapshot/profile immutability rule (SKY601).
+
+The serving tier's whole consistency argument (snapshot isolation by
+replacement — :mod:`repro.serve.snapshot`) rests on one promise: a
+:class:`ServingSnapshot` is never written after construction, and a
+:class:`~repro.config.profile.Profile` never changes after load.  The
+runtime enforces a slice of that (``setflags(write=False)`` arrays,
+frozen dataclasses), but plenty of mutations slip through at runtime
+until a reader races them: ``snap.ids.sort()`` re-orders the id map
+under a live query, ``snap.data.setflags(write=True)`` silently
+re-arms writes, and a helper that fills an array mutates the published
+object two calls away.
+
+This rule taints every binding whose type is provably snapshot-like —
+an annotation, a ``ServingSnapshot(...)`` / ``load_profile(...)``
+construction, or a read of ``<holder>.current`` — and flags any write
+reaching it: subscript/attribute stores, in-place operators, mutating
+method calls (``fill``, ``sort``, ``setflags(write=True)``, …), and
+positional arguments handed to a project function whose
+:class:`~repro.analysis.callgraph.FunctionSummary` proves it mutates
+that parameter.  ``setflags(write=False)`` — the freezing idiom — and
+``.copy()`` products are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from repro.analysis.base import ProjectRule, Violation, register_rule
+
+__all__ = ["SnapshotMutationRule"]
+
+#: Constructor / factory names whose result is an immutable object.
+_SNAPSHOT_FACTORIES = frozenset({"ServingSnapshot"})
+_PROFILE_FACTORIES = frozenset(
+    {"Profile", "load_profile", "profile_from_dict"}
+)
+
+#: Annotation names that taint a parameter or annotated assignment.
+_TAINT_ANNOTATIONS = {
+    "ServingSnapshot": "published ServingSnapshot",
+    "Profile": "frozen Profile",
+}
+
+
+def _chain(node: ast.expr) -> list:
+    parts = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return parts[::-1]
+    return []
+
+
+def _root_name(expr: ast.expr) -> Optional[str]:
+    """The base variable of an attribute/subscript chain, if any.
+
+    Chains passing through a call (``x.data.copy()``) stop at the call
+    — the product is a fresh object, not a view of the tainted one.
+    """
+    current = expr
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _annotation_kind(annotation: Optional[ast.expr]) -> Optional[str]:
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and isinstance(
+        annotation.value, str
+    ):
+        # String annotations: match on the trailing identifier.
+        name = annotation.value.strip().strip('"').split(".")[-1]
+        return _TAINT_ANNOTATIONS.get(name)
+    chain = _chain(annotation)
+    if chain:
+        return _TAINT_ANNOTATIONS.get(chain[-1])
+    return None
+
+
+def _value_kind(value: ast.expr) -> Optional[str]:
+    """Taint carried by an assigned expression, if provable."""
+    if isinstance(value, ast.Call):
+        chain = _chain(value.func)
+        if chain:
+            if any(part in _SNAPSHOT_FACTORIES for part in chain):
+                return _TAINT_ANNOTATIONS["ServingSnapshot"]
+            if chain[-1] in _PROFILE_FACTORIES:
+                return _TAINT_ANNOTATIONS["Profile"]
+        return None
+    # `snap = holder.current` / `snap = self._holder.current`.
+    if isinstance(value, ast.Attribute) and value.attr == "current":
+        chain = _chain(value)
+        if any("holder" in part.lower() for part in chain[:-1]):
+            return _TAINT_ANNOTATIONS["ServingSnapshot"]
+    return None
+
+
+def _sets_readonly(call: ast.Call) -> bool:
+    for keyword in call.keywords:
+        if keyword.arg == "write" and isinstance(
+            keyword.value, ast.Constant
+        ):
+            return keyword.value.value is False
+    return False
+
+
+@register_rule
+class SnapshotMutationRule(ProjectRule):
+    """SKY601 — nothing writes into a published snapshot or profile.
+
+    Direct forms: ``snap.data[i] = v``, ``snap.ids += ...``,
+    ``snap.version = 7``, ``snap.data.fill(0)``,
+    ``snap.data.setflags(write=True)``.  Interprocedural form:
+    ``helper(snap.data)`` where the call graph's effect summaries
+    prove ``helper`` mutates its argument.  The rule deliberately
+    requires a *provable* type for the root variable (annotation,
+    constructor, or ``holder.current``) — guessing from names would
+    drown the serve tier in false positives.
+    """
+
+    code = "SKY601"
+    name = "snapshot-immutability"
+    summary = (
+        "no write (store, in-place op, mutating method, setflags, or "
+        "summary-proven mutating helper call) may reach a published "
+        "ServingSnapshot or a frozen Profile"
+    )
+
+    def check_project(self, project: object) -> Iterator[Violation]:
+        from repro.analysis.callgraph import ProjectContext, _walk_own
+
+        assert isinstance(project, ProjectContext)
+        graph = project.callgraph
+        for fid, info in graph.functions.items():
+            context = project.modules.get(info.module)
+            if context is None:
+                continue
+            tainted = self._tainted_roots(info)
+            if not tainted:
+                continue
+            edges_by_call: Dict[int, list] = {}
+            for site in graph.callees(fid):
+                if site.call is not None:
+                    edges_by_call.setdefault(id(site.call), []).append(
+                        site.callee
+                    )
+            for node in _walk_own(info.node):
+                for violation in self._check_node(
+                    context, node, tainted, graph, edges_by_call
+                ):
+                    yield violation
+
+    # -- taint seeding --------------------------------------------------
+
+    def _tainted_roots(self, info) -> Dict[str, str]:
+        """``var -> kind label`` for provably-immutable bindings."""
+        tainted: Dict[str, str] = {}
+        node = info.node
+        args = node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            kind = _annotation_kind(arg.annotation)
+            if kind is not None:
+                tainted[arg.arg] = kind
+        for child in ast.walk(node):
+            if isinstance(child, ast.AnnAssign) and isinstance(
+                child.target, ast.Name
+            ):
+                kind = _annotation_kind(child.annotation)
+                if kind is not None:
+                    tainted[child.target.id] = kind
+            elif isinstance(child, ast.Assign) and len(child.targets) == 1:
+                target = child.targets[0]
+                if isinstance(target, ast.Name):
+                    kind = _value_kind(child.value)
+                    if kind is not None:
+                        tainted[target.id] = kind
+        return tainted
+
+    # -- write detection ------------------------------------------------
+
+    def _check_node(
+        self,
+        context,
+        node: ast.AST,
+        tainted: Dict[str, str],
+        graph,
+        edges_by_call: Dict[int, list],
+    ) -> Iterator[Violation]:
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                root = _root_name(target)
+                kind = tainted.get(root) if root else None
+                if kind is None:
+                    continue
+                if context.is_suppressed(node.lineno, self.code):
+                    continue
+                store = (
+                    "subscript store"
+                    if isinstance(target, ast.Subscript)
+                    else "attribute store"
+                )
+                if isinstance(node, ast.AugAssign):
+                    store = "in-place operation"
+                yield context.violation(
+                    node,
+                    self.code,
+                    f"{store} into {root!r}, a {kind}: build a new "
+                    "object and publish it instead of mutating the "
+                    "live one",
+                )
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            from repro.analysis.callgraph import MUTATING_METHODS
+
+            method = node.func.attr
+            if method in MUTATING_METHODS:
+                root = _root_name(node.func.value)
+                kind = tainted.get(root) if root else None
+                if kind is not None and not (
+                    method == "setflags" and _sets_readonly(node)
+                ):
+                    if not context.is_suppressed(node.lineno, self.code):
+                        yield context.violation(
+                            node,
+                            self.code,
+                            f".{method}(...) mutates {root!r}, a {kind}: "
+                            "operate on a .copy() instead",
+                        )
+            # Positional args handed to a summary-proven mutator.
+            yield from self._check_mutating_args(
+                context, node, tainted, graph, edges_by_call
+            )
+        elif isinstance(node, ast.Call):
+            yield from self._check_mutating_args(
+                context, node, tainted, graph, edges_by_call
+            )
+
+    def _check_mutating_args(
+        self,
+        context,
+        call: ast.Call,
+        tainted: Dict[str, str],
+        graph,
+        edges_by_call: Dict[int, list],
+    ) -> Iterator[Violation]:
+        callees = edges_by_call.get(id(call))
+        if not callees:
+            return
+        for position, arg in enumerate(call.args):
+            if not isinstance(arg, (ast.Name, ast.Attribute)):
+                continue
+            root = _root_name(arg)
+            kind = tainted.get(root) if root else None
+            if kind is None:
+                continue
+            for callee in callees:
+                summary = graph.summaries.get(callee)
+                callee_info = graph.functions.get(callee)
+                if summary is None or callee_info is None:
+                    continue
+                offset = 1 if callee_info.class_name else 0
+                if position + offset not in summary.mutated:
+                    continue
+                if context.is_suppressed(call.lineno, self.code):
+                    break
+                yield context.violation(
+                    call,
+                    self.code,
+                    f"{callee_info.qualname}() mutates its argument "
+                    f"(proven by its effect summary), but the value "
+                    f"reaches {root!r}, a {kind}: pass a copy",
+                )
+                break

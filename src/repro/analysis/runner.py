@@ -1,9 +1,25 @@
-"""File discovery, rule orchestration and reporting for skylint.
+"""File discovery, rule orchestration, caching and reporting.
 
 :func:`analyse_paths` is the library entry point (the test suite and
-``python -m repro.analysis`` both use it): collect python files, parse
-each once, run every applicable rule, then partition the findings into
-reported / suppressed / allowlisted.
+``python -m repro.analysis`` both use it).  The v2 pipeline:
+
+1. collect python files and hash their contents;
+2. split the active rules into per-module rules and project
+   (call-graph) rules;
+3. consult the incremental cache — an unchanged file replays its
+   per-module findings, and replays its project findings too when the
+   hash of its transitive project imports is also unchanged (the warm
+   path parses *nothing*: dependency closures are computed from
+   imports stored in the cache);
+4. parse what must be parsed (optionally across processes), run the
+   per-module rules on changed files and the project rules over a
+   package-wide :class:`~repro.analysis.callgraph.ProjectContext`
+   when any project finding could have changed;
+5. partition raw findings through the allowlist and the baseline,
+   tracking stale entries of both.
+
+Findings are cached raw (pre-allowlist, pre-baseline), so tuning the
+suppression files never invalidates the cache.
 """
 
 from __future__ import annotations
@@ -12,7 +28,7 @@ import json
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, TextIO
+from typing import Dict, Iterable, List, Optional, Sequence, Set, TextIO, Tuple
 
 from repro.analysis.base import (
     Allowlist,
@@ -20,7 +36,16 @@ from repro.analysis.base import (
     Rule,
     Violation,
     all_rules,
+    known_codes,
     module_name,
+    unknown_code_error,
+)
+from repro.analysis.baseline import Baseline
+from repro.analysis.cache import (
+    LintCache,
+    deps_hash,
+    file_sha256,
+    rules_signature,
 )
 
 __all__ = ["AnalysisReport", "analyse_paths", "iter_python_files"]
@@ -52,37 +77,143 @@ class AnalysisReport:
 
     violations: List[Violation] = field(default_factory=list)
     allowlisted: List[Violation] = field(default_factory=list)
+    baselined: List[Violation] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: List[Violation] = field(default_factory=list)
+    #: ``pattern: CODE`` allowlist entries that suppressed nothing.
+    stale_allowlist: List[str] = field(default_factory=list)
+    #: Baseline fingerprints whose finding no longer exists.
+    stale_baseline: List[str] = field(default_factory=list)
+    #: ``{"files": n, "module_hits": n, "project_hits": n}`` when a
+    #: cache directory was used.
+    cache_stats: Optional[Dict[str, int]] = None
+
+    @property
+    def stale_entries(self) -> List[str]:
+        return self.stale_allowlist + self.stale_baseline
 
     @property
     def exit_code(self) -> int:
         return 1 if self.violations or self.parse_errors else 0
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "files_checked": self.files_checked,
-                "violations": [v.to_json() for v in self.violations],
-                "allowlisted": [v.to_json() for v in self.allowlisted],
-                "parse_errors": [v.to_json() for v in self.parse_errors],
-            },
-            indent=2,
-        )
+        payload = {
+            "files_checked": self.files_checked,
+            "violations": [v.to_json() for v in self.violations],
+            "allowlisted": [v.to_json() for v in self.allowlisted],
+            "baselined": [v.to_json() for v in self.baselined],
+            "parse_errors": [v.to_json() for v in self.parse_errors],
+            "stale_allowlist": list(self.stale_allowlist),
+            "stale_baseline": list(self.stale_baseline),
+        }
+        if self.cache_stats is not None:
+            payload["cache"] = self.cache_stats
+        return json.dumps(payload, indent=2)
 
     def render(self, stream: Optional[TextIO] = None) -> None:
         out = stream if stream is not None else sys.stdout
         for violation in self.parse_errors + self.violations:
             print(violation.format(), file=out)
+        for entry in self.stale_allowlist:
+            print(
+                f"skylint: warning: stale allowlist entry {entry!r} "
+                "(suppresses nothing; remove it)",
+                file=out,
+            )
+        for entry in self.stale_baseline:
+            print(
+                f"skylint: warning: stale baseline entry {entry!r} "
+                "(finding no longer exists; re-run --write-baseline)",
+                file=out,
+            )
         summary = (
             f"skylint: {len(self.violations)} violation(s) in "
             f"{self.files_checked} file(s)"
         )
         if self.allowlisted:
             summary += f", {len(self.allowlisted)} allowlisted"
+        if self.baselined:
+            summary += f", {len(self.baselined)} baselined"
         if self.parse_errors:
             summary += f", {len(self.parse_errors)} unparsable file(s)"
+        if self.cache_stats is not None:
+            summary += (
+                f" [cache: {self.cache_stats['module_hits']}/"
+                f"{self.cache_stats['files']} warm]"
+            )
         print(summary, file=out)
+
+
+def _active_rules(
+    rules: Optional[Sequence[Rule]],
+    select: Optional[Iterable[str]],
+    ignore: Optional[Iterable[str]],
+) -> List[Rule]:
+    active = list(rules) if rules is not None else all_rules()
+    known = known_codes()
+    if select is not None:
+        wanted = set(select)
+        for code in sorted(wanted):
+            if code not in known:
+                raise unknown_code_error(code, known)
+        active = [rule for rule in active if rule.code in wanted]
+    if ignore is not None:
+        unwanted = set(ignore)
+        for code in sorted(unwanted):
+            if code not in known:
+                raise unknown_code_error(code, known)
+        active = [rule for rule in active if rule.code not in unwanted]
+    return active
+
+
+def _parse_one(path: Path) -> Tuple[Optional[ModuleContext], Optional[Violation]]:
+    try:
+        return ModuleContext.parse(path), None
+    except (SyntaxError, UnicodeDecodeError) as error:
+        return None, Violation(
+            path=str(path),
+            line=getattr(error, "lineno", 1) or 1,
+            col=1,
+            code="SKY000",
+            message=f"cannot parse file: {error}",
+        )
+
+
+def _module_check_worker(
+    path_str: str, codes: List[str]
+) -> Tuple[str, Optional[dict], List[dict], List[str]]:
+    """Subprocess body: parse one file, run the per-module rules.
+
+    Returns ``(path, parse_error, violations, imports)`` as plain
+    JSON-able values (Violation dataclasses round-trip via to_json).
+    """
+    from repro.analysis.base import RULE_REGISTRY
+    from repro.analysis.callgraph import module_imports
+
+    path = Path(path_str)
+    context, error = _parse_one(path)
+    if context is None:
+        assert error is not None
+        return path_str, error.to_json(), [], []
+    rules = [RULE_REGISTRY[code]() for code in codes]
+    found: List[dict] = []
+    for rule in rules:
+        if not rule.applies_to(context.module):
+            continue
+        found.extend(v.to_json() for v in rule.check(context))
+    imports = sorted(module_imports(context.tree, context.module))
+    return path_str, None, found, imports
+
+
+def _violation_from_json(record: dict) -> Violation:
+    return Violation(
+        path=str(record["path"]),
+        line=int(record["line"]),
+        col=int(record["col"]),
+        code=str(record["code"]),
+        message=str(record["message"]),
+        severity=str(record.get("severity", "error")),
+    )
 
 
 def analyse_paths(
@@ -91,43 +222,291 @@ def analyse_paths(
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
     allowlist: Optional[Allowlist] = None,
+    baseline: Optional[Baseline] = None,
+    cache_dir: Optional[Path] = None,
+    jobs: int = 1,
 ) -> AnalysisReport:
-    """Run the (filtered) rule set over every python file in ``paths``."""
-    active = list(rules) if rules is not None else all_rules()
-    if select is not None:
-        wanted = set(select)
-        active = [rule for rule in active if rule.code in wanted]
-    if ignore is not None:
-        unwanted = set(ignore)
-        active = [rule for rule in active if rule.code not in unwanted]
+    """Run the (filtered) rule set over every python file in ``paths``.
 
-    report = AnalysisReport()
-    for path in iter_python_files([Path(p) for p in paths]):
-        report.files_checked += 1
-        try:
-            context = ModuleContext.parse(path)
-        except (SyntaxError, UnicodeDecodeError) as error:
-            report.parse_errors.append(
-                Violation(
-                    path=str(path),
-                    line=getattr(error, "lineno", 1) or 1,
-                    col=1,
-                    code="SKY000",
-                    message=f"cannot parse file: {error}",
-                )
-            )
-            continue
+    Raises :class:`ValueError` for unknown ``select``/``ignore`` codes
+    (with a did-you-mean suggestion) — a typo'd filter must fail loud,
+    not silently lint nothing.
+    """
+    from repro.analysis.callgraph import ProjectContext, module_imports
+
+    active = _active_rules(rules, select, ignore)
+    module_rules = [r for r in active if not r.requires_project]
+    project_rules = [r for r in active if r.requires_project]
+
+    files = iter_python_files([Path(p) for p in paths])
+    keys = [str(path) for path in files]
+    report = AnalysisReport(files_checked=len(files))
+
+    cache: Optional[LintCache] = None
+    if cache_dir is not None:
+        cache = LintCache(Path(cache_dir))
+        cache.load(rules_signature([r.code for r in active]))
+
+    hashes: Dict[str, Optional[str]] = {
+        key: file_sha256(path) for key, path in zip(keys, files)
+    }
+    #: dotted module -> file hash, for dependency hashing (first file
+    #: claiming a module name wins, matching ProjectContext).
+    module_hash: Dict[str, str] = {}
+    module_of: Dict[str, str] = {}
+    for key, path in zip(keys, files):
         module = module_name(path)
-        for rule in active:
-            if not rule.applies_to(module):
+        module_of[key] = module
+        digest = hashes[key]
+        if digest is not None:
+            module_hash.setdefault(module, digest)
+
+    # -- cache probe (parse-free) --------------------------------------
+
+    module_hits: Set[str] = set()
+    project_hits: Set[str] = set()
+    import_table: Dict[str, List[str]] = {}
+    if cache is not None:
+        for key in keys:
+            if cache.module_hit(key, hashes[key]):
+                module_hits.add(key)
+                cached = cache.cached_imports(key)
+                if cached is not None:
+                    import_table[key] = cached
+
+        def closure_hash(key: str) -> Optional[str]:
+            start = import_table.get(key)
+            if start is None:
+                return None
+            seen: Set[str] = set()
+            stack = [m for m in start if m in module_hash]
+            dep_hashes: Dict[str, str] = {}
+            while stack:
+                dep = stack.pop()
+                if dep in seen or dep == module_of[key]:
+                    continue
+                seen.add(dep)
+                dep_hashes[dep] = module_hash[dep]
+                # Follow the dep's own cached imports when available.
+                for dep_key, dep_module in module_of.items():
+                    if dep_module == dep:
+                        for nxt in import_table.get(dep_key, ()):  # noqa: B007
+                            if nxt in module_hash and nxt not in seen:
+                                stack.append(nxt)
+                        break
+            return deps_hash(dep_hashes)
+
+        if project_rules:
+            for key in module_hits:
+                entry = cache.entry(key)
+                if entry is None:
+                    continue
+                expected = closure_hash(key)
+                if expected is not None and entry.get("deps_hash") == expected:
+                    project_hits.add(key)
+        else:
+            project_hits = set(module_hits)
+        cache.hits = len(module_hits)
+        cache.project_hits = len(project_hits)
+        cache.misses = len(keys) - len(module_hits)
+
+    all_project_warm = len(project_hits) == len(keys)
+    all_module_warm = len(module_hits) == len(keys)
+
+    # -- decide what needs parsing -------------------------------------
+
+    need_module_run = [
+        (key, path)
+        for key, path in zip(keys, files)
+        if key not in module_hits
+    ]
+    need_project_run = bool(project_rules) and not all_project_warm
+
+    raw_by_file: Dict[str, List[Violation]] = {key: [] for key in keys}
+    project_by_file: Dict[str, List[Violation]] = {key: [] for key in keys}
+    fresh_imports: Dict[str, List[str]] = {}
+    contexts: Dict[str, ModuleContext] = {}
+    parse_failed: Set[str] = set()
+
+    codes = [r.code for r in module_rules]
+
+    def record_parse_error(key: str, violation: Violation) -> None:
+        parse_failed.add(key)
+        report.parse_errors.append(violation)
+
+    if need_module_run and jobs > 1 and not need_project_run:
+        # Pure module-rule work parallelises cleanly: each worker
+        # parses its file and returns JSON-able findings.
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                results = list(
+                    pool.map(
+                        _module_check_worker,
+                        [key for key, _ in need_module_run],
+                        [codes] * len(need_module_run),
+                    )
+                )
+            for key, error, found, imports in results:
+                if error is not None:
+                    record_parse_error(key, _violation_from_json(error))
+                    continue
+                raw_by_file[key].extend(
+                    _violation_from_json(v) for v in found
+                )
+                fresh_imports[key] = imports
+            need_module_run = []
+        except (OSError, ImportError):  # pragma: no cover - env-specific
+            pass  # fall through to the serial path
+
+    # Serial path (also used whenever the project rules run: they need
+    # every context in this process anyway).
+    to_parse: List[Tuple[str, Path]] = []
+    if need_project_run:
+        to_parse = list(zip(keys, files))
+    else:
+        to_parse = need_module_run
+    for key, path in to_parse:
+        context, error = _parse_one(path)
+        if context is None:
+            assert error is not None
+            record_parse_error(key, error)
+            continue
+        contexts[key] = context
+
+    for key, path in need_module_run:
+        context = contexts.get(key)
+        if context is None:
+            continue  # parse error already recorded
+        for rule in module_rules:
+            if not rule.applies_to(context.module):
                 continue
-            for violation in rule.check(context):
-                if allowlist is not None and allowlist.allows(
-                    violation, module
-                ):
-                    report.allowlisted.append(violation)
-                else:
-                    report.violations.append(violation)
+            raw_by_file[key].extend(rule.check(context))
+
+    # Cached per-module findings for warm files.
+    if cache is not None:
+        for key in module_hits:
+            raw_by_file[key].extend(
+                cache.cached_violations(key, "module_violations")
+            )
+
+    # -- project rules --------------------------------------------------
+
+    if need_project_run:
+        ordered = [contexts[key] for key in keys if key in contexts]
+        project = ProjectContext(ordered)
+        for rule in project_rules:
+            for violation in rule.check_project(project):
+                bucket = project_by_file.get(violation.path)
+                if bucket is None:
+                    bucket = project_by_file.setdefault(violation.path, [])
+                bucket.append(violation)
+    elif cache is not None and project_rules:
+        for key in keys:
+            project_by_file[key].extend(
+                cache.cached_violations(key, "project_violations")
+            )
+
+    # -- write the cache back ------------------------------------------
+
+    if cache is not None:
+        # Imports for every parsed file; cached imports elsewhere.
+        for key, context in contexts.items():
+            fresh_imports[key] = sorted(
+                module_imports(context.tree, context.module)
+            )
+        current_imports: Dict[str, List[str]] = {}
+        for key in keys:
+            if key in fresh_imports:
+                current_imports[key] = fresh_imports[key]
+            else:
+                current_imports[key] = import_table.get(key, [])
+        key_of_module: Dict[str, str] = {}
+        for key in keys:
+            key_of_module.setdefault(module_of[key], key)
+
+        def current_closure_hash(key: str) -> str:
+            seen: Set[str] = set()
+            stack = [
+                m
+                for m in current_imports.get(key, ())
+                if m in module_hash
+            ]
+            dep_hashes: Dict[str, str] = {}
+            while stack:
+                dep = stack.pop()
+                if dep in seen or dep == module_of[key]:
+                    continue
+                seen.add(dep)
+                dep_hashes[dep] = module_hash[dep]
+                dep_key = key_of_module.get(dep)
+                if dep_key is not None:
+                    stack.extend(
+                        nxt
+                        for nxt in current_imports.get(dep_key, ())
+                        if nxt in module_hash and nxt not in seen
+                    )
+            return deps_hash(dep_hashes)
+
+        for key in keys:
+            if key in parse_failed or hashes[key] is None:
+                continue
+            cache.store(
+                key,
+                hashes[key],  # type: ignore[arg-type]
+                module_of[key],
+                current_imports.get(key, []),
+                raw_by_file.get(key, []),
+                project_by_file.get(key, []),
+                current_closure_hash(key),
+            )
+        cache.save()
+        report.cache_stats = {
+            "files": len(keys),
+            "module_hits": len(module_hits),
+            "project_hits": len(project_hits),
+            "warm": bool(all_module_warm and (not project_rules or all_project_warm)),
+        }
+
+    # -- partition: allowlist, then baseline ---------------------------
+
+    combined: List[Violation] = []
+    for key in keys:
+        combined.extend(raw_by_file.get(key, []))
+        combined.extend(project_by_file.get(key, []))
+    # Project findings may land on paths outside the keyed set (never
+    # in practice: ProjectContext only contains analysed files).
+    for path_key, extra in project_by_file.items():
+        if path_key not in raw_by_file and path_key not in keys:
+            combined.extend(extra)
+
+    used_entries: Set[int] = set()
+    surviving: List[Violation] = []
+    for violation in combined:
+        module = module_name(Path(violation.path))
+        matched = (
+            allowlist.match(violation, module)
+            if allowlist is not None
+            else None
+        )
+        if matched is not None:
+            used_entries.add(matched)
+            report.allowlisted.append(violation)
+        else:
+            surviving.append(violation)
+    if allowlist is not None:
+        for index, (pattern, code) in enumerate(allowlist.entries):
+            if index not in used_entries:
+                report.stale_allowlist.append(f"{pattern}: {code}")
+
+    if baseline is not None:
+        surviving, baselined, stale = baseline.partition(surviving)
+        report.baselined = baselined
+        report.stale_baseline = stale
+
+    report.violations = surviving
     report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     report.allowlisted.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    report.baselined.sort(key=lambda v: (v.path, v.line, v.col, v.code))
     return report

@@ -1,0 +1,123 @@
+"""SARIF 2.1.0 export for skylint findings.
+
+GitHub code scanning (and every SARIF-aware viewer) ingests this
+directly: ``python -m repro.analysis --format sarif > skylint.sarif``
+then upload with ``github/codeql-action/upload-sarif``.  One run, one
+driver ("skylint"), one ``reportingDescriptor`` per registered rule,
+one ``result`` per reported violation (allowlisted and baselined
+findings are deliberately excluded — code scanning should only see
+what the repo's own gate would fail on).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.base import Rule, Violation
+
+__all__ = ["sarif_document"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _relative_uri(path: str, base: Optional[Path]) -> str:
+    candidate = Path(path)
+    if base is not None:
+        try:
+            candidate = candidate.resolve().relative_to(base.resolve())
+        except (ValueError, OSError):
+            pass
+    return candidate.as_posix()
+
+
+def sarif_document(
+    violations: Sequence[Violation],
+    rules: Sequence[Rule],
+    base_dir: Optional[Path] = None,
+) -> Dict[str, object]:
+    """The complete SARIF log object for one analysis run."""
+    used_codes = {v.code for v in violations}
+    descriptors: List[Dict[str, object]] = []
+    for rule in rules:
+        descriptor: Dict[str, object] = {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        descriptors.append(descriptor)
+    known = {d["id"] for d in descriptors}
+    # Parse errors report as SKY000, which has no Rule class.
+    for code in sorted(used_codes - known):
+        descriptors.append(
+            {
+                "id": code,
+                "name": "internal",
+                "shortDescription": {"text": "analysis-level diagnostic"},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+
+    results: List[Dict[str, object]] = []
+    for violation in violations:
+        results.append(
+            {
+                "ruleId": violation.code,
+                "level": _LEVELS.get(violation.severity, "error"),
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": _relative_uri(
+                                    violation.path, base_dir
+                                ),
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {
+                                "startLine": max(violation.line, 1),
+                                "startColumn": max(violation.col, 1),
+                            },
+                        }
+                    }
+                ],
+                "partialFingerprints": {
+                    "skylint/v1": (
+                        f"{_relative_uri(violation.path, base_dir)}:"
+                        f"{violation.code}"
+                    )
+                },
+            }
+        )
+
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "skylint",
+                        "informationUri": (
+                            "docs/ANALYSIS.md"
+                        ),
+                        "rules": descriptors,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {
+                        "uri": (base_dir or Path.cwd()).resolve().as_uri()
+                        + "/"
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

@@ -14,14 +14,22 @@ ones that lint clean.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.analysis.base import ModuleContext, Rule, Violation, register_rule
+from repro.analysis.base import (
+    ModuleContext,
+    ProjectRule,
+    Rule,
+    Violation,
+    register_rule,
+)
 
 __all__ = [
     "SharedMemoryUnlinkRule",
     "PoolLifecycleRule",
     "WorkerPicklabilityRule",
+    "SharedMemoryLeakPathRule",
+    "SharedMemoryDoubleReleaseRule",
 ]
 
 #: Pool constructors whose instances must be shut down on every path.
@@ -258,3 +266,201 @@ def _nested_defs(function: ast.AST) -> Set[str]:
             continue
         stack.extend(ast.iter_child_nodes(node))
     return names
+
+
+# -- flow-aware lifecycle rules (SKY104 / SKY105) ----------------------
+#
+# SKY101 asks a syntactic question ("is there a finally that
+# unlinks?"); these two walk the CFG instead, so an early return
+# between creation and cleanup, or a loop that re-enters the release
+# path, is caught even when the release itself lives in a helper
+# function the call graph resolves.
+
+
+def _lifecycle_specs():
+    """The tracked resource contracts (imported lazily: flow pulls in
+    nothing beyond ast, but keeping rule modules import-light keeps
+    ``--list-rules`` instant)."""
+    from repro.analysis.flow import ResourceSpec
+
+    shm = ResourceSpec(
+        kind="SharedMemory",
+        finalizers={"close": "closed", "unlink": "unlinked"},
+        required=frozenset({"unlinked"}),
+        once=frozenset({"unlink"}),
+    )
+    dataset = ResourceSpec(
+        kind="SharedDataset",
+        finalizers={"close": "closed"},
+        required=frozenset({"closed"}),
+        once=frozenset(),
+    )
+    return shm, dataset
+
+
+def _creates_segment(call: ast.Call) -> bool:
+    """``SharedMemory(create=True, ...)`` — an owning allocation."""
+    if _call_name(call) != "SharedMemory":
+        return False
+    return any(
+        keyword.arg == "create"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is True
+        for keyword in call.keywords
+    )
+
+
+def _creates_dataset(call: ast.Call) -> bool:
+    """``SharedDataset(...)`` construction (``attach`` is borrowing)."""
+    return _call_name(call) == "SharedDataset" and not (
+        isinstance(call.func, ast.Attribute) and call.func.attr == "attach"
+    )
+
+
+def _tracked_creations(
+    function: ast.AST,
+) -> Iterator[Tuple[ast.Assign, str, str]]:
+    """``(assign, var, kind)`` for owning creations bound to a local.
+
+    Only plain ``var = Ctor(...)`` bindings in the function's own body
+    are tracked: ``with`` creations are released by ``__exit__``,
+    ``self.attr = ...`` hands ownership to the object (SKY101's class
+    check governs that), and creations inside nested defs belong to
+    the nested function.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if not isinstance(value, ast.Call):
+            continue
+        if _creates_segment(value):
+            yield node, target.id, "SharedMemory"
+        elif _creates_dataset(value):
+            yield node, target.id, "SharedDataset"
+
+
+def _summary_lookup(graph, fid: str):
+    """A :data:`repro.analysis.flow.SummaryLookup` over the call graph.
+
+    Resolves ``helper(seg)`` to the set of methods the callee
+    (transitively) applies to that argument; returns ``None`` —
+    "escaped, stop tracking" — when the call has no resolved edge or
+    the callee stores the argument beyond the call.
+    """
+    by_call: Dict[int, List[str]] = {}
+    for site in graph.callees(fid):
+        if site.call is not None:
+            by_call.setdefault(id(site.call), []).append(site.callee)
+
+    def lookup(call: ast.Call, position: int) -> Optional[Set[str]]:
+        callees = by_call.get(id(call))
+        if not callees:
+            return None
+        methods: Set[str] = set()
+        for callee in callees:
+            summary = graph.summaries.get(callee)
+            info = graph.functions.get(callee)
+            if summary is None or info is None:
+                return None
+            offset = 1 if info.class_name else 0
+            there = position + offset
+            if there in summary.escaped:
+                return None
+            methods |= summary.param_methods.get(there, set())
+        return methods
+
+    return lookup
+
+
+def _flow_findings(project) -> Iterator[Tuple[str, object, "object", str]]:
+    """``(what, context, finding_node, detail)`` across the project."""
+    from repro.analysis.flow import track_resource
+
+    shm_spec, dataset_spec = _lifecycle_specs()
+    graph = project.callgraph
+    for fid, info in graph.functions.items():
+        context = project.modules.get(info.module)
+        if context is None:
+            continue
+        summarize = None
+        for assign, var, kind in _tracked_creations(info.node):
+            if summarize is None:
+                summarize = _summary_lookup(graph, fid)
+            spec = shm_spec if kind == "SharedMemory" else dataset_spec
+            for finding in track_resource(
+                info.node, assign, var, spec, summarize
+            ):
+                yield finding.what, context, finding.node, (
+                    f"{kind} segment {var!r}: {finding.detail}"
+                )
+
+
+@register_rule
+class SharedMemoryLeakPathRule(ProjectRule):
+    """SKY104 — no execution path may leak an owned segment.
+
+    Complements SKY101: that rule demands a *guarantee shape* (with /
+    owning class / finally); this one walks the CFG and flags an
+    actual normal path that reaches the function exit with the segment
+    still linked — an early ``return`` before the cleanup, a branch
+    that skips it, a helper that closes but forgets to unlink.
+    Release through helpers counts when the call graph proves the
+    helper (transitively) finalises its argument.  Escaped segments
+    (returned, stored on ``self``, handed to an unresolvable callee)
+    are someone else's contract and are not reported.
+    """
+
+    code = "SKY104"
+    name = "shared-memory-leak-path"
+    summary = (
+        "an owned SharedMemory/SharedDataset must be released on every "
+        "normal execution path (flow-checked across helper calls)"
+    )
+
+    def check_project(self, project: object) -> Iterator[Violation]:
+        for what, context, node, detail in _flow_findings(project):
+            if what != "leak":
+                continue
+            line = getattr(node, "lineno", 1)
+            if context.is_suppressed(line, self.code):
+                continue
+            yield context.violation(node, self.code, detail)
+
+
+@register_rule
+class SharedMemoryDoubleReleaseRule(ProjectRule):
+    """SKY105 — no path may unlink the same segment twice.
+
+    ``unlink()`` removes the name from the kernel namespace; a second
+    call raises ``FileNotFoundError`` in production (and on some
+    platforms can unlink a *recycled* name created by another run).
+    Typical shapes: a release call inside a loop, or cleanup in both
+    an ``except`` handler and the ``finally``.
+    """
+
+    code = "SKY105"
+    name = "shared-memory-double-release"
+    summary = (
+        "no execution path may call unlink() twice on one segment "
+        "(flow-checked, including releases via helpers)"
+    )
+
+    def check_project(self, project: object) -> Iterator[Violation]:
+        for what, context, node, detail in _flow_findings(project):
+            if what != "double":
+                continue
+            line = getattr(node, "lineno", 1)
+            if context.is_suppressed(line, self.code):
+                continue
+            yield context.violation(node, self.code, detail)

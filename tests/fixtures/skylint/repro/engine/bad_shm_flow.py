@@ -1,0 +1,68 @@
+"""SKY104/SKY105 fixture: shared-memory lifecycle along execution paths.
+
+Unlike ``bad_shm.py`` (SKY101's syntactic shapes), these defects are
+path-shaped: one branch returns before the unlink, a helper closes but
+never unlinks, a segment is unlinked twice.  SKY101 is suppressed on
+the creation lines so each function isolates the flow-rule behaviour;
+the clean counterparts at the bottom release through a helper —
+syntactically invisible to SKY101, but proven safe by the call-graph
+summaries.
+"""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+def _close_only(segment):
+    segment.close()
+
+
+def _release(segment):
+    segment.close()
+    segment.unlink()
+
+
+def early_return_leak(nbytes, fast_path):
+    shm = SharedMemory(create=True, size=nbytes)  # skylint: disable=SKY101
+    if fast_path:
+        shm.close()
+        return None  # this path never unlinks
+    shm.close()
+    shm.unlink()
+    return None
+
+
+def helper_forgets_unlink(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)  # skylint: disable=SKY101
+    _close_only(shm)  # the helper closes but never unlinks
+    return None
+
+
+def double_unlink(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)  # skylint: disable=SKY101
+    shm.close()
+    shm.unlink()
+    shm.unlink()  # SKY105
+
+
+def helper_then_unlink(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)  # skylint: disable=SKY101
+    _release(shm)  # already unlinks...
+    shm.unlink()  # SKY105
+
+
+def clean_finally(nbytes):
+    shm = SharedMemory(create=True, size=nbytes)
+    try:
+        return nbytes
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def clean_helper_release(nbytes):
+    # SKY101 cannot tell `_release` unlinks; the flow rules can.
+    shm = SharedMemory(create=True, size=nbytes)  # skylint: disable=SKY101
+    try:
+        return nbytes
+    finally:
+        _release(shm)

@@ -1,0 +1,49 @@
+"""SKY601 fixture: writes reaching published snapshots and profiles.
+
+Every tainted root is *provable* — a ``ServingSnapshot``/``Profile``
+annotation, a factory call, or a ``holder.current`` read.  The quiet
+counterparts mutate fresh copies or apply the freezing idiom.
+"""
+
+from repro.config.profile import Profile
+from repro.serve.snapshot import ServingSnapshot
+
+
+def _fill_zero(buffer):
+    buffer.fill(0)  # mutates arg 0: recorded in the effect summary
+
+
+def rewrite_ids(snap: ServingSnapshot):
+    snap.ids[0] = 0  # line 17: SKY601 (subscript store)
+    snap.version = 99  # line 18: SKY601 (attribute store)
+
+
+def bump(snap: ServingSnapshot):
+    snap.hits += 1  # line 22: SKY601 (in-place operation)
+
+
+def sort_live(holder):
+    snap = holder.current  # tainted: a published snapshot read
+    snap.ids.sort()  # line 27: SKY601 (mutating method)
+
+
+def rearm(snap: ServingSnapshot):
+    snap.data.setflags(write=True)  # line 31: SKY601 (re-arms writes)
+
+
+def deep_mutation(snap: ServingSnapshot):
+    _fill_zero(snap.data)  # line 35: SKY601 (helper proven mutating)
+
+
+def tweak_profile(profile: Profile):
+    profile.serve.port = 0  # line 39: SKY601 (frozen Profile)
+
+
+def freeze(snap: ServingSnapshot):
+    snap.data.setflags(write=False)  # quiet: the freezing idiom
+
+
+def safe_copy(snap: ServingSnapshot):
+    scratch = snap.data.copy()
+    scratch.fill(0)  # quiet: a fresh copy, not the published object
+    return scratch

@@ -1,0 +1,39 @@
+"""SKY402 fixture: coroutines reaching blocking calls through helpers.
+
+SKY401 cannot see any of these — the blocking primitives live in
+synchronous module-level functions, one or two frames below the
+coroutine.  Only the call-graph walk connects them.
+"""
+
+import asyncio
+import time
+
+
+def _backoff(seconds):
+    time.sleep(seconds)  # the primitive, two frames from the coroutine
+
+
+def _retry(attempts):
+    for _ in range(attempts):
+        _backoff(0.1)
+
+
+def _load_config(path):
+    return path.read_text()  # blocking file read, one frame away
+
+
+async def handle(request):
+    _retry(3)  # line 26: SKY402 (handle -> _retry -> _backoff)
+    return request
+
+
+async def read_settings(path):
+    return _load_config(path)  # line 31: SKY402 (one frame away)
+
+
+async def quiet(request):
+    # The intended fixes stay clean: to_thread takes a *reference*
+    # (never a call edge), and asyncio.sleep yields the loop.
+    await asyncio.to_thread(_retry, 3)
+    await asyncio.sleep(0.01)
+    return request

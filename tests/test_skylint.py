@@ -187,9 +187,22 @@ def test_rule_registry_complete_and_unique():
     assert len(codes) == len(set(codes))
     assert {
         "SKY001", "SKY002", "SKY003",
-        "SKY101", "SKY102", "SKY103",
-        "SKY201", "SKY301",
+        "SKY101", "SKY102", "SKY103", "SKY104", "SKY105",
+        "SKY201", "SKY301", "SKY401", "SKY402", "SKY501",
+        "SKY601", "SKY602",
     } <= set(codes)
+
+
+def test_project_rules_marked_as_such():
+    from repro.analysis import RULE_REGISTRY
+
+    project_codes = {
+        code
+        for code, rule_class in RULE_REGISTRY.items()
+        if rule_class.requires_project
+    }
+    assert {"SKY104", "SKY105", "SKY402", "SKY601", "SKY602"} <= project_codes
+    assert "SKY101" not in project_codes
 
 
 # -- CLI ---------------------------------------------------------------
@@ -252,3 +265,396 @@ def test_repo_lints_clean_without_allowlist(capsys):
     out = capsys.readouterr().out
     assert exit_code == 0, out
     assert "0 violation(s)" in out
+
+
+# -- flow-aware rules (v2) ---------------------------------------------
+
+
+def test_sky402_transitive_blocking():
+    report = analyse_paths([fixture("serve/bad_transitive.py")])
+    assert [v.code for v in report.violations] == ["SKY402", "SKY402"]
+    # handle (line 26, two frames away) and read_settings (line 31).
+    assert [v.line for v in report.violations] == [26, 31]
+    two_frames = report.violations[0].message
+    assert "handle -> _retry -> _backoff" in two_frames
+    assert "time.sleep(...)" in two_frames
+    assert "2 frame(s)" in two_frames
+    assert "path.read_text(...)" in report.violations[1].message
+
+
+def test_sky402_quiet_on_to_thread_dispatch():
+    # The `quiet` coroutine dispatches the same helper via to_thread
+    # and never appears in the findings.
+    report = analyse_paths([fixture("serve/bad_transitive.py")])
+    assert all("quiet" not in v.message for v in report.violations)
+
+
+def test_sky104_leak_paths():
+    path = fixture("engine/bad_shm_flow.py")
+    report = analyse_paths([path], select=["SKY104"])
+    # early_return_leak (line 25) and helper_forgets_unlink (line 35);
+    # the clean finally / helper-release functions stay quiet.
+    assert [v.code for v in report.violations] == ["SKY104", "SKY104"]
+    assert [v.line for v in report.violations] == [25, 35]
+
+
+def test_sky105_double_release_paths():
+    path = fixture("engine/bad_shm_flow.py")
+    report = analyse_paths([path], select=["SKY105"])
+    # double_unlink (line 44) and helper_then_unlink (line 50) — and
+    # crucially NOT the finally-block releases of the clean functions.
+    assert [v.code for v in report.violations] == ["SKY105", "SKY105"]
+    assert [v.line for v in report.violations] == [44, 50]
+
+
+def test_shm_flow_fixture_full_code_set():
+    # SKY101 is inline-suppressed except in clean_finally (where it is
+    # satisfied), so the whole fixture reports exactly the flow rules.
+    assert codes_in(fixture("engine/bad_shm_flow.py")) == [
+        "SKY104", "SKY104", "SKY105", "SKY105",
+    ]
+
+
+def test_sky601_snapshot_mutation():
+    report = analyse_paths([fixture("serve/bad_mutation.py")])
+    assert [v.code for v in report.violations] == ["SKY601"] * 7
+    assert [v.line for v in report.violations] == [17, 18, 22, 27, 31, 35, 39]
+    by_line = {v.line: v.message for v in report.violations}
+    assert "subscript store" in by_line[17]
+    assert "attribute store" in by_line[18]
+    assert "in-place operation" in by_line[22]
+    assert ".sort(...)" in by_line[27]
+    assert ".setflags(...)" in by_line[31]
+    assert "_fill_zero() mutates its argument" in by_line[35]
+    assert "frozen Profile" in by_line[39]
+
+
+def test_sky602_domain_bounds():
+    report = analyse_paths([fixture("engine/bad_domains.py")])
+    assert [v.code for v in report.violations] == ["SKY602"] * 4
+    assert [v.line for v in report.violations] == [15, 19, 23, 27]
+    shifts = [v for v in report.violations if "shift count" in v.message]
+    tables = [v for v in report.violations if "exponential table" in v.message]
+    assert len(shifts) == 2 and len(tables) == 2
+
+
+def test_flow_cfg_finally_runs_once_per_path():
+    # Regression: an exception raised inside a finally body must not
+    # re-enter the same try (which re-ran the cleanup and produced
+    # phantom double-release states).
+    import ast as ast_module
+
+    from repro.analysis.flow import ResourceSpec, track_resource
+
+    source = (
+        "def f(n):\n"
+        "    shm = SharedMemory(create=True, size=n)\n"
+        "    try:\n"
+        "        return n\n"
+        "    finally:\n"
+        "        shm.close()\n"
+        "        shm.unlink()\n"
+    )
+    function = ast_module.parse(source).body[0]
+    creation = function.body[0]
+    spec = ResourceSpec(
+        kind="SharedMemory",
+        finalizers={"close": "closed", "unlink": "unlinked"},
+        required=frozenset({"unlinked"}),
+        once=frozenset({"unlink"}),
+    )
+    assert track_resource(function, creation, "shm", spec) == []
+
+
+# -- selection validation ----------------------------------------------
+
+
+def test_unknown_select_code_raises_with_suggestion():
+    with pytest.raises(ValueError, match="SKY999"):
+        analyse_paths([fixture("engine/bad_rng.py")], select=["SKY999"])
+    with pytest.raises(ValueError, match="did you mean 'SKY201'"):
+        analyse_paths([fixture("engine/bad_rng.py")], ignore=["SKY200"])
+
+
+def test_cli_unknown_code_exits_2(capsys):
+    exit_code = main(
+        [str(fixture("engine/bad_rng.py")), "--select", "SKY999"]
+    )
+    assert exit_code == 2
+    err = capsys.readouterr().err
+    assert "SKY999" in err and "--list-rules" in err
+
+
+# -- incremental cache -------------------------------------------------
+
+
+def test_cache_module_rules_warm_run(tmp_path):
+    cache = tmp_path / "cache"
+    path = fixture("engine/bad_rng.py")
+    cold = analyse_paths([path], cache_dir=cache)
+    assert cold.cache_stats == {
+        "files": 1, "module_hits": 0, "project_hits": 0, "warm": False,
+    }
+    warm = analyse_paths([path], cache_dir=cache)
+    assert warm.cache_stats["module_hits"] == 1
+    assert warm.cache_stats["warm"] is True
+    assert [v.to_json() for v in warm.violations] == [
+        v.to_json() for v in cold.violations
+    ]
+
+
+def test_cache_invalidates_on_content_change(tmp_path):
+    cache = tmp_path / "cache"
+    target = tmp_path / "repro" / "engine" / "scratch.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import numpy as np\n\nx = np.random.rand(3)\n")
+    first = analyse_paths([target], cache_dir=cache)
+    assert [v.code for v in first.violations] == ["SKY201"]
+    target.write_text("import numpy as np\n\nrng = np.random.default_rng(7)\n")
+    second = analyse_paths([target], cache_dir=cache)
+    assert second.cache_stats["module_hits"] == 0
+    assert second.violations == []
+
+
+def _write_serve_project(root, blocking=True):
+    pkg = root / "repro" / "serve"
+    pkg.mkdir(parents=True, exist_ok=True)
+    if blocking:
+        (pkg / "util.py").write_text(
+            "import time\n\n\ndef backoff(seconds):\n"
+            "    time.sleep(seconds)\n"
+        )
+    else:
+        (pkg / "util.py").write_text(
+            "def backoff(seconds):\n    return seconds\n"
+        )
+    (pkg / "api.py").write_text(
+        "from repro.serve.util import backoff\n\n\n"
+        "async def handle(request):\n"
+        "    backoff(1)\n"
+        "    return request\n"
+    )
+    return pkg
+
+
+def test_cache_project_rules_warm_and_dependency_invalidation(tmp_path):
+    cache = tmp_path / "cache"
+    pkg = _write_serve_project(tmp_path, blocking=True)
+
+    cold = analyse_paths([pkg], cache_dir=cache)
+    assert [v.code for v in cold.violations] == ["SKY402"]
+    assert cold.cache_stats["project_hits"] == 0
+
+    warm = analyse_paths([pkg], cache_dir=cache)
+    assert warm.cache_stats == {
+        "files": 2, "module_hits": 2, "project_hits": 2, "warm": True,
+    }
+    assert [v.code for v in warm.violations] == ["SKY402"]
+
+    # Editing only the *dependency* must invalidate api.py's cached
+    # project findings even though api.py's own hash is unchanged.
+    _write_serve_project(tmp_path, blocking=False)
+    third = analyse_paths([pkg], cache_dir=cache)
+    assert third.cache_stats["module_hits"] == 1  # api.py byte-identical
+    assert third.cache_stats["project_hits"] < 2
+    assert third.violations == []
+
+    # And the fixed state becomes warm again.
+    fourth = analyse_paths([pkg], cache_dir=cache)
+    assert fourth.cache_stats["warm"] is True
+    assert fourth.violations == []
+
+
+def test_cache_survives_allowlist_changes(tmp_path):
+    # Findings are cached raw: adding an allowlist later still
+    # partitions them out of a fully warm run.
+    cache = tmp_path / "cache"
+    path = fixture("engine/bad_rng.py")
+    analyse_paths([path], cache_dir=cache)
+    allowlist = Allowlist.load(FIXTURES / "allow.txt")
+    warm = analyse_paths([path], cache_dir=cache, allowlist=allowlist)
+    assert warm.cache_stats["module_hits"] == 1
+    assert warm.violations == []
+    assert len(warm.allowlisted) == 5
+
+
+def test_cli_cache_and_jobs_flags(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    argv = [
+        str(fixture("engine/bad_rng.py")),
+        "--no-allowlist",
+        "--cache-dir", str(cache_dir),
+        "--jobs", "2",
+    ]
+    assert main(argv) == 1
+    assert "[cache: 0/1 warm]" in capsys.readouterr().out
+    assert main(argv) == 1
+    assert "[cache: 1/1 warm]" in capsys.readouterr().out
+
+
+# -- SARIF output ------------------------------------------------------
+
+
+def test_cli_sarif_output(capsys):
+    exit_code = main(
+        [
+            str(fixture("engine/bad_rng.py")),
+            "--no-allowlist",
+            "--format", "sarif",
+        ]
+    )
+    assert exit_code == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "skylint"
+    rule_ids = {rule["id"] for rule in driver["rules"]}
+    assert {"SKY201", "SKY402", "SKY602"} <= rule_ids
+    results = run["results"]
+    assert {r["ruleId"] for r in results} == {"SKY201"}
+    for result in results:
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+        assert location["region"]["startLine"] > 0
+        assert "primaryLocationLineHash" not in result.get(
+            "partialFingerprints", {}
+        )
+        assert result["partialFingerprints"]["skylint/v1"]
+
+
+def test_sarif_document_structure():
+    from repro.analysis import sarif_document
+
+    report = analyse_paths([fixture("serve/bad_transitive.py")])
+    document = sarif_document(
+        report.violations, all_rules(), base_dir=Path.cwd()
+    )
+    run = document["runs"][0]
+    assert run["originalUriBaseIds"]["SRCROOT"]["uri"].startswith("file://")
+    result = run["results"][0]
+    assert result["ruleId"] == "SKY402"
+    assert result["level"] == "error"
+
+
+# -- baseline management -----------------------------------------------
+
+
+def test_baseline_roundtrip(tmp_path):
+    from repro.analysis import Baseline
+
+    path = fixture("engine/bad_rng.py")
+    report = analyse_paths([path])
+    recorded = Baseline.from_violations(report.violations)
+    baseline_path = tmp_path / "baseline.json"
+    recorded.write(baseline_path)
+
+    suppressed = analyse_paths([path], baseline=Baseline.load(baseline_path))
+    assert suppressed.violations == []
+    assert len(suppressed.baselined) == 5
+    assert suppressed.stale_baseline == []
+    assert suppressed.exit_code == 0
+
+
+def test_baseline_budget_is_count_aware(tmp_path):
+    from repro.analysis import Baseline
+
+    path = fixture("engine/bad_rng.py")
+    report = analyse_paths([path])
+    recorded = Baseline.from_violations(report.violations[:-1])  # 4 of 5
+    partial = analyse_paths([path], baseline=recorded)
+    # All five findings share one fingerprint (same code+message), so
+    # a budget of four leaves exactly one reported.
+    assert len(partial.baselined) == 4
+    assert len(partial.violations) == 1
+
+
+def test_baseline_stale_entries_reported(tmp_path):
+    from repro.analysis import Baseline
+
+    rng = fixture("engine/bad_rng.py")
+    recorded = Baseline.from_violations(analyse_paths([rng]).violations)
+    other = analyse_paths(
+        [fixture("templates/bad_dominance.py")], baseline=recorded
+    )
+    assert other.stale_baseline  # nothing in bad_dominance matches
+    assert other.stale_entries == other.stale_baseline
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys):
+    baseline_path = tmp_path / "skylint-baseline.json"
+    target = str(fixture("engine/bad_rng.py"))
+    assert main(
+        [target, "--no-allowlist", "--write-baseline", str(baseline_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "wrote baseline with 5 finding(s)" in out
+    assert baseline_path.is_file()
+
+    assert main(
+        [target, "--no-allowlist", "--baseline", str(baseline_path)]
+    ) == 0
+    assert "5 baselined" in capsys.readouterr().out
+
+
+def test_cli_malformed_baseline_exits_2(tmp_path, capsys):
+    bad = tmp_path / "baseline.json"
+    bad.write_text("[not a mapping]")
+    exit_code = main(
+        [
+            str(fixture("engine/bad_rng.py")),
+            "--no-allowlist",
+            "--baseline", str(bad),
+        ]
+    )
+    assert exit_code == 2
+
+
+# -- stale allowlist ---------------------------------------------------
+
+
+def test_stale_allowlist_entries_warn(tmp_path, capsys):
+    allow = tmp_path / "allow.txt"
+    allow.write_text(
+        "repro.engine.bad_rng: SKY201\n"
+        "repro.engine.never_exists: SKY101\n"
+    )
+    argv = [
+        str(fixture("engine/bad_rng.py")),
+        "--allowlist", str(allow),
+    ]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "stale allowlist entry" in out
+    assert "never_exists" in out
+
+    assert main(argv + ["--fail-on-stale-allowlist"]) == 1
+
+
+def test_fresh_allowlist_passes_stale_gate(capsys):
+    argv = [
+        str(fixture("engine/bad_rng.py")),
+        str(fixture("templates/bad_dominance.py")),
+        "--allowlist", str(FIXTURES / "allow.txt"),
+        "--fail-on-stale-allowlist",
+    ]
+    assert main(argv) == 0
+
+
+# -- JSON report shape -------------------------------------------------
+
+
+def test_json_report_includes_cache_and_stale_keys(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    argv = [
+        str(fixture("engine/bad_rng.py")),
+        "--no-allowlist",
+        "--cache-dir", str(cache_dir),
+        "--json",
+    ]
+    main(argv)
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["cache"]["files"] == 1
+    assert payload["stale_allowlist"] == []
+    assert payload["stale_baseline"] == []
+    assert payload["baselined"] == []
