@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: lint skylint skylint-baseline skylint-sarif skylint-timing \
 	typecheck test coverage chaos bench-smoke \
-	bench-filtered serve-smoke trace-smoke
+	bench-filtered serve-smoke trace-smoke shard-smoke
 
 # Single entry point: ruff (when installed) + the repo-native skylint
 # pass.  Mirrors the CI lint gates.
@@ -39,16 +39,18 @@ skylint-timing:
 
 typecheck:
 	$(PYTHON) -m mypy -p repro.core -p repro.templates -p repro.engine \
-		-p repro.analysis -p repro.serve -p repro.trace -p repro.config
+		-p repro.analysis -p repro.serve -p repro.trace -p repro.config \
+		-p repro.shard
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # Coverage gate over the serving stack (mirrors the CI coverage job):
-# the serve/trace/config trio must stay >=85% line-covered by tests/.
+# serve/trace/config/shard must stay >=85% line-covered by tests/.
 coverage:
 	$(PYTHON) -m pytest tests -q \
 		--cov=repro.serve --cov=repro.trace --cov=repro.config \
+		--cov=repro.shard \
 		--cov-report=term-missing --cov-fail-under=85
 
 # Worker-kill chaos tests (skipped by plain `make test`): SIGKILL a
@@ -81,3 +83,9 @@ trace-smoke:
 	$(PYTHON) benchmarks/serve_smoke.py --trace trace-smoke.jsonl
 	$(PYTHON) -m repro trace analyze trace-smoke.jsonl \
 		--fail-on InternalError,unclassified
+
+# Sharded-tier smoke: serve --shards 2 as a real subprocess over TCP,
+# bit-identical answers, SIGTERM drain, trace analyze over the
+# stitched fan-out (mirrors the CI shard-smoke job).
+shard-smoke:
+	$(PYTHON) benchmarks/shard_smoke.py

@@ -176,13 +176,39 @@ def cmd_serve(args) -> int:
     max_batch = knob(args.max_batch, profile.serve.max_batch)
     max_pending = knob(args.max_pending, profile.serve.max_pending)
     max_level = knob(args.max_level, profile.serve.max_level)
-    engine = knob(
-        args.engine,
-        profile.engine.engine if profile.engine.engine is not None
-        else "packed",
-    )
+    # ``engine_choice`` stays None when neither flag nor profile set
+    # it, so each tier can apply its own default bootstrap engine.
+    engine_choice = knob(args.engine, profile.engine.engine)
+    engine = engine_choice if engine_choice is not None else "packed"
     live = args.live or profile.serve.live
     trace_path = knob(args.trace, profile.trace.path)
+    shards = knob(args.shards, profile.shard.shards)
+    partitioner = knob(args.partitioner, profile.shard.partitioner)
+
+    if shards < 0:
+        raise SystemExit(f"--shards must be >= 0, got {shards}")
+    if shards > 0:
+        if live:
+            raise SystemExit(
+                "--live is not supported with --shards (the sharded "
+                "tier serves a static dataset)"
+            )
+        if args.snapshot:
+            raise SystemExit(
+                "--snapshot is not supported with --shards (shards "
+                "materialise their own local snapshots)"
+            )
+        return _serve_sharded(
+            args, profile, shards=shards, partitioner=partitioner,
+            host=host, port=port, window_ms=window_ms,
+            max_batch=max_batch, max_pending=max_pending,
+            max_level=max_level,
+            engine=(
+                engine_choice if engine_choice is not None
+                else "packed-filtered"
+            ),
+            trace_path=trace_path,
+        )
 
     if args.snapshot:
         from repro.core.serialize import load_skycube
@@ -248,6 +274,57 @@ def cmd_serve(args) -> int:
     finally:
         if tracer.enabled:
             uninstall_executor_sink()
+            tracer.close()
+    return 0
+
+
+def _serve_sharded(
+    args, profile, *, shards, partitioner, host, port, window_ms,
+    max_batch, max_pending, max_level, engine, trace_path,
+) -> int:
+    """``serve --shards N``: the scatter–gather tier behind the same
+    TCP server, client and query CLI as the single-process path."""
+    import asyncio
+
+    from repro.serve import ServeMetrics, run_server
+    from repro.shard import ShardCoordinator, ShardPlan, ShardService
+    from repro.trace import NULL_TRACER, JsonlTracer
+
+    data = _load(args.dataset)
+    try:
+        plan = ShardPlan.build(data, shards, partitioner=partitioner)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    tracer = (
+        JsonlTracer(trace_path, flush_every=profile.trace.flush_every)
+        if trace_path
+        else NULL_TRACER
+    )
+    coordinator = ShardCoordinator(
+        data, plan, engine=engine, max_level=max_level,
+        timeout=profile.shard.worker_timeout_s, tracer=tracer,
+    )
+    service = ShardService(
+        coordinator,
+        window=window_ms / 1000.0,
+        max_batch=max_batch,
+        max_pending=max_pending,
+        metrics=ServeMetrics(),
+        tracer=tracer,
+    )
+    if args.profile:
+        print(profile.describe())
+    print(
+        f"serving n={plan.n} d={plan.d} "
+        f"(shards={plan.shards}, partitioner={plan.partitioner}, "
+        f"sizes={plan.sizes}, window={window_ms}ms, "
+        f"max_batch={max_batch}, max_pending={max_pending}, "
+        f"trace={trace_path or 'off'})"
+    )
+    try:
+        asyncio.run(run_server(service, host=host, port=port))
+    finally:
+        if tracer.enabled:
             tracer.close()
     return 0
 
@@ -335,6 +412,7 @@ def cmd_query(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     from repro.engine.kernels import ENGINE_HELP, SKYCUBE_ENGINES
+    from repro.shard.plan import PARTITIONER_NAMES
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -418,6 +496,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     serve.add_argument("--trace", default=None, metavar="PATH",
                        help="append jsonl lifecycle trace events to "
                             "PATH (see docs/OPERATIONS.md)")
+    serve.add_argument("--shards", type=int, default=None,
+                       help="serve through N shard worker processes "
+                            "(scatter-gather; default 0 = single "
+                            "process, see docs/SHARDING.md)")
+    serve.add_argument("--partitioner", choices=PARTITIONER_NAMES,
+                       default=None,
+                       help="point-to-shard strategy for --shards, "
+                            "default grid")
     serve.set_defaults(handler=cmd_serve)
 
     trace = commands.add_parser(

@@ -132,8 +132,9 @@ class BlockingCallRule(Rule):
 
     #: Packages whose coroutines ride the serving event loop.  The
     #: trace and config layers are called *from* serve coroutines, so
-    #: they get the same hygiene gate.
-    SCOPES = ("repro.serve", "repro.trace", "repro.config")
+    #: they get the same hygiene gate; the sharded tier's coordinator
+    #: and service coroutines ride the same loop.
+    SCOPES = ("repro.serve", "repro.trace", "repro.config", "repro.shard")
 
     def applies_to(self, module: str) -> bool:
         return any(
@@ -282,9 +283,9 @@ class TransitiveBlockingRule(ProjectRule):
     code = "SKY402"
     name = "no-transitive-blocking-in-async"
     summary = (
-        "coroutines in repro.serve/trace/config must not reach blocking "
-        "primitives through any chain of synchronous project calls "
-        "(supersedes SKY401's direct-call check across frames)"
+        "coroutines in repro.serve/trace/config/shard must not reach "
+        "blocking primitives through any chain of synchronous project "
+        "calls (supersedes SKY401's direct-call check across frames)"
     )
 
     SCOPES = BlockingCallRule.SCOPES

@@ -15,6 +15,7 @@ from repro.config.profile import (
     Profile,
     ProfileError,
     ServeSection,
+    ShardSection,
     TraceSection,
     apply_filter_gates,
     load_profile,
@@ -28,6 +29,7 @@ __all__ = [
     "Profile",
     "ProfileError",
     "ServeSection",
+    "ShardSection",
     "TraceSection",
     "apply_filter_gates",
     "load_profile",

@@ -1,8 +1,8 @@
 """Deployment profiles: strictly validated serve/engine tuning files.
 
 A profile is a small TOML (or YAML, when PyYAML happens to be
-installed) file with up to four sections — ``[serve]``, ``[engine]``,
-``[filter]``, ``[trace]`` — every one of them optional::
+installed) file with up to five sections — ``[serve]``, ``[engine]``,
+``[filter]``, ``[trace]``, ``[shard]`` — every one of them optional::
 
     [serve]
     window_ms = 1.0
@@ -14,6 +14,10 @@ installed) file with up to four sections — ``[serve]``, ``[engine]``,
 
     [trace]
     path = "traces/prod.jsonl"
+
+    [shard]
+    shards = 4
+    partitioner = "grid"
 
 Two invariants the tests pin down:
 
@@ -46,6 +50,7 @@ __all__ = [
     "EngineSection",
     "FilterSection",
     "TraceSection",
+    "ShardSection",
     "Profile",
     "profile_from_dict",
     "load_profile",
@@ -108,6 +113,21 @@ class TraceSection:
 
 
 @dataclass(frozen=True)
+class ShardSection:
+    """``[shard]`` — the scatter–gather tier (off by default).
+
+    ``shards = 0`` keeps the single-process serve path; any positive
+    count routes ``serve`` through :mod:`repro.shard`.
+    ``worker_timeout_s`` bounds every coordinator↔worker conversation
+    (bootstrap ready included) before the shard is declared dead.
+    """
+
+    shards: int = 0
+    partitioner: str = "grid"
+    worker_timeout_s: float = 30.0
+
+
+@dataclass(frozen=True)
 class Profile:
     """One validated deployment profile (all sections optional)."""
 
@@ -115,12 +135,13 @@ class Profile:
     engine: EngineSection = EngineSection()
     filter: FilterSection = FilterSection()
     trace: TraceSection = TraceSection()
+    shard: ShardSection = ShardSection()
     source: Optional[str] = None
 
     def describe(self) -> str:
         """One line for startup banners: the non-default knobs only."""
         parts = []
-        for section_name in ("serve", "engine", "filter", "trace"):
+        for section_name in ("serve", "engine", "filter", "trace", "shard"):
             section = getattr(self, section_name)
             for field in fields(section):
                 value = getattr(section, field.name)
@@ -177,6 +198,20 @@ def _engine(value: Any) -> Optional[str]:
     return f"must be one of {', '.join(SKYCUBE_ENGINES)}; got {value!r}"
 
 
+def _partitioner(value: Any) -> Optional[str]:
+    from repro.shard.plan import PARTITIONER_NAMES
+
+    if value in PARTITIONER_NAMES:
+        return None
+    return (
+        f"must be one of {', '.join(PARTITIONER_NAMES)}; got {value!r}"
+    )
+
+
+def _positive_seconds(value: Any) -> Optional[str]:
+    return None if value > 0 else f"must be > 0, got {value}"
+
+
 def _any(value: Any) -> Optional[str]:
     return None
 
@@ -204,6 +239,11 @@ _SCHEMA: Dict[str, Dict[str, Tuple[Tuple[type, ...], Any]]] = {
         "path": (_STR, _any),
         "flush_every": (_INT, _positive),
     },
+    "shard": {
+        "shards": (_INT, _non_negative),
+        "partitioner": (_STR, _partitioner),
+        "worker_timeout_s": (_NUMBER, _positive_seconds),
+    },
 }
 
 _SECTION_TYPES = {
@@ -211,6 +251,7 @@ _SECTION_TYPES = {
     "engine": EngineSection,
     "filter": FilterSection,
     "trace": TraceSection,
+    "shard": ShardSection,
 }
 
 

@@ -91,7 +91,7 @@ def build_run(
     d: int,
     seed: int = 0,
     max_level: Optional[int] = None,
-    executor: str = "serial",
+    executor: Optional[str] = None,
     workers: Optional[int] = None,
     engine: Optional[str] = None,
     profile: Optional["Profile"] = None,
@@ -100,21 +100,26 @@ def build_run(
 
     ``profile`` (a frozen :class:`repro.config.Profile`, so the memo
     key stays hashable) supplies the ``[engine]`` backend knobs for
-    any of ``executor``/``workers``/``engine`` still at their
-    defaults — explicit arguments win, mirroring the serve CLI's
-    flag-beats-profile precedence.  Its ``[filter]`` gates are applied
+    any of ``executor``/``workers``/``engine`` left as ``None`` —
+    explicit arguments always win, mirroring the serve CLI's
+    flag-beats-profile precedence.  All three knobs use a ``None``
+    sentinel so an *explicit* ``executor="serial"`` beats a profile
+    that says ``"process"`` (it used to be indistinguishable from the
+    default and silently lose).  Its ``[filter]`` gates are applied
     before materialisation.
     """
     if profile is not None:
         from repro.config import apply_filter_gates
 
         apply_filter_gates(profile)
-        if executor == "serial":
+        if executor is None:
             executor = profile.engine.executor
         if workers is None:
             workers = profile.engine.workers
         if engine is None:
             engine = profile.engine.engine
+    if executor is None:
+        executor = "serial"
     data = generate(distribution, n, d, seed=seed)
     return _builder(algorithm, executor, workers, engine).materialise(
         data, max_level=max_level

@@ -369,9 +369,9 @@ class StaticTree:
 
         The arrays are shared, not copied; ``labels().order`` is the
         input-order → leaf-order permutation applied at construction.
-        Hot paths should fetch this once per task and index arrays
-        instead of calling :meth:`masks_of` / :meth:`position_of` per
-        probe.  Memoised: the node-directory boundary scan runs once
+        Hot paths should fetch this once per task and index the flat
+        arrays (or use :meth:`positions_of` for id batches) instead of
+        per-point lookups.  Memoised: the node-directory boundary scan runs once
         per tree, and every per-point inference method below delegates
         to the batch code, so there is exactly one definition of the
         transitive label arithmetic.
@@ -387,25 +387,6 @@ class StaticTree:
         return np.asarray(
             [self._position[int(pid)] for pid in point_ids], dtype=np.intp
         )
-
-    def position_of(self, point_id: int) -> int:
-        """Leaf-order index of a point id.
-
-        .. deprecated:: per-point dict lookups do not belong on hot
-           paths — use :meth:`labels` (or :meth:`positions_of` for id
-           batches) and index the flat arrays instead.
-        """
-        return self._position[point_id]
-
-    def masks_of(self, point_id: int) -> Tuple[int, int, int]:
-        """``(med, quart, oct)`` path labels of a point.
-
-        .. deprecated:: per-point dict lookups do not belong on hot
-           paths — fetch :meth:`labels` once per task and read the
-           ``med``/``quart``/``octl`` columns directly.
-        """
-        pos = self._position[point_id]
-        return int(self.med[pos]), int(self.quart[pos]), int(self.octl[pos])
 
     # -- transitive strict-dominance inference --------------------------
 

@@ -22,21 +22,43 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
-from typing import Any, Dict, Optional, Set, Tuple
+from typing import Any, Dict, Optional, Protocol, Set, Tuple
 
-from repro.serve.service import BAD_REQUEST, SkycubeService, request_from_json
+from repro.serve.service import BAD_REQUEST, Request, Response, request_from_json
 from repro.trace import BAD_REQUEST as TAXONOMY_BAD_REQUEST
 from repro.trace import TraceEvent
+from repro.trace.tracer import Tracer
 
-__all__ = ["SkycubeServer", "run_server"]
+__all__ = ["ServiceLike", "SkycubeServer", "run_server"]
+
+
+class ServiceLike(Protocol):
+    """What the TCP front-end needs from a service.
+
+    Both :class:`~repro.serve.service.SkycubeService` (single process)
+    and :class:`~repro.shard.service.ShardService` (scatter–gather)
+    satisfy this; the server never cares which one answers.
+    """
+
+    @property
+    def d(self) -> int: ...
+
+    @property
+    def tracer(self) -> Tracer: ...
+
+    async def start(self) -> None: ...
+
+    async def stop(self) -> None: ...
+
+    async def submit(self, request: Request) -> Response: ...
 
 
 class SkycubeServer:
-    """One listening socket bound to one :class:`SkycubeService`."""
+    """One listening socket bound to one :class:`ServiceLike` service."""
 
     def __init__(
         self,
-        service: SkycubeService,
+        service: ServiceLike,
         host: str = "127.0.0.1",
         port: int = 0,
         drain_timeout: float = 10.0,
@@ -197,7 +219,7 @@ class SkycubeServer:
 
 
 async def run_server(
-    service: SkycubeService,
+    service: ServiceLike,
     host: str = "127.0.0.1",
     port: int = 0,
     install_signals: bool = True,

@@ -107,6 +107,11 @@ class Response:
     #: Set where the failure is diagnosed — the one place with enough
     #: context to, say, tell a snapshot-swap race from a bad request.
     failure_class: Optional[str] = None
+    #: Degraded-mode marker (sharded tier): a successful answer that
+    #: lost shards mid-query carries ``{"degraded": True,
+    #: "failed_shards": [...], "failure_class": "WorkerDeath"}`` so
+    #: clients can tell a partial result from a complete one.
+    partial: Optional[Dict[str, Any]] = None
 
     def to_json(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"ok": self.ok, "op": self.op}
@@ -114,6 +119,8 @@ class Response:
             payload["result"] = self.result
             if self.snapshot_version is not None:
                 payload["snapshot_version"] = self.snapshot_version
+            if self.partial is not None:
+                payload["partial"] = self.partial
         else:
             payload["error"] = {"type": self.error, "message": self.message}
         return payload

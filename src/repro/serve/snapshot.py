@@ -52,8 +52,14 @@ class ServingSnapshot:
         ids: Optional[Sequence[int]] = None,
         version: int = 0,
         max_level: Optional[int] = None,
+        copy: bool = True,
     ) -> None:
-        data = np.array(data, dtype=np.float64)  # private copy
+        # ``copy=False`` trusts the caller to hand over a buffer nobody
+        # mutates — the shard workers' zero-copy shared-memory views.
+        if copy:
+            data = np.array(data, dtype=np.float64)  # private copy
+        else:
+            data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2:
             raise ValueError(f"data must be 2-D, got shape {data.shape}")
         if data.shape[1] != cube.d:
@@ -88,6 +94,7 @@ class ServingSnapshot:
         max_level: Optional[int] = None,
         word_width: int = HashCube.DEFAULT_WORD_WIDTH,
         engine: str = "packed",
+        copy: bool = True,
     ) -> "ServingSnapshot":
         """Materialise ``data`` with the vectorised engine and wrap it.
 
@@ -103,7 +110,7 @@ class ServingSnapshot:
         )
         cube = skycube.store
         assert isinstance(cube, HashCube)
-        return cls(cube, data, version=version, max_level=max_level)
+        return cls(cube, data, version=version, max_level=max_level, copy=copy)
 
     @classmethod
     def from_maintainer(

@@ -1,0 +1,235 @@
+"""Shard plans: which shard owns which points, in which physical order.
+
+A :class:`ShardPlan` is the static layout of the sharded serving tier:
+a partitioner assigns every dataset row to one of ``shards`` shards,
+and the plan derives the *physical* order that makes every shard a
+contiguous slice of one reordered matrix.  The coordinator places that
+reordered matrix in a single :class:`~repro.engine.parallel.SharedDataset`
+segment, so each worker's slice is a true zero-copy view.
+
+The correctness contract every partitioner enjoys for free is the
+**local-skyline union property**: if ``q`` dominates ``p`` then some
+local-skyline point of *q's own shard* dominates ``p`` (any finite set
+is dominated by one of its skyline points, and dominance is
+transitive), so every global skyline point is a local skyline point of
+its shard and the global skyline is recovered by one refine sweep over
+the union of local skylines.  Partitioners therefore only trade off
+*performance*: balance (equal work per shard) against locality (small
+local skylines, small merge candidate sets) — the axis the
+partitioning-strategy papers in PAPERS.md study:
+
+``random``
+    Seeded balanced round-robin over a random permutation.  Perfectly
+    balanced, no locality: every shard sees the whole distribution, so
+    local skylines are near-copies of the global one.
+``grid``
+    Median splits on the first ``ceil(log2(shards))`` dimensions form
+    2^m cells, assigned round-robin (``cell % shards``).  Cells give
+    locality; the round-robin spreads hot cells.  Can be unbalanced on
+    skewed data — empty shards are legal and handled.
+``angular``
+    Equal-count bins of the first hyperspherical angle after shifting
+    to the positive orthant (angle-based space partitioning).  Each
+    shard gets a "pie slice" that crosses the skyline band, so local
+    skylines stay proportionally small on anticorrelated data.
+``tree-leaf``
+    Contiguous equal-count chunks of the static tree's leaf (path-major)
+    order, reusing the batch :class:`~repro.partitioning.static_tree.
+    LeafLabels` machinery — octant locality without building any new
+    index.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.kernels import fast_skyline
+from repro.partitioning.static_tree import LeafLabels
+
+__all__ = ["PARTITIONERS", "PARTITIONER_NAMES", "ShardPlan"]
+
+#: ``(data, shards, seed) -> (n,) int64 shard assignment``.
+Partitioner = Callable[[np.ndarray, int, int], np.ndarray]
+
+
+def _chunked(order: np.ndarray, shards: int) -> np.ndarray:
+    """Equal-count contiguous chunks of ``order`` → shard per row."""
+    n = len(order)
+    assignment = np.empty(n, dtype=np.int64)
+    positions = np.arange(n, dtype=np.int64)
+    assignment[order] = positions * shards // n
+    return assignment
+
+
+def _random(data: np.ndarray, shards: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return _chunked(rng.permutation(len(data)).astype(np.int64), shards)
+
+
+def _grid(data: np.ndarray, shards: int, seed: int) -> np.ndarray:
+    n, d = data.shape
+    if shards == 1:
+        return np.zeros(n, dtype=np.int64)
+    m = min(d, max(1, math.ceil(math.log2(shards))))
+    cells = np.zeros(n, dtype=np.int64)
+    for j in range(m):
+        column = data[:, j]
+        cells |= (column > np.median(column)).astype(np.int64) << j
+    return cells % shards
+
+
+def _angular(data: np.ndarray, shards: int, seed: int) -> np.ndarray:
+    shifted = data - data.min(axis=0)
+    if data.shape[1] == 1:
+        key = shifted[:, 0]
+    else:
+        norm = np.linalg.norm(shifted, axis=1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            key = np.where(norm > 0, shifted[:, 0] / norm, 0.0)
+    return _chunked(np.argsort(key, kind="stable").astype(np.int64), shards)
+
+
+def _tree_leaf(data: np.ndarray, shards: int, seed: int) -> np.ndarray:
+    return _chunked(
+        np.asarray(LeafLabels.build(data).order, dtype=np.int64), shards
+    )
+
+
+PARTITIONERS: Dict[str, Partitioner] = {
+    "random": _random,
+    "grid": _grid,
+    "angular": _angular,
+    "tree-leaf": _tree_leaf,
+}
+
+#: Stable name tuple for CLI choices and profile validation.
+PARTITIONER_NAMES: Tuple[str, ...] = tuple(sorted(PARTITIONERS))
+
+
+class ShardPlan:
+    """One immutable point→shard layout plus the contiguous reorder.
+
+    ``assignment[row]`` is the owning shard of input row ``row``;
+    ``order`` lists input rows grouped by shard (a stable sort, so
+    within a shard the original row order is preserved), and
+    ``bounds(s)`` is the half-open slice of ``order`` — equivalently of
+    the reordered matrix — that shard ``s`` owns.
+    """
+
+    __slots__ = ("shards", "partitioner", "seed", "assignment", "order",
+                 "_starts", "_stops", "n", "d")
+
+    def __init__(
+        self,
+        assignment: np.ndarray,
+        shards: int,
+        partitioner: str,
+        d: int,
+        seed: int = 0,
+    ) -> None:
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.ndim != 1 or len(assignment) == 0:
+            raise ValueError(
+                f"assignment must be a non-empty vector, "
+                f"got shape {assignment.shape}"
+            )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if assignment.min() < 0 or assignment.max() >= shards:
+            raise ValueError(
+                f"assignment names shards outside 0..{shards - 1}"
+            )
+        self.shards = int(shards)
+        self.partitioner = partitioner
+        self.seed = int(seed)
+        self.n = len(assignment)
+        self.d = int(d)
+        assignment.setflags(write=False)
+        self.assignment = assignment
+        order = np.argsort(assignment, kind="stable").astype(np.int64)
+        order.setflags(write=False)
+        self.order = order
+        counts = np.bincount(assignment, minlength=shards)
+        stops = np.cumsum(counts)
+        self._starts = np.concatenate(([0], stops[:-1])).astype(np.int64)
+        self._stops = stops.astype(np.int64)
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        shards: int,
+        partitioner: str = "grid",
+        seed: int = 0,
+    ) -> "ShardPlan":
+        """Partition ``data`` into ``shards`` shards."""
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0:
+            raise ValueError(
+                f"expected a non-empty 2-D dataset, got shape {data.shape}"
+            )
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards > len(data):
+            raise ValueError(
+                f"cannot split {len(data)} points into {shards} shards"
+            )
+        try:
+            partition = PARTITIONERS[partitioner]
+        except KeyError:
+            raise ValueError(
+                f"unknown partitioner {partitioner!r}; choose from "
+                f"{', '.join(PARTITIONER_NAMES)}"
+            ) from None
+        assignment = partition(data, shards, seed)
+        return cls(assignment, shards, partitioner, data.shape[1], seed=seed)
+
+    # -- layout queries ------------------------------------------------
+
+    def bounds(self, shard: int) -> Tuple[int, int]:
+        """Half-open ``[start, stop)`` slice of the reordered matrix."""
+        self._check_shard(shard)
+        return int(self._starts[shard]), int(self._stops[shard])
+
+    def ids_of(self, shard: int) -> np.ndarray:
+        """Global (input-order) row ids owned by ``shard``."""
+        start, stop = self.bounds(shard)
+        return self.order[start:stop]
+
+    @property
+    def sizes(self) -> List[int]:
+        return [int(s) for s in (self._stops - self._starts)]
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.shards:
+            raise IndexError(f"shard {shard} outside 0..{self.shards - 1}")
+
+    # -- oracle helpers (tests, docs) ----------------------------------
+
+    def local_skyline(
+        self, data: np.ndarray, shard: int, delta: Optional[int] = None
+    ) -> np.ndarray:
+        """Global ids of shard-local ``S_δ`` — the merge candidates.
+
+        Pure reference path over the *original* (unreordered) matrix;
+        the live workers compute the same thing from their zero-copy
+        slices.  Empty shards contribute no candidates.
+        """
+        ids = self.ids_of(shard)
+        if len(ids) == 0:
+            return np.empty(0, dtype=np.int64)
+        local = fast_skyline(np.ascontiguousarray(data[ids]), delta)
+        return np.asarray(ids[local], dtype=np.int64)
+
+    def describe(self) -> Dict[str, Any]:
+        """Startup-banner / ping payload: layout at a glance."""
+        return {
+            "shards": self.shards,
+            "partitioner": self.partitioner,
+            "n": self.n,
+            "d": self.d,
+            "sizes": self.sizes,
+        }

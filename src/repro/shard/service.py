@@ -1,0 +1,379 @@
+"""The sharded query service: the serve front-end over a coordinator.
+
+:class:`ShardService` duck-types the surface
+:class:`~repro.serve.server.SkycubeServer` consumes (``d``, ``tracer``,
+``metrics``, ``start``/``stop``/``submit``) so the whole NDJSON TCP
+tier, the client, and the smoke drivers run unchanged over shards —
+only the batch executor differs.  Requests travel the same lifecycle
+as the single-process :class:`~repro.serve.service.SkycubeService`:
+admission control with typed ``Overloaded`` shedding → micro-batcher
+with ``(op, arguments)`` coalescing → batch execution → typed
+response, with the same admit/batch/…/respond trace events.
+
+Two sharded twists:
+
+* Batch execution is *async*: each distinct coalescing key becomes one
+  coordinator scatter–gather, and distinct keys in one flush fan out
+  concurrently (``asyncio.gather``), so one slow subspace does not
+  serialise the batch.  The per-shard ``compute`` spans and the
+  ``merge`` barrier event are emitted by the coordinator under the
+  executing request's id.
+* Shard death degrades instead of failing: a query that loses shards
+  mid-flight still answers from the survivors, with the typed
+  ``partial`` marker (failed shard list + taxonomy class) on the
+  response — and the trace carries the matching ``WorkerDeath``
+  events.  Only losing *every* shard turns into an ``Internal`` error.
+
+Live updates (``insert``/``delete``) are a typed ``BadRequest`` here:
+the sharded tier serves a static dataset until re-sharding lands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+from typing import Any, Dict, List, Optional
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.metrics import ServeMetrics
+from repro.serve.service import (
+    BAD_REQUEST,
+    DEADLINE_EXCEEDED,
+    INTERNAL,
+    NOT_FOUND,
+    OVERLOADED,
+    QUERY_OPS,
+    Request,
+    Response,
+)
+from repro.shard.coordinator import NoLiveShardsError, ShardCoordinator
+from repro.trace import (
+    BAD_REQUEST as TAXONOMY_BAD_REQUEST,
+    DEADLINE_EXCEEDED as TAXONOMY_DEADLINE,
+    INTERNAL_ERROR,
+    NULL_TRACER,
+    SHED,
+    WORKER_DEATH,
+    TraceEvent,
+    Tracer,
+    classify_wire_error,
+)
+
+__all__ = ["ShardService"]
+
+
+def _error(
+    op: str,
+    error: str,
+    message: str,
+    failure_class: Optional[str] = None,
+) -> Response:
+    return Response(
+        op=op, ok=False, error=error, message=message,
+        failure_class=failure_class,
+    )
+
+
+def _partial_marker(failed: List[int]) -> Optional[Dict[str, Any]]:
+    """The typed degraded-mode marker attached to partial responses."""
+    if not failed:
+        return None
+    return {
+        "degraded": True,
+        "failed_shards": sorted(failed),
+        "failure_class": WORKER_DEATH,
+    }
+
+
+class ShardService:
+    """Routes requests to the coordinator through the micro-batcher."""
+
+    def __init__(
+        self,
+        coordinator: ShardCoordinator,
+        window: float = 0.002,
+        max_batch: int = 64,
+        max_pending: int = 1024,
+        metrics: Optional[ServeMetrics] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {max_pending}")
+        self.coordinator = coordinator
+        self.metrics = metrics if metrics is not None else ServeMetrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.max_pending = max_pending
+        self._pending = 0
+        self._batcher: MicroBatcher[Request, Response] = MicroBatcher(
+            self._execute_batch, window=window, max_batch=max_batch,
+            on_executor_error=self._on_batch_error,
+        )
+        self.metrics.observe_snapshot(coordinator.version)
+
+    def _on_batch_error(self, batch_size: int, error: Exception) -> None:
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                stage="batch", outcome="failure", failure=INTERNAL_ERROR,
+                batch_size=batch_size,
+                detail=f"{type(error).__name__}: {error}",
+            ))
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        return self.coordinator.d
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    async def start(self) -> None:
+        await asyncio.to_thread(self.coordinator.start)
+        await self._batcher.start()
+
+    async def stop(self) -> None:
+        await self._batcher.stop()
+        await self.coordinator.aclose()
+
+    # -- submission (same admission/trace flow as SkycubeService) ------
+
+    async def submit(self, request: Request) -> Response:
+        op = request.op
+        self.metrics.record_request(op)
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        tracer = self.tracer
+        if tracer.enabled:
+            request = replace(
+                request,
+                trace_id=tracer.next_request_id(),
+                admit_version=self.coordinator.version,
+                admitted_at=started,
+            )
+        try:
+            if op in QUERY_OPS:
+                response = await self._submit_query(request)
+            elif op == "metrics":
+                payload = self.metrics.as_dict()
+                payload["shards"] = self.coordinator.status()
+                response = Response(
+                    op=op, ok=True, result=payload,
+                    snapshot_version=self.coordinator.version,
+                )
+            elif op == "ping":
+                status = self.coordinator.status()
+                response = Response(
+                    op=op, ok=True,
+                    result={
+                        "d": self.d,
+                        "n": self.coordinator.n,
+                        "shards": status["shards"],
+                        "alive": sum(1 for a in status["alive"] if a),
+                        "partitioner": status["partitioner"],
+                    },
+                    snapshot_version=self.coordinator.version,
+                )
+            elif op in ("insert", "delete"):
+                response = _error(
+                    op, BAD_REQUEST,
+                    "live updates are not supported on the sharded tier",
+                    failure_class=TAXONOMY_BAD_REQUEST,
+                )
+            else:
+                response = _error(
+                    op, BAD_REQUEST, f"unknown op {op!r}",
+                    failure_class=TAXONOMY_BAD_REQUEST,
+                )
+        except Exception as error:  # never leak a raw traceback
+            response = _error(
+                op, INTERNAL, f"{type(error).__name__}: {error}",
+                failure_class=INTERNAL_ERROR,
+            )
+        if not response.ok and response.error is not None:
+            self.metrics.record_error(op, response.error)
+        self.metrics.record_latency(op, loop.time() - started)
+        if tracer.enabled:
+            failure = response.failure_class
+            if failure is None and not response.ok:
+                failure = classify_wire_error(
+                    response.error, request.admit_version,
+                    response.snapshot_version,
+                )
+            tracer.emit(TraceEvent(
+                stage="respond",
+                outcome="ok" if response.ok else "failure",
+                failure=failure,
+                request_id=request.trace_id,
+                op=op,
+                delta=request.delta,
+                snapshot_version=response.snapshot_version,
+                duration_ms=1000.0 * (loop.time() - started),
+                detail="degraded" if response.partial else None,
+            ))
+        return response
+
+    async def _submit_query(self, request: Request) -> Response:
+        if self._pending >= self.max_pending:
+            self.metrics.record_shed()
+            if self.tracer.enabled:
+                self.tracer.emit(TraceEvent(
+                    stage="admit", outcome="failure", failure=SHED,
+                    request_id=request.trace_id, op=request.op,
+                    delta=request.delta,
+                    extra={"queue_depth": self._pending},
+                ))
+            return _error(
+                request.op, OVERLOADED,
+                f"queue full ({self.max_pending} pending)",
+                failure_class=SHED,
+            )
+        self._pending += 1
+        self.metrics.observe_queue_depth(self._pending)
+        if self.tracer.enabled:
+            self.tracer.emit(TraceEvent(
+                stage="admit", request_id=request.trace_id, op=request.op,
+                delta=request.delta,
+                extra={"queue_depth": self._pending},
+            ))
+        try:
+            return await self._batcher.submit(request)
+        finally:
+            self._pending -= 1
+            self.metrics.observe_queue_depth(self._pending)
+
+    # -- batch execution ----------------------------------------------
+
+    async def _execute_batch(
+        self, requests: List[Request]
+    ) -> List[Response]:
+        """Coalesce, scatter each distinct key, fan back out.
+
+        Distinct keys run concurrently — each is one coordinator
+        scatter–gather whose per-shard spans carry the *executing*
+        request's trace id; coalesced riders get a zero-cost
+        ``compute`` event so their lifecycle stays complete.
+        """
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        tracer = self.tracer
+        batch_size = len(requests)
+        executors: Dict[Any, Request] = {}
+        answered: List[Optional[Response]] = [None] * len(requests)
+        for position, request in enumerate(requests):
+            if tracer.enabled:
+                waited = (
+                    None if request.admitted_at is None
+                    else 1000.0 * (now - request.admitted_at)
+                )
+                tracer.emit(TraceEvent(
+                    stage="batch", request_id=request.trace_id,
+                    op=request.op, delta=request.delta,
+                    batch_size=batch_size, duration_ms=waited,
+                ))
+            if request.deadline is not None and now > request.deadline:
+                answered[position] = _error(
+                    request.op, DEADLINE_EXCEEDED,
+                    "deadline expired before execution",
+                    failure_class=TAXONOMY_DEADLINE,
+                )
+                if tracer.enabled:
+                    tracer.emit(TraceEvent(
+                        stage="compute", outcome="failure",
+                        failure=TAXONOMY_DEADLINE,
+                        request_id=request.trace_id, op=request.op,
+                        delta=request.delta,
+                        snapshot_version=self.coordinator.version,
+                    ))
+                continue
+            executors.setdefault(request.key(), request)
+
+        cache: Dict[Any, Response] = {}
+
+        async def run_one(key: Any, request: Request) -> None:
+            cache[key] = await self._answer(request)
+
+        await asyncio.gather(*(
+            run_one(key, request) for key, request in executors.items()
+        ))
+        for position, request in enumerate(requests):
+            if answered[position] is not None:
+                continue
+            response = cache[request.key()]
+            executing = executors.get(request.key()) is request
+            if tracer.enabled and not executing:
+                tracer.emit(TraceEvent(
+                    stage="compute",
+                    outcome="ok" if response.ok else "failure",
+                    failure=response.failure_class,
+                    request_id=request.trace_id, op=request.op,
+                    delta=request.delta,
+                    snapshot_version=self.coordinator.version,
+                    duration_ms=0.0, detail="coalesced",
+                ))
+            answered[position] = response
+        self.metrics.record_batch(len(requests))
+        return [response for response in answered if response is not None]
+
+    async def _answer(self, request: Request) -> Response:
+        coordinator = self.coordinator
+        try:
+            if request.op == "skyline":
+                assert request.delta is not None
+                ids, failed = await coordinator.skyline(
+                    request.delta, request_id=request.trace_id
+                )
+                return Response(
+                    op=request.op, ok=True, result=ids,
+                    snapshot_version=coordinator.version,
+                    partial=_partial_marker(failed),
+                )
+            if request.op == "membership":
+                assert request.point_id is not None
+                assert request.delta is not None
+                if not coordinator.knows(request.point_id):
+                    return _error(
+                        request.op, NOT_FOUND,
+                        f"unknown point id {request.point_id}",
+                        failure_class=TAXONOMY_BAD_REQUEST,
+                    )
+                member, failed = await coordinator.membership(
+                    request.point_id, request.delta,
+                    request_id=request.trace_id,
+                )
+                return Response(
+                    op=request.op, ok=True, result=member,
+                    snapshot_version=coordinator.version,
+                    partial=_partial_marker(failed),
+                )
+            if request.op == "topk_dynamic":
+                assert request.q is not None
+                ids, failed = await coordinator.topk_dynamic(
+                    request.q, k=request.k, delta=request.delta,
+                    request_id=request.trace_id,
+                )
+                return Response(
+                    op=request.op, ok=True, result=ids,
+                    snapshot_version=coordinator.version,
+                    partial=_partial_marker(failed),
+                )
+            return _error(
+                request.op, BAD_REQUEST,
+                f"op {request.op!r} is not a batched query",
+                failure_class=TAXONOMY_BAD_REQUEST,
+            )
+        except NoLiveShardsError as error:
+            return _error(
+                request.op, INTERNAL, str(error),
+                failure_class=WORKER_DEATH,
+            )
+        except KeyError as error:
+            return _error(
+                request.op, BAD_REQUEST, str(error),
+                failure_class=TAXONOMY_BAD_REQUEST,
+            )
+        except ValueError as error:
+            return _error(
+                request.op, BAD_REQUEST, str(error),
+                failure_class=TAXONOMY_BAD_REQUEST,
+            )

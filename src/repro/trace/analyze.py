@@ -8,10 +8,14 @@ questions an operator asks first:
 * are there *unclassified* failures (a failure event whose class is
   missing or unknown — always a bug, and what CI gates on)?
 * what do p50/p99 look like per lifecycle stage (admit → batch →
-  compute → respond), from the same
+  compute → merge → respond), from the same
   :class:`~repro.serve.metrics.LatencyHistogram` machinery the live
   ``metrics`` endpoint uses?
 * which subspaces and batch sizes are involved in the most failures?
+* on a sharded trace: how do the per-shard compute spans compare, and
+  which shard keeps stalling the merge barrier (straggler
+  attribution) — the scatter–gather fan-out of one request id,
+  stitched from one file?
 
 The module is read-only and stdlib+repro only; it never touches the
 serving process.
@@ -51,6 +55,16 @@ class TraceReport:
     batch_sizes: Dict[int, int] = field(default_factory=dict)
     #: executor ``kind`` -> count (worker_death, retry_recovered, ...).
     executor_events: Dict[str, int] = field(default_factory=dict)
+    #: shard -> compute-span histogram (sharded tier: ``compute``
+    #: events tagged ``extra={"shard": i}``).
+    shard_compute: Dict[int, LatencyHistogram] = field(default_factory=dict)
+    #: shard -> failed compute spans (worker deaths seen mid-query).
+    shard_failures: Dict[int, int] = field(default_factory=dict)
+    #: shard -> times it was the merge barrier's straggler (from
+    #: ``merge`` events' ``straggler_shard``).
+    stragglers: Dict[int, int] = field(default_factory=dict)
+    #: merge-barrier events seen (0 on single-process traces).
+    merges: int = 0
 
     @property
     def failed(self) -> int:
@@ -90,6 +104,21 @@ class TraceReport:
                 for size, count in sorted(self.batch_sizes.items())
             },
             "executor_events": dict(sorted(self.executor_events.items())),
+            "shard_compute_ms": {
+                str(shard): histogram.as_dict()
+                for shard, histogram in sorted(self.shard_compute.items())
+            },
+            "shard_failures": {
+                str(shard): count
+                for shard, count in sorted(self.shard_failures.items())
+            },
+            "merge_barriers": {
+                "merges": self.merges,
+                "stragglers": {
+                    str(shard): count
+                    for shard, count in sorted(self.stragglers.items())
+                },
+            },
         }
 
 
@@ -143,6 +172,25 @@ def analyze_events(events: Iterable[TraceEvent]) -> TraceReport:
             report.executor_events[str(kind)] = (
                 report.executor_events.get(str(kind), 0) + 1
             )
+        shard = event.extra.get("shard")
+        if event.stage == "compute" and isinstance(shard, int):
+            if event.outcome == "failure":
+                report.shard_failures[shard] = (
+                    report.shard_failures.get(shard, 0) + 1
+                )
+            elif event.duration_ms is not None:
+                shard_histogram = report.shard_compute.get(shard)
+                if shard_histogram is None:
+                    shard_histogram = LatencyHistogram()
+                    report.shard_compute[shard] = shard_histogram
+                shard_histogram.record(event.duration_ms / 1000.0)
+        if event.stage == "merge":
+            report.merges += 1
+            straggler = event.extra.get("straggler_shard")
+            if isinstance(straggler, int):
+                report.stragglers[straggler] = (
+                    report.stragglers.get(straggler, 0) + 1
+                )
     report.requests = len(request_ids)
     return report
 
@@ -216,6 +264,38 @@ def format_report(
                 f"p99={stats['p99_ms']:.3f}  mean={stats['mean_ms']:.3f}  "
                 f"n={int(stats['count'])}"
             )
+    if report.shard_compute or report.shard_failures:
+        lines.append("per-shard compute spans (ms):")
+        shards = sorted(
+            set(report.shard_compute) | set(report.shard_failures)
+        )
+        for shard in shards:
+            histogram = report.shard_compute.get(shard)
+            deaths = report.shard_failures.get(shard, 0)
+            suffix = f"  deaths={deaths}" if deaths else ""
+            if histogram is None:
+                lines.append(f"  shard {shard}  (no spans){suffix}")
+                continue
+            stats = histogram.as_dict()
+            lines.append(
+                f"  shard {shard}  p50={stats['p50_ms']:.3f}  "
+                f"p99={stats['p99_ms']:.3f}  mean={stats['mean_ms']:.3f}  "
+                f"n={int(stats['count'])}{suffix}"
+            )
+    if report.merges:
+        lines.append(
+            f"merge barriers: {report.merges}, straggler attribution:"
+        )
+        lines.append(_format_count_table([
+            (
+                f"shard {shard}",
+                f"{count}/{report.merges} "
+                f"({100.0 * count / report.merges:.0f}%)",
+            )
+            for shard, count in sorted(
+                report.stragglers.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]))
     offenders = top_subspaces(report, limit=top)
     if offenders:
         lines.append("top subspaces (failures/events):")

@@ -3,8 +3,10 @@
 A trace is a flat stream of :class:`TraceEvent` records, one per
 lifecycle stage per request: ``admit`` (admission control decided),
 ``batch`` (the micro-batcher flushed the request into a batch),
-``compute`` (the batch executor answered it against one snapshot) and
-``respond`` (the final response left the service).  Infrastructure
+``compute`` (the batch executor answered it against one snapshot — or,
+on the sharded tier, one span per shard that answered the scatter),
+``merge`` (sharded tier only: the scatter–gather barrier plus refine)
+and ``respond`` (the final response left the service).  Infrastructure
 events that are not tied to one request — a worker process dying
 mid-batch, the executor recovering via retry — use the same record
 shape with ``request_id=None``.
@@ -72,8 +74,11 @@ FAILURE_CLASSES = (
     INTERNAL_ERROR,
 )
 
-#: Request lifecycle stages, in order.
-STAGES = ("admit", "batch", "compute", "respond")
+#: Request lifecycle stages, in order.  ``merge`` only appears on the
+#: sharded tier: one event per scatter–gather barrier, carrying the
+#: straggler attribution (which shard the barrier waited for) next to
+#: the per-shard ``compute`` spans (``extra={"shard": i}``).
+STAGES = ("admit", "batch", "compute", "merge", "respond")
 
 
 def _json_string(value: str) -> str:

@@ -17,6 +17,7 @@ from repro.config import (
     Profile,
     ProfileError,
     ServeSection,
+    ShardSection,
     TraceSection,
     apply_filter_gates,
     load_profile,
@@ -47,6 +48,11 @@ prefilter_max_paths = 0.5
 [trace]
 path = "traces/prod.jsonl"
 flush_every = 1
+
+[shard]
+shards = 4
+partitioner = "angular"
+worker_timeout_s = 5.0
 """
 
 
@@ -67,19 +73,21 @@ class TestDefaults:
         profile = load_profile(str(path))
         assert profile == Profile(source=str(path))
         # Same knobs as no profile at all (source aside).
-        for section in ("serve", "engine", "filter", "trace"):
+        for section in ("serve", "engine", "filter", "trace", "shard"):
             assert getattr(profile, section) == getattr(
                 DEFAULT_PROFILE, section
             )
 
     def test_empty_sections_equal_defaults(self):
         profile = profile_from_dict(
-            {"serve": {}, "engine": {}, "filter": {}, "trace": {}}
+            {"serve": {}, "engine": {}, "filter": {}, "trace": {},
+             "shard": {}}
         )
         assert profile.serve == ServeSection()
         assert profile.engine == EngineSection()
         assert profile.filter == FilterSection()
         assert profile.trace == TraceSection()
+        assert profile.shard == ShardSection()
 
     def test_serve_defaults_match_service_constructor(self):
         """The profile defaults ARE the constructor defaults — compare
@@ -102,13 +110,20 @@ class TestDefaults:
         ) == before
 
     def test_engine_defaults_match_build_run(self):
+        """All three engine knobs use a ``None`` sentinel in
+        :func:`build_run` so explicit arguments (even ones equal to the
+        shipped default, like ``executor="serial"``) are
+        distinguishable from "not passed" and always beat the
+        profile."""
         from repro.experiments.runner import build_run
 
         parameters = inspect.signature(build_run.__wrapped__).parameters
         section = EngineSection()
-        assert parameters["executor"].default == section.executor
+        assert parameters["executor"].default is None
         assert parameters["workers"].default == section.workers
         assert parameters["engine"].default == section.engine
+        # ...and the resolved fallback is still the section default.
+        assert section.executor == "serial"
 
     def test_describe_is_quiet_on_defaults(self):
         assert DEFAULT_PROFILE.describe().endswith("defaults")
@@ -133,6 +148,9 @@ class TestLoading:
         assert good_profile.filter.prefilter_max_paths == 0.5
         assert good_profile.trace.path == "traces/prod.jsonl"
         assert good_profile.trace.flush_every == 1
+        assert good_profile.shard.shards == 4
+        assert good_profile.shard.partitioner == "angular"
+        assert good_profile.shard.worker_timeout_s == 5.0
 
     def test_profile_is_hashable_and_frozen(self, good_profile):
         assert isinstance(hash(good_profile), int)
@@ -198,6 +216,10 @@ class TestValidation:
          "filter.prefilter_min_rows"),
         ({"trace": {"flush_every": 0}}, "trace.flush_every"),
         ({"trace": {"path": 7}}, "trace.path"),
+        ({"shard": {"shards": -1}}, "shard.shards"),
+        ({"shard": {"partitioner": "hash"}}, "shard.partitioner"),
+        ({"shard": {"worker_timeout_s": 0}}, "shard.worker_timeout_s"),
+        ({"shard": {"worker_timeout_s": "slow"}}, "shard.worker_timeout_s"),
     ])
     def test_invalid_knob_names_the_key(self, data, named_key):
         with pytest.raises(ProfileError) as excinfo:
@@ -207,6 +229,14 @@ class TestValidation:
     def test_typo_gets_a_suggestion(self):
         with pytest.raises(ProfileError, match="did you mean 'window_ms'"):
             profile_from_dict({"serve": {"window_m": 1.0}})
+
+    def test_bad_partitioner_lists_the_known_names(self):
+        from repro.shard.plan import PARTITIONER_NAMES
+
+        with pytest.raises(ProfileError) as excinfo:
+            profile_from_dict({"shard": {"partitioner": "hash"}})
+        for name in PARTITIONER_NAMES:
+            assert name in str(excinfo.value)
 
     def test_section_must_be_a_table(self):
         with pytest.raises(ProfileError, match=r"\[serve\] must be a table"):
@@ -277,6 +307,35 @@ class TestConsumers:
             profile=profile,
         )
         assert calls == [("mdmc-cpu", "serial", None, "packed")]
+
+    def test_build_run_explicit_serial_beats_process_profile(
+        self, monkeypatch
+    ):
+        """Regression: ``executor="serial"`` used to be indistinguishable
+        from the default, so a ``process`` profile silently won over an
+        explicit request for the serial path."""
+        import repro.experiments.runner as runner
+
+        calls = []
+        real_builder = runner._builder
+
+        def spy(key, executor="serial", workers=None, engine=None):
+            calls.append((key, executor, workers, engine))
+            return real_builder(key, executor, workers, engine)
+
+        monkeypatch.setattr(runner, "_builder", spy)
+        profile = profile_from_dict({"engine": {"executor": "process"}})
+        runner.build_run(
+            "mdmc-cpu", "independent", 30, 3, executor="serial",
+            profile=profile,
+        )
+        assert calls == [("mdmc-cpu", "serial", None, None)]
+        # ...while leaving the knob unset still lets the profile fill it.
+        calls.clear()
+        runner.build_run(
+            "mdmc-cpu", "independent", 31, 3, profile=profile
+        )
+        assert calls == [("mdmc-cpu", "process", None, None)]
 
     def test_build_run_profile_result_matches_no_profile(self):
         from repro.experiments.runner import build_run

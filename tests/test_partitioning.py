@@ -194,8 +194,10 @@ class TestStaticTree:
         """Octiles only add strict-dominance evidence (Section 4.3)."""
         tree2 = StaticTree(workload, levels=2)
         tree3 = StaticTree(workload, levels=3)
-        for pid in range(0, len(workload), 9):
-            pos2, pos3 = tree2.position_of(pid), tree3.position_of(pid)
+        pids = np.arange(0, len(workload), 9)
+        positions2 = tree2.positions_of(pids)
+        positions3 = tree3.positions_of(pids)
+        for pos2, pos3 in zip(positions2, positions3):
             strength2 = int(
                 np.bitwise_or.reduce(tree2.leaf_strict_masks(pos2))
             )

@@ -1,0 +1,199 @@
+"""Tests for repro.shard.plan: partitioners and the merge oracle.
+
+The load-bearing property is the **local-skyline union property**: for
+every partitioner, every global skyline point is a local skyline point
+of its own shard, so the union of local skylines is a complete merge
+candidate set and one refine sweep recovers the exact global skyline —
+ties, duplicates and all.  The partitioner sweep here (all partitioners
+x A/I/C distributions x d in 2..8 x duplicate-heavy data) is what lets
+the coordinator treat partitioning as a pure performance knob.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.generator import generate
+from repro.engine.kernels import fast_skyline
+from repro.shard.plan import PARTITIONER_NAMES, PARTITIONERS, ShardPlan
+
+DISTRIBUTIONS = ("anticorrelated", "independent", "correlated")
+
+
+def merged_skyline(plan, data, delta=None):
+    """The coordinator's merge, as plain reference code."""
+    candidates = np.concatenate([
+        plan.local_skyline(data, shard, delta)
+        for shard in range(plan.shards)
+    ])
+    if len(candidates) == 0:
+        return []
+    survivors = fast_skyline(
+        np.ascontiguousarray(data[candidates]), delta
+    )
+    return sorted(int(pid) for pid in candidates[survivors])
+
+
+# -- structure ---------------------------------------------------------
+
+
+class TestPlanStructure:
+    @pytest.mark.parametrize("partitioner", PARTITIONER_NAMES)
+    def test_plan_is_a_partition(self, partitioner):
+        data = generate("independent", 120, 4, seed=1)
+        plan = ShardPlan.build(data, 5, partitioner=partitioner)
+        assert sorted(np.concatenate(
+            [plan.ids_of(s) for s in range(plan.shards)]
+        ).tolist()) == list(range(120))
+        assert sum(plan.sizes) == 120
+        # order is shard-major and each shard is one contiguous slice.
+        for shard in range(plan.shards):
+            start, stop = plan.bounds(shard)
+            assert np.all(plan.assignment[plan.order[start:stop]] == shard)
+
+    @pytest.mark.parametrize(
+        "partitioner", [n for n in PARTITIONER_NAMES if n != "grid"]
+    )
+    def test_chunked_partitioners_balance(self, partitioner):
+        data = generate("anticorrelated", 103, 3, seed=2)
+        plan = ShardPlan.build(data, 4, partitioner=partitioner)
+        assert max(plan.sizes) - min(plan.sizes) <= 1
+
+    def test_grid_single_shard_is_trivial(self):
+        data = generate("independent", 30, 3, seed=0)
+        plan = ShardPlan.build(data, 1, partitioner="grid")
+        assert plan.sizes == [30]
+
+    @pytest.mark.parametrize("partitioner", PARTITIONER_NAMES)
+    def test_deterministic_per_seed(self, partitioner):
+        data = generate("independent", 80, 4, seed=3)
+        a = ShardPlan.build(data, 3, partitioner=partitioner, seed=7)
+        b = ShardPlan.build(data, 3, partitioner=partitioner, seed=7)
+        assert np.array_equal(a.assignment, b.assignment)
+        assert np.array_equal(a.order, b.order)
+
+    def test_random_seed_changes_assignment(self):
+        data = generate("independent", 200, 4, seed=3)
+        a = ShardPlan.build(data, 4, partitioner="random", seed=0)
+        b = ShardPlan.build(data, 4, partitioner="random", seed=1)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_describe_names_the_layout(self):
+        data = generate("independent", 40, 3, seed=0)
+        plan = ShardPlan.build(data, 2, partitioner="angular")
+        info = plan.describe()
+        assert info["shards"] == 2
+        assert info["partitioner"] == "angular"
+        assert info["n"] == 40 and info["d"] == 3
+        assert sum(info["sizes"]) == 40
+
+    def test_plan_arrays_are_frozen(self):
+        data = generate("independent", 20, 2, seed=0)
+        plan = ShardPlan.build(data, 2)
+        with pytest.raises(ValueError):
+            plan.assignment[0] = 1
+        with pytest.raises(ValueError):
+            plan.order[0] = 1
+
+
+class TestPlanErrors:
+    def test_more_shards_than_points(self):
+        data = generate("independent", 3, 2, seed=0)
+        with pytest.raises(ValueError, match="cannot split 3 points"):
+            ShardPlan.build(data, 4)
+
+    def test_nonpositive_shards(self):
+        data = generate("independent", 10, 2, seed=0)
+        with pytest.raises(ValueError, match="shards must be >= 1"):
+            ShardPlan.build(data, 0)
+
+    def test_unknown_partitioner_lists_names(self):
+        data = generate("independent", 10, 2, seed=0)
+        with pytest.raises(ValueError) as excinfo:
+            ShardPlan.build(data, 2, partitioner="hash")
+        for name in PARTITIONER_NAMES:
+            assert name in str(excinfo.value)
+
+    def test_empty_dataset(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ShardPlan.build(np.empty((0, 3)), 1)
+
+    def test_assignment_out_of_range(self):
+        with pytest.raises(ValueError, match="outside"):
+            ShardPlan(np.asarray([0, 1, 2]), 2, "manual", d=2)
+
+    def test_bounds_out_of_range(self):
+        data = generate("independent", 10, 2, seed=0)
+        plan = ShardPlan.build(data, 2)
+        with pytest.raises(IndexError):
+            plan.bounds(2)
+
+
+# -- the union property and exact merges -------------------------------
+
+
+class TestUnionProperty:
+    @pytest.mark.parametrize("partitioner", PARTITIONER_NAMES)
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    @pytest.mark.parametrize("d", range(2, 9))
+    def test_global_skyline_subset_of_local_union(
+        self, partitioner, distribution, d
+    ):
+        data = generate(distribution, 64, d, seed=d)
+        plan = ShardPlan.build(data, 3, partitioner=partitioner, seed=d)
+        union = set()
+        for shard in range(plan.shards):
+            union.update(
+                int(pid) for pid in plan.local_skyline(data, shard)
+            )
+        global_sky = set(
+            int(pid) for pid in fast_skyline(np.ascontiguousarray(data))
+        )
+        assert global_sky <= union
+
+    @pytest.mark.parametrize("partitioner", PARTITIONER_NAMES)
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_merge_recovers_exact_skyline_per_subspace(
+        self, partitioner, distribution
+    ):
+        d = 4
+        data = generate(distribution, 96, d, seed=11)
+        plan = ShardPlan.build(data, 4, partitioner=partitioner)
+        for delta in (None, 0b1111, 0b0101, 0b0011, 0b1000):
+            want = sorted(
+                int(pid)
+                for pid in fast_skyline(np.ascontiguousarray(data), delta)
+            )
+            assert merged_skyline(plan, data, delta) == want, (
+                partitioner, distribution, delta
+            )
+
+    @pytest.mark.parametrize("partitioner", PARTITIONER_NAMES)
+    def test_merge_exact_with_duplicates_and_ties(self, partitioner):
+        """Duplicate rows (incomparable ties) must all survive the
+        distributed merge, even when the copies land on different
+        shards."""
+        rng = np.random.default_rng(5)
+        base = rng.integers(0, 4, size=(40, 3)).astype(np.float64)
+        data = np.ascontiguousarray(np.vstack([base, base[:10], base[:5]]))
+        plan = ShardPlan.build(data, 5, partitioner=partitioner)
+        for delta in (None, 0b011, 0b100):
+            want = sorted(
+                int(pid)
+                for pid in fast_skyline(data, delta)
+            )
+            assert merged_skyline(plan, data, delta) == want
+
+    def test_union_property_survives_empty_shards(self):
+        """A skewed grid may leave shards empty; the merge must not
+        care."""
+        data = np.ascontiguousarray(
+            np.ones((32, 3)) + np.arange(32)[:, None]
+        )
+        plan = ShardPlan.build(data, 4, partitioner="grid")
+        assert 0 in plan.sizes  # the point of this fixture
+        want = sorted(int(pid) for pid in fast_skyline(data))
+        assert merged_skyline(plan, data) == want
+
+    def test_every_partitioner_is_registered(self):
+        assert set(PARTITIONER_NAMES) == set(PARTITIONERS)
+        assert PARTITIONER_NAMES == tuple(sorted(PARTITIONER_NAMES))
