@@ -3,7 +3,7 @@ export PYTHONPATH := src
 
 .PHONY: lint skylint skylint-baseline skylint-sarif skylint-timing \
 	typecheck test coverage chaos bench-smoke \
-	bench-filtered serve-smoke trace-smoke shard-smoke
+	bench-filtered serve-smoke trace-smoke shard-smoke live-smoke
 
 # Single entry point: ruff (when installed) + the repo-native skylint
 # pass.  Mirrors the CI lint gates.
@@ -82,6 +82,16 @@ serve-smoke:
 trace-smoke:
 	$(PYTHON) benchmarks/serve_smoke.py --trace trace-smoke.jsonl
 	$(PYTHON) -m repro trace analyze trace-smoke.jsonl \
+		--fail-on InternalError,unclassified
+
+# Live write-path smoke: serve --live as a real subprocess, one
+# mutator + two reader threads over TCP, delta publishes crossing
+# compaction boundaries, skyline_diff cancellation, SIGTERM drain,
+# then the failure-taxonomy gate over the trace (mirrors the CI
+# live-smoke job; see benchmarks/live_smoke.py and docs/LIVE_UPDATES.md).
+live-smoke:
+	$(PYTHON) benchmarks/live_smoke.py --trace live-smoke.jsonl
+	$(PYTHON) -m repro trace analyze live-smoke.jsonl \
 		--fail-on InternalError,unclassified
 
 # Sharded-tier smoke: serve --shards 2 as a real subprocess over TCP,

@@ -181,6 +181,7 @@ def cmd_serve(args) -> int:
     engine_choice = knob(args.engine, profile.engine.engine)
     engine = engine_choice if engine_choice is not None else "packed"
     live = args.live or profile.serve.live
+    compact_every = knob(args.compact_every, profile.serve.compact_every)
     trace_path = knob(args.trace, profile.trace.path)
     shards = knob(args.shards, profile.shard.shards)
     partitioner = knob(args.partitioner, profile.shard.partitioner)
@@ -233,17 +234,8 @@ def cmd_serve(args) -> int:
             raise SystemExit(
                 "--live rebuilds from the dataset; drop --snapshot"
             )
-    else:
-        data = _load(args.dataset)
-        if live:
-            updater, holder = LiveUpdater.bootstrap(data)
-        else:
-            updater = None
-            holder = SnapshotHolder(
-                ServingSnapshot.build(
-                    data, max_level=max_level, engine=engine
-                )
-            )
+    # The tracer exists before the updater so the write path's
+    # publish/compact spans are traced from the very first mutation.
     tracer = (
         JsonlTracer(trace_path, flush_every=profile.trace.flush_every)
         if trace_path
@@ -251,6 +243,19 @@ def cmd_serve(args) -> int:
     )
     if tracer.enabled:
         install_executor_sink(tracer.executor_sink())
+    if not args.snapshot:
+        data = _load(args.dataset)
+        if live:
+            updater, holder = LiveUpdater.bootstrap(
+                data, compact_every=compact_every, tracer=tracer
+            )
+        else:
+            updater = None
+            holder = SnapshotHolder(
+                ServingSnapshot.build(
+                    data, max_level=max_level, engine=engine
+                )
+            )
     service = SkycubeService(
         holder,
         window=window_ms / 1000.0,
@@ -376,7 +381,28 @@ def cmd_query(args) -> int:
         raise SystemExit(f"cannot connect to {args.host}:{args.port}: {error}")
     with client:
         try:
-            if args.what == "skyline":
+            if args.diff is not None:
+                if not args.subspace:
+                    raise SystemExit("--diff needs --subspace")
+                parts = args.diff.split(":")
+                try:
+                    v_from, v_to = (int(part.lstrip("v")) for part in parts)
+                except ValueError:
+                    raise SystemExit(
+                        f"--diff wants V1:V2 (e.g. 3:7), got {args.diff!r}"
+                    )
+                changes = client.skyline_diff(args.subspace, v_from, v_to)
+                print(
+                    f"S_{args.subspace} v{v_from} -> v{v_to}: "
+                    f"+{len(changes['entered'])} -{len(changes['left'])}"
+                )
+                if changes["entered"]:
+                    print("entered: " + " ".join(
+                        str(i) for i in changes["entered"]))
+                if changes["left"]:
+                    print("left:    " + " ".join(
+                        str(i) for i in changes["left"]))
+            elif args.what == "skyline":
                 if not args.subspace:
                     raise SystemExit("skyline needs --subspace")
                 ids = client.skyline(args.subspace)
@@ -489,7 +515,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "fall back to ad-hoc kernels")
     serve.add_argument("--live", action="store_true",
                        help="enable insert/delete ops via a background "
-                            "SkycubeMaintainer (O(n) per update)")
+                            "SkycubeMaintainer; every mutation publishes "
+                            "a copy-on-write delta snapshot and feeds "
+                            "the skyline_diff changelog")
+    serve.add_argument("--compact-every", type=int, default=None,
+                       help="with --live: full snapshot rebuild after "
+                            "this many delta generations (default 64)")
     serve.add_argument("--snapshot", default=None,
                        help="serve a pre-materialised .npz skycube "
                             "(save_skycube) instead of building one")
@@ -528,7 +559,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     query = commands.add_parser(
         "query", help="query a running serve instance"
     )
-    query.add_argument("what",
+    query.add_argument("what", nargs="?", default="ping",
                        choices=["skyline", "membership", "topk",
                                 "metrics", "ping"])
     query.add_argument("--host", default="127.0.0.1")
@@ -538,6 +569,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     query.add_argument("--point-id", type=int, default=None)
     query.add_argument("--q", help="comma-separated query point coordinates")
     query.add_argument("--k", type=int, default=10)
+    query.add_argument("--diff", default=None, metavar="V1:V2",
+                       help="temporal skyline diff of --subspace between "
+                            "two published snapshot versions (serve "
+                            "--live only)")
     query.set_defaults(handler=cmd_query)
 
     args = parser.parse_args(argv)

@@ -76,6 +76,9 @@ class ServeSection:
     max_pending: int = 1024
     max_level: Optional[int] = None
     live: bool = False
+    #: With ``live``: full snapshot rebuild after this many
+    #: copy-on-write delta generations (bounds version-chain sharing).
+    compact_every: int = 64
 
 
 @dataclass(frozen=True)
@@ -225,6 +228,7 @@ _SCHEMA: Dict[str, Dict[str, Tuple[Tuple[type, ...], Any]]] = {
         "max_pending": (_INT, _positive),
         "max_level": (_INT, _non_negative),
         "live": (_BOOL, _any),
+        "compact_every": (_INT, _positive),
     },
     "engine": {
         "engine": (_STR, _engine),

@@ -26,7 +26,16 @@ compression exactly where the numeric order cannot.
 from __future__ import annotations
 
 from operator import index as _as_int
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -77,6 +86,16 @@ class HashCube:
         #: Figure-1 size comparison) deliberately excludes it.
         self._stored_masks: Dict[int, int] = {}
         self._word_mask = (1 << word_width) - 1
+        #: How many :meth:`with_updates` generations separate this cube
+        #: from its last fully-rebuilt ancestor.  The serving tier's
+        #: compaction policy triggers a fresh rebuild once this exceeds
+        #: its budget, bounding the key fragmentation delta publishes
+        #: can accumulate.
+        self.generation = 0
+        #: Set on copy-on-write clones: their id lists are shared with
+        #: the parent cube, so in-place inserts must be refused (they
+        #: would mutate the parent's — supposedly immutable — storage).
+        self._shares_tables = False
         #: subspace δ -> bit position, and its inverse (level order only).
         self._bit_of: Optional[Dict[int, int]] = None
         self._delta_at: Optional[List[int]] = None
@@ -135,6 +154,12 @@ class HashCube:
         points are independent, so concurrent tasks never conflict beyond
         the per-key list append.
         """
+        if self._shares_tables:
+            raise ValueError(
+                "this HashCube shares storage with another snapshot "
+                "(copy-on-write); derive a new version via with_updates "
+                "or build a fresh cube instead of inserting in place"
+            )
         if not 0 <= not_in_skyline_mask < (1 << self.num_subspaces):
             raise ValueError(
                 f"mask {not_in_skyline_mask:#x} out of range for d={self.d}"
@@ -178,6 +203,12 @@ class HashCube:
         costs one dict probe plus the appends per point instead of a
         full permute-and-split.
         """
+        if self._shares_tables:
+            raise ValueError(
+                "this HashCube shares storage with another snapshot "
+                "(copy-on-write); derive a new version via with_updates "
+                "or build a fresh cube instead of inserting in place"
+            )
         word_cache: Dict[int, Tuple[int, List[Tuple[int, int]]]] = {}
         checked: List[Tuple[int, int, List[Tuple[int, int]]]] = []
         batch_ids: Set[int] = set()
@@ -305,6 +336,127 @@ class HashCube:
             for word_index, word in words:
                 cube._tables[word_index].setdefault(word, []).extend(members)
         return cube
+
+    # -- copy-on-write versioning -------------------------------------
+
+    def _stored_words(self, stored_mask: int) -> Iterator[Tuple[int, int]]:
+        """``(word_index, word)`` pairs a stored mask occupies.
+
+        The omission rule applied to an *already permuted* mask — the
+        exact set of table entries an id with this mask lives in.
+        """
+        for word_index in range(self.num_words):
+            word = (
+                stored_mask >> (word_index * self.word_width)
+            ) & self._word_mask
+            if word == self._valid_bits(word_index):
+                continue
+            yield word_index, word
+
+    def with_updates(
+        self,
+        changed_masks: Mapping[int, int],
+        removed_ids: Iterable[int] = (),
+    ) -> "HashCube":
+        """A new cube version differing only in the given masks.
+
+        The delta-publish primitive: ``changed_masks`` maps point id →
+        new ``B_{p∉S}`` (ids may be new or already stored),
+        ``removed_ids`` lists ids leaving the cube.  The clone shares
+        every untouched hash-table *and id-list* object with this cube
+        — per changed mask only the word-table dicts it lands in are
+        copied, and only the member lists of the touched keys are
+        rebuilt — so a k-mask delta costs O(k · words + touched lists),
+        never O(n).
+
+        Neither cube may be mutated in place afterwards (both are
+        marked copy-on-write and refuse :meth:`insert`); derive further
+        versions with another :meth:`with_updates`, and rebuild from
+        scratch once :attr:`generation` exceeds the compaction budget.
+
+        Everything is validated before any state is copied: an
+        out-of-range mask, a non-integral or negative id, a removal of
+        an id this cube never stored, or an id that is simultaneously
+        changed and removed raise :class:`ValueError`.
+        """
+        mask_bound = 1 << self.num_subspaces
+        items: List[Tuple[int, int]] = []
+        for point_id, mask in changed_masks.items():
+            try:
+                point_id = _as_int(point_id)
+            except TypeError:
+                raise ValueError(
+                    f"point id {point_id!r} is not an integer"
+                ) from None
+            if point_id < 0:
+                raise ValueError(f"point id {point_id} is negative")
+            if not 0 <= mask < mask_bound:
+                raise ValueError(
+                    f"mask {mask:#x} of point {point_id} out of range "
+                    f"for d={self.d}"
+                )
+            items.append((point_id, mask))
+        removed: List[int] = []
+        for point_id in removed_ids:
+            point_id = _as_int(point_id)
+            if point_id not in self._stored_masks:
+                raise ValueError(
+                    f"cannot remove point id {point_id}: not stored in "
+                    "this HashCube version"
+                )
+            if point_id in changed_masks:
+                raise ValueError(
+                    f"point id {point_id} is both changed and removed"
+                )
+            removed.append(point_id)
+
+        clone = HashCube(self.d, self.word_width, self.bit_order)
+        clone._tables = list(self._tables)  # shared until touched
+        clone._stored_masks = dict(self._stored_masks)
+        clone._inserted_ids = set(self._inserted_ids)
+        clone.generation = self.generation + 1
+        clone._shares_tables = True
+        self._shares_tables = True
+
+        # Plan the table movement: which (word_index, word) keys lose
+        # which ids, and which gain which — grouped so every touched
+        # member list is rebuilt exactly once.
+        drops: Dict[Tuple[int, int], Set[int]] = {}
+        adds: Dict[Tuple[int, int], List[int]] = {}
+        for point_id in removed:
+            stored = clone._stored_masks.pop(point_id)
+            clone._inserted_ids.discard(point_id)
+            for key in self._stored_words(stored):
+                drops.setdefault(key, set()).add(point_id)
+        for point_id, mask in items:
+            old = clone._stored_masks.get(point_id)
+            stored_mask, words = self._split_words(mask)
+            if old == stored_mask:
+                continue  # mask value unchanged: no table movement
+            if old is not None:
+                for key in self._stored_words(old):
+                    drops.setdefault(key, set()).add(point_id)
+            clone._stored_masks[point_id] = stored_mask
+            clone._inserted_ids.add(point_id)
+            for key in words:
+                adds.setdefault(key, []).append(point_id)
+
+        copied: Set[int] = set()
+        for key in set(drops) | set(adds):
+            word_index, word = key
+            if word_index not in copied:
+                clone._tables[word_index] = dict(clone._tables[word_index])
+                copied.add(word_index)
+            table = clone._tables[word_index]
+            members = table.get(word, [])
+            gone = drops.get(key, ())
+            fresh = [pid for pid in members if pid not in gone]
+            fresh.extend(adds.get(key, ()))
+            if fresh:
+                table[word] = fresh
+            else:
+                table.pop(word, None)
+        return clone
 
     # -- queries ------------------------------------------------------
 

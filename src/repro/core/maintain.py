@@ -10,15 +10,40 @@ shared closure cache.
 
 Deletion is the hard direction (a point dominated only by the removed
 point silently regains membership, and masks carry no provenance), so
-it falls back to recomputing the affected masks — the same asymmetry
-the update literature documents.  :class:`SkycubeMaintainer` keeps the
-masks exact at every step; `skycube()` materialises the current state
-as a HashCube-backed :class:`~repro.core.skycube.Skycube`.
+it recomputes the affected masks — the same asymmetry the update
+literature documents.
+
+For ``d <= PACKED_MAX_D`` the maintainer stores state in the packed
+uint64 representation of :mod:`repro.engine.packed` — a capacity-
+doubling coordinate matrix, one ``(n, words)`` mask-row array, and a
+liveness bitmap — and mutations become *delta sweeps*
+(:mod:`repro.engine.delta`): a static-tree prefilter bounds the
+affected set without touching coordinates, a single vectorised
+comparison prunes it exactly, and only the affected rows' closure
+contributions are folded.  :meth:`insert_with_delta` and
+:meth:`delete_with_delta` additionally report the exact mask movement
+(:class:`MaskDelta`) so downstream consumers — copy-on-write
+``HashCube.with_updates`` publishes, per-version changelogs — can
+update in O(affected) instead of O(n).  Beyond ``PACKED_MAX_D`` the
+original list/dict big-int path is kept as a correctness fallback.
+
+:class:`SkycubeMaintainer` keeps the masks exact at every step;
+`skycube()` materialises the current state as a HashCube-backed
+:class:`~repro.core.skycube.Skycube`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -28,7 +53,35 @@ from repro.core.hashcube import HashCube
 from repro.core.skycube import Skycube
 from repro.instrument.counters import Counters
 
-__all__ = ["SkycubeMaintainer"]
+if TYPE_CHECKING:
+    from repro.engine.delta import DeltaIndex
+
+__all__ = ["SkycubeMaintainer", "MaskDelta"]
+
+#: Initial row capacity of the packed storage arrays.
+_MIN_CAPACITY = 16
+
+
+@dataclass(frozen=True)
+class MaskDelta:
+    """The exact ``B_{p∉S}`` movement of one mutation.
+
+    ``changed`` maps point id → its *new* mask for every point whose
+    mask differs after the mutation (the inserted point included);
+    ``removed`` lists ids that left the dataset; ``previous`` maps
+    every changed existing id and every removed id to its mask *before*
+    the mutation.  Together these are sufficient to replay the mutation
+    onto any downstream copy of the masks — a copy-on-write
+    :meth:`repro.core.hashcube.HashCube.with_updates` publish, or a
+    per-version ``(entered, left)`` changelog — without a rescan.
+    """
+
+    changed: Dict[int, int] = field(default_factory=dict)
+    removed: Tuple[int, ...] = ()
+    previous: Dict[int, int] = field(default_factory=dict)
+
+    def is_empty(self) -> bool:
+        return not self.changed and not self.removed
 
 
 class SkycubeMaintainer:
@@ -51,16 +104,39 @@ class SkycubeMaintainer:
             if d is not None and d != data.shape[1]:
                 raise ValueError(f"d={d} conflicts with data shape {data.shape}")
             d = data.shape[1]
+        # Local import: repro.engine builds on repro.core, so the
+        # kernels cannot be imported at module load without a cycle.
+        from repro.engine.packed import PACKED_MAX_D, closure_table, words_for
+
         self.d = d
         self.counters = counters if counters is not None else Counters()
         self._closures = SubspaceClosures(d)
         self._weights = (1 << np.arange(d, dtype=np.int64))
-        self._rows: List[np.ndarray] = []
-        self._ids: List[int] = []
-        self._masks: Dict[int, int] = {}
         self._next_id = 0
+        self._packed = d <= PACKED_MAX_D
+        if self._packed:
+            self._table = closure_table(d)
+            self._words = words_for(d)
+            cap = _MIN_CAPACITY if data is None else max(
+                _MIN_CAPACITY, len(data)
+            )
+            self._matrix = np.zeros((cap, d), dtype=np.float64)
+            self._mask_rows = np.zeros((cap, self._words), dtype=np.uint64)
+            self._row_ids = np.zeros(cap, dtype=np.int64)
+            self._live = np.zeros(cap, dtype=bool)
+            self._count = 0
+            self._n_live = 0
+            self._pos: Dict[int, int] = {}
+            # Affected-point prefilter, built lazily past min size.
+            self._index: Optional["DeltaIndex"] = None
+        else:  # big-int fallback beyond the packed engine's reach
+            self._rows: List[np.ndarray] = []
+            self._ids: List[int] = []
+            self._masks: Dict[int, int] = {}
         if data is not None and len(data):
             self._bulk_load(data)
+
+    # -- bulk load ------------------------------------------------------
 
     def _bulk_load(self, data: np.ndarray) -> None:
         """Seed the maintainer from a full dataset in one pass.
@@ -73,10 +149,30 @@ class SkycubeMaintainer:
         ``S+``, and comparing within ``S+`` suffices because every
         dominator is itself dominated by an ``S+`` point.
         """
-        # Local import: repro.engine builds on repro.core, so the
-        # kernels cannot be imported at module load without a cycle.
-        from repro.core.dominance import dominance_masks_vs_all
         from repro.engine.kernels import fast_extended_skyline
+
+        if self._packed:
+            from repro.engine.packed import packed_point_masks, relevant_row
+
+            n = len(data)
+            self._ensure_room(n)
+            self._matrix[:n] = data
+            self._row_ids[:n] = np.arange(n)
+            self._live[:n] = True
+            self._count = n
+            self._n_live = n
+            self._pos = {i: i for i in range(n)}
+            self._next_id = n
+            self._mask_rows[:n] = relevant_row(self.d, None)
+            splus = fast_extended_skyline(data)
+            self._mask_rows[splus] = packed_point_masks(
+                data[splus], table=self._table
+            )
+            self.counters.dominance_tests += len(splus) * len(splus)
+            self._maintain_structures()
+            return
+
+        from repro.core.dominance import dominance_masks_vs_all
 
         self._rows = [np.array(row) for row in data]
         self._ids = list(range(len(data)))
@@ -90,17 +186,270 @@ class SkycubeMaintainer:
             self.counters.dominance_tests += len(rows)
             self._masks[pid] = self._fold_pairs(le, eq)
 
+    # -- packed storage -------------------------------------------------
+
+    def _ensure_room(self, extra: int) -> None:
+        needed = self._count + extra
+        cap = len(self._matrix)
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= 2
+        for name in ("_matrix", "_mask_rows", "_row_ids", "_live"):
+            old = getattr(self, name)
+            grown = np.zeros((cap,) + old.shape[1:], dtype=old.dtype)
+            grown[: self._count] = old[: self._count]
+            setattr(self, name, grown)
+
+    def _append_row(
+        self, point_id: int, point: np.ndarray, mask_row: np.ndarray
+    ) -> int:
+        self._ensure_room(1)
+        row = self._count
+        self._matrix[row] = point
+        self._mask_rows[row] = mask_row
+        self._row_ids[row] = point_id
+        self._live[row] = True
+        self._pos[point_id] = row
+        self._count += 1
+        self._n_live += 1
+        return row
+
+    def _compact_storage(self) -> None:
+        """Drop dead rows so sweeps and the index stay O(live)."""
+        live = np.flatnonzero(self._live[: self._count])
+        n = len(live)
+        self._matrix[:n] = self._matrix[live]
+        self._mask_rows[:n] = self._mask_rows[live]
+        self._row_ids[:n] = self._row_ids[live]
+        self._live[: self._count] = False
+        self._live[:n] = True
+        self._count = n
+        self._pos = {
+            int(pid): row for row, pid in enumerate(self._row_ids[:n])
+        }
+        self._index = None
+
+    def _maintain_structures(self) -> None:
+        """Amortised upkeep after a mutation: compaction + prefilter.
+
+        Dead rows are compacted away once they outnumber the live set;
+        the :class:`~repro.engine.delta.DeltaIndex` prefilter is
+        (re)built once the live set is large enough to pay for a tree
+        and whenever its unindexed tail has grown past the pruning-
+        usefulness threshold.  Both costs are O(n log n) but amortise
+        over the >= O(n) mutations that triggered them.
+        """
+        from repro.engine.delta import INDEX_MIN_ROWS, DeltaIndex
+
+        dead = self._count - self._n_live
+        if dead > max(64, self._n_live):
+            self._compact_storage()
+        if self._n_live < INDEX_MIN_ROWS:
+            self._index = None
+            return
+        if self._index is None or self._index.stale():
+            live = np.flatnonzero(self._live[: self._count])
+            self._index = DeltaIndex(self._matrix[: self._count], live)
+
+    def _live_rows(self) -> np.ndarray:
+        return np.flatnonzero(self._live[: self._count])
+
+    def _victim_rows(self, point: np.ndarray) -> np.ndarray:
+        """Live rows the mutation point may strictly beat somewhere."""
+        if self._index is not None:
+            cand = self._index.candidates(point)
+            return cand[self._live[cand]]
+        return self._live_rows()
+
+    def _dominator_rows(self, point: np.ndarray) -> np.ndarray:
+        """Live rows that may contribute to the point's own mask."""
+        if self._index is not None:
+            cand = self._index.dominator_candidates(point)
+            return cand[self._live[cand]]
+        return self._live_rows()
+
     # -- updates --------------------------------------------------------
 
-    def insert(self, point: Sequence[float]) -> int:
-        """Add a point; returns its assigned id.  O(n) mask updates."""
+    def _check_point(self, point: Sequence[float]) -> np.ndarray:
         point = np.asarray(point, dtype=np.float64)
         if point.shape != (self.d,):
             raise ValueError(f"expected a {self.d}-dim point, got {point.shape}")
         if np.isnan(point).any():
             raise ValueError("point contains NaN")
+        return point
+
+    def insert(self, point: Sequence[float]) -> int:
+        """Add a point; returns its assigned id.  O(affected) updates."""
+        return self.insert_with_delta(point)[0]
+
+    def delete(self, point_id: int) -> None:
+        """Remove a point; recomputes the masks it may have shaped."""
+        self.delete_with_delta(point_id)
+
+    def insert_with_delta(
+        self, point: Sequence[float]
+    ) -> Tuple[int, MaskDelta]:
+        """:meth:`insert` plus the exact mask movement it caused.
+
+        The packed delta sweep: the new point's own ``B_{p∉S}`` folds
+        the comparison codes of the (prefiltered) potential dominators;
+        existing masks gain only the closure contribution of the one
+        new row against the (prefiltered, then exactly-checked)
+        affected set — never a full recompute.
+        """
+        point = self._check_point(point)
+        if not self._packed:
+            return self._insert_legacy(point)
+        from repro.engine.delta import contribution_rows, fold_codes
+        from repro.engine.packed import row_to_int
+
         point_id = self._next_id
         self._next_id += 1
+        if self._n_live == 0:
+            own = np.zeros(self._words, dtype=np.uint64)
+            self._append_row(point_id, point, own)
+            self._maintain_structures()
+            return point_id, MaskDelta(changed={point_id: 0})
+
+        weights = self._weights
+        # The new point's own mask: fold everyone who may dominate it.
+        dominators = self._dominator_rows(point)
+        own = np.zeros(self._words, dtype=np.uint64)
+        if len(dominators):
+            block = self._matrix[dominators]
+            lt = (block < point) @ weights
+            eq = (block == point) @ weights
+            own = fold_codes(
+                (lt + eq) | (eq << self.d), self.d, self._table
+            )
+            self.counters.dominance_tests += len(dominators)
+
+        # ...and its contribution to the points it strictly beats.
+        # Coverage fast path: when some live point ``p <= point`` on
+        # every dimension, ``p``'s closure contribution to any victim
+        # is a superset of the new point's (componentwise-larger ``le``,
+        # and ``p`` is strictly better wherever the new point is), so
+        # every bit the new point could set is already set — the whole
+        # victim sweep is provably a no-op.
+        full_le = int(weights.sum())
+        covered = bool(
+            len(dominators) and ((lt + eq) == full_le).any()
+        )
+        changed: Dict[int, int] = {}
+        previous: Dict[int, int] = {}
+        candidates = (
+            np.empty(0, dtype=np.intp) if covered
+            else self._victim_rows(point)
+        )
+        if len(candidates):
+            block = self._matrix[candidates]
+            beaten = (block > point).any(axis=1)
+            self.counters.dominance_tests += len(candidates)
+            victims = candidates[beaten]
+            if len(victims):
+                rows = block[beaten]
+                ge = (rows >= point) @ weights
+                eqv = (rows == point) @ weights
+                add = contribution_rows(ge, eqv, self.d, self._table)
+                old = self._mask_rows[victims]
+                new = old | add
+                moved = (new != old).any(axis=1)
+                if moved.any():
+                    touched = victims[moved]
+                    self._mask_rows[touched] = new[moved]
+                    self.counters.bitmask_ops += int(moved.sum())
+                    for row, before, after in zip(
+                        touched.tolist(), old[moved], new[moved]
+                    ):
+                        pid = int(self._row_ids[row])
+                        previous[pid] = row_to_int(before)
+                        changed[pid] = row_to_int(after)
+
+        row = self._append_row(point_id, point, own)
+        changed[point_id] = row_to_int(own)
+        if self._index is not None:
+            self._index.add(row)
+        self._maintain_structures()
+        return point_id, MaskDelta(changed, (), previous)
+
+    def delete_with_delta(self, point_id: int) -> MaskDelta:
+        """:meth:`delete` plus the exact mask movement it caused.
+
+        The affected set — points the removed row strictly beat
+        somewhere — is bounded by the prefilter and pinned down by one
+        vectorised comparison; only those masks are re-derived, via a
+        :class:`~repro.engine.packed.PackedSweep` over the affected
+        block reordered to the front of the survivors.
+        """
+        if not self._packed:
+            return self._delete_legacy(point_id)
+        from repro.engine.delta import recompute_rows
+        from repro.engine.packed import row_to_int
+
+        row = self._pos.pop(point_id, None)
+        if row is None:
+            raise KeyError(f"unknown point id {point_id}")
+        removed_point = self._matrix[row].copy()
+        removed_mask = row_to_int(self._mask_rows[row])
+        self._live[row] = False
+        self._n_live -= 1
+
+        changed: Dict[int, int] = {}
+        previous: Dict[int, int] = {point_id: removed_mask}
+        if self._n_live == 0:
+            self._index = None
+            return MaskDelta(changed, (point_id,), previous)
+
+        # Coverage fast path: a surviving point ``p <= removed`` on
+        # every dimension (an exact duplicate counts, and the removed
+        # row itself is already marked dead) contributes a superset of
+        # the removed point's bits to every victim — on each dimension
+        # where the removed point strictly beat a victim, ``p`` still
+        # does.  No surviving mask can change, so the O(affected x n)
+        # recompute sweep is provably a no-op.
+        coverers = self._dominator_rows(removed_point)
+        if len(coverers):
+            self.counters.dominance_tests += len(coverers)
+            if (self._matrix[coverers] <= removed_point).all(axis=1).any():
+                self._maintain_structures()
+                return MaskDelta(changed, (point_id,), previous)
+
+        candidates = self._victim_rows(removed_point)
+        if len(candidates):
+            beaten = (self._matrix[candidates] > removed_point).any(axis=1)
+            self.counters.dominance_tests += len(candidates)
+            victims = candidates[beaten]
+            if len(victims):
+                rest_live = self._live[: self._count].copy()
+                rest_live[victims] = False
+                rest = np.flatnonzero(rest_live)
+                new = recompute_rows(
+                    self._matrix, victims, rest, table=self._table
+                )
+                self.counters.dominance_tests += len(victims) * self._n_live
+                old = self._mask_rows[victims]
+                moved = (new != old).any(axis=1)
+                if moved.any():
+                    touched = victims[moved]
+                    self._mask_rows[touched] = new[moved]
+                    self.counters.bitmask_ops += int(moved.sum())
+                    for vrow, before, after in zip(
+                        touched.tolist(), old[moved], new[moved]
+                    ):
+                        pid = int(self._row_ids[vrow])
+                        previous[pid] = row_to_int(before)
+                        changed[pid] = row_to_int(after)
+        self._maintain_structures()
+        return MaskDelta(changed, (point_id,), previous)
+
+    # -- legacy (d > PACKED_MAX_D) update paths -------------------------
+
+    def _insert_legacy(self, point: np.ndarray) -> Tuple[int, MaskDelta]:
+        point_id = self._next_id
+        self._next_id += 1
+        changed: Dict[int, int] = {}
+        previous: Dict[int, int] = {}
 
         if self._rows:
             existing = np.asarray(self._rows)
@@ -117,40 +466,38 @@ class SkycubeMaintainer:
                 self._ids, ge.tolist(), eq.tolist()
             ):
                 if ge_mask:
-                    self._masks[existing_id] |= self._closures.dominated_update(
+                    before = self._masks[existing_id]
+                    after = before | self._closures.dominated_update(
                         ge_mask, eq_mask
                     )
                     self.counters.bitmask_ops += 1
+                    if after != before:
+                        previous[existing_id] = before
+                        changed[existing_id] = after
+                        self._masks[existing_id] = after
         else:
             self._masks[point_id] = 0
 
         self._rows.append(point)
         self._ids.append(point_id)
-        return point_id
+        changed[point_id] = self._masks[point_id]
+        return point_id, MaskDelta(changed, (), previous)
 
-    def delete(self, point_id: int) -> None:
-        """Remove a point; recomputes the masks it may have shaped.
-
-        A random point strictly beats most others somewhere, so the
-        affected set is usually ~n and a naive per-point recompute
-        (re-stacking the row list each time) is O(n^2) array copies —
-        seconds at n=5000, which stalls live serving.  Instead the row
-        matrix is built once and affected points are recomputed in
-        broadcast chunks.
-        """
+    def _delete_legacy(self, point_id: int) -> MaskDelta:
         try:
             index = self._ids.index(point_id)
         except ValueError:
             raise KeyError(f"unknown point id {point_id}") from None
         removed = self._rows.pop(index)
         self._ids.pop(index)
-        self._masks.pop(point_id)
+        changed: Dict[int, int] = {}
+        previous: Dict[int, int] = {point_id: self._masks.pop(point_id)}
         if not self._rows:
-            return
+            return MaskDelta(changed, (point_id,), previous)
         existing = np.asarray(self._rows)
         # The removed point contributed dominated-bits to any point it
         # strictly beat on at least one dimension; recompute exactly
-        # those masks from scratch.
+        # those masks from scratch, in broadcast chunks.
         positions = np.flatnonzero((existing > removed).any(axis=1))
         chunk = max(1, (1 << 21) // (len(existing) * self.d))
         for start in range(0, len(positions), chunk):
@@ -161,9 +508,18 @@ class SkycubeMaintainer:
             le = lt + eq
             self.counters.dominance_tests += le.size
             for row, le_row, eq_row in zip(block.tolist(), le, eq):
-                self._masks[self._ids[row]] = self._fold_pairs(le_row, eq_row)
+                pid = self._ids[row]
+                before = self._masks[pid]
+                after = self._fold_pairs(le_row, eq_row)
+                if after != before:
+                    previous[pid] = before
+                    changed[pid] = after
+                    self._masks[pid] = after
+        return MaskDelta(changed, (point_id,), previous)
 
     def _recompute_mask(self, point_id: int) -> int:
+        if self._packed:
+            return self._packed_mask_of(self._pos[point_id], exact=True)
         index = self._ids.index(point_id)
         point = self._rows[index]
         existing = np.asarray(self._rows)
@@ -171,6 +527,22 @@ class SkycubeMaintainer:
         eq = (existing == point) @ self._weights
         self.counters.dominance_tests += len(existing)
         return self._fold_pairs(lt + eq, eq)
+
+    def _packed_mask_of(self, row: int, exact: bool = False) -> int:
+        """Stored (or, for audits, freshly re-derived) mask of a row."""
+        from repro.engine.delta import fold_codes
+        from repro.engine.packed import row_to_int
+
+        if not exact:
+            return row_to_int(self._mask_rows[row])
+        point = self._matrix[row]
+        block = self._matrix[self._live_rows()]
+        lt = (block < point) @ self._weights
+        eq = (block == point) @ self._weights
+        self.counters.dominance_tests += len(block)
+        return row_to_int(
+            fold_codes((lt + eq) | (eq << self.d), self.d, self._table)
+        )
 
     def _fold_pairs(self, le: np.ndarray, eq: np.ndarray) -> int:
         """OR the closure contributions of the distinct (le, eq) pairs.
@@ -197,14 +569,24 @@ class SkycubeMaintainer:
     # -- views ------------------------------------------------------------
 
     def __len__(self) -> int:
+        if self._packed:
+            return self._n_live
         return len(self._ids)
 
     def membership_mask(self, point_id: int) -> int:
         """Current exact ``B_{p∉S}`` of a live point."""
+        if self._packed:
+            return self._packed_mask_of(self._pos[point_id])
         return self._masks[point_id]
 
     def point(self, point_id: int) -> np.ndarray:
         """The coordinates of a live point (copy)."""
+        if self._packed:
+            try:
+                row = self._pos[point_id]
+            except KeyError:
+                raise KeyError(f"unknown point id {point_id}") from None
+            return self._matrix[row].copy()
         try:
             index = self._ids.index(point_id)
         except ValueError:
@@ -213,14 +595,58 @@ class SkycubeMaintainer:
 
     def points(self) -> "Dict[int, np.ndarray]":
         """``{id: coordinates}`` of every live point."""
+        if self._packed:
+            return {
+                pid: self._matrix[row].copy()
+                for pid, row in self._pos.items()
+            }
         return {
             pid: row.copy() for pid, row in zip(self._ids, self._rows)
         }
+
+    def snapshot_arrays(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """``(ids, coordinates, packed mask rows)`` of the live set.
+
+        One id-sorted aligned copy of the maintainer's state, in the
+        exact shape the serving bootstrap needs: ids feed
+        :meth:`repro.core.hashcube.HashCube.from_masks` together with
+        the packed mask rows, the coordinate matrix becomes the
+        snapshot's data array.  The mask rows are ``None`` on the
+        legacy (``d > PACKED_MAX_D``) path, where masks only exist as
+        big ints — callers fall back to per-mask insertion there.
+        """
+        if self._packed:
+            live = self._live_rows()
+            ids = self._row_ids[live]
+            order = np.argsort(ids)
+            rows = live[order]
+            return (
+                np.ascontiguousarray(ids[order]),
+                self._matrix[rows].copy(),
+                self._mask_rows[rows].copy(),
+            )
+        order = sorted(range(len(self._ids)), key=lambda i: self._ids[i])
+        ids = np.asarray([self._ids[i] for i in order], dtype=np.int64)
+        if order:
+            data = np.stack([self._rows[i] for i in order])
+        else:
+            data = np.empty((0, self.d), dtype=np.float64)
+        return ids, data, None
 
     def skyline(self, delta: int) -> List[int]:
         """Current ``S_δ`` ids without materialising the whole cube."""
         if not 0 < delta <= full_space(self.d):
             raise KeyError(f"invalid subspace {delta} for d={self.d}")
+        if self._packed:
+            word, bit = divmod(delta - 1, 64)
+            probe = np.uint64(1 << bit)
+            live = self._live_rows()
+            in_skyline = (self._mask_rows[live, word] & probe) == 0
+            return sorted(
+                int(pid) for pid in self._row_ids[live[in_skyline]]
+            )
         bit = 1 << (delta - 1)
         return sorted(
             pid for pid, mask in self._masks.items() if not mask & bit
@@ -228,6 +654,12 @@ class SkycubeMaintainer:
 
     def skycube(self, word_width: int = HashCube.DEFAULT_WORD_WIDTH) -> Skycube:
         """Materialise the current state as a HashCube-backed skycube."""
+        if self._packed:
+            ids, _, mask_rows = self.snapshot_arrays()
+            assert mask_rows is not None  # always present on the packed path
+            return Skycube(
+                HashCube.from_masks(self.d, ids, mask_rows, word_width)
+            )
         cube = HashCube(self.d, word_width)
         for pid in sorted(self._masks):
             cube.insert(pid, self._masks[pid])

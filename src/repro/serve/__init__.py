@@ -6,7 +6,9 @@ queries arriving over the wire.  Pieces, each its own module:
 
 * :mod:`repro.serve.snapshot` — immutable :class:`ServingSnapshot` +
   atomic swap (:class:`SnapshotHolder`) + live updates
-  (:class:`LiveUpdater` over a :class:`~repro.core.maintain.SkycubeMaintainer`);
+  (:class:`LiveUpdater` over a :class:`~repro.core.maintain.SkycubeMaintainer`,
+  publishing copy-on-write delta snapshots and a per-version
+  :class:`ChangeLog` for temporal ``skyline_diff`` queries);
 * :mod:`repro.serve.batcher` — micro-batching (:class:`MicroBatcher`);
 * :mod:`repro.serve.service` — routing, admission control, deadlines,
   load shedding (:class:`SkycubeService`);
@@ -26,9 +28,15 @@ from repro.serve.client import ServeClient, ServeError
 from repro.serve.metrics import LatencyHistogram, ServeMetrics
 from repro.serve.server import SkycubeServer, run_server
 from repro.serve.service import Request, Response, SkycubeService
-from repro.serve.snapshot import LiveUpdater, ServingSnapshot, SnapshotHolder
+from repro.serve.snapshot import (
+    ChangeLog,
+    LiveUpdater,
+    ServingSnapshot,
+    SnapshotHolder,
+)
 
 __all__ = [
+    "ChangeLog",
     "LatencyHistogram",
     "LiveUpdater",
     "MicroBatcher",

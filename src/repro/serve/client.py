@@ -121,8 +121,33 @@ class ServeClient:
         response = self.request("insert", point=list(point))
         return int(response["result"]["point_id"])
 
-    def delete(self, point_id: int) -> None:
-        self.request("delete", point_id=point_id)
+    def delete(self, point_id: int) -> int:
+        """Delete a point; returns the snapshot version that reflects it."""
+        response = self.request("delete", point_id=point_id)
+        return int(response.get("snapshot_version", 0))
+
+    def skyline_diff(
+        self,
+        delta: Any,
+        v_from: int,
+        v_to: int,
+        timeout_ms: Optional[float] = None,
+    ) -> Dict[str, List[int]]:
+        """Skyline membership changes of one subspace over ``(v_from, v_to]``.
+
+        Returns ``{"entered": [...], "left": [...]}`` — the point ids
+        that entered / left the ``delta`` skyline between the two
+        published snapshot versions.
+        """
+        response = self.request(
+            "skyline_diff", delta=delta, timeout_ms=timeout_ms,
+            **{"from": v_from, "to": v_to},
+        )
+        result = response["result"]
+        return {
+            "entered": list(result["entered"]),
+            "left": list(result["left"]),
+        }
 
     def snapshot_version(self) -> int:
         return int(self.request("ping").get("snapshot_version", 0))

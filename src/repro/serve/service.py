@@ -58,7 +58,7 @@ __all__ = [
 ]
 
 #: Ops that go through the micro-batcher.
-QUERY_OPS = ("skyline", "membership", "topk_dynamic")
+QUERY_OPS = ("skyline", "membership", "topk_dynamic", "skyline_diff")
 #: Ops handled directly by the service.
 CONTROL_OPS = ("metrics", "ping", "insert", "delete")
 
@@ -68,6 +68,11 @@ BAD_REQUEST = "BadRequest"
 NOT_FOUND = "NotFound"
 DEADLINE_EXCEEDED = "DeadlineExceeded"
 INTERNAL = "Internal"
+#: A structurally valid request for a capability this deployment does
+#: not offer (live updates on the sharded tier, ``skyline_diff`` with
+#: no changelog).  Distinct from ``BadRequest`` so clients can tell
+#: "fix your request" from "ask a different deployment".
+UNSUPPORTED = "Unsupported"
 
 
 @dataclass(frozen=True)
@@ -80,6 +85,9 @@ class Request:
     q: Optional[Tuple[float, ...]] = None
     k: int = 10
     point: Optional[Tuple[float, ...]] = None
+    #: Version window for ``skyline_diff`` (changes over ``(v_from, v_to]``).
+    v_from: Optional[int] = None
+    v_to: Optional[int] = None
     #: Absolute event-loop deadline (``loop.time()`` scale), or None.
     deadline: Optional[float] = None
     #: Trace context, stamped by the service at admission when tracing
@@ -90,7 +98,10 @@ class Request:
 
     def key(self) -> Tuple[Any, ...]:
         """Coalescing key: requests with equal keys share one answer."""
-        return (self.op, self.delta, self.point_id, self.q, self.k)
+        return (
+            self.op, self.delta, self.point_id, self.q, self.k,
+            self.v_from, self.v_to,
+        )
 
 
 @dataclass(frozen=True)
@@ -192,6 +203,21 @@ def request_from_json(
         if obj["k"] < 1:
             raise ValueError(f"k must be positive, got {obj['k']}")
         k = obj["k"]
+    v_from: Optional[int] = None
+    v_to: Optional[int] = None
+    for field_name, wire_name in (("v_from", "from"), ("v_to", "to")):
+        if wire_name in obj and obj[wire_name] is not None:
+            raw = obj[wire_name]
+            if not isinstance(raw, int) or isinstance(raw, bool):
+                raise ValueError(f"'{wire_name}' must be an integer")
+            if raw < 0:
+                raise ValueError(
+                    f"'{wire_name}' must be a non-negative version, got {raw}"
+                )
+            if field_name == "v_from":
+                v_from = raw
+            else:
+                v_to = raw
     deadline: Optional[float] = None
     if "timeout_ms" in obj and obj["timeout_ms"] is not None:
         timeout_ms = obj["timeout_ms"]
@@ -207,13 +233,17 @@ def request_from_json(
         raise ValueError("membership requires 'point_id' and 'delta'")
     if op == "topk_dynamic" and q is None:
         raise ValueError("topk_dynamic requires 'q'")
+    if op == "skyline_diff" and (
+        delta is None or v_from is None or v_to is None
+    ):
+        raise ValueError("skyline_diff requires 'delta', 'from' and 'to'")
     if op == "insert" and point is None:
         raise ValueError("insert requires 'point'")
     if op == "delete" and point_id is None:
         raise ValueError("delete requires 'point_id'")
     return Request(
         op=op, delta=delta, point_id=point_id, q=q, k=k, point=point,
-        deadline=deadline,
+        v_from=v_from, v_to=v_to, deadline=deadline,
     )
 
 
@@ -385,12 +415,12 @@ class SkycubeService:
             )
         assert request.point is not None  # request_from_json enforces it
         async with self._update_gate:
-            point_id = await asyncio.to_thread(
+            point_id, version = await asyncio.to_thread(
                 self.updater.insert, request.point
             )
         return Response(
             op=request.op, ok=True, result={"point_id": point_id},
-            snapshot_version=self.holder.version,
+            snapshot_version=version,
         )
 
     async def _submit_delete(self, request: Request) -> Response:
@@ -403,7 +433,7 @@ class SkycubeService:
         assert request.point_id is not None  # request_from_json enforces it
         try:
             async with self._update_gate:
-                version = await asyncio.to_thread(
+                _, version = await asyncio.to_thread(
                     self.updater.delete, request.point_id
                 )
         except KeyError:
@@ -519,6 +549,24 @@ class SkycubeService:
                 result = snapshot.topk_dynamic(
                     request.q, k=request.k, delta=request.delta
                 )
+            elif request.op == "skyline_diff":
+                assert request.delta is not None
+                assert request.v_from is not None
+                assert request.v_to is not None
+                if self.updater is None:
+                    return _error(
+                        request.op, BAD_REQUEST,
+                        "skyline_diff needs live updates enabled "
+                        "(no changelog on this server)",
+                        failure_class=TAXONOMY_BAD_REQUEST,
+                    )
+                entered, left = self.updater.skyline_diff(
+                    request.delta, request.v_from, request.v_to
+                )
+                result = {
+                    "entered": entered, "left": left,
+                    "from": request.v_from, "to": request.v_to,
+                }
             else:
                 return _error(
                     request.op, BAD_REQUEST,

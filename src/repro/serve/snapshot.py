@@ -22,17 +22,20 @@ stored.
 from __future__ import annotations
 
 import threading
+import time
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.bitmask import full_space, popcount
 from repro.core.hashcube import HashCube
-from repro.core.maintain import SkycubeMaintainer
+from repro.core.maintain import MaskDelta, SkycubeMaintainer
 from repro.engine import fast_skycube, fast_skyline
 from repro.query.dynamic import dynamic_topk
+from repro.trace import NULL_TRACER, TraceEvent, Tracer
 
-__all__ = ["ServingSnapshot", "SnapshotHolder", "LiveUpdater"]
+__all__ = ["ServingSnapshot", "SnapshotHolder", "ChangeLog", "LiveUpdater"]
 
 
 class ServingSnapshot:
@@ -82,7 +85,9 @@ class ServingSnapshot:
         self.data = data
         self.ids = id_array
         self.max_level = max_level
-        self._known_ids = frozenset(int(i) for i in id_array)
+        # tolist() yields python ints at C speed; a genexpr over the
+        # array would cost an O(n) python loop on every delta publish.
+        self._known_ids = frozenset(id_array.tolist())
 
     # -- constructors --------------------------------------------------
 
@@ -119,17 +124,25 @@ class ServingSnapshot:
         version: int,
         word_width: int = HashCube.DEFAULT_WORD_WIDTH,
     ) -> "ServingSnapshot":
-        """Freeze a maintainer's exact current state into a snapshot."""
-        points = maintainer.points()
-        ids = sorted(points)
-        cube = HashCube(maintainer.d, word_width)
-        for pid in ids:
-            cube.insert(pid, maintainer.membership_mask(pid))
-        if ids:
-            data = np.stack([points[pid] for pid in ids])
+        """Freeze a maintainer's exact current state into a snapshot.
+
+        One aligned ``snapshot_arrays`` copy plus the bulk
+        :meth:`~repro.core.hashcube.HashCube.from_masks` constructor —
+        distinct masks are split into stored words once, ids appended
+        group-wise — instead of a per-point Python insert loop.  The
+        legacy big-int maintainer (``d`` beyond the packed engine)
+        has no packed mask rows and keeps the per-mask path.
+        """
+        ids, data, mask_rows = maintainer.snapshot_arrays()
+        if mask_rows is not None:
+            cube = HashCube.from_masks(
+                maintainer.d, ids, mask_rows, word_width
+            )
         else:
-            data = np.empty((0, maintainer.d), dtype=np.float64)
-        return cls(cube, data, ids=ids, version=version)
+            cube = HashCube(maintainer.d, word_width)
+            for pid in ids.tolist():
+                cube.insert(pid, maintainer.membership_mask(pid))
+        return cls(cube, data, ids=ids, version=version, copy=False)
 
     # -- queries -------------------------------------------------------
 
@@ -227,8 +240,133 @@ class SnapshotHolder:
             callback(snapshot)
 
 
+class ChangeLog:
+    """Bounded per-version record of mask movement, for ``skyline_diff``.
+
+    Every published version ``v`` records ``{point id: (mask before,
+    mask after)}`` for exactly the masks that moved (``None`` marks
+    non-existence: an inserted id has ``before=None``, a removed id
+    ``after=None``).  :meth:`diff` composes the records over a version
+    interval — earliest ``before`` and latest ``after`` per id — and
+    answers the *temporal/emerging skyline* question per subspace:
+    which points entered ``S_δ`` between v1 and v2, and which left.
+
+    Retention is bounded (:attr:`retention` versions); asking about a
+    version older than the window, newer than the latest publish, or a
+    reversed interval raises :class:`ValueError` (the service maps it
+    to a typed ``BadRequest``).  Thread-safe: the updater records under
+    its mutation lock while query threads read concurrently.
+    """
+
+    DEFAULT_RETENTION = 64
+
+    def __init__(
+        self,
+        d: int,
+        base_version: int = 0,
+        retention: int = DEFAULT_RETENTION,
+    ) -> None:
+        if retention < 1:
+            raise ValueError(f"retention must be >= 1, got {retention}")
+        self.d = d
+        self.retention = retention
+        self._lock = threading.Lock()
+        #: version -> {id: (before mask | None, after mask | None)}
+        self._entries: "OrderedDict[int, Dict[int, Tuple[Optional[int], Optional[int]]]]" = (
+            OrderedDict()
+        )
+        #: The oldest version usable as a diff's ``from`` side — the
+        #: version published just before the earliest retained entry.
+        self._base = base_version
+
+    def record(self, version: int, delta: MaskDelta) -> None:
+        """Append one published version's mask movement."""
+        changes: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+        for pid, after in delta.changed.items():
+            changes[pid] = (delta.previous.get(pid), after)
+        for pid in delta.removed:
+            changes[pid] = (delta.previous[pid], None)
+        with self._lock:
+            if self._entries:
+                latest = next(reversed(self._entries))
+                if version <= latest:
+                    raise ValueError(
+                        f"changelog version {version} is not newer than "
+                        f"{latest}"
+                    )
+            elif version <= self._base:
+                raise ValueError(
+                    f"changelog version {version} is not newer than the "
+                    f"base {self._base}"
+                )
+            self._entries[version] = changes
+            while len(self._entries) > self.retention:
+                evicted, _ = self._entries.popitem(last=False)
+                self._base = evicted
+
+    def versions(self) -> Tuple[int, int]:
+        """``(oldest usable 'from', latest recorded)`` version bounds."""
+        with self._lock:
+            if not self._entries:
+                return self._base, self._base
+            return self._base, next(reversed(self._entries))
+
+    def diff(
+        self, delta: int, v_from: int, v_to: int
+    ) -> Tuple[List[int], List[int]]:
+        """``(entered, left)`` of ``S_δ`` between two published versions.
+
+        A point counts as *entered* when it was absent from ``S_δ`` at
+        ``v_from`` (not stored, or mask bit set) and present at
+        ``v_to``; *left* is the reverse.  Points that moved out and
+        back within the interval cancel out — only the endpoint states
+        matter, exactly as if two full snapshots were compared.
+        """
+        if not 0 < delta <= full_space(self.d):
+            raise KeyError(f"invalid subspace {delta} for d={self.d}")
+        with self._lock:
+            oldest = self._base
+            latest = (
+                next(reversed(self._entries)) if self._entries else oldest
+            )
+            if v_from >= v_to:
+                raise ValueError(
+                    f"diff needs from < to, got {v_from}:{v_to}"
+                )
+            if v_to > latest:
+                raise ValueError(
+                    f"unknown snapshot version {v_to} (latest is {latest})"
+                )
+            if v_from < oldest:
+                raise ValueError(
+                    f"snapshot version {v_from} is outside the changelog "
+                    f"retention window (oldest is {oldest})"
+                )
+            first_before: Dict[int, Optional[int]] = {}
+            last_after: Dict[int, Optional[int]] = {}
+            for version, changes in self._entries.items():
+                if version <= v_from or version > v_to:
+                    continue
+                for pid, (before, after) in changes.items():
+                    if pid not in first_before:
+                        first_before[pid] = before
+                    last_after[pid] = after
+        bit = 1 << (delta - 1)
+        entered: List[int] = []
+        left: List[int] = []
+        for pid, before in first_before.items():
+            after = last_after[pid]
+            was = before is not None and not before & bit
+            now = after is not None and not after & bit
+            if now and not was:
+                entered.append(pid)
+            elif was and not now:
+                left.append(pid)
+        return sorted(entered), sorted(left)
+
+
 class LiveUpdater:
-    """Applies live inserts/deletes and publishes fresh snapshots.
+    """Applies live inserts/deletes and publishes *delta* snapshots.
 
     Owns the :class:`SkycubeMaintainer`; every mutation runs under one
     lock (updates are serialised — the maintainer is not thread-safe)
@@ -236,17 +374,43 @@ class LiveUpdater:
     racing an update see exactly the before- or after-state.  The
     service calls :meth:`insert`/:meth:`delete` from a worker thread
     (``asyncio.to_thread``) to keep the event loop free.
+
+    Publishing is incremental: the maintainer reports the exact
+    :class:`~repro.core.maintain.MaskDelta` of the mutation, the new
+    cube is a copy-on-write
+    :meth:`~repro.core.hashcube.HashCube.with_updates` clone sharing
+    every untouched table with the previous version, and the data/id
+    arrays change by one row — O(affected) instead of the former
+    O(n)-per-mutation full rebuild.  Every ``compact_every``
+    generations the publish is a full ``from_maintainer`` rebuild
+    instead (the compaction that bounds copy-on-write fragmentation);
+    both paths emit a ``publish``/``compact`` trace span and record the
+    delta in the :class:`ChangeLog` that backs ``skyline_diff``.
     """
+
+    DEFAULT_COMPACT_EVERY = 64
 
     def __init__(
         self,
         maintainer: SkycubeMaintainer,
         holder: SnapshotHolder,
         word_width: int = HashCube.DEFAULT_WORD_WIDTH,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
+        tracer: Optional[Tracer] = None,
+        changelog_retention: int = ChangeLog.DEFAULT_RETENTION,
     ) -> None:
+        if compact_every < 1:
+            raise ValueError(
+                f"compact_every must be >= 1, got {compact_every}"
+            )
         self.maintainer = maintainer
         self.holder = holder
         self.word_width = word_width
+        self.compact_every = compact_every
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.changelog = ChangeLog(
+            maintainer.d, holder.version, changelog_retention
+        )
         self._lock = threading.Lock()
 
     @classmethod
@@ -254,30 +418,114 @@ class LiveUpdater:
         cls,
         data: np.ndarray,
         word_width: int = HashCube.DEFAULT_WORD_WIDTH,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
+        tracer: Optional[Tracer] = None,
+        changelog_retention: int = ChangeLog.DEFAULT_RETENTION,
     ) -> Tuple["LiveUpdater", SnapshotHolder]:
         """Build the maintainer + initial snapshot + holder in one go."""
         maintainer = SkycubeMaintainer(data)
         holder = SnapshotHolder(
             ServingSnapshot.from_maintainer(maintainer, 0, word_width)
         )
-        return cls(maintainer, holder, word_width), holder
-
-    def _publish(self) -> ServingSnapshot:
-        snapshot = ServingSnapshot.from_maintainer(
-            self.maintainer, self.holder.version + 1, self.word_width
+        updater = cls(
+            maintainer,
+            holder,
+            word_width,
+            compact_every=compact_every,
+            tracer=tracer,
+            changelog_retention=changelog_retention,
         )
+        return updater, holder
+
+    def _delta_arrays(
+        self, current: ServingSnapshot, delta: MaskDelta
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The next version's ``(data, ids)`` from the previous one.
+
+        Removed rows are filtered, inserted rows appended; everything
+        else is one aligned copy of the previous arrays, so the cost is
+        a memcpy, not a re-stack of per-point arrays.
+        """
+        data, ids = current.data, current.ids
+        if delta.removed:
+            keep = ~np.isin(
+                ids, np.asarray(delta.removed, dtype=np.int64)
+            )
+            data = data[keep]
+            ids = ids[keep]
+        new_ids = [
+            pid for pid in delta.changed if not current.knows(pid)
+        ]
+        if new_ids:
+            added = np.stack(
+                [self.maintainer.point(pid) for pid in new_ids]
+            )
+            data = np.concatenate([data, added]) if len(data) else added
+            ids = np.concatenate(
+                [ids, np.asarray(new_ids, dtype=np.int64)]
+            )
+        return data, ids
+
+    def _publish(self, delta: MaskDelta) -> ServingSnapshot:
+        """Build + swap in the next version; returns the new snapshot."""
+        start = time.perf_counter()
+        current = self.holder.current
+        version = current.version + 1
+        compacting = current.cube.generation + 1 > self.compact_every
+        if compacting:
+            snapshot = ServingSnapshot.from_maintainer(
+                self.maintainer, version, self.word_width
+            )
+        else:
+            cube = current.cube.with_updates(delta.changed, delta.removed)
+            data, ids = self._delta_arrays(current, delta)
+            snapshot = ServingSnapshot(
+                cube,
+                data,
+                ids=ids,
+                version=version,
+                max_level=current.max_level,
+                copy=False,
+            )
+        self.changelog.record(version, delta)
         self.holder.publish(snapshot)
+        if self.tracer.enabled:
+            self.tracer.emit(
+                TraceEvent(
+                    stage="compact" if compacting else "publish",
+                    snapshot_version=version,
+                    duration_ms=(time.perf_counter() - start) * 1e3,
+                    extra={
+                        "mode": "rebuild" if compacting else "delta",
+                        "changed": len(delta.changed),
+                        "removed": len(delta.removed),
+                        "generation": snapshot.cube.generation,
+                    },
+                )
+            )
         return snapshot
 
-    def insert(self, point: Sequence[float]) -> int:
-        """Insert a point and publish; returns the assigned id."""
+    def insert(self, point: Sequence[float]) -> Tuple[int, int]:
+        """Insert a point and publish; returns ``(point id, version)``."""
         with self._lock:
-            point_id = self.maintainer.insert(point)
-            self._publish()
-            return point_id
+            point_id, delta = self.maintainer.insert_with_delta(point)
+            snapshot = self._publish(delta)
+            return point_id, snapshot.version
 
-    def delete(self, point_id: int) -> int:
-        """Delete a point and publish; returns the new version."""
+    def delete(self, point_id: int) -> Tuple[Optional[int], int]:
+        """Delete a point and publish; returns ``(None, version)``.
+
+        The ``(point_id_or_None, version)`` shape mirrors
+        :meth:`insert` so the service surfaces ``snapshot_version``
+        uniformly for both mutations.
+        """
         with self._lock:
-            self.maintainer.delete(point_id)
-            return self._publish().version
+            delta = self.maintainer.delete_with_delta(point_id)
+            snapshot = self._publish(delta)
+            return None, snapshot.version
+
+    def skyline_diff(
+        self, delta: int, v_from: int, v_to: int
+    ) -> Tuple[List[int], List[int]]:
+        """``(entered, left)`` of ``S_δ`` between two published versions."""
+        return self.changelog.diff(delta, v_from, v_to)

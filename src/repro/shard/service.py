@@ -24,8 +24,10 @@ Two sharded twists:
   response — and the trace carries the matching ``WorkerDeath``
   events.  Only losing *every* shard turns into an ``Internal`` error.
 
-Live updates (``insert``/``delete``) are a typed ``BadRequest`` here:
-the sharded tier serves a static dataset until re-sharding lands.
+Live updates (``insert``/``delete``) and temporal ``skyline_diff``
+queries are a typed ``Unsupported`` here: the sharded tier serves a
+static dataset until delta-publish-per-shard lands (the follow-up is
+sketched in ``docs/SHARDING.md``).
 """
 
 from __future__ import annotations
@@ -43,6 +45,7 @@ from repro.serve.service import (
     NOT_FOUND,
     OVERLOADED,
     QUERY_OPS,
+    UNSUPPORTED,
     Request,
     Response,
 )
@@ -152,7 +155,21 @@ class ShardService:
                 admitted_at=started,
             )
         try:
-            if op in QUERY_OPS:
+            if op in ("insert", "delete", "skyline_diff"):
+                # Typed Unsupported, not BadRequest: the request is
+                # well-formed, this deployment just cannot serve it —
+                # each shard snapshots independently, so there is no
+                # coherent cross-shard version to mutate or diff yet.
+                # docs/SHARDING.md sketches the delta-publish-per-shard
+                # follow-up that lifts this.  (Checked before QUERY_OPS:
+                # skyline_diff is batched on the single-process tier.)
+                response = _error(
+                    op, UNSUPPORTED,
+                    "live updates are not supported on the sharded tier "
+                    "(see docs/SHARDING.md: delta publish per shard)",
+                    failure_class=TAXONOMY_BAD_REQUEST,
+                )
+            elif op in QUERY_OPS:
                 response = await self._submit_query(request)
             elif op == "metrics":
                 payload = self.metrics.as_dict()
@@ -173,12 +190,6 @@ class ShardService:
                         "partitioner": status["partitioner"],
                     },
                     snapshot_version=self.coordinator.version,
-                )
-            elif op in ("insert", "delete"):
-                response = _error(
-                    op, BAD_REQUEST,
-                    "live updates are not supported on the sharded tier",
-                    failure_class=TAXONOMY_BAD_REQUEST,
                 )
             else:
                 response = _error(

@@ -65,6 +65,12 @@ class TraceReport:
     stragglers: Dict[int, int] = field(default_factory=dict)
     #: merge-barrier events seen (0 on single-process traces).
     merges: int = 0
+    #: write-path publish mode -> count (``delta`` copy-on-write
+    #: publishes vs ``rebuild`` compactions, from ``publish`` and
+    #: ``compact`` stage events' ``extra={"mode": ...}``).
+    publish_modes: Dict[str, int] = field(default_factory=dict)
+    #: masks rewritten across all delta publishes (``extra["changed"]``).
+    masks_changed: int = 0
 
     @property
     def failed(self) -> int:
@@ -118,6 +124,10 @@ class TraceReport:
                     str(shard): count
                     for shard, count in sorted(self.stragglers.items())
                 },
+            },
+            "publishes": {
+                "modes": dict(sorted(self.publish_modes.items())),
+                "masks_changed": self.masks_changed,
             },
         }
 
@@ -184,6 +194,14 @@ def analyze_events(events: Iterable[TraceEvent]) -> TraceReport:
                     shard_histogram = LatencyHistogram()
                     report.shard_compute[shard] = shard_histogram
                 shard_histogram.record(event.duration_ms / 1000.0)
+        if event.stage in ("publish", "compact"):
+            mode = str(event.extra.get("mode", event.stage))
+            report.publish_modes[mode] = (
+                report.publish_modes.get(mode, 0) + 1
+            )
+            changed = event.extra.get("changed")
+            if isinstance(changed, int):
+                report.masks_changed += changed
         if event.stage == "merge":
             report.merges += 1
             straggler = event.extra.get("straggler_shard")
@@ -296,6 +314,16 @@ def format_report(
                 report.stragglers.items(), key=lambda kv: (-kv[1], kv[0])
             )
         ]))
+    if report.publish_modes:
+        total_publishes = sum(report.publish_modes.values())
+        modes = ", ".join(
+            f"{mode}={count}"
+            for mode, count in sorted(report.publish_modes.items())
+        )
+        lines.append(
+            f"snapshot publishes: {total_publishes} ({modes}), "
+            f"{report.masks_changed} masks rewritten"
+        )
     offenders = top_subspaces(report, limit=top)
     if offenders:
         lines.append("top subspaces (failures/events):")

@@ -78,7 +78,13 @@ FAILURE_CLASSES = (
 #: sharded tier: one event per scatter–gather barrier, carrying the
 #: straggler attribution (which shard the barrier waited for) next to
 #: the per-shard ``compute`` spans (``extra={"shard": i}``).
-STAGES = ("admit", "batch", "compute", "merge", "respond")
+#: ``publish`` and ``compact`` are the write path's lifecycle: one
+#: ``publish`` span per snapshot version the live updater swaps in
+#: (``extra={"mode": "delta"|"rebuild", ...}``), and ``compact`` when
+#: the version was produced by a compaction rebuild instead of a
+#: copy-on-write delta — so ``trace analyze`` attributes write-path
+#: latency stage-by-stage exactly like the read path.
+STAGES = ("admit", "batch", "compute", "merge", "respond", "publish", "compact")
 
 
 def _json_string(value: str) -> str:
@@ -109,6 +115,10 @@ _WIRE_TO_CLASS = {
     "DeadlineExceeded": DEADLINE_EXCEEDED,
     "BadRequest": BAD_REQUEST,
     "NotFound": BAD_REQUEST,
+    # A structurally valid request for a capability this deployment
+    # does not offer (e.g. live updates on the sharded tier) — the
+    # client's to fix, so it shares the BadRequest taxonomy class.
+    "Unsupported": BAD_REQUEST,
     "Internal": INTERNAL_ERROR,
 }
 

@@ -584,3 +584,93 @@ class TestLiveUpdateConsistency:
         assert failures == [], failures[:5]
         assert len(snapshots) == 13  # initial + 12 updates, all published
         assert queries >= 10  # the queriers really ran during updates
+
+
+class TestSkylineDiffOp:
+    def test_diff_over_wire_matches_endpoint_snapshots(self):
+        data = generate("anticorrelated", 40, 3, seed=13)
+
+        async def scenario():
+            updater, holder = LiveUpdater.bootstrap(data)
+            snapshots = {0: holder.current}
+            holder.subscribe(
+                lambda snapshot: snapshots.setdefault(
+                    snapshot.version, snapshot
+                )
+            )
+            service = SkycubeService(holder, window=0.0, updater=updater)
+            await service.start()
+            server = SkycubeServer(service, port=0)
+            await server.start()
+            host, port = server.address
+
+            def client_work():
+                with ServeClient(host, port) as client:
+                    pid = client.insert([0.0, 0.0, 0.0])  # v1: dominator
+                    delete_version = client.delete(pid)  # v2: back out
+                    raw = client.request(
+                        "skyline_diff", delta=7,
+                        **{"from": 0, "to": 1},
+                    )
+                    round_trip = client.skyline_diff(7, 0, 2)
+                    with pytest.raises(ServeError) as err:
+                        client.skyline_diff(7, 2, 1)
+                    return pid, delete_version, raw, round_trip, err.value
+
+            result = await asyncio.to_thread(client_work)
+            server.request_shutdown()
+            await server.serve_until_shutdown()
+            return snapshots, result
+
+        snapshots, (pid, delete_version, raw, round_trip, bad) = run(
+            scenario()
+        )
+        assert delete_version == 2
+        assert raw["snapshot_version"] == 2
+        assert raw["result"]["from"] == 0 and raw["result"]["to"] == 1
+        # v0 -> v1: the all-zero dominator entered, everyone else left.
+        before = set(snapshots[0].skyline(7))
+        after = set(snapshots[1].skyline(7))
+        assert raw["result"]["entered"] == sorted(after - before) == [pid]
+        assert raw["result"]["left"] == sorted(before - after)
+        # v0 -> v2 composes back to no net movement.
+        assert round_trip == {"entered": [], "left": []}
+        assert bad.error_type == "BadRequest"
+        assert "from < to" in bad.message
+
+    def test_diff_without_updater_is_typed_bad_request(self, holder):
+        async def scenario():
+            service = await started_service(holder, window=0.0)
+            response = await service.submit(
+                Request(op="skyline_diff", delta=1, v_from=0, v_to=1)
+            )
+            await service.stop()
+            return response
+
+        response = run(scenario())
+        assert response.error == "BadRequest"
+        assert "changelog" in response.message
+
+    def test_wire_decoding(self):
+        request = request_from_json(
+            {"op": "skyline_diff", "delta": "0b11", "from": 2, "to": 5},
+            d=4, now=0.0,
+        )
+        assert (request.delta, request.v_from, request.v_to) == (3, 2, 5)
+        # The version window is part of the coalescing key.
+        other = request_from_json(
+            {"op": "skyline_diff", "delta": "0b11", "from": 2, "to": 6},
+            d=4, now=0.0,
+        )
+        assert request.key() != other.key()
+        bad = [
+            {"op": "skyline_diff"},  # missing everything
+            {"op": "skyline_diff", "delta": 3},  # missing the window
+            {"op": "skyline_diff", "delta": 3, "from": 0},  # half a window
+            {"op": "skyline_diff", "delta": 3, "from": "v0", "to": 1},
+            {"op": "skyline_diff", "delta": 3, "from": -1, "to": 1},
+            {"op": "skyline_diff", "delta": 3, "from": True, "to": 2},
+        ]
+        for obj in bad:
+            with pytest.raises(ValueError):
+                request_from_json(obj, d=4, now=0.0)

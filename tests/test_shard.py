@@ -352,14 +352,15 @@ class TestServiceSurface:
                 }
                 metrics = await service.submit(Request(op="metrics"))
                 assert metrics.result["shards"]["alive"] == [True, True]
-                for op in ("insert", "delete"):
+                for op in ("insert", "delete", "skyline_diff"):
                     rejected = await service.submit(
                         Request(op=op, point=(1.0, 2.0, 3.0, 4.0),
-                                point_id=0)
+                                point_id=0, delta=1, v_from=0, v_to=1)
                     )
                     assert not rejected.ok
-                    assert rejected.error == "BadRequest"
+                    assert rejected.error == "Unsupported"
                     assert "live updates" in rejected.message
+                    assert "SHARDING.md" in rejected.message
                 missing = await service.submit(
                     Request(op="membership", point_id=99_999, delta=1)
                 )

@@ -244,9 +244,11 @@ class TestServiceTracing:
         response, tracer = run(scenario())
         assert response.ok
         stages = [event.stage for event in tracer.events]
-        # ``merge`` is sharded-tier only; the single-process lifecycle
-        # is the other four stages, in lifecycle order.
-        assert stages == [s for s in STAGES if s != "merge"]
+        # ``merge`` is sharded-tier only and ``publish``/``compact``
+        # belong to the write path; one read request leaves the four
+        # read-path stages, in lifecycle order.
+        read_path = ("merge", "publish", "compact")
+        assert stages == [s for s in STAGES if s not in read_path]
         ids = {event.request_id for event in tracer.events}
         assert len(ids) == 1  # one trace id ties the lifecycle together
         assert all(event.outcome == "ok" for event in tracer.events)
