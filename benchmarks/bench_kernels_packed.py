@@ -11,6 +11,13 @@ skycube.  The ``engine="loop"`` baseline shares this PR's vectorised
 loop engine): clearing 5x against the loop engine implies more than 5x
 against the code this PR replaced.
 
+A jit-backend row times the same packed-filtered sweep through the
+selected kernel backend (``--backend`` pins one strictly; the default
+picks the fastest available).  With a real accelerated backend (numba
+or cupy) the row must clear >= 2x over the numpy packed engine at full
+size; on a numpy-only host the row is annotated as the fallback and
+only bit-identity is asserted.
+
 A second section times :meth:`repro.serve.ServingSnapshot.build` with
 both engines at reduced n — the serving layer's bootstrap is the main
 in-repo consumer of the packed path.
@@ -19,17 +26,29 @@ in-repo consumer of the packed path.
 import time
 
 from repro.data.generator import generate
+from repro.engine.jit import resolve_backend
 from repro.engine.kernels import fast_skycube
 from repro.experiments.report import Table
 from repro.serve import ServingSnapshot
 
 SPEEDUP_FLOOR = 5.0
+JIT_SPEEDUP_FLOOR = 2.0
 
 
-def test_packed_engine_speedup(benchmark, quick):
+def _pick_backend(backend_option):
+    """Resolve the bench backend: strict for an explicit choice,
+    fastest-available otherwise."""
+    if backend_option:
+        return resolve_backend(backend_option, strict=True)
+    return resolve_backend("auto")
+
+
+def test_packed_engine_speedup(benchmark, quick, backend_option):
     n, d = (2_000, 6) if quick else (20_000, 8)
     data = generate("anticorrelated", n, d, seed=7)
     serve_n = 1_000 if quick else 6_000
+    jit = _pick_backend(backend_option)
+    accelerated = jit.name != "numpy"
 
     def measure():
         timings = {}
@@ -42,6 +61,17 @@ def test_packed_engine_speedup(benchmark, quick):
         assert packed_cube.store == loop_cube.store, (
             "packed engine diverged from the loop reference"
         )
+        # Warm the jit backend (compilation is one-time, amortised over
+        # a process lifetime) and gate bit-identity BEFORE timing.
+        jit_cube = fast_skycube(
+            data, engine="packed-filtered", backend=jit.name
+        )
+        assert jit_cube.store == loop_cube.store, (
+            f"backend={jit.name!r} diverged from the loop reference"
+        )
+        start = time.perf_counter()
+        fast_skycube(data, engine="packed-filtered", backend=jit.name)
+        timings["jit"] = time.perf_counter() - start
         start = time.perf_counter()
         ServingSnapshot.build(data[:serve_n], engine="loop")
         timings["serve_loop"] = time.perf_counter() - start
@@ -52,20 +82,34 @@ def test_packed_engine_speedup(benchmark, quick):
 
     timings = benchmark.pedantic(measure, rounds=1, iterations=1)
     speedup = timings["loop"] / timings["packed"]
+    jit_speedup = timings["loop"] / timings["jit"]
+    jit_vs_packed = timings["packed"] / timings["jit"]
     serve_speedup = timings["serve_loop"] / timings["serve_packed"]
+    jit_label = f"packed-filtered, backend={jit.name}"
+    if not accelerated:
+        jit_label += " (fallback)"
     table = Table(
         f"Packed vs loop skycube engine: anticorrelated n={n} d={d}",
         ["configuration", "seconds", "speedup vs loop"],
         notes=[
-            "both engines verified bit-identical before timing",
+            "all engines and backends verified bit-identical before timing",
             "loop baseline includes this PR's vectorised S+ filter, so it "
             "is stricter than the pre-PR fast_skycube (33.98 s vs 29.07 s "
             "for the loop engine on the reference host at n=20k d=8)",
+            f"jit row: backend={jit.name} "
+            + (
+                f"({jit_vs_packed:.2f}x vs engine=packed; floor "
+                f"{JIT_SPEEDUP_FLOOR}x at full size)"
+                if accelerated
+                else "(numpy fallback — install the accel extra for the "
+                "compiled row; no speedup floor applies)"
+            ),
             f"serve bootstrap section uses n={serve_n}",
         ],
     )
     table.add_row("engine=loop", timings["loop"], 1.0)
     table.add_row("engine=packed", timings["packed"], speedup)
+    table.add_row(jit_label, timings["jit"], jit_speedup)
     table.add_row("serve bootstrap, loop", timings["serve_loop"], "")
     table.add_row(
         "serve bootstrap, packed", timings["serve_packed"], serve_speedup
@@ -77,3 +121,7 @@ def test_packed_engine_speedup(benchmark, quick):
     # pathological slowdown there (bit-identity above is always strict).
     threshold = 1.0 if quick else SPEEDUP_FLOOR
     assert speedup > threshold, table.format()
+    # The 2x jit floor only applies when a real accelerated backend ran
+    # at full size; the numpy fallback row is informational.
+    if accelerated and not quick:
+        assert jit_vs_packed > JIT_SPEEDUP_FLOOR, table.format()

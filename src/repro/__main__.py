@@ -79,26 +79,57 @@ def cmd_skycube(args) -> int:
         )
     try:
         builder = _builder(
-            args.algorithm, args.executor, args.workers, args.engine
+            args.algorithm, args.executor, args.workers, args.engine,
+            args.backend,
         )
     except ValueError as error:
         raise SystemExit(str(error))
     run = builder.materialise(data, max_level=args.max_level)
     cube = run.skycube
     subspaces = list(cube.subspaces())
-    backend = "" if args.executor == "serial" else f", executor={args.executor}"
+    detail = "" if args.executor == "serial" else f", executor={args.executor}"
     if args.engine is not None:
-        backend += f", engine={args.engine}"
+        detail += f", engine={args.engine}"
+    if args.backend is not None:
+        detail += f", backend={args.backend}"
     print(
         f"materialised {len(subspaces)} subspace skylines with "
         f"{args.algorithm} ({run.counters.dominance_tests} dominance tests"
-        f"{backend})"
+        f"{detail})"
     )
     for text in args.show:
         delta = _parse_subspace(text, data.shape[1])
         ids = cube.skyline(delta)
         print(f"S_{delta:#b}: {len(ids)} points: "
               + " ".join(str(i) for i in ids))
+    return 0
+
+
+def cmd_backends(args) -> int:
+    """``python -m repro backends`` — probed kernel-backend matrix."""
+    from repro.engine.jit import probe_backends
+
+    probes = probe_backends(refresh=args.refresh)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps([
+            {
+                "name": probe.name,
+                "device": probe.device,
+                "available": probe.available,
+                "detail": probe.detail,
+            }
+            for probe in probes
+        ], indent=2))
+        return 0
+    width = max(len(probe.name) for probe in probes)
+    for probe in probes:
+        status = "available" if probe.available else "unavailable"
+        print(
+            f"{probe.name:<{width}}  {probe.device:<3}  {status:<11}  "
+            f"{probe.detail}"
+        )
     return 0
 
 
@@ -180,6 +211,7 @@ def cmd_serve(args) -> int:
     # it, so each tier can apply its own default bootstrap engine.
     engine_choice = knob(args.engine, profile.engine.engine)
     engine = engine_choice if engine_choice is not None else "packed"
+    backend = knob(args.backend, profile.engine.backend)
     live = args.live or profile.serve.live
     compact_every = knob(args.compact_every, profile.serve.compact_every)
     trace_path = knob(args.trace, profile.trace.path)
@@ -208,6 +240,7 @@ def cmd_serve(args) -> int:
                 engine_choice if engine_choice is not None
                 else "packed-filtered"
             ),
+            backend=backend,
             trace_path=trace_path,
         )
 
@@ -253,7 +286,8 @@ def cmd_serve(args) -> int:
             updater = None
             holder = SnapshotHolder(
                 ServingSnapshot.build(
-                    data, max_level=max_level, engine=engine
+                    data, max_level=max_level, engine=engine,
+                    backend=backend,
                 )
             )
     service = SkycubeService(
@@ -285,7 +319,7 @@ def cmd_serve(args) -> int:
 
 def _serve_sharded(
     args, profile, *, shards, partitioner, host, port, window_ms,
-    max_batch, max_pending, max_level, engine, trace_path,
+    max_batch, max_pending, max_level, engine, backend, trace_path,
 ) -> int:
     """``serve --shards N``: the scatter–gather tier behind the same
     TCP server, client and query CLI as the single-process path."""
@@ -306,7 +340,7 @@ def _serve_sharded(
         else NULL_TRACER
     )
     coordinator = ShardCoordinator(
-        data, plan, engine=engine, max_level=max_level,
+        data, plan, engine=engine, max_level=max_level, backend=backend,
         timeout=profile.shard.worker_timeout_s, tracer=tracer,
     )
     service = ShardService(
@@ -437,6 +471,7 @@ def cmd_query(args) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.engine.jit import BACKEND_CHOICES, BACKEND_HELP
     from repro.engine.kernels import ENGINE_HELP, SKYCUBE_ENGINES
     from repro.shard.plan import PARTITIONER_NAMES
 
@@ -464,9 +499,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     skycube.add_argument("--engine", choices=SKYCUBE_ENGINES, default=None,
                          help="mdmc only — " + ENGINE_HELP
                               + " (default: instrumented per-point sweep)")
+    skycube.add_argument("--backend", choices=BACKEND_CHOICES, default=None,
+                         help="mdmc only — " + BACKEND_HELP)
     skycube.add_argument("--show", nargs="*", default=[],
                          help="subspaces to print")
     skycube.set_defaults(handler=cmd_skycube)
+
+    backends = commands.add_parser(
+        "backends", help="list kernel backends and their probed "
+                         "availability"
+    )
+    backends.add_argument("--json", action="store_true",
+                          help="machine-readable probe results")
+    backends.add_argument("--refresh", action="store_true",
+                          help="re-run the availability probes instead "
+                               "of using cached results")
+    backends.set_defaults(handler=cmd_backends)
 
     generate = commands.add_parser("generate", help="synthetic datasets")
     generate.add_argument("distribution",
@@ -510,6 +558,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                        default=None,
                        help="snapshot bootstrap, default packed — "
                             + ENGINE_HELP)
+    serve.add_argument("--backend", choices=BACKEND_CHOICES,
+                       default=None,
+                       help="snapshot-build kernel backend — "
+                            + BACKEND_HELP)
     serve.add_argument("--max-level", type=int, default=None,
                        help="materialise a partial cube; higher levels "
                             "fall back to ad-hoc kernels")

@@ -1,0 +1,86 @@
+"""Accelerator import hygiene (SKY701).
+
+The kernel-backend design of :mod:`repro.engine.jit` rests on one
+invariant: ``import repro`` must succeed — and behave identically — on
+a machine with nothing but numpy installed.  The registry guarantees it
+by probing availability *before* importing a backend module, which only
+works if no module outside ``repro.engine.jit`` imports ``numba`` or
+``cupy`` at module level (a single stray top-level import anywhere else
+turns the optional extra into a hard dependency the moment that module
+is pulled in).  SKY701 pins the invariant in lint, where it survives
+refactors that no numpy-only CI job would notice until much later.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.base import ModuleContext, Rule, Violation, register_rule
+
+__all__ = ["AcceleratorImportRule"]
+
+#: Modules whose import must stay behind the jit registry's probes.
+ACCELERATOR_MODULES = frozenset({"numba", "cupy"})
+
+#: The only package allowed to import them at module level: the backend
+#: modules themselves, which the registry loads post-probe.
+ALLOWED_PREFIX = "repro.engine.jit"
+
+
+def _accelerator_root(name: str) -> str:
+    """The tracked top-level package of a dotted import, or ``""``."""
+    root = name.split(".", 1)[0]
+    return root if root in ACCELERATOR_MODULES else ""
+
+
+@register_rule
+class AcceleratorImportRule(Rule):
+    """SKY701 — numba/cupy imports live inside ``repro.engine.jit``.
+
+    Top-level (module-scope) ``import numba`` / ``from cupy import …``
+    outside the jit package makes an optional accelerator a hard
+    dependency of whatever imports that module, silently breaking the
+    numpy-only default environment.  Function-scope imports are fine —
+    they run only when the registry's availability probe has already
+    succeeded (or inside a probe's own ``try``).
+    """
+
+    code = "SKY701"
+    name = "accelerator-import-guarded"
+    summary = (
+        "top-level numba/cupy imports are only allowed inside "
+        "repro.engine.jit (everywhere else, import lazily after an "
+        "availability probe)"
+    )
+
+    def applies_to(self, module: str) -> bool:
+        return not (
+            module == ALLOWED_PREFIX
+            or module.startswith(ALLOWED_PREFIX + ".")
+        )
+
+    def check(self, context: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(context.tree):
+            root = ""
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = root or _accelerator_root(alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module:
+                    root = _accelerator_root(node.module)
+            if not root:
+                continue
+            if context.enclosing_function(node) is not None:
+                continue  # lazy, post-probe import — the sanctioned idiom
+            if context.is_suppressed(node.lineno, self.code):
+                continue
+            yield context.violation(
+                node,
+                self.code,
+                f"top-level import of {root!r} outside repro.engine.jit "
+                "makes the optional accelerator a hard dependency; move "
+                "the import inside the function that needs it, or route "
+                "through repro.engine.jit.resolve_backend() so the "
+                "registry probes availability first",
+            )

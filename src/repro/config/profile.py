@@ -88,11 +88,15 @@ class EngineSection:
     ``engine = None`` means "the consumer's own default": ``serve``
     resolves it to ``"packed"``, ``build_run`` to the instrumented
     per-point sweep — exactly what each does without a profile.
+    ``backend = None`` keeps the numpy kernel backend; any of
+    :data:`repro.engine.jit.BACKEND_CHOICES` selects a compiled one
+    (unavailable choices degrade to numpy with a warning).
     """
 
     engine: Optional[str] = None
     executor: str = "serial"
     workers: Optional[int] = None
+    backend: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -201,6 +205,14 @@ def _engine(value: Any) -> Optional[str]:
     return f"must be one of {', '.join(SKYCUBE_ENGINES)}; got {value!r}"
 
 
+def _backend(value: Any) -> Optional[str]:
+    from repro.engine.jit import BACKEND_CHOICES
+
+    if value in BACKEND_CHOICES:
+        return None
+    return f"must be one of {', '.join(BACKEND_CHOICES)}; got {value!r}"
+
+
 def _partitioner(value: Any) -> Optional[str]:
     from repro.shard.plan import PARTITIONER_NAMES
 
@@ -234,6 +246,7 @@ _SCHEMA: Dict[str, Dict[str, Tuple[Tuple[type, ...], Any]]] = {
         "engine": (_STR, _engine),
         "executor": (_STR, _executor),
         "workers": (_INT, _positive),
+        "backend": (_STR, _backend),
     },
     "filter": {
         "prefilter_min_rows": (_INT, _non_negative),

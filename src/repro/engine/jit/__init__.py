@@ -1,0 +1,37 @@
+"""Optional accelerated kernel backends behind one protocol.
+
+See :mod:`repro.engine.jit.base` for the protocol and
+:mod:`repro.engine.jit.registry` for probing/selection.  Importing this
+package never imports numba or cupy — the accelerated modules load
+lazily, after their availability probe succeeds.
+"""
+
+from repro.engine.jit.base import (
+    BackendProbe,
+    BackendUnavailableError,
+    KernelBackend,
+)
+from repro.engine.jit.registry import (
+    BACKEND_CHOICES,
+    BACKEND_HELP,
+    KERNEL_BACKENDS,
+    clear_backend_cache,
+    get_backend,
+    gpu_backend,
+    probe_backends,
+    resolve_backend,
+)
+
+__all__ = [
+    "BackendProbe",
+    "BackendUnavailableError",
+    "KernelBackend",
+    "KERNEL_BACKENDS",
+    "BACKEND_CHOICES",
+    "BACKEND_HELP",
+    "clear_backend_cache",
+    "get_backend",
+    "gpu_backend",
+    "probe_backends",
+    "resolve_backend",
+]

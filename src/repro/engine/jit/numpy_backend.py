@@ -1,0 +1,68 @@
+"""The reference backend: the stdlib+numpy packed sweep, unchanged.
+
+Every other backend is measured against this one — it *is* the
+``engine="packed"`` / ``"packed-filtered"`` implementation the rest of
+the library already trusts, re-exposed through the
+:class:`~repro.engine.jit.base.KernelBackend` protocol so selection,
+probing and fallback treat all backends uniformly.  Always available.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.core.dominance import dominated_mask, rank_columns
+from repro.engine import packed
+from repro.engine.jit.base import KernelBackend
+from repro.instrument.counters import Counters
+
+__all__ = ["NumpyBackend"]
+
+#: Rows per classification block — bounds the ``block × n`` boolean
+#: intermediates of :func:`repro.core.dominance.dominated_mask`.
+_CLASSIFY_BLOCK = 512
+
+
+class NumpyBackend(KernelBackend):
+    """The zero-dependency default; delegates to :mod:`repro.engine.packed`."""
+
+    name = "numpy"
+    device = "cpu"
+    requires = ""  # ships with the package itself
+
+    def _probe(self) -> str:
+        return f"numpy {np.__version__} (built-in default, always available)"
+
+    def sweep(
+        self,
+        rows: np.ndarray,
+        block: Optional[int] = None,
+        table: Optional[np.ndarray] = None,
+    ) -> packed.PackedSweep:
+        return packed.PackedSweep(rows, block=block, table=table)
+
+    def filtered_sweep(
+        self,
+        rows: np.ndarray,
+        labels: Any,
+        block: Optional[int] = None,
+        table: Optional[np.ndarray] = None,
+        counters: Optional[Counters] = None,
+    ) -> packed.FilteredPackedSweep:
+        return packed.FilteredPackedSweep(
+            rows, labels, block=block, table=table, counters=counters
+        )
+
+    def classify(self, rows: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        ranks = rank_columns(np.asarray(rows, dtype=np.float64))
+        n = len(ranks)
+        dominated = np.empty(n, dtype=bool)
+        strict = np.empty(n, dtype=bool)
+        for start in range(0, n, _CLASSIFY_BLOCK):
+            end = min(n, start + _CLASSIFY_BLOCK)
+            chunk = ranks[start:end]
+            dominated[start:end] = dominated_mask(chunk, ranks, strict=False)
+            strict[start:end] = dominated_mask(chunk, ranks, strict=True)
+        return dominated, strict

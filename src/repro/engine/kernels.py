@@ -85,23 +85,40 @@ PREFILTER_MAX_PATHS = 0.25
 PREFILTER_MIN_ROWS = 512
 
 
+def _env_block() -> Optional[int]:
+    """The validated :data:`BLOCK_ENV` override, or ``None`` if unset.
+
+    Validation happens here, once, naming the variable — a bad value
+    must fail the call immediately rather than crash (or silently
+    misbehave) deep inside a sweep.
+    """
+    env = os.environ.get(BLOCK_ENV, "").strip()
+    if not env:
+        return None
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{BLOCK_ENV} must be an integer number of rows, got {env!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{BLOCK_ENV} must be a positive number of rows, got {env!r}"
+        )
+    return value
+
+
 def _block_size(block: Optional[int], default: int = BLOCK) -> int:
     """Resolve a block size: keyword > environment > ``default``.
 
-    The packed sweep's default
-    (:data:`repro.engine.packed.DEFAULT_BLOCK`) differs from the
-    filter's :data:`BLOCK`; both honour the same keyword/env override.
+    ``default`` varies by caller — the filter kernels use
+    :data:`BLOCK`, the packed sweeps ask the selected kernel backend
+    for its :meth:`~repro.engine.jit.KernelBackend.preferred_block` —
+    and all of them honour the same keyword/env override.
     """
     if block is None:
-        env = os.environ.get(BLOCK_ENV, "").strip()
-        if env:
-            try:
-                block = int(env)
-            except ValueError:
-                raise ValueError(
-                    f"{BLOCK_ENV} must be an integer, got {env!r}"
-                ) from None
-        else:
+        block = _env_block()
+        if block is None:
             return default
     if block < 1:
         raise ValueError(f"block size must be positive, got {block}")
@@ -313,6 +330,7 @@ def fast_skycube(
     engine: str = "packed",
     block: Optional[int] = None,
     counters: Optional[Counters] = None,
+    backend: Optional[str] = None,
 ) -> Skycube:
     """The exact skycube via the point-bitmask paradigm, vectorized.
 
@@ -331,11 +349,21 @@ def fast_skycube(
     packed closure table is materialised).  All engines produce
     bit-identical cubes for either ``bit_order``.
 
+    ``backend`` selects the packed-kernel implementation (any of
+    :data:`repro.engine.jit.BACKEND_CHOICES`): ``None``/``"numpy"``
+    keep the stdlib+numpy sweep, ``"numba"``/``"cupy"`` run the
+    compiled kernels of :mod:`repro.engine.jit` when importable (an
+    unavailable backend degrades to numpy with a warning — all
+    backends are bit-identical), ``"auto"`` picks the fastest probed
+    one.  The ``"loop"`` engine is numpy-only.
+
     ``counters``, when given, accumulates the filter-effectiveness
     tallies (``pairs_pruned`` / ``leaves_skipped`` / ``label_bytes`` and
     the ``prefilter_dropped`` extra); the vectorized kernels record no
     per-operation counts.
     """
+    from repro.engine.jit import resolve_backend
+
     data, _ = _validated(data, None)
     d = data.shape[1]
     if max_level is not None and not 1 <= max_level <= d:
@@ -349,18 +377,25 @@ def fast_skycube(
             f"engine={engine!r} supports d <= {packed.PACKED_MAX_D}, got "
             f"d={d}; use engine='loop'"
         )
+    if engine == "loop" and backend not in (None, "auto", "numpy"):
+        raise ValueError(
+            f"backend={backend!r} applies to the packed engines only; "
+            "engine='loop' is numpy-only (drop backend= or pick a packed "
+            "engine)"
+        )
     splus = splus_ids_for_engine(data, engine, block=block, counters=counters)
     rows = np.ascontiguousarray(data[splus])
     if engine == "loop":
         cube = _loop_cube(rows, splus, d, max_level, word_width, bit_order)
     else:
-        sweep_block = _block_size(block, packed.DEFAULT_BLOCK)
+        kernel_backend = resolve_backend(backend)
+        sweep_block = _block_size(block, kernel_backend.preferred_block(d))
         if engine == "packed-filtered":
-            mask_rows = packed.filtered_point_masks(
+            mask_rows = kernel_backend.filtered_point_masks(
                 rows, block=sweep_block, counters=counters
             )
         else:
-            mask_rows = packed.packed_point_masks(rows, block=sweep_block)
+            mask_rows = kernel_backend.point_masks(rows, block=sweep_block)
         if max_level is not None and max_level < d:
             mask_rows |= packed.unmaterialised_row(d, max_level)
         cube = HashCube.from_masks(

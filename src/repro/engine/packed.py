@@ -65,6 +65,7 @@ __all__ = [
     "PackedSweep",
     "FilteredPackedSweep",
     "block_masks",
+    "leaf_ordered",
     "packed_point_masks",
     "filtered_point_masks",
 ]
@@ -505,6 +506,26 @@ class FilteredPackedSweep(PackedSweep):
         return out
 
 
+def leaf_ordered(rows: np.ndarray) -> "tuple[np.ndarray, LeafLabels]":
+    """``(leaf-ordered rows, labels)`` — the filtered sweeps' layout.
+
+    The shared seam between the numpy filtered sweep below and the
+    accelerated backends (:mod:`repro.engine.jit`): every filtered
+    engine sweeps the same leaf-ordered rows against the same label
+    directory, so their mask rows scatter back through the same
+    ``labels.order`` permutation.
+    """
+    from repro.partitioning.static_tree import LeafLabels
+
+    rows = np.asarray(rows)
+    if rows.ndim != 2 or rows.shape[0] == 0:
+        raise ValueError(
+            f"expected a non-empty 2-D S+ array, got shape {rows.shape}"
+        )
+    labels = LeafLabels.build(rows)
+    return np.ascontiguousarray(rows[labels.order]), labels
+
+
 def filtered_point_masks(
     rows: np.ndarray,
     block: Optional[int] = None,
@@ -520,15 +541,7 @@ def filtered_point_masks(
     :func:`packed_point_masks`; ``counters`` receives the pruning-
     effectiveness tallies.
     """
-    from repro.partitioning.static_tree import LeafLabels
-
-    rows = np.asarray(rows)
-    if rows.ndim != 2 or rows.shape[0] == 0:
-        raise ValueError(
-            f"expected a non-empty 2-D S+ array, got shape {rows.shape}"
-        )
-    labels = LeafLabels.build(rows)
-    ordered = np.ascontiguousarray(rows[labels.order])
+    ordered, labels = leaf_ordered(rows)
     sweep = FilteredPackedSweep(
         ordered, labels, block=block, table=table, counters=counters
     )

@@ -463,42 +463,44 @@ def point_block_task(task: Tuple) -> List[int]:
 
 
 #: Per-worker packed sweep over the current shared S+ segment.  Keyed
-#: by segment name and kept to the most recent entry: a sweep holds the
-#: rank/closure structures (derived copies, not views of the segment),
-#: so bounding the cache avoids pinning stale state if a kernel-
-#: recycled segment name ever reappears with different rows.
-_PACKED_SWEEPS: Dict[str, Any] = {}
+#: by ``(segment name, backend)`` and kept to the most recent entry: a
+#: sweep holds the rank/closure structures (derived copies, not views
+#: of the segment), so bounding the cache avoids pinning stale state if
+#: a kernel-recycled segment name ever reappears with different rows.
+_PACKED_SWEEPS: Dict[Tuple[str, Optional[str]], Any] = {}
 
 
 def packed_point_block_task(task: Tuple) -> np.ndarray:
     """Packed MDMC work item: uint64 mask rows for one block of S+.
 
-    ``task = (descriptor, start, end)`` over a shared array holding the
-    extended-skyline rows.  The worker builds (once per process per
-    segment) a :class:`repro.engine.packed.PackedSweep` — rank-encoded
-    comparisons plus the cached closure table — and returns the packed
-    ``(end - start, words)`` ``B_{p∉S}`` rows, which the parent merges
-    into the HashCube with a single
+    ``task = (descriptor, start, end, backend)`` over a shared array
+    holding the extended-skyline rows.  The worker resolves ``backend``
+    (gracefully — an accelerated backend missing in the worker degrades
+    to the bit-identical numpy sweep) and builds, once per process per
+    segment, that backend's sweep — rank-encoded comparisons plus the
+    cached closure table — returning the packed ``(end - start,
+    words)`` ``B_{p∉S}`` rows, which the parent merges into the
+    HashCube with a single
     :meth:`repro.core.hashcube.HashCube.from_masks` call.
     """
-    from repro.engine.packed import PackedSweep
+    from repro.engine.jit import resolve_backend
 
-    descriptor, start, end = task
-    name = descriptor[0]
-    sweep = _PACKED_SWEEPS.get(name)
+    descriptor, start, end, backend = task
+    key = (descriptor[0], backend)
+    sweep = _PACKED_SWEEPS.get(key)
     if sweep is None:
         rows = SharedDataset.attach(descriptor)
-        sweep = PackedSweep(rows)
+        sweep = resolve_backend(backend).sweep(rows)
         _PACKED_SWEEPS.clear()
-        _PACKED_SWEEPS[name] = sweep
+        _PACKED_SWEEPS[key] = sweep
     return sweep.range_masks(start, end)
 
 
 #: Per-worker filtered sweep over the current shared S+ segment, keyed
-#: by the *rows* segment name with the same single-entry policy as
-#: :data:`_PACKED_SWEEPS`.  The labels segment rides along in the task
-#: and is rehydrated once, when the sweep is built.
-_FILTERED_SWEEPS: Dict[str, Any] = {}
+#: by ``(rows segment name, backend)`` with the same single-entry
+#: policy as :data:`_PACKED_SWEEPS`.  The labels segment rides along in
+#: the task and is rehydrated once, when the sweep is built.
+_FILTERED_SWEEPS: Dict[Tuple[str, Optional[str]], Any] = {}
 
 
 def filtered_point_block_task(
@@ -506,31 +508,33 @@ def filtered_point_block_task(
 ) -> Tuple[np.ndarray, Tuple[int, int, int]]:
     """Filtered packed MDMC work item: mask rows plus pruning tallies.
 
-    ``task = (rows_descriptor, labels_descriptor, start, end)``.  The
-    rows segment holds the extended skyline in *leaf order*; the labels
-    segment holds the matching ``(n, 3)`` int64 ``med/quart/octl``
-    columns, from which
+    ``task = (rows_descriptor, labels_descriptor, start, end,
+    backend)``.  The rows segment holds the extended skyline in *leaf
+    order*; the labels segment holds the matching ``(n, 3)`` int64
+    ``med/quart/octl`` columns, from which
     :meth:`repro.partitioning.static_tree.LeafLabels.from_arrays`
-    rebuilds the node directory without touching coordinates.  Returns
-    ``(mask_block, (pairs_pruned, leaves_skipped, label_bytes))`` — the
-    counter deltas this block contributed, which the parent sums into
-    its own :class:`~repro.instrument.counters.Counters`.
+    rebuilds the node directory without touching coordinates.
+    ``backend`` resolves gracefully in the worker, exactly as in
+    :func:`packed_point_block_task`.  Returns ``(mask_block,
+    (pairs_pruned, leaves_skipped, label_bytes))`` — the counter deltas
+    this block contributed, which the parent sums into its own
+    :class:`~repro.instrument.counters.Counters`.
     """
-    from repro.engine.packed import FilteredPackedSweep
+    from repro.engine.jit import resolve_backend
     from repro.partitioning.static_tree import LeafLabels
 
-    rows_descriptor, labels_descriptor, start, end = task
-    name = rows_descriptor[0]
-    sweep = _FILTERED_SWEEPS.get(name)
+    rows_descriptor, labels_descriptor, start, end, backend = task
+    key = (rows_descriptor[0], backend)
+    sweep = _FILTERED_SWEEPS.get(key)
     if sweep is None:
         rows = SharedDataset.attach(rows_descriptor)
         cols = SharedDataset.attach(labels_descriptor)
         labels = LeafLabels.from_arrays(
             cols[:, 0], cols[:, 1], cols[:, 2], k=rows.shape[1]
         )
-        sweep = FilteredPackedSweep(rows, labels)
+        sweep = resolve_backend(backend).filtered_sweep(rows, labels)
         _FILTERED_SWEEPS.clear()
-        _FILTERED_SWEEPS[name] = sweep
+        _FILTERED_SWEEPS[key] = sweep
     tallies = sweep.counters
     before = (tallies.pairs_pruned, tallies.leaves_skipped, tallies.label_bytes)
     masks = sweep.range_masks(start, end)
@@ -667,6 +671,7 @@ def parallel_packed_masks(
     rows: np.ndarray,
     executor: ParallelExecutor,
     block: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Packed ``B_{p∉S}`` rows of ``rows`` (the S+ subset), in order.
 
@@ -676,6 +681,8 @@ def parallel_packed_masks(
     workers return numpy words instead of per-point big ints, so the
     parent merges once and never widens masks in Python.  Block
     boundaries affect only the parallel grain, never the masks.
+    ``backend`` ships with every task so workers build their sweeps on
+    the selected kernel backend (bit-identical across backends).
     """
     rows = np.ascontiguousarray(rows)
     n = len(rows)
@@ -691,10 +698,10 @@ def parallel_packed_masks(
     with SharedDataset(rows) as shared:
         descriptor = shared.descriptor
         tasks = [
-            (descriptor, start, min(n, start + block))
+            (descriptor, start, min(n, start + block), backend)
             for start in range(0, n, block)
         ]
-        costs = [float(end - start) for _, start, end in tasks]
+        costs = [float(end - start) for _, start, end, _ in tasks]
         outputs = executor.run(packed_point_block_task, tasks, costs)
     _PACKED_SWEEPS.clear()  # parent-side fallback state dies with the segment
     return np.concatenate(outputs, axis=0)
@@ -705,6 +712,7 @@ def parallel_filtered_packed_masks(
     executor: ParallelExecutor,
     block: Optional[int] = None,
     counters: Optional["Counters"] = None,
+    backend: Optional[str] = None,
 ) -> np.ndarray:
     """Filtered packed ``B_{p∉S}`` rows of ``rows`` (S+), in row order.
 
@@ -737,10 +745,16 @@ def parallel_filtered_packed_masks(
         raise ValueError(f"block must be positive, got {block}")
     with SharedDataset(ordered) as shared, SharedDataset(columns) as shared_labels:
         tasks = [
-            (shared.descriptor, shared_labels.descriptor, start, min(n, start + block))
+            (
+                shared.descriptor,
+                shared_labels.descriptor,
+                start,
+                min(n, start + block),
+                backend,
+            )
             for start in range(0, n, block)
         ]
-        costs = [float(end - start) for _, _, start, end in tasks]
+        costs = [float(end - start) for _, _, start, end, _ in tasks]
         outputs = executor.run(filtered_point_block_task, tasks, costs)
     _FILTERED_SWEEPS.clear()  # parent-side fallback state dies with the segment
     leaf_masks = np.concatenate([masks for masks, _ in outputs], axis=0)

@@ -100,18 +100,24 @@ class ServingSnapshot:
         word_width: int = HashCube.DEFAULT_WORD_WIDTH,
         engine: str = "packed",
         copy: bool = True,
+        backend: Optional[str] = None,
     ) -> "ServingSnapshot":
         """Materialise ``data`` with the vectorised engine and wrap it.
 
         ``engine`` selects the :func:`repro.engine.fast_skycube` sweep
         — any of :data:`repro.engine.SKYCUBE_ENGINES` (``"packed"``,
         the default; ``"packed-filtered"``, fastest on clustered or
-        correlated data; ``"loop"``).  All produce bit-identical
-        snapshots; the packed sweeps bootstrap serving several times
-        faster than the loop.
+        correlated data; ``"loop"``).  ``backend`` picks the packed
+        kernel backend (:data:`repro.engine.jit.BACKEND_CHOICES`).  All
+        combinations produce bit-identical snapshots; the packed sweeps
+        bootstrap serving several times faster than the loop.
         """
         skycube = fast_skycube(
-            data, max_level=max_level, word_width=word_width, engine=engine
+            data,
+            max_level=max_level,
+            word_width=word_width,
+            engine=engine,
+            backend=backend,
         )
         cube = skycube.store
         assert isinstance(cube, HashCube)

@@ -1,5 +1,6 @@
 """Skyline algorithms: baselines and template hook implementations."""
 
+from repro.skyline.accelerated import KernelSkyline
 from repro.skyline.apskyline import APSkyline
 from repro.skyline.base import SkylineAlgorithm, SkylineResult
 from repro.skyline.bnl import BlockNestedLoops
@@ -29,6 +30,7 @@ __all__ = [
     "SkyAlign",
     "GNL",
     "GGS",
+    "KernelSkyline",
     "ALGORITHMS",
     "DEFAULT_HOOKS",
     "default_hook",

@@ -1,0 +1,75 @@
+"""The real accelerated skyline hook, backed by a kernel backend.
+
+Everywhere else in :mod:`repro.skyline` the GPU is *simulated*:
+:class:`~repro.skyline.skyalign.SkyAlign` executes on the CPU while
+counting the memory transactions and warp votes a GPU would perform.
+:class:`KernelSkyline` is the other half of the story — when a compiled
+backend from :mod:`repro.engine.jit` is importable (CuPy with a visible
+CUDA device, or Numba's parallel CPU kernels), the hook actually runs
+the dominance classification on it.  ``default_hook("gpu")`` resolves
+here first and only falls back to the simulation when explicitly
+allowed (``simulate=True``).
+
+The hook is uninstrumented by design: the compiled kernels record no
+per-operation counts, so ``counters`` only receives the task tally.
+Results are bit-identical to every other algorithm — classification is
+integer rank algebra in all backends.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.bitmask import dims_of
+from repro.instrument.counters import Counters
+from repro.skyline.base import SkylineAlgorithm, SkylineResult
+
+__all__ = ["KernelSkyline"]
+
+
+class KernelSkyline(SkylineAlgorithm):
+    """Skyline/extended-skyline via a compiled kernel backend.
+
+    Wraps any :class:`repro.engine.jit.base.KernelBackend`: the δ
+    projection of the selected rows goes through
+    :meth:`~repro.engine.jit.base.KernelBackend.classify`, whose two
+    boolean arrays are exactly the ``(L[δ], L+[δ] \\ L[δ])`` split the
+    templates consume.
+    """
+
+    parallel = True
+
+    def __init__(self, backend: "object") -> None:
+        from repro.engine.jit.base import KernelBackend
+
+        if not isinstance(backend, KernelBackend):
+            raise TypeError(
+                f"KernelSkyline wraps a KernelBackend, got {backend!r}"
+            )
+        self.backend = backend.require()
+        self.name = f"kernel-{backend.name}"
+        self.architecture = backend.device
+
+    def _compute(
+        self,
+        data: np.ndarray,
+        ids: List[int],
+        delta: int,
+        counters: Counters,
+    ) -> SkylineResult:
+        id_array = np.asarray(ids, dtype=np.int64)
+        dims = dims_of(delta)
+        rows = np.ascontiguousarray(data[id_array][:, dims])
+        dominated, strictly = self.backend.classify(rows)
+        skyline = id_array[~dominated]
+        extended_only = id_array[dominated & ~strictly]
+        counters.tasks += len(ids)
+        counters.points_processed += len(ids)
+        return SkylineResult(
+            skyline.tolist(),
+            extended_only.tolist(),
+            counters,
+            task_units=[1] * len(ids),
+        )

@@ -51,7 +51,9 @@ class SDSC(SkycubeTemplate):
     ) -> None:
         super().__init__(specialisation, executor, workers)
         if hook is None:
-            hook = default_hook(self.specialisation, parallel=True)
+            hook = default_hook(
+                self.specialisation, parallel=True, simulate=True
+            )
         self.set_hook(hook, require_parallel=True)
 
     def _materialise(

@@ -51,7 +51,9 @@ class STSC(SkycubeTemplate):
     ) -> None:
         super().__init__(specialisation, executor, workers)
         self.set_hook(
-            hook if hook is not None else default_hook(self.specialisation)
+            hook
+            if hook is not None
+            else default_hook(self.specialisation, simulate=True)
         )
 
     def _materialise(

@@ -1,0 +1,19 @@
+"""SKY701 fixture: top-level accelerator imports outside engine/jit."""
+
+import numba  # line 3: SKY701
+import numpy as np
+from cupy import cuda  # line 5: SKY701
+
+import numba.cuda as nbcuda  # line 7: SKY701
+
+
+def probe():
+    import numba  # clean: function-scope, post-probe idiom
+
+    return numba.__version__
+
+
+def fold(rows):
+    from cupy import asarray  # clean: lazy import
+
+    return asarray(np.asarray(rows))

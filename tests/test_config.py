@@ -276,9 +276,9 @@ class TestConsumers:
         calls = []
         real_builder = runner._builder
 
-        def spy(key, executor="serial", workers=None, engine=None):
+        def spy(key, executor="serial", workers=None, engine=None, backend=None):
             calls.append((key, executor, workers, engine))
-            return real_builder(key, executor, workers, engine)
+            return real_builder(key, executor, workers, engine, backend)
 
         monkeypatch.setattr(runner, "_builder", spy)
         profile = profile_from_dict({
@@ -296,9 +296,9 @@ class TestConsumers:
         calls = []
         real_builder = runner._builder
 
-        def spy(key, executor="serial", workers=None, engine=None):
+        def spy(key, executor="serial", workers=None, engine=None, backend=None):
             calls.append((key, executor, workers, engine))
-            return real_builder(key, executor, workers, engine)
+            return real_builder(key, executor, workers, engine, backend)
 
         monkeypatch.setattr(runner, "_builder", spy)
         profile = profile_from_dict({"engine": {"engine": "loop"}})
@@ -319,9 +319,9 @@ class TestConsumers:
         calls = []
         real_builder = runner._builder
 
-        def spy(key, executor="serial", workers=None, engine=None):
+        def spy(key, executor="serial", workers=None, engine=None, backend=None):
             calls.append((key, executor, workers, engine))
-            return real_builder(key, executor, workers, engine)
+            return real_builder(key, executor, workers, engine, backend)
 
         monkeypatch.setattr(runner, "_builder", spy)
         profile = profile_from_dict({"engine": {"executor": "process"}})
